@@ -1,0 +1,10 @@
+//! §2.2.2 ablation: load-resolution-loop management policies
+//! (tree reissue / 21264 shadow reissue / stall / refetch).
+
+use looseloops::{ablation_load_policies, Workload};
+
+fn main() {
+    looseloops_bench::run_figure("ablation-load-policy", |budget| {
+        ablation_load_policies(&Workload::paper_set(), budget)
+    });
+}

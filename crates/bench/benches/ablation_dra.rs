@@ -1,0 +1,19 @@
+//! DRA design-choice ablation: CRC size, CRC replacement policy, and
+//! idealized insertion-table cleanup (DESIGN.md section 3).
+
+use looseloops::{ablation_dra_design, Benchmark, Workload};
+
+fn main() {
+    // The DRA-sensitive subset: the pathological case, the load-loop
+    // winners, and one branchy integer code.
+    let ws = vec![
+        Workload::Single(Benchmark::Apsi),
+        Workload::Single(Benchmark::Swim),
+        Workload::Single(Benchmark::Turb3d),
+        Workload::Single(Benchmark::Gcc),
+        Workload::Pair(Benchmark::pairs()[2]), // apsi-swim
+    ];
+    looseloops_bench::run_figure("ablation-dra-design", |budget| {
+        ablation_dra_design(&ws, budget)
+    });
+}

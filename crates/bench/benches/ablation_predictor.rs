@@ -1,0 +1,20 @@
+//! Direction-predictor ablation: how much the branch-resolution loop
+//! costs under weaker predictors.
+
+use looseloops::{ablation_predictors, Benchmark, Workload};
+
+fn main() {
+    let ws: Vec<Workload> = [
+        Benchmark::Compress,
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::M88ksim,
+        Benchmark::Swim,
+    ]
+    .into_iter()
+    .map(Workload::Single)
+    .collect();
+    looseloops_bench::run_figure("ablation-predictor", |budget| {
+        ablation_predictors(&ws, budget)
+    });
+}

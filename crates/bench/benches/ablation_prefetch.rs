@@ -1,0 +1,21 @@
+//! Prefetcher extension ablation: attack the load loop's mis-speculation
+//! rate (prefetch) vs its delay (DRA), and both together.
+
+use looseloops::{ablation_prefetch, Benchmark, Workload};
+
+fn main() {
+    let ws: Vec<Workload> = [
+        Benchmark::Swim,
+        Benchmark::Turb3d,
+        Benchmark::Hydro2d,
+        Benchmark::Mgrid,
+        Benchmark::Gcc,
+        Benchmark::Apsi,
+    ]
+    .into_iter()
+    .map(Workload::Single)
+    .collect();
+    looseloops_bench::run_figure("ablation-prefetch", |budget| {
+        ablation_prefetch(&ws, budget)
+    });
+}

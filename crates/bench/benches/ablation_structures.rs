@@ -1,0 +1,21 @@
+//! Structure-capacity ablations: the forwarding window (paper §2.2.1) and
+//! the instruction-queue size (paper §2.2.2).
+
+use looseloops::{ablation_fwd_window, ablation_iq_size, Benchmark, Workload};
+
+fn main() {
+    let ws: Vec<Workload> = [
+        Benchmark::M88ksim,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+        Benchmark::Apsi,
+        Benchmark::Go,
+    ]
+    .into_iter()
+    .map(Workload::Single)
+    .collect();
+    looseloops_bench::run_figure("ablation-fwd-window", |budget| {
+        ablation_fwd_window(&ws, budget)
+    });
+    looseloops_bench::run_figure("ablation-iq-size", |budget| ablation_iq_size(&ws, budget));
+}

@@ -1,0 +1,55 @@
+//! Shared harness for the figure benches.
+//!
+//! Each `benches/figN.rs` target regenerates one figure of the paper's
+//! evaluation (see DESIGN.md §3). They run under `cargo bench` with
+//! `harness = false`, print the paper-style table, and archive JSON under
+//! `target/figures/`.
+//!
+//! Budgets are overridable for quick runs:
+//!
+//! ```text
+//! LOOSELOOPS_WARMUP=5000 LOOSELOOPS_MEASURE=50000 cargo bench --bench fig4
+//! ```
+
+use looseloops::{FigureResult, RunBudget};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Read the run budget from the environment, defaulting to
+/// [`RunBudget::bench`].
+pub fn budget_from_env() -> RunBudget {
+    let mut b = RunBudget::bench();
+    if let Ok(v) = std::env::var("LOOSELOOPS_WARMUP") {
+        b.warmup = v.parse().expect("LOOSELOOPS_WARMUP must be an integer");
+    }
+    if let Ok(v) = std::env::var("LOOSELOOPS_MEASURE") {
+        b.measure = v.parse().expect("LOOSELOOPS_MEASURE must be an integer");
+    }
+    b
+}
+
+/// Print the figure table and archive it as JSON under `target/figures/`.
+pub fn emit(fig: &FigureResult) {
+    println!("{fig}");
+    let dir = PathBuf::from("target/figures");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{}.json", fig.id));
+        if fs::write(&path, fig.to_json()).is_ok() {
+            println!("(archived to {})", path.display());
+        }
+    }
+}
+
+/// Run a named figure generator with wall-clock reporting.
+pub fn run_figure(name: &str, gen: impl FnOnce(RunBudget) -> FigureResult) {
+    let budget = budget_from_env();
+    eprintln!(
+        "[{name}] warmup={} measure={} instructions per run…",
+        budget.warmup, budget.measure
+    );
+    let t0 = Instant::now();
+    let fig = gen(budget);
+    eprintln!("[{name}] done in {:.1}s", t0.elapsed().as_secs_f64());
+    emit(&fig);
+}

@@ -1,0 +1,97 @@
+//! Branch target buffer.
+//!
+//! Tagged, direct-mapped target cache. The fetch unit consults it for the
+//! taken-path target of control instructions before they are even decoded;
+//! a miss means a taken branch redirects only after decode (modelled by the
+//! pipeline as a fetch bubble).
+
+/// A direct-mapped, tagged branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    // (tag, target); tag == u64::MAX means empty.
+    entries: Vec<(u64, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Build a BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two(), "BTB size must be a power of two");
+        Btb { entries: vec![(u64::MAX, 0); entries], hits: 0, misses: 0 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted target for the control instruction at `pc`, if present.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.entries[self.index(pc)];
+        if tag == pc {
+            self.hits += 1;
+            Some(target)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Non-counting lookup (for tests and diagnostics).
+    pub fn probe(&self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.entries[self.index(pc)];
+        (tag == pc).then_some(target)
+    }
+
+    /// Install or update the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.entries[i] = (pc, target);
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_update() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.lookup(5), None);
+        b.update(5, 100);
+        assert_eq!(b.lookup(5), Some(100));
+        assert_eq!(b.stats(), (1, 1));
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut b = Btb::new(16);
+        b.update(3, 30);
+        b.update(19, 190); // same slot in a 16-entry BTB
+        assert_eq!(b.probe(3), None);
+        assert_eq!(b.probe(19), Some(190));
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut b = Btb::new(4);
+        b.update(1, 10);
+        b.update(1, 20);
+        assert_eq!(b.probe(1), Some(20));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = Btb::new(10);
+    }
+}

@@ -1,0 +1,579 @@
+//! Conditional-branch direction predictors.
+//!
+//! All predictors speak [`DirectionPredictor`]: `predict` at fetch time,
+//! `update` at branch resolution. Predictors that keep global history
+//! support checkpointing via [`HistorySnapshot`] so the pipeline can repair
+//! history after a squash (speculative-history recovery).
+
+/// Which direction predictor to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Static always-taken (useful as a worst-case ablation).
+    Taken,
+    /// Per-PC 2-bit saturating counters.
+    Bimodal,
+    /// Global history XOR PC indexing a 2-bit counter table.
+    Gshare,
+    /// Per-PC local history indexing a pattern table (21264 local side).
+    Local,
+    /// 21264-style tournament: local + global with a choice predictor.
+    Tournament,
+}
+
+/// Opaque saved global-history state (contents depend on the predictor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistorySnapshot(pub u64);
+
+/// A conditional-branch direction predictor.
+pub trait DirectionPredictor {
+    /// Predict the direction of the branch at `pc`.
+    fn predict(&self, pc: u64) -> bool;
+
+    /// Train with the resolved direction and update any global history.
+    fn update(&mut self, pc: u64, taken: bool);
+
+    /// Capture global-history state (no-op snapshot for history-free
+    /// predictors).
+    fn snapshot_history(&self) -> HistorySnapshot {
+        HistorySnapshot(0)
+    }
+
+    /// Restore global-history state captured by
+    /// [`DirectionPredictor::snapshot_history`].
+    fn restore_history(&mut self, _snap: HistorySnapshot) {}
+
+    /// Speculatively shift `taken` into global history at prediction time
+    /// (no-op for history-free predictors). The pipeline calls this at
+    /// fetch and repairs with `restore_history` on a squash.
+    fn speculate_history(&mut self, _taken: bool) {}
+
+    /// Train the prediction tables with a resolved outcome **without**
+    /// shifting global history. Pipelines that maintain history
+    /// speculatively at fetch (via [`DirectionPredictor::speculate_history`]
+    /// / [`DirectionPredictor::restore_history`]) use this at branch
+    /// resolution; the default forwards to [`DirectionPredictor::update`]
+    /// and is only correct for history-free predictors.
+    fn train_only(&mut self, pc: u64, taken: bool) {
+        self.update(pc, taken);
+    }
+
+    /// Fetch-time prediction for deep pipelines: predict, *speculatively*
+    /// shift the prediction into every internal history (global and
+    /// per-branch local), and return an opaque context capturing the
+    /// pre-prediction history state. The context is what
+    /// [`DirectionPredictor::train_ctx`] and [`DirectionPredictor::repair`]
+    /// need to train/repair against the state the prediction was actually
+    /// made with — essential when several instances of the same branch are
+    /// in flight.
+    fn predict_ctx(&mut self, pc: u64) -> (bool, u64) {
+        let t = self.predict(pc);
+        self.speculate_history(t);
+        (t, 0)
+    }
+
+    /// Train the tables for a resolved branch using the context returned
+    /// by [`DirectionPredictor::predict_ctx`]. Histories are *not*
+    /// shifted (they were shifted speculatively at fetch).
+    fn train_ctx(&mut self, pc: u64, _ctx: u64, taken: bool) {
+        self.train_only(pc, taken);
+    }
+
+    /// Repair per-branch history after a misprediction of this branch:
+    /// reset it to the pre-prediction context extended with the true
+    /// outcome. (Global history repair is the pipeline's job via
+    /// [`DirectionPredictor::restore_history`].)
+    fn repair(&mut self, _pc: u64, _ctx: u64, _taken: bool) {}
+}
+
+/// 2-bit saturating counter helper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Weakly-not-taken initial state.
+    pub fn new() -> Counter2 {
+        Counter2(1)
+    }
+
+    /// Counter value 0–3.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Predicted direction (counter >= 2).
+    pub fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Saturating train toward `taken`.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Static always-taken predictor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTaken;
+
+impl DirectionPredictor for AlwaysTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+}
+
+/// Classic bimodal predictor: one 2-bit counter per PC hash.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<Counter2>,
+}
+
+impl BimodalPredictor {
+    /// `entries` must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    pub fn new(entries: usize) -> BimodalPredictor {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        BimodalPredictor { table: vec![Counter2::new(); entries] }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.table.len() - 1)
+    }
+}
+
+impl DirectionPredictor for BimodalPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].train(taken);
+    }
+}
+
+/// Gshare: global branch history XORed with the PC indexes a counter table.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<Counter2>,
+    history: u64,
+    hist_bits: u32,
+}
+
+impl GsharePredictor {
+    /// `entries` must be a power of two; `hist_bits` ≤ 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid sizing.
+    pub fn new(entries: usize, hist_bits: u32) -> GsharePredictor {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(hist_bits <= 32, "history too long");
+        GsharePredictor { table: vec![Counter2::new(); entries], history: 0, hist_bits }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.hist_bits) - 1;
+        ((pc ^ (self.history & mask)) as usize) & (self.table.len() - 1)
+    }
+}
+
+impl DirectionPredictor for GsharePredictor {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.train_only(pc, taken);
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    fn snapshot_history(&self) -> HistorySnapshot {
+        HistorySnapshot(self.history)
+    }
+
+    fn restore_history(&mut self, snap: HistorySnapshot) {
+        self.history = snap.0;
+    }
+
+    fn speculate_history(&mut self, taken: bool) {
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    fn train_only(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].train(taken);
+    }
+
+    fn predict_ctx(&mut self, pc: u64) -> (bool, u64) {
+        let ctx = self.history;
+        let t = self.predict(pc);
+        self.speculate_history(t);
+        (t, ctx)
+    }
+
+    fn train_ctx(&mut self, pc: u64, ctx: u64, taken: bool) {
+        let mask = (1u64 << self.hist_bits) - 1;
+        let i = ((pc ^ (ctx & mask)) as usize) & (self.table.len() - 1);
+        self.table[i].train(taken);
+    }
+}
+
+/// Local-history predictor: per-PC history registers index a shared pattern
+/// table of 3-bit counters (the 21264's local side).
+#[derive(Debug, Clone)]
+pub struct LocalPredictor {
+    histories: Vec<u16>,
+    pattern: Vec<u8>, // 3-bit counters
+    hist_bits: u32,
+}
+
+impl LocalPredictor {
+    /// `entries` history registers of `hist_bits` bits each; the pattern
+    /// table has `2^hist_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two `entries` or `hist_bits > 16`.
+    pub fn new(entries: usize, hist_bits: u32) -> LocalPredictor {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert!(hist_bits <= 16, "local history too long");
+        LocalPredictor {
+            histories: vec![0; entries],
+            pattern: vec![3; 1 << hist_bits], // weakly not-taken of 0..=7
+            hist_bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.histories.len() - 1)
+    }
+
+    fn pattern_index(&self, pc: u64) -> usize {
+        let mask = (1u16 << self.hist_bits) - 1;
+        (self.histories[self.index(pc)] & mask) as usize
+    }
+
+    /// Would history value `hist` predict taken? (Used by the tournament
+    /// to reconstruct fetch-time component predictions at train time.)
+    pub fn pattern_taken(&self, hist: u16) -> bool {
+        let mask = (1u16 << self.hist_bits) - 1;
+        self.pattern[(hist & mask) as usize] >= 4
+    }
+}
+
+impl LocalPredictor {
+    fn train_pattern(&mut self, hist: u16, taken: bool) {
+        let mask = (1u16 << self.hist_bits) - 1;
+        let c = &mut self.pattern[(hist & mask) as usize];
+        if taken {
+            *c = (*c + 1).min(7);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+impl DirectionPredictor for LocalPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        self.pattern[self.pattern_index(pc)] >= 4
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let hist = self.histories[self.index(pc)];
+        self.train_pattern(hist, taken);
+        let hi = self.index(pc);
+        self.histories[hi] = (self.histories[hi] << 1) | taken as u16;
+    }
+
+    fn predict_ctx(&mut self, pc: u64) -> (bool, u64) {
+        let hi = self.index(pc);
+        let ctx = self.histories[hi];
+        let t = self.predict(pc);
+        // Speculatively extend this branch's history with the prediction so
+        // in-flight instances of the same branch see each other.
+        self.histories[hi] = (ctx << 1) | t as u16;
+        (t, ctx as u64)
+    }
+
+    fn train_ctx(&mut self, _pc: u64, ctx: u64, taken: bool) {
+        self.train_pattern(ctx as u16, taken);
+    }
+
+    fn repair(&mut self, pc: u64, ctx: u64, taken: bool) {
+        // The speculative shifts past this branch were wrong-path: reset to
+        // the pre-prediction state extended with the true outcome.
+        let hi = self.index(pc);
+        self.histories[hi] = ((ctx as u16) << 1) | taken as u16;
+    }
+
+    fn train_only(&mut self, pc: u64, taken: bool) {
+        let hist = self.histories[self.index(pc)];
+        self.train_pattern(hist, taken);
+    }
+}
+
+/// Alpha 21264-style tournament predictor: a local predictor and a global
+/// (history-indexed) predictor arbitrated by a choice table indexed by
+/// global history.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    local: LocalPredictor,
+    global: Vec<Counter2>,
+    choice: Vec<Counter2>,
+    history: u64,
+    hist_bits: u32,
+}
+
+impl TournamentPredictor {
+    /// The 21264 sizing: 1024×10-bit local histories, 4096-entry global and
+    /// choice tables over 12 bits of global history.
+    pub fn new_21264_like() -> TournamentPredictor {
+        TournamentPredictor::new(1024, 10, 4096, 12)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two table sizes.
+    pub fn new(
+        local_entries: usize,
+        local_bits: u32,
+        global_entries: usize,
+        global_bits: u32,
+    ) -> TournamentPredictor {
+        assert!(global_entries.is_power_of_two(), "global table must be a power of two");
+        TournamentPredictor {
+            local: LocalPredictor::new(local_entries, local_bits),
+            global: vec![Counter2::new(); global_entries],
+            choice: vec![Counter2::new(); global_entries],
+            history: 0,
+            hist_bits: global_bits,
+        }
+    }
+
+    fn gindex(&self) -> usize {
+        let mask = (1u64 << self.hist_bits) - 1;
+        ((self.history & mask) as usize) & (self.global.len() - 1)
+    }
+
+    fn local_pattern_taken(&self, hist: u16) -> bool {
+        self.local.pattern_taken(hist)
+    }
+}
+
+impl DirectionPredictor for TournamentPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        let use_global = self.choice[self.gindex()].taken();
+        if use_global {
+            self.global[self.gindex()].taken()
+        } else {
+            self.local.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.train_only(pc, taken);
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    fn snapshot_history(&self) -> HistorySnapshot {
+        HistorySnapshot(self.history)
+    }
+
+    fn restore_history(&mut self, snap: HistorySnapshot) {
+        self.history = snap.0;
+    }
+
+    fn speculate_history(&mut self, taken: bool) {
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    fn train_only(&mut self, pc: u64, taken: bool) {
+        let gi = self.gindex();
+        let global_pred = self.global[gi].taken();
+        let local_pred = self.local.predict(pc);
+        // Train the choice table toward whichever component was right
+        // (only when they disagree).
+        if global_pred != local_pred {
+            self.choice[gi].train(global_pred == taken);
+        }
+        self.global[gi].train(taken);
+        self.local.update(pc, taken);
+    }
+
+    fn predict_ctx(&mut self, pc: u64) -> (bool, u64) {
+        let gctx = self.history;
+        let gi = self.gindex();
+        let (lt, lctx) = self.local.predict_ctx(pc);
+        let t = if self.choice[gi].taken() { self.global[gi].taken() } else { lt };
+        // Keep the local speculative history consistent with the actual
+        // prediction when the global side overrides it.
+        if t != lt {
+            self.local.repair(pc, lctx, t);
+        }
+        self.speculate_history(t);
+        (t, (lctx & 0xffff) | (gctx << 16))
+    }
+
+    fn train_ctx(&mut self, pc: u64, ctx: u64, taken: bool) {
+        let lctx = ctx & 0xffff;
+        let gctx = ctx >> 16;
+        let mask = (1u64 << self.hist_bits) - 1;
+        let gi = ((gctx & mask) as usize) & (self.global.len() - 1);
+        let global_pred = self.global[gi].taken();
+        let lmask = (1u16 << 10) - 1; // matches local construction below
+        let local_pred = {
+            // Reconstruct the local prediction made at fetch.
+            let _ = lmask;
+            self.local_pattern_taken(lctx as u16)
+        };
+        if global_pred != local_pred {
+            self.choice[gi].train(global_pred == taken);
+        }
+        self.global[gi].train(taken);
+        self.local.train_ctx(pc, lctx, taken);
+    }
+
+    fn repair(&mut self, pc: u64, ctx: u64, taken: bool) {
+        self.local.repair(pc, ctx & 0xffff, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter2_saturates() {
+        let mut c = Counter2::new();
+        assert_eq!(c.value(), 1);
+        c.train(false);
+        c.train(false);
+        assert_eq!(c.value(), 0);
+        for _ in 0..5 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.taken());
+    }
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = BimodalPredictor::new(16);
+        for _ in 0..4 {
+            p.update(0x40, true);
+        }
+        assert!(p.predict(0x40));
+        for _ in 0..4 {
+            p.update(0x80, false);
+        }
+        assert!(!p.predict(0x80));
+    }
+
+    #[test]
+    fn bimodal_aliases_by_table_size() {
+        let mut p = BimodalPredictor::new(16);
+        for _ in 0..4 {
+            p.update(0, true);
+        }
+        assert!(p.predict(16), "pc 16 aliases pc 0 in a 16-entry table");
+    }
+
+    #[test]
+    fn gshare_learns_history_correlated_patterns() {
+        // Branch taken iff the previous branch was not taken (alternating)
+        // is unlearnable by bimodal but trivial for gshare.
+        let mut p = GsharePredictor::new(256, 8);
+        let pc = 0x1234;
+        let mut correct = 0;
+        let mut outcome = false;
+        for i in 0..200 {
+            outcome = !outcome;
+            if i >= 100 && p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        assert!(correct >= 95, "gshare should nail an alternating pattern, got {correct}/100");
+    }
+
+    #[test]
+    fn local_learns_short_periodic_patterns() {
+        // Period-3 pattern T T N per PC.
+        let mut p = LocalPredictor::new(64, 10);
+        let pat = [true, true, false];
+        let pc = 0x88;
+        let mut correct = 0;
+        for i in 0..300 {
+            let outcome = pat[i % 3];
+            if i >= 150 && p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        assert!(correct >= 140, "local should learn period-3, got {correct}/150");
+    }
+
+    #[test]
+    fn tournament_beats_both_components_on_mixed_workload() {
+        let mut t = TournamentPredictor::new_21264_like();
+        // PC A follows a local period-2 pattern; PC B follows global
+        // correlation (equal to A's last outcome).
+        let (a, b) = (0x100, 0x200);
+        let mut a_out = false;
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..400 {
+            a_out = !a_out;
+            if i >= 200 {
+                total += 2;
+                if t.predict(a) == a_out {
+                    correct += 1;
+                }
+            }
+            t.update(a, a_out);
+            let b_out = a_out;
+            if i >= 200 && t.predict(b) == b_out {
+                correct += 1;
+            }
+            t.update(b, b_out);
+        }
+        assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn history_snapshot_round_trips() {
+        let mut p = GsharePredictor::new(64, 8);
+        p.update(1, true);
+        p.update(1, false);
+        let snap = p.snapshot_history();
+        p.speculate_history(true);
+        p.speculate_history(true);
+        assert_ne!(p.snapshot_history(), snap);
+        p.restore_history(snap);
+        assert_eq!(p.snapshot_history(), snap);
+    }
+
+    #[test]
+    fn always_taken_is_constant() {
+        let mut p = AlwaysTaken;
+        assert!(p.predict(0));
+        p.update(0, false);
+        assert!(p.predict(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = BimodalPredictor::new(100);
+    }
+}

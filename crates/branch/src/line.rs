@@ -1,0 +1,96 @@
+//! Next-line predictor — the paper's canonical *tight* loop.
+//!
+//! "The next line prediction in the current cycle is needed by the line
+//! predictor to determine the instructions to fetch in the next cycle"
+//! (paper §1, Figure 2). The structure is a small untagged table mapping a
+//! fetch-block PC to the predicted next fetch-block PC. Because the loop is
+//! tight (loop delay 1) it never costs a bubble when right; when wrong the
+//! fetch unit burns one cycle redirecting — which the pipeline charges.
+
+// Sentinel for never-trained slots (no real program reaches this PC).
+const UNTRAINED: u64 = u64::MAX;
+
+/// Untagged next-fetch-line predictor.
+#[derive(Debug, Clone)]
+pub struct LinePredictor {
+    table: Vec<u64>,
+    block_insts: u64,
+    correct: u64,
+    wrong: u64,
+}
+
+impl LinePredictor {
+    /// A predictor with `entries` slots (power of two) for fetch blocks of
+    /// `block_insts` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `block_insts` is zero.
+    pub fn new(entries: usize, block_insts: u64) -> LinePredictor {
+        assert!(entries.is_power_of_two(), "line predictor size must be a power of two");
+        assert!(block_insts > 0, "fetch block must be non-empty");
+        LinePredictor { table: vec![UNTRAINED; entries], block_insts, correct: 0, wrong: 0 }
+    }
+
+    fn index(&self, block_pc: u64) -> usize {
+        ((block_pc / self.block_insts) as usize) & (self.table.len() - 1)
+    }
+
+    /// Predicted next fetch PC after the block starting at `block_pc`.
+    /// Untrained entries fall through sequentially.
+    pub fn predict(&self, block_pc: u64) -> u64 {
+        let v = self.table[self.index(block_pc)];
+        if v == UNTRAINED {
+            block_pc + self.block_insts
+        } else {
+            v
+        }
+    }
+
+    /// Train with the actual next fetch PC, and record whether the earlier
+    /// prediction was right (the tight-loop feedback).
+    pub fn train(&mut self, block_pc: u64, actual_next: u64) {
+        if self.predict(block_pc) == actual_next {
+            self.correct += 1;
+        } else {
+            self.wrong += 1;
+            let i = self.index(block_pc);
+            self.table[i] = actual_next;
+        }
+    }
+
+    /// (correct, wrong) prediction counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.correct, self.wrong)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_predicts_sequential() {
+        let p = LinePredictor::new(64, 8);
+        assert_eq!(p.predict(0), 8);
+        assert_eq!(p.predict(16), 24);
+    }
+
+    #[test]
+    fn learns_a_taken_loop_edge() {
+        let mut p = LinePredictor::new(64, 8);
+        p.train(32, 0); // block at 32 jumps back to 0
+        assert_eq!(p.predict(32), 0);
+        p.train(32, 0);
+        assert_eq!(p.stats(), (1, 1));
+    }
+
+    #[test]
+    fn retrains_on_change() {
+        let mut p = LinePredictor::new(64, 8);
+        p.train(0, 64);
+        assert_eq!(p.predict(0), 64);
+        p.train(0, 8);
+        assert_eq!(p.predict(0), 8);
+    }
+}

@@ -1,0 +1,101 @@
+//! Return-address stack.
+//!
+//! A small circular stack of predicted return targets. Calls push, returns
+//! pop. Because pushes/pops happen speculatively at fetch, the whole stack
+//! is checkpointable so the pipeline can restore it after a squash.
+
+/// Circular return-address stack with copy-based checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnAddressStack {
+    slots: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// A RAS with `capacity` entries (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        assert!(capacity.is_power_of_two(), "RAS capacity must be a power of two");
+        ReturnAddressStack { slots: vec![0; capacity], top: 0, depth: 0 }
+    }
+
+    /// Push a predicted return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) & (self.slots.len() - 1);
+        self.slots[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.slots.len());
+    }
+
+    /// Pop the predicted return target (on a return); `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let v = self.slots[self.top];
+        self.top = self.top.wrapping_sub(1) & (self.slots.len() - 1);
+        self.depth -= 1;
+        Some(v)
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Snapshot for squash recovery.
+    pub fn checkpoint(&self) -> ReturnAddressStack {
+        self.clone()
+    }
+
+    /// Restore a snapshot taken with [`ReturnAddressStack::checkpoint`].
+    pub fn restore(&mut self, snap: &ReturnAddressStack) {
+        self.clone_from(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(8);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn checkpoint_restores_exactly() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(10);
+        r.push(20);
+        let snap = r.checkpoint();
+        r.pop();
+        r.push(99);
+        r.push(98);
+        r.restore(&snap);
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+    }
+}

@@ -1,0 +1,141 @@
+//! Tiny hand-rolled flag parser: `--key value`, `--flag`, and positional
+//! arguments, with typed accessors and an unknown-flag check.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, Option<String>>,
+    order: Vec<String>,
+}
+
+/// Argument error with a user-facing message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments. `value_flags` lists flags that consume the
+    /// next token; everything else starting with `--` is boolean.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        value_flags: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let name = name.to_string();
+                if value_flags.contains(&name.as_str()) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    out.flags.insert(name.clone(), Some(v));
+                } else {
+                    out.flags.insert(name.clone(), None);
+                }
+                out.order.push(name);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// String value of a flag, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// Parsed value of a flag, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Fail on flags outside the allowed set (catches typos).
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for f in &self.order {
+            if !allowed.contains(&f.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{f} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str, vals: &[&str]) -> Args {
+        Args::parse(s.split_whitespace().map(String::from), vals).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse("run --bench swim --verify extra", &["bench"]);
+        assert_eq!(a.positional(), ["run", "extra"]);
+        assert_eq!(a.get("bench"), Some("swim"));
+        assert!(a.has("verify"));
+        assert!(!a.has("nope"));
+    }
+
+    #[test]
+    fn typed_values_and_defaults() {
+        let a = parse("--measure 5000", &["measure"]);
+        assert_eq!(a.get_or("measure", 0u64).unwrap(), 5000);
+        assert_eq!(a.get_or("warmup", 7u64).unwrap(), 7);
+        assert!(a.get_or::<u64>("measure", 0).is_ok());
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = parse("--measure lots", &["measure"]);
+        assert!(a.get_or::<u64>("measure", 0).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = Args::parse(["--bench".to_string()], &["bench"]).unwrap_err();
+        assert!(e.0.contains("--bench"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = parse("--bnech swim", &["bnech"]);
+        assert!(a.reject_unknown(&["bench"]).is_err());
+        let a = parse("--bench swim", &["bench"]);
+        assert!(a.reject_unknown(&["bench"]).is_ok());
+    }
+}

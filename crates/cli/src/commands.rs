@@ -1,0 +1,278 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use crate::config::{budget_from_args, config_from_args, BUDGET_FLAGS, CONFIG_FLAGS};
+use looseloops::{
+    ablation_dra_design, ablation_load_policies, ablation_predictors, fig4_pipeline_length,
+    fig5_fixed_total, fig6_operand_gap_cdf, fig8_dra_speedup, fig9_operand_sources,
+    loop_inventory, FigureResult, Machine, RunBudget, SimStats, Workload,
+};
+use looseloops_workload::Benchmark;
+
+fn config_flag_set(extra: &[&str]) -> Vec<&'static str> {
+    let mut v: Vec<&str> = CONFIG_FLAGS.to_vec();
+    v.extend_from_slice(BUDGET_FLAGS);
+    // Leak is fine: flag names live for the whole process.
+    v.iter()
+        .copied()
+        .chain(extra.iter().copied())
+        .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+        .collect()
+}
+
+fn print_stats(stats: &SimStats, json: bool) {
+    if json {
+        println!("{{");
+        println!("  \"cycles\": {},", stats.cycles);
+        println!("  \"retired\": {:?},", stats.retired);
+        println!("  \"ipc\": {},", stats.ipc());
+        println!("  \"branches\": {},", stats.branches);
+        println!("  \"branch_mispredicts\": {},", stats.branch_mispredicts);
+        println!("  \"loads\": {},", stats.loads);
+        println!("  \"load_l1_misses\": {},", stats.load_l1_misses);
+        println!("  \"load_replays\": {},", stats.load_replays);
+        println!("  \"operand_misses\": {},", stats.operand_misses);
+        println!("  \"operand_sources\": {:?},", stats.operand_sources);
+        println!("  \"mem_order_traps\": {},", stats.mem_order_traps);
+        println!("  \"tlb_traps\": {},", stats.tlb_traps);
+        println!("  \"iq_occupancy_mean\": {}", stats.iq_occupancy_mean);
+        println!("}}");
+        return;
+    }
+    println!("cycles                {}", stats.cycles);
+    println!("instructions retired  {} {:?}", stats.total_retired(), stats.retired);
+    println!("IPC                   {:.4}", stats.ipc());
+    println!(
+        "branches              {} ({} mispredicted, {:.2}%)",
+        stats.branches,
+        stats.branch_mispredicts,
+        stats.branch_mispredict_rate() * 100.0
+    );
+    println!(
+        "loads                 {} ({} L1 misses, {:.2}%)",
+        stats.loads,
+        stats.load_l1_misses,
+        stats.load_miss_rate() * 100.0
+    );
+    println!(
+        "useless work          {} (load replays {}, shadow {}, operand {}, squashed-after-issue {})",
+        stats.useless_work(),
+        stats.load_replays,
+        stats.shadow_replays,
+        stats.operand_replays,
+        stats.squashed_after_issue
+    );
+    let f = stats.operand_source_fractions();
+    println!(
+        "operand sources       pre-read {:.1}%  forward {:.1}%  crc {:.1}%  regfile {:.1}%  miss {:.3}%",
+        f[0] * 100.0,
+        f[1] * 100.0,
+        f[2] * 100.0,
+        f[3] * 100.0,
+        f[4] * 100.0
+    );
+    println!(
+        "traps                 memory-order {}  dTLB {}  barriers {}",
+        stats.mem_order_traps, stats.tlb_traps, stats.mem_barriers
+    );
+    println!(
+        "IQ occupancy          mean {:.1}  post-issue {:.1}  peak {}",
+        stats.iq_occupancy_mean, stats.iq_post_issue_mean, stats.iq_peak
+    );
+}
+
+/// `looseloops run`
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let allowed = config_flag_set(&["bench", "pair", "asm", "verify", "trace", "json"]);
+    args.reject_unknown(&allowed)?;
+    let mut cfg = config_from_args(args)?;
+    let budget = budget_from_args(args)?;
+
+    let (programs, label) = if let Some(name) = args.get("bench") {
+        let b = Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| ArgError(format!("unknown benchmark `{name}` — see `looseloops list`")))?;
+        (vec![b.program()], name.to_string())
+    } else if let Some(name) = args.get("pair") {
+        let p = Benchmark::pairs()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| ArgError(format!("unknown pair `{name}` — see `looseloops list`")))?;
+        cfg.threads = 2;
+        (p.programs(), name.to_string())
+    } else if let Some(path) = args.get("asm") {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let prog = looseloops_isa::asm::assemble_named(path, &src)
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        (vec![prog], path.to_string())
+    } else {
+        return Err(ArgError("run needs --bench, --pair, or --asm".into()));
+    };
+    cfg.validate().map_err(ArgError)?;
+
+    let mut m = Machine::new(cfg, programs);
+    if args.has("verify") {
+        m.enable_verification();
+    }
+    if args.get("trace").is_some() {
+        m.enable_trace();
+    }
+    if budget.warmup > 0 {
+        m.run(budget.warmup, budget.max_cycles);
+        m.reset_stats();
+        // Tracing starts after warm-up.
+        if args.get("trace").is_some() {
+            let _ = m.take_trace();
+            m.enable_trace();
+        }
+    }
+    m.run(budget.measure, budget.max_cycles);
+
+    if !args.has("json") {
+        println!("== {label} ==");
+    }
+    print_stats(m.stats(), args.has("json"));
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, m.take_trace())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        if !args.has("json") {
+            println!("trace written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `looseloops figure`
+pub fn figure(args: &Args) -> Result<(), ArgError> {
+    let allowed = config_flag_set(&["smoke", "json-out", "workloads"]);
+    args.reject_unknown(&allowed)?;
+    let id = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("figure needs an id (fig4…fig9, load-policy, dra-design, predictor)".into()))?
+        .clone();
+    let mut budget = budget_from_args(args)?;
+    if args.has("smoke") {
+        budget = RunBudget { warmup: 1_000, measure: 5_000, max_cycles: 2_000_000 };
+    }
+    let workloads: Vec<Workload> = match args.get("workloads") {
+        None => Workload::paper_set(),
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                Workload::paper_set()
+                    .into_iter()
+                    .find(|w| w.name() == n)
+                    .ok_or_else(|| ArgError(format!("unknown workload `{n}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let fig: FigureResult = match id.as_str() {
+        "fig4" => fig4_pipeline_length(&workloads, budget),
+        "fig5" => fig5_fixed_total(&workloads, budget),
+        "fig6" => fig6_operand_gap_cdf(budget),
+        "fig8" => fig8_dra_speedup(&workloads, budget),
+        "fig9" => fig9_operand_sources(&workloads, budget),
+        "load-policy" => ablation_load_policies(&workloads, budget),
+        "dra-design" => ablation_dra_design(&workloads, budget),
+        "predictor" => ablation_predictors(&workloads, budget),
+        other => return Err(ArgError(format!("unknown figure `{other}`"))),
+    };
+    print!("{fig}");
+    if let Some(path) = args.get("json-out") {
+        std::fs::write(path, fig.to_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("(json written to {path})");
+    }
+    Ok(())
+}
+
+/// `looseloops loops`
+pub fn loops(args: &Args) -> Result<(), ArgError> {
+    let allowed = config_flag_set(&[]);
+    args.reject_unknown(&allowed)?;
+    let cfg = config_from_args(args)?;
+    println!(
+        "machine: DEC-IQ={} IQ-EX={} RF-read={} scheme={:?}",
+        cfg.dec_iq_stages, cfg.iq_ex_stages, cfg.rf_read_latency, cfg.scheme
+    );
+    for l in loop_inventory(&cfg) {
+        println!("  {l}");
+    }
+    Ok(())
+}
+
+/// `looseloops asm`
+pub fn asm(args: &Args) -> Result<(), ArgError> {
+    let allowed = config_flag_set(&["run", "disasm", "verify", "instructions"]);
+    args.reject_unknown(&allowed)?;
+    let path = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("asm needs a source file".into()))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let prog = looseloops_isa::asm::assemble_named(path, &src)
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!("{path}: {} instructions, {} data chunks", prog.len(), prog.init_data.len());
+    if args.has("disasm") {
+        print!("{}", looseloops_isa::disassemble(&prog));
+    }
+    if args.has("run") {
+        let cfg = config_from_args(args)?;
+        let max: u64 = args.get_or("instructions", 1_000_000)?;
+        let mut m = Machine::new(cfg, vec![prog]);
+        m.enable_verification();
+        m.run(max, 100_000_000);
+        println!("halted: {}", m.is_done());
+        print_stats(m.stats(), false);
+    }
+    Ok(())
+}
+
+/// `looseloops kernel` — inspect a benchmark proxy's generated code.
+pub fn kernel(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["disasm"])?;
+    let name = args
+        .positional()
+        .first()
+        .ok_or_else(|| ArgError("kernel needs a benchmark name — see `looseloops list`".into()))?;
+    let b = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark `{name}`")))?;
+    let prog = b.program();
+    println!("{name}: {}", b.description());
+    println!(
+        "{} instructions, {} data chunks ({} bytes of initial data)",
+        prog.len(),
+        prog.init_data.len(),
+        prog.init_data.iter().map(|(_, b)| b.len()).sum::<usize>()
+    );
+    if args.has("disasm") {
+        print!("{}", looseloops_isa::disassemble(&prog));
+    }
+    Ok(())
+}
+
+/// `looseloops list`
+pub fn list(_args: &Args) -> Result<(), ArgError> {
+    println!("benchmarks (Spec95 proxies):");
+    for b in Benchmark::all() {
+        println!(
+            "  {:<10} {:<4} {}",
+            b.name(),
+            if b.is_int() { "int" } else { "fp" },
+            b.description()
+        );
+    }
+    println!("SMT pairs:");
+    for p in Benchmark::pairs() {
+        println!("  {}", p.name());
+    }
+    println!("figures: fig4 fig5 fig6 fig8 fig9 load-policy dra-design predictor");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Flag → [`PipelineConfig`] translation shared by the subcommands.
+
+use crate::args::{ArgError, Args};
+use looseloops::{LoadSpecPolicy, PipelineConfig, RunBudget};
+
+/// Flags understood by every simulation-running subcommand.
+pub const CONFIG_FLAGS: &[&str] =
+    &["scheme", "rf", "dec", "ex", "policy", "threads", "predictor"];
+
+/// Budget flags.
+pub const BUDGET_FLAGS: &[&str] = &["warmup", "measure", "max-cycles"];
+
+/// Build a machine configuration from flags.
+///
+/// `--scheme base|dra` (default base), `--rf 3|5|7`, `--dec X`, `--ex Y`
+/// (explicit latencies override the rf-derived ones), `--policy
+/// tree|shadow|stall|refetch`, `--threads N`, `--predictor
+/// tournament|gshare|local|bimodal|taken`.
+///
+/// # Errors
+///
+/// Reports unknown schemes/policies/predictors and invalid combinations
+/// (via [`PipelineConfig::validate`]).
+pub fn config_from_args(args: &Args) -> Result<PipelineConfig, ArgError> {
+    let rf: u32 = args.get_or("rf", 3)?;
+    let mut cfg = match args.get("scheme").unwrap_or("base") {
+        "base" => PipelineConfig::base_for_rf(rf),
+        "dra" => PipelineConfig::dra_for_rf(rf),
+        other => return Err(ArgError(format!("unknown scheme `{other}` (base|dra)"))),
+    };
+    if let Some(dec) = args.get("dec") {
+        cfg.dec_iq_stages =
+            dec.parse().map_err(|_| ArgError(format!("--dec: bad value `{dec}`")))?;
+    }
+    if let Some(ex) = args.get("ex") {
+        cfg.iq_ex_stages = ex.parse().map_err(|_| ArgError(format!("--ex: bad value `{ex}`")))?;
+    }
+    if let Some(p) = args.get("policy") {
+        cfg.load_policy = match p {
+            "tree" => LoadSpecPolicy::ReissueTree,
+            "shadow" => LoadSpecPolicy::ReissueShadow,
+            "stall" => LoadSpecPolicy::Stall,
+            "refetch" => LoadSpecPolicy::Refetch,
+            other => {
+                return Err(ArgError(format!(
+                    "unknown policy `{other}` (tree|shadow|stall|refetch)"
+                )))
+            }
+        };
+    }
+    if let Some(p) = args.get("predictor") {
+        use looseloops::branch::PredictorKind::*;
+        cfg.predictor = match p {
+            "tournament" => Tournament,
+            "gshare" => Gshare,
+            "local" => Local,
+            "bimodal" => Bimodal,
+            "taken" => Taken,
+            other => {
+                return Err(ArgError(format!(
+                    "unknown predictor `{other}` (tournament|gshare|local|bimodal|taken)"
+                )))
+            }
+        };
+    }
+    cfg.threads = args.get_or("threads", cfg.threads)?;
+    cfg.validate().map_err(ArgError)?;
+    Ok(cfg)
+}
+
+/// Build a run budget from `--warmup/--measure/--max-cycles`.
+///
+/// # Errors
+///
+/// Fails on unparsable numbers.
+pub fn budget_from_args(args: &Args) -> Result<RunBudget, ArgError> {
+    let mut b = RunBudget::bench();
+    b.warmup = args.get_or("warmup", b.warmup)?;
+    b.measure = args.get_or("measure", b.measure)?;
+    b.max_cycles = args.get_or("max-cycles", b.max_cycles)?;
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops::RegisterScheme;
+
+    fn args(s: &str) -> Args {
+        let vals: Vec<&str> =
+            CONFIG_FLAGS.iter().chain(BUDGET_FLAGS.iter()).copied().collect();
+        Args::parse(s.split_whitespace().map(String::from), &vals).unwrap()
+    }
+
+    #[test]
+    fn defaults_to_base_rf3() {
+        let cfg = config_from_args(&args("")).unwrap();
+        assert_eq!(cfg.scheme, RegisterScheme::Monolithic);
+        assert_eq!(cfg.iq_ex_stages, 5);
+    }
+
+    #[test]
+    fn dra_with_rf() {
+        let cfg = config_from_args(&args("--scheme dra --rf 7")).unwrap();
+        assert!(cfg.scheme.is_dra());
+        assert_eq!(cfg.dec_iq_stages, 9);
+        assert_eq!(cfg.iq_ex_stages, 3);
+    }
+
+    #[test]
+    fn explicit_latencies_override() {
+        let cfg = config_from_args(&args("--dec 7 --ex 5")).unwrap();
+        assert_eq!((cfg.dec_iq_stages, cfg.iq_ex_stages), (7, 5));
+    }
+
+    #[test]
+    fn bad_scheme_and_policy_report() {
+        assert!(config_from_args(&args("--scheme fancy")).is_err());
+        assert!(config_from_args(&args("--policy yolo")).is_err());
+        assert!(config_from_args(&args("--predictor psychic")).is_err());
+    }
+
+    #[test]
+    fn invalid_combination_caught_by_validate() {
+        // IQ-EX shorter than the register read on the base scheme.
+        assert!(config_from_args(&args("--rf 5 --ex 3")).is_err());
+    }
+
+    #[test]
+    fn budget_parses() {
+        let b = budget_from_args(&args("--warmup 10 --measure 20")).unwrap();
+        assert_eq!((b.warmup, b.measure), (10, 20));
+    }
+}

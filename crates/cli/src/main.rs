@@ -1,0 +1,83 @@
+//! `looseloops` — command-line front end to the *Loose Loops Sink Chips*
+//! reproduction.
+//!
+//! ```text
+//! looseloops run --bench swim --scheme dra --rf 5 --measure 200000
+//! looseloops run --asm kernel.s --verify --trace out.kanata
+//! looseloops figure fig8 --measure 100000
+//! looseloops loops --scheme dra --rf 7
+//! looseloops asm kernel.s --run
+//! looseloops list
+//! ```
+
+mod args;
+mod commands;
+mod config;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+looseloops — 'Loose Loops Sink Chips' (HPCA 2002) reproduction
+
+USAGE:
+    looseloops <command> [flags]
+
+COMMANDS:
+    run      Simulate a workload and print statistics
+             --bench NAME | --pair NAME | --asm FILE  (what to run)
+             --scheme base|dra  --rf N  --dec X  --ex Y
+             --policy tree|shadow|stall|refetch
+             --predictor tournament|gshare|local|bimodal|taken
+             --threads N  --warmup N  --measure N  --max-cycles N
+             --verify  --trace FILE  --json
+    figure   Regenerate one of the paper's evaluation figures
+             fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|predictor
+             --warmup N  --measure N  --smoke  --json-out FILE
+    loops    Print the micro-architectural loop inventory for a config
+             (same config flags as `run`)
+    asm      Assemble a .s file; --run simulates it, --disasm round-trips
+    kernel   Inspect a benchmark proxy (NAME [--disasm])
+    list     List benchmarks, SMT pairs, and figures
+    help     This text
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = raw.first().cloned().unwrap_or_else(|| "help".into());
+    let rest = raw.into_iter().skip(1);
+    let value_flags: Vec<&str> = [
+        "bench", "pair", "asm", "trace", "json-out", "workloads",
+        "scheme", "rf", "dec", "ex", "policy", "threads", "predictor",
+        "warmup", "measure", "max-cycles", "instructions",
+    ]
+    .to_vec();
+    let args = match Args::parse(rest, &value_flags) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match cmd.as_str() {
+        "run" => commands::run(&args),
+        "figure" => commands::figure(&args),
+        "loops" => commands::loops(&args),
+        "asm" => commands::asm(&args),
+        "kernel" => commands::kernel(&args),
+        "list" => commands::list(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(args::ArgError(format!("unknown command `{other}` — try `looseloops help`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end CLI tests: spawn the built binary and check its behaviour.
+
+use std::process::Command;
+
+fn looseloops(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_looseloops"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = looseloops(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("figure"));
+}
+
+#[test]
+fn list_names_everything() {
+    let out = looseloops(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["compress", "turb3d", "apsi-swim", "fig8"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn run_bench_reports_stats() {
+    let out = looseloops(&[
+        "run", "--bench", "m88ksim", "--warmup", "1000", "--measure", "5000", "--verify",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IPC"));
+    assert!(text.contains("operand sources"));
+}
+
+#[test]
+fn run_json_is_parseable_shape() {
+    let out = looseloops(&[
+        "run", "--bench", "go", "--warmup", "500", "--measure", "3000", "--json",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
+    assert!(text.contains("\"ipc\""));
+}
+
+#[test]
+fn asm_assembles_runs_and_disassembles() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("looseloops_cli_test.s");
+    std::fs::write(&path, "addi r1, r31, 3\ntop:\nsubi r1, r1, 1\nbne r1, top\nhalt\n").unwrap();
+    let out = looseloops(&["asm", path.to_str().unwrap(), "--run", "--disasm"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("halted: true"));
+    assert!(text.contains("subi r1, r1, 1"));
+}
+
+#[test]
+fn figure_smoke_runs() {
+    let out = looseloops(&["figure", "fig6", "--smoke"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fig6"));
+}
+
+#[test]
+fn loops_inventory_prints() {
+    let out = looseloops(&["loops", "--scheme", "dra", "--rf", "7"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("operand resolution"));
+    assert!(text.contains("load resolution"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    let out = looseloops(&["run"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bench"));
+
+    let out = looseloops(&["run", "--bench", "nonesuch"]);
+    assert!(!out.status.success());
+
+    let out = looseloops(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = looseloops(&["run", "--bnech", "go"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn trace_file_is_written() {
+    let path = std::env::temp_dir().join("looseloops_cli_trace.kanata");
+    let _ = std::fs::remove_file(&path);
+    let out = looseloops(&[
+        "run", "--bench", "go", "--warmup", "200", "--measure", "1500", "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = std::fs::read_to_string(&path).unwrap();
+    assert!(log.starts_with("Kanata\t0004"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn kernel_inspection_disassembles() {
+    let out = looseloops(&["kernel", "go", "--disasm"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("go:"));
+    assert!(text.contains("bne"), "go's disassembly has branches");
+}

@@ -1,0 +1,67 @@
+//! # looseloops — *Loose Loops Sink Chips*, reproduced in Rust
+//!
+//! A from-scratch reproduction of Borch, Tune, Manne & Emer, **"Loose Loops
+//! Sink Chips"** (HPCA 2002): the micro-architectural loop framework, the
+//! pipeline-length and pipeline-configuration studies, and the paper's
+//! contribution — the **Distributed Register Algorithm (DRA)** with
+//! per-cluster register caches.
+//!
+//! This crate is the front door; the heavy machinery lives in the substrate
+//! crates (`looseloops-isa`, `-mem`, `-branch`, `-regs`, `-pipeline`,
+//! `-workload`) and is re-exported here.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use looseloops::{Benchmark, PipelineConfig, RunBudget, run_benchmark};
+//!
+//! // Simulate 20k instructions of the `swim` proxy on the paper's base
+//! // machine and on the DRA machine (3-cycle register file).
+//! let budget = RunBudget { warmup: 2_000, measure: 20_000, max_cycles: 2_000_000 };
+//! let base = run_benchmark(&PipelineConfig::base_for_rf(3), Benchmark::Swim, budget);
+//! let dra = run_benchmark(&PipelineConfig::dra_for_rf(3), Benchmark::Swim, budget);
+//! println!("speedup = {:.3}", dra.ipc() / base.ipc());
+//! ```
+//!
+//! ## Loop analysis
+//!
+//! [`loop_inventory`] enumerates every micro-architectural loop of a
+//! configured machine with its initiation/resolution/recovery stages, loop
+//! length, feedback delay, and loop delay — the Figure 1/2 taxonomy:
+//!
+//! ```
+//! use looseloops::{loop_inventory, PipelineConfig};
+//! let loops = loop_inventory(&PipelineConfig::base());
+//! let load = loops.iter().find(|l| l.name == "load resolution").unwrap();
+//! assert_eq!(load.loop_delay(), 8); // paper §2.2.2
+//! ```
+
+pub mod experiments;
+pub mod loops;
+pub mod machines;
+pub mod report;
+pub mod simulator;
+
+pub use experiments::{
+    ablation_dra_design, ablation_fwd_window, ablation_iq_size, ablation_load_policies,
+    ablation_predictors, ablation_prefetch,
+    fig4_pipeline_length,
+    fig5_fixed_total, fig6_operand_gap_cdf, fig8_dra_speedup, fig9_operand_sources, Workload,
+};
+pub use loops::{loop_inventory, LoopInfo, LoopKind, Management, Stage};
+pub use machines::{alpha21264_like, pentium4_like};
+pub use report::{FigureResult, Series};
+pub use simulator::{run_benchmark, run_pair, run_programs, RunBudget};
+
+// Substrate re-exports.
+pub use looseloops_branch as branch;
+pub use looseloops_isa as isa;
+pub use looseloops_mem as mem;
+pub use looseloops_pipeline as pipeline;
+pub use looseloops_regs as regs;
+pub use looseloops_workload as workload;
+
+pub use looseloops_pipeline::{
+    LoadSpecPolicy, Machine, PipelineConfig, RegisterScheme, SimStats,
+};
+pub use looseloops_workload::{Benchmark, SmtPair};

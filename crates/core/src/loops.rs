@@ -1,0 +1,274 @@
+//! Micro-architectural loop taxonomy (paper §1, Figures 1 and 2).
+//!
+//! A *loop* is a communication path where a value computed in one pipeline
+//! stage is needed by the same or an earlier stage. Its cost model:
+//!
+//! - **loop length** — stages traversed from initiation to resolution;
+//! - **feedback delay** — cycles to signal back from resolution to
+//!   initiation;
+//! - **loop delay** — their sum; 1 ⇒ *tight* loop (cycle-time problem),
+//!   \>1 ⇒ *loose* loop (performance problem);
+//! - **recovery stage** — where mis-speculation recovery re-enters the
+//!   pipe (earlier than the initiation stage for the memory-trap loop).
+//!
+//! [`loop_inventory`] instantiates the taxonomy for a concrete
+//! [`PipelineConfig`], so experiments can reason about (and print) the
+//! machine's loops without running it.
+
+use looseloops_pipeline::{PipelineConfig, RegisterScheme};
+use serde::Serialize;
+use std::fmt;
+
+/// Pipeline stages, in machine order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Stage {
+    /// Instruction fetch.
+    Fetch,
+    /// Decode / rename / slotting (the DEC-IQ region).
+    Map,
+    /// Instruction-queue wait and select.
+    Issue,
+    /// Register read / payload / transport (the IQ-EX region).
+    RegRead,
+    /// Functional units and data cache.
+    Execute,
+    /// Write-back to the register file.
+    Writeback,
+    /// In-order retirement.
+    Retire,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Fetch => "fetch",
+            Stage::Map => "map",
+            Stage::Issue => "issue",
+            Stage::RegRead => "reg-read",
+            Stage::Execute => "execute",
+            Stage::Writeback => "writeback",
+            Stage::Retire => "retire",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What causes the loop (paper §1: control, data, or resource hazards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum LoopKind {
+    /// Control hazard (branch/next-line loops).
+    Control,
+    /// Data hazard (load/operand/forwarding loops).
+    Data,
+    /// Resource or ordering hazard (memory barrier, memory traps).
+    Resource,
+}
+
+/// One micro-architectural loop of a configured machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoopInfo {
+    /// Loop name as used in the paper ("branch resolution", …).
+    pub name: &'static str,
+    /// Hazard class.
+    pub kind: LoopKind,
+    /// Stage that consumes the fed-back value.
+    pub initiation: Stage,
+    /// Stage that computes the value.
+    pub resolution: Stage,
+    /// Stage where mis-speculation recovery re-enters (== initiation when
+    /// there is no separate recovery stage).
+    pub recovery: Stage,
+    /// Stages traversed from initiation to resolution.
+    pub loop_length: u32,
+    /// Cycles to communicate the result back.
+    pub feedback_delay: u32,
+    /// How the machine manages the loop.
+    pub management: Management,
+}
+
+/// How a loop is managed (paper §1: stall or speculate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Management {
+    /// The pipe stalls until the loop resolves.
+    Stall,
+    /// The pipe speculates through the loop and recovers on mis-speculation.
+    Speculate,
+    /// Tight loop: resolved within the cycle, no policy needed.
+    None,
+}
+
+impl LoopInfo {
+    /// Loop delay = loop length + feedback delay.
+    pub fn loop_delay(&self) -> u32 {
+        self.loop_length + self.feedback_delay
+    }
+
+    /// Tight loops have a loop delay of one.
+    pub fn is_tight(&self) -> bool {
+        self.loop_delay() == 1
+    }
+
+    /// A loose loop with a distinct recovery stage pays a refill penalty on
+    /// top of its loop delay.
+    pub fn has_recovery_stage(&self) -> bool {
+        self.recovery != self.initiation
+    }
+}
+
+impl fmt::Display for LoopInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<20} {:?}  {}→{} (recover@{})  length={} feedback={} delay={} [{}]",
+            self.name,
+            self.kind,
+            self.initiation,
+            self.resolution,
+            self.recovery,
+            self.loop_length,
+            self.feedback_delay,
+            self.loop_delay(),
+            if self.is_tight() { "tight" } else { "loose" },
+        )
+    }
+}
+
+/// Enumerate the micro-architectural loops of the machine described by
+/// `cfg` (the Figure 2 inventory, parameterized by the config's latencies).
+pub fn loop_inventory(cfg: &PipelineConfig) -> Vec<LoopInfo> {
+    let mut loops = vec![
+        LoopInfo {
+            name: "next line prediction",
+            kind: LoopKind::Control,
+            initiation: Stage::Fetch,
+            resolution: Stage::Fetch,
+            recovery: Stage::Fetch,
+            loop_length: 1,
+            feedback_delay: 0,
+            management: Management::None,
+        },
+        LoopInfo {
+            name: "forwarding",
+            kind: LoopKind::Data,
+            initiation: Stage::Execute,
+            resolution: Stage::Execute,
+            recovery: Stage::Execute,
+            loop_length: 1,
+            feedback_delay: 0,
+            management: Management::None,
+        },
+        LoopInfo {
+            name: "branch resolution",
+            kind: LoopKind::Control,
+            initiation: Stage::Fetch,
+            resolution: Stage::Execute,
+            recovery: Stage::Fetch,
+            // Fetch through decode/map, the IQ stage, and IQ-EX.
+            loop_length: cfg.fetch_stages + cfg.dec_iq_stages + 1 + cfg.iq_ex_stages,
+            feedback_delay: 1,
+            management: Management::Speculate,
+        },
+        LoopInfo {
+            name: "load resolution",
+            kind: LoopKind::Data,
+            initiation: Stage::Issue,
+            resolution: Stage::Execute,
+            recovery: Stage::Issue,
+            loop_length: cfg.iq_ex_stages,
+            feedback_delay: cfg.confirm_feedback,
+            management: Management::Speculate,
+        },
+        LoopInfo {
+            name: "memory trap",
+            kind: LoopKind::Resource,
+            initiation: Stage::Issue,
+            resolution: Stage::Execute,
+            recovery: Stage::Fetch, // recovery stage earlier than initiation
+            loop_length: cfg.iq_ex_stages,
+            feedback_delay: 1,
+            management: Management::Speculate,
+        },
+        LoopInfo {
+            name: "memory barrier",
+            kind: LoopKind::Resource,
+            initiation: Stage::Map,
+            resolution: Stage::Retire,
+            recovery: Stage::Map,
+            loop_length: cfg.dec_iq_stages + 1 + cfg.iq_ex_stages + 2,
+            feedback_delay: 1,
+            management: Management::Stall,
+        },
+    ];
+    if let RegisterScheme::Dra { .. } = cfg.scheme {
+        loops.push(LoopInfo {
+            name: "operand resolution",
+            kind: LoopKind::Data,
+            initiation: Stage::Issue,
+            resolution: Stage::Execute,
+            recovery: Stage::Issue,
+            loop_length: cfg.iq_ex_stages,
+            feedback_delay: cfg.rf_read_latency,
+            management: Management::Speculate,
+        });
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_pipeline::PipelineConfig;
+
+    #[test]
+    fn base_machine_loop_delays_match_the_paper() {
+        let loops = loop_inventory(&PipelineConfig::base());
+        let by_name = |n: &str| loops.iter().find(|l| l.name == n).unwrap();
+
+        assert!(by_name("next line prediction").is_tight());
+        assert!(by_name("forwarding").is_tight());
+        // §2.2.2: "the loop delay is 8 cycles (loop length of 5 cycles and
+        // feedback delay of 3 cycles)".
+        let load = by_name("load resolution");
+        assert_eq!(load.loop_length, 5);
+        assert_eq!(load.feedback_delay, 3);
+        assert_eq!(load.loop_delay(), 8);
+        assert!(!load.is_tight());
+        // The memory trap loop recovers at fetch, earlier than its issue
+        // initiation stage (the dotted line of Figure 2).
+        assert!(by_name("memory trap").has_recovery_stage());
+        assert!(!by_name("branch resolution").has_recovery_stage());
+        // No operand loop without the DRA.
+        assert!(loops.iter().all(|l| l.name != "operand resolution"));
+    }
+
+    #[test]
+    fn dra_introduces_the_operand_resolution_loop() {
+        let loops = loop_inventory(&PipelineConfig::dra_for_rf(3));
+        let op = loops.iter().find(|l| l.name == "operand resolution").unwrap();
+        assert_eq!(op.loop_length, 3, "IQ-EX shrinks to 3 under the DRA");
+        assert_eq!(op.feedback_delay, 3, "recovery reads the register file");
+        assert!(!op.is_tight());
+    }
+
+    #[test]
+    fn shrinking_iq_ex_shrinks_exactly_the_issue_loops() {
+        let a = loop_inventory(&PipelineConfig::base_with_latencies(3, 9));
+        let b = loop_inventory(&PipelineConfig::base_with_latencies(9, 3));
+        let delay = |ls: &[LoopInfo], n: &str| {
+            ls.iter().find(|l| l.name == n).unwrap().loop_delay()
+        };
+        // Same overall pipe: branch loop unchanged.
+        assert_eq!(delay(&a, "branch resolution"), delay(&b, "branch resolution"));
+        // Load loop shrinks with IQ-EX.
+        assert_eq!(delay(&a, "load resolution") - delay(&b, "load resolution"), 6);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        for l in loop_inventory(&PipelineConfig::dra_for_rf(5)) {
+            let s = l.to_string();
+            assert!(s.contains(l.name));
+            assert!(s.contains("delay="));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Result containers and table rendering for the figure harnesses.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One data series (a line/bar group in a paper figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label (usually a configuration like "9_3").
+    pub label: String,
+    /// One value per workload (or per x-axis point).
+    pub values: Vec<f64>,
+}
+
+/// A reproduced figure: labeled rows × labeled columns of numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureResult {
+    /// Figure identifier ("fig4", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (workload names or x values).
+    pub columns: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+    /// What to expect from the paper, for EXPERIMENTS.md.
+    pub paper_expectation: String,
+}
+
+impl FigureResult {
+    /// Render as an aligned text table (the bench harnesses print this).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let wide = self
+            .columns
+            .iter()
+            .map(String::len)
+            .chain(self.series.iter().map(|s| s.label.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("{:>wide$}", "", wide = wide + 1));
+        for c in &self.columns {
+            out.push_str(&format!(" {c:>wide$}"));
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("{:>wide$} ", s.label, wide = wide + 1));
+            for v in &s.values {
+                out.push_str(&format!(" {v:>wide$.4}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("paper: {}\n", self.paper_expectation));
+        out
+    }
+
+    /// Render as CSV (one row per series, workloads as columns) for
+    /// spreadsheet/plotting pipelines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("series");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&s.label.replace(',', ";"));
+            for v in &s.values {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize to JSON (for archiving bench output).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the structure contains only plain data.
+    pub fn to_json(&self) -> String {
+        json::render(self)
+    }
+}
+
+// Tiny hand-rolled JSON writer: the structures are flat and fully known,
+// so a dependency is not warranted.
+mod json {
+    use super::FigureResult;
+
+    pub fn render(fig: &FigureResult) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"id\": {:?},\n", fig.id));
+        s.push_str(&format!("  \"title\": {:?},\n", fig.title));
+        s.push_str(&format!(
+            "  \"columns\": [{}],\n",
+            fig.columns.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", ")
+        ));
+        s.push_str("  \"series\": [\n");
+        for (i, ser) in fig.series.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"label\": {:?}, \"values\": [{}] }}{}\n",
+                ser.label,
+                ser.values
+                    .iter()
+                    .map(|v| {
+                        if v.is_finite() {
+                            format!("{v}")
+                        } else {
+                            "null".to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 == fig.series.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"paper_expectation\": {:?}\n", fig.paper_expectation));
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for FigureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            id: "figX".into(),
+            title: "sample".into(),
+            columns: vec!["a".into(), "b".into()],
+            series: vec![
+                Series { label: "s1".into(), values: vec![1.0, 0.5] },
+                Series { label: "s2".into(), values: vec![0.25, f64::NAN] },
+            ],
+            paper_expectation: "n/a".into(),
+        }
+    }
+
+    #[test]
+    fn table_contains_everything() {
+        let t = sample().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("s1"));
+        assert!(t.contains("0.2500"));
+        assert!(t.contains("paper: n/a"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\": \"figX\""));
+        assert!(j.contains("null"), "NaN serializes as null");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = sample().to_csv();
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("series,a,b"));
+        assert_eq!(lines.next(), Some("s1,1,0.5"));
+        assert!(lines.next().unwrap().starts_with("s2,0.25,"));
+    }
+
+    #[test]
+    fn display_matches_table() {
+        let f = sample();
+        assert_eq!(f.to_string(), f.to_table());
+    }
+}

@@ -1,0 +1,202 @@
+//! Fixed-width binary encoding.
+//!
+//! Instructions occupy 8 bytes, so an aligned 64-byte instruction-cache line
+//! holds exactly one 8-instruction fetch group — the fetch width of the
+//! paper's machine. The layout (bit offsets within a little-endian `u64`):
+//!
+//! ```text
+//!  0.. 8   opcode
+//!  8..14   rd
+//! 14..20   rs1
+//! 20..26   rs2
+//! 26       uses_imm
+//! 27..32   reserved (zero)
+//! 32..56   imm, 24-bit two's complement
+//! 56..64   reserved (zero)
+//! ```
+
+use crate::inst::{Inst, Opcode};
+use crate::reg::{Reg, NUM_ARCH_REGS};
+use std::error::Error;
+use std::fmt;
+
+/// Size of one encoded instruction in bytes.
+pub const INST_BYTES: u64 = 8;
+
+/// Error returned by [`decode`] for malformed instruction words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name a valid opcode.
+    BadOpcode(u8),
+    /// A reserved field was non-zero.
+    ReservedBitsSet(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(v) => write!(f, "invalid opcode value {v}"),
+            DecodeError::ReservedBitsSet(w) => {
+                write!(f, "reserved bits set in instruction word {w:#018x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encode an instruction into its 8-byte word.
+///
+/// # Panics
+///
+/// Panics if `inst.imm` is outside the 24-bit signed range
+/// ([`Inst::IMM_MIN`]..=[`Inst::IMM_MAX`]); the assembler and program
+/// builder enforce this earlier with a proper error.
+pub fn encode(inst: Inst) -> u64 {
+    assert!(
+        (Inst::IMM_MIN..=Inst::IMM_MAX).contains(&inst.imm),
+        "immediate {} out of encodable range",
+        inst.imm
+    );
+    let imm24 = (inst.imm as u32) & 0x00ff_ffff;
+    (inst.op as u64)
+        | (inst.rd.index() as u64) << 8
+        | (inst.rs1.index() as u64) << 14
+        | (inst.rs2.index() as u64) << 20
+        | (inst.uses_imm as u64) << 26
+        | (imm24 as u64) << 32
+}
+
+/// Decode an 8-byte instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode field is invalid or reserved bits
+/// are set. Register fields are 6 bits wide and every value is a valid
+/// architectural register, so they cannot fail.
+pub fn decode(word: u64) -> Result<Inst, DecodeError> {
+    let reserved = (word >> 27) & 0x1f | (word >> 56) << 5;
+    if reserved != 0 {
+        return Err(DecodeError::ReservedBitsSet(word));
+    }
+    let op = Opcode::from_u8((word & 0xff) as u8).ok_or(DecodeError::BadOpcode((word & 0xff) as u8))?;
+    let reg_at = |shift: u32| Reg::from_index(((word >> shift) & 0x3f) as u8 % NUM_ARCH_REGS);
+    let imm24 = ((word >> 32) & 0x00ff_ffff) as u32;
+    // Sign-extend 24 -> 32 bits.
+    let imm = ((imm24 << 8) as i32) >> 8;
+    Ok(Inst {
+        op,
+        rd: reg_at(8),
+        rs1: reg_at(14),
+        rs2: reg_at(20),
+        imm,
+        uses_imm: (word >> 26) & 1 == 1,
+    })
+}
+
+/// Encode a whole program into its binary image.
+pub fn encode_all(insts: &[Inst]) -> Vec<u64> {
+    insts.iter().copied().map(encode).collect()
+}
+
+/// Decode a binary image back into instructions.
+///
+/// # Errors
+///
+/// Fails on the first malformed word, reporting its index.
+pub fn decode_all(words: &[u64]) -> Result<Vec<Inst>, (usize, DecodeError)> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| decode(w).map_err(|e| (i, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Class;
+
+    fn sample_insts() -> Vec<Inst> {
+        vec![
+            Inst::op_rr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3)),
+            Inst::op_ri(Opcode::Sub, Reg::int(4), Reg::int(4), -1),
+            Inst::op_ri(Opcode::Sll, Reg::int(5), Reg::int(6), 12),
+            Inst::load(Opcode::Ldq, Reg::int(7), Reg::int(8), 4096),
+            Inst::store(Opcode::FStq, Reg::fp(1), Reg::int(9), -4096),
+            Inst::branch(Opcode::Blt, Reg::int(10), -100),
+            Inst::br(Inst::IMM_MAX),
+            Inst::jsr(Reg::int(26), Inst::IMM_MIN),
+            Inst::jmp(Reg::int(0), Reg::int(27)),
+            Inst::ret(Reg::int(26)),
+            Inst::mb(),
+            Inst::halt(),
+            Inst::nop(),
+            Inst::op_rr(Opcode::FDiv, Reg::fp(0), Reg::fp(1), Reg::fp(2)),
+        ]
+    }
+
+    #[test]
+    fn round_trip_samples() {
+        for inst in sample_insts() {
+            let w = encode(inst);
+            let back = decode(w).unwrap();
+            assert_eq!(back, inst, "round-trip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all() {
+        let insts = sample_insts();
+        let words = encode_all(&insts);
+        assert_eq!(decode_all(&words).unwrap(), insts);
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let i = Inst::op_ri(Opcode::Add, Reg::int(1), Reg::int(1), -1);
+        assert_eq!(decode(encode(i)).unwrap().imm, -1);
+        let i = Inst::branch(Opcode::Beq, Reg::int(1), Inst::IMM_MIN);
+        assert_eq!(decode(encode(i)).unwrap().imm, Inst::IMM_MIN);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(0xfe), Err(DecodeError::BadOpcode(0xfe)));
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        let w = encode(Inst::nop()) | 1 << 27;
+        assert!(matches!(decode(w), Err(DecodeError::ReservedBitsSet(_))));
+        let w = encode(Inst::nop()) | 1 << 60;
+        assert!(matches!(decode(w), Err(DecodeError::ReservedBitsSet(_))));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_immediate_panics() {
+        let _ = encode(Inst::op_ri(Opcode::Add, Reg::int(1), Reg::int(1), Inst::IMM_MAX + 1));
+    }
+
+    #[test]
+    fn decode_all_reports_offending_index() {
+        let mut words = encode_all(&sample_insts());
+        words[3] = 0xff;
+        let err = decode_all(&words).unwrap_err();
+        assert_eq!(err.0, 3);
+    }
+
+    #[test]
+    fn classes_survive_round_trip() {
+        for inst in sample_insts() {
+            assert_eq!(decode(encode(inst)).unwrap().class(), inst.class());
+        }
+        assert_eq!(
+            decode(encode(Inst::load(Opcode::FLdq, Reg::fp(3), Reg::int(1), 0)))
+                .unwrap()
+                .class(),
+            Class::Load
+        );
+    }
+}

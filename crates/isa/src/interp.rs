@@ -1,0 +1,585 @@
+//! Architectural (functional) interpreter.
+//!
+//! This is the reference model of the ISA: one instruction per step, in
+//! program order, with no timing. The cycle-level pipeline in
+//! `looseloops-pipeline` is validated against it — every instruction the
+//! pipeline retires must match the interpreter's retire stream value for
+//! value ([`Retired`] records carry enough state to compare).
+
+use crate::inst::{Class, Inst, Opcode};
+use crate::program::Program;
+use crate::reg::{Reg, NUM_ARCH_REGS};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Byte-addressed data memory as seen by the interpreter (and, through the
+/// same trait, by the timing simulator's retire stage).
+///
+/// Reads of never-written locations return zero, mirroring a zero-filled
+/// address space.
+pub trait Memory {
+    /// Read `size` bytes (1, 4, or 8) at `addr`, little-endian, zero-extended.
+    fn read(&mut self, addr: u64, size: u8) -> u64;
+    /// Write the low `size` bytes of `val` at `addr`, little-endian.
+    fn write(&mut self, addr: u64, size: u8, val: u64);
+}
+
+/// Simple sparse memory: 4 KiB pages allocated on first touch.
+#[derive(Debug, Default, Clone)]
+pub struct FlatMemory {
+    pages: HashMap<u64, Box<[u8; 4096]>>,
+}
+
+impl FlatMemory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> FlatMemory {
+        FlatMemory::default()
+    }
+
+    /// Build a memory pre-loaded with a program's initial data image.
+    pub fn with_program(prog: &Program) -> FlatMemory {
+        let mut m = FlatMemory::new();
+        m.load_init_data(prog);
+        m
+    }
+
+    /// Copy `prog.init_data` into this memory.
+    pub fn load_init_data(&mut self, prog: &Program) {
+        for (addr, bytes) in &prog.init_data {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_byte(addr + i as u64, *b);
+            }
+        }
+    }
+
+    /// Number of 4 KiB pages that have been touched.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn read_byte(&mut self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> 12)) {
+            Some(p) => p[(addr & 0xfff) as usize],
+            None => 0,
+        }
+    }
+
+    fn write_byte(&mut self, addr: u64, val: u8) {
+        let page = self.pages.entry(addr >> 12).or_insert_with(|| Box::new([0u8; 4096]));
+        page[(addr & 0xfff) as usize] = val;
+    }
+}
+
+impl Memory for FlatMemory {
+    fn read(&mut self, addr: u64, size: u8) -> u64 {
+        debug_assert!(matches!(size, 1 | 4 | 8), "unsupported access size {size}");
+        let mut v: u64 = 0;
+        for i in 0..size as u64 {
+            v |= (self.read_byte(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn write(&mut self, addr: u64, size: u8, val: u64) {
+        debug_assert!(matches!(size, 1 | 4 | 8), "unsupported access size {size}");
+        for i in 0..size as u64 {
+            self.write_byte(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+}
+
+/// Execution error from the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC ran off the end of the instruction image (or an indirect jump
+    /// targeted a non-instruction address).
+    PcOutOfRange(u64),
+    /// `step` was called on a halted thread.
+    Halted,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange(pc) => write!(f, "pc {pc} outside program image"),
+            ExecError::Halted => write!(f, "thread already halted"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Record of one architecturally retired instruction; the timing simulator
+/// emits the same records so the two streams can be compared exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// PC of the retired instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Destination register and the value written, if any.
+    pub wrote: Option<(Reg, u64)>,
+    /// Effective address and size for loads/stores.
+    pub mem_addr: Option<(u64, u8)>,
+    /// Branch outcome for control instructions.
+    pub taken: Option<bool>,
+    /// PC of the next instruction in program order.
+    pub next_pc: u64,
+}
+
+/// Summary returned by [`ArchState::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Instructions retired.
+    pub retired: u64,
+    /// True if a `halt` retired (as opposed to the step budget expiring).
+    pub halted: bool,
+}
+
+/// Architectural register + PC state of one thread.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    regs: [u64; NUM_ARCH_REGS as usize],
+    pc: u64,
+    halted: bool,
+}
+
+impl ArchState {
+    /// Fresh state at the program's entry point with all registers zero.
+    pub fn new(prog: &Program) -> ArchState {
+        ArchState { regs: [0; NUM_ARCH_REGS as usize], pc: prog.entry, halted: false }
+    }
+
+    /// Current PC (instruction index).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// True once a `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Read an architectural register (zero registers read as 0).
+    pub fn read_reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write an architectural register (writes to zero registers are
+    /// discarded).
+    pub fn write_reg(&mut self, r: Reg, val: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = val;
+        }
+    }
+
+    /// Execute one instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Halted`] if the thread has halted, or
+    /// [`ExecError::PcOutOfRange`] if the PC does not point at an
+    /// instruction.
+    pub fn step(&mut self, prog: &Program, mem: &mut dyn Memory) -> Result<Retired, ExecError> {
+        if self.halted {
+            return Err(ExecError::Halted);
+        }
+        let pc = self.pc;
+        let inst = prog.fetch(pc).ok_or(ExecError::PcOutOfRange(pc))?;
+        let retired = self.execute(inst, pc, mem);
+        self.pc = retired.next_pc;
+        Ok(retired)
+    }
+
+    /// Run up to `max_steps` instructions or until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError::PcOutOfRange`]; never returns
+    /// [`ExecError::Halted`] (a halt simply ends the run).
+    pub fn run(
+        &mut self,
+        prog: &Program,
+        mem: &mut dyn Memory,
+        max_steps: u64,
+    ) -> Result<RunSummary, ExecError> {
+        let mut retired = 0;
+        while retired < max_steps && !self.halted {
+            self.step(prog, mem)?;
+            retired += 1;
+        }
+        Ok(RunSummary { retired, halted: self.halted })
+    }
+
+    /// The semantics of `inst` at `pc`; shared by `step` and (via re-export)
+    /// the timing simulator's execute stage.
+    pub fn execute(&mut self, inst: Inst, pc: u64, mem: &mut dyn Memory) -> Retired {
+        use Opcode::*;
+        let s1 = self.read_reg(inst.rs1);
+        let s2 = if inst.uses_imm { inst.imm as i64 as u64 } else { self.read_reg(inst.rs2) };
+        let fall = pc + 1;
+        let mut wrote = None;
+        let mut mem_addr = None;
+        let mut taken = None;
+        let mut next_pc = fall;
+
+        let mut write = |st: &mut Self, r: Reg, v: u64| {
+            st.write_reg(r, v);
+            if !r.is_zero() {
+                wrote = Some((r, v));
+            }
+        };
+
+        match inst.op {
+            Add | Sub | Mul | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq | FAdd
+            | FSub | FMul | FDiv | FCmpLt | FCmpEq | FCvtIf | FCvtFi => {
+                write(self, inst.rd, eval_op(inst.op, s1, s2))
+            }
+            Ldq | Ldl | FLdq => {
+                let addr = s1.wrapping_add(inst.imm as i64 as u64);
+                let size = if inst.op == Ldl { 4 } else { 8 };
+                let v = mem.read(addr, size);
+                mem_addr = Some((addr, size));
+                write(self, inst.rd, v);
+            }
+            Stq | Stl | FStq => {
+                let addr = s1.wrapping_add(inst.imm as i64 as u64);
+                let size = if inst.op == Stl { 4 } else { 8 };
+                let data = self.read_reg(inst.rs2);
+                mem.write(addr, size, data);
+                mem_addr = Some((addr, size));
+            }
+            Beq | Bne | Blt | Bge | Ble | Bgt => {
+                let t = branch_taken(inst.op, s1);
+                taken = Some(t);
+                if t {
+                    next_pc = (fall as i64 + inst.imm as i64) as u64;
+                }
+            }
+            Br => {
+                taken = Some(true);
+                next_pc = (fall as i64 + inst.imm as i64) as u64;
+            }
+            Jsr => {
+                taken = Some(true);
+                write(self, inst.rd, fall);
+                next_pc = (fall as i64 + inst.imm as i64) as u64;
+            }
+            Jmp => {
+                taken = Some(true);
+                write(self, inst.rd, fall);
+                next_pc = s1;
+            }
+            Ret => {
+                taken = Some(true);
+                next_pc = s1;
+            }
+            Mb | Nop => {}
+            Halt => {
+                self.halted = true;
+                next_pc = pc; // a halted thread's PC stays put
+            }
+        }
+
+        Retired { pc, inst, wrote, mem_addr, taken, next_pc }
+    }
+}
+
+/// Pure evaluation of an operate-class instruction: `rd = s1 <op> s2`.
+///
+/// Shared by the interpreter and the pipeline's execute stage so the two
+/// models cannot diverge on ALU semantics.
+///
+/// # Panics
+///
+/// Panics for non-operate opcodes (memory, control, misc).
+pub fn eval_op(op: Opcode, s1: u64, s2: u64) -> u64 {
+    use Opcode::*;
+    match op {
+        Add => s1.wrapping_add(s2),
+        Sub => s1.wrapping_sub(s2),
+        Mul => s1.wrapping_mul(s2),
+        And => s1 & s2,
+        Or => s1 | s2,
+        Xor => s1 ^ s2,
+        Sll => s1.wrapping_shl((s2 & 63) as u32),
+        Srl => s1.wrapping_shr((s2 & 63) as u32),
+        Sra => ((s1 as i64).wrapping_shr((s2 & 63) as u32)) as u64,
+        Slt => ((s1 as i64) < (s2 as i64)) as u64,
+        Sltu => (s1 < s2) as u64,
+        Seq => (s1 == s2) as u64,
+        FAdd => fop(s1, s2, |a, b| a + b),
+        FSub => fop(s1, s2, |a, b| a - b),
+        FMul => fop(s1, s2, |a, b| a * b),
+        FDiv => fop(s1, s2, |a, b| a / b),
+        FCmpLt => (f64::from_bits(s1) < f64::from_bits(s2)) as u64,
+        FCmpEq => (f64::from_bits(s1) == f64::from_bits(s2)) as u64,
+        FCvtIf => (s1 as i64 as f64).to_bits(),
+        FCvtFi => {
+            let f = f64::from_bits(s1);
+            if f.is_nan() {
+                0
+            } else {
+                f as i64 as u64
+            }
+        }
+        other => panic!("{other:?} is not an operate opcode"),
+    }
+}
+
+/// Evaluate a conditional branch's direction for a given test value.
+pub fn branch_taken(op: Opcode, test: u64) -> bool {
+    let s = test as i64;
+    match op {
+        Opcode::Beq => test == 0,
+        Opcode::Bne => test != 0,
+        Opcode::Blt => s < 0,
+        Opcode::Bge => s >= 0,
+        Opcode::Ble => s <= 0,
+        Opcode::Bgt => s > 0,
+        _ => panic!("{op:?} is not a conditional branch"),
+    }
+}
+
+/// Resolve the taken-path target of any control instruction given its
+/// operand value. Shared by the interpreter and the pipeline's execute
+/// stage.
+pub fn control_target(inst: Inst, pc: u64, src_val: u64) -> u64 {
+    match inst.class() {
+        Class::CondBranch | Class::Branch => (pc as i64 + 1 + inst.imm as i64) as u64,
+        Class::Jump => src_val,
+        _ => panic!("{inst} is not a control instruction"),
+    }
+}
+
+fn fop(a: u64, b: u64, f: impl Fn(f64, f64) -> f64) -> u64 {
+    f(f64::from_bits(a), f64::from_bits(b)).to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn run_prog(b: ProgramBuilder) -> (ArchState, FlatMemory) {
+        let prog = b.build().unwrap();
+        let mut mem = FlatMemory::with_program(&prog);
+        let mut st = ArchState::new(&prog);
+        let summary = st.run(&prog, &mut mem, 1_000_000).unwrap();
+        assert!(summary.halted, "program did not halt");
+        (st, mem)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let mut b = ProgramBuilder::new("sum");
+        b.addi(Reg::int(1), Reg::ZERO, 100);
+        b.label("top");
+        b.add(Reg::int(2), Reg::int(2), Reg::int(1));
+        b.subi(Reg::int(1), Reg::int(1), 1);
+        b.bne(Reg::int(1), "top");
+        b.halt();
+        let (st, _) = run_prog(b);
+        assert_eq!(st.read_reg(Reg::int(2)), 5050);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut b = ProgramBuilder::new("mem");
+        b.data_words(0x2000, &[11, 22, 33]);
+        b.addi(Reg::int(1), Reg::ZERO, 0x2000);
+        b.ldq(Reg::int(2), Reg::int(1), 8); // 22
+        b.ldq(Reg::int(3), Reg::int(1), 16); // 33
+        b.add(Reg::int(4), Reg::int(2), Reg::int(3));
+        b.stq(Reg::int(4), Reg::int(1), 24);
+        b.ldq(Reg::int(5), Reg::int(1), 24);
+        b.halt();
+        let (st, mut mem) = run_prog(b);
+        assert_eq!(st.read_reg(Reg::int(5)), 55);
+        assert_eq!(mem.read(0x2018, 8), 55);
+    }
+
+    #[test]
+    fn word_store_truncates() {
+        let mut b = ProgramBuilder::new("stl");
+        b.addi(Reg::int(1), Reg::ZERO, 0x3000);
+        b.addi(Reg::int(2), Reg::ZERO, -1); // 0xffff_ffff_ffff_ffff
+        b.push(Inst::store(Opcode::Stl, Reg::int(2), Reg::int(1), 0));
+        b.push(Inst::load(Opcode::Ldl, Reg::int(3), Reg::int(1), 0));
+        b.ldq(Reg::int(4), Reg::int(1), 0);
+        b.halt();
+        let (st, _) = run_prog(b);
+        assert_eq!(st.read_reg(Reg::int(3)), 0xffff_ffff);
+        assert_eq!(st.read_reg(Reg::int(4)), 0xffff_ffff);
+    }
+
+    #[test]
+    fn fp_pipeline_math() {
+        let mut b = ProgramBuilder::new("fp");
+        b.data_words(0x100, &[2.5f64.to_bits(), 4.0f64.to_bits()]);
+        b.addi(Reg::int(1), Reg::ZERO, 0x100);
+        b.fldq(Reg::fp(0), Reg::int(1), 0);
+        b.fldq(Reg::fp(1), Reg::int(1), 8);
+        b.fmul(Reg::fp(2), Reg::fp(0), Reg::fp(1)); // 10.0
+        b.fdiv(Reg::fp(3), Reg::fp(2), Reg::fp(1)); // 2.5
+        b.fsub(Reg::fp(4), Reg::fp(3), Reg::fp(0)); // 0.0
+        b.fstq(Reg::fp(2), Reg::int(1), 16);
+        b.halt();
+        let (st, mut mem) = run_prog(b);
+        assert_eq!(f64::from_bits(st.read_reg(Reg::fp(4))), 0.0);
+        assert_eq!(f64::from_bits(mem.read(0x110, 8)), 10.0);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new("call");
+        b.jsr(Reg::int(26), "func");
+        b.addi(Reg::int(2), Reg::int(1), 100); // executes after return
+        b.halt();
+        b.label("func");
+        b.addi(Reg::int(1), Reg::ZERO, 5);
+        b.ret(Reg::int(26));
+        let (st, _) = run_prog(b);
+        assert_eq!(st.read_reg(Reg::int(2)), 105);
+    }
+
+    #[test]
+    fn branch_directions() {
+        assert!(branch_taken(Opcode::Beq, 0));
+        assert!(!branch_taken(Opcode::Beq, 1));
+        assert!(branch_taken(Opcode::Bne, u64::MAX));
+        assert!(branch_taken(Opcode::Blt, (-5i64) as u64));
+        assert!(!branch_taken(Opcode::Blt, 5));
+        assert!(branch_taken(Opcode::Bge, 0));
+        assert!(branch_taken(Opcode::Ble, 0));
+        assert!(!branch_taken(Opcode::Bgt, 0));
+        assert!(branch_taken(Opcode::Bgt, 7));
+    }
+
+    #[test]
+    fn halt_freezes_state() {
+        let mut b = ProgramBuilder::new("h");
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut mem = FlatMemory::new();
+        let mut st = ArchState::new(&prog);
+        let r = st.step(&prog, &mut mem).unwrap();
+        assert_eq!(r.next_pc, 0);
+        assert!(st.is_halted());
+        assert_eq!(st.step(&prog, &mut mem), Err(ExecError::Halted));
+    }
+
+    #[test]
+    fn runaway_pc_is_detected() {
+        let prog = Program::new("bad", vec![Inst::nop()]);
+        let mut mem = FlatMemory::new();
+        let mut st = ArchState::new(&prog);
+        st.step(&prog, &mut mem).unwrap();
+        assert_eq!(st.step(&prog, &mut mem), Err(ExecError::PcOutOfRange(1)));
+    }
+
+    #[test]
+    fn zero_register_never_changes() {
+        let mut b = ProgramBuilder::new("z");
+        b.addi(Reg::ZERO, Reg::ZERO, 42);
+        b.add(Reg::int(1), Reg::ZERO, Reg::ZERO);
+        b.halt();
+        let (st, _) = run_prog(b);
+        assert_eq!(st.read_reg(Reg::ZERO), 0);
+        assert_eq!(st.read_reg(Reg::int(1)), 0);
+    }
+
+    #[test]
+    fn flat_memory_is_zero_initialized_and_sparse() {
+        let mut m = FlatMemory::new();
+        assert_eq!(m.read(0xdead_beef, 8), 0);
+        assert_eq!(m.pages_touched(), 0);
+        m.write(0x1000, 8, 0x1122334455667788);
+        assert_eq!(m.read(0x1000, 8), 0x1122334455667788);
+        assert_eq!(m.read(0x1004, 4), 0x11223344);
+        assert_eq!(m.pages_touched(), 1);
+        // Cross-page access.
+        m.write(0x1ffc, 8, u64::MAX);
+        assert_eq!(m.read(0x1ffc, 8), u64::MAX);
+        assert_eq!(m.pages_touched(), 2);
+    }
+
+    #[test]
+    fn retired_records_capture_effects() {
+        let mut b = ProgramBuilder::new("r");
+        b.addi(Reg::int(1), Reg::ZERO, 7);
+        b.stq(Reg::int(1), Reg::ZERO, 0x40);
+        b.beq(Reg::ZERO, "t");
+        b.nop();
+        b.label("t");
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut mem = FlatMemory::new();
+        let mut st = ArchState::new(&prog);
+        let r0 = st.step(&prog, &mut mem).unwrap();
+        assert_eq!(r0.wrote, Some((Reg::int(1), 7)));
+        let r1 = st.step(&prog, &mut mem).unwrap();
+        assert_eq!(r1.mem_addr, Some((0x40, 8)));
+        let r2 = st.step(&prog, &mut mem).unwrap();
+        assert_eq!(r2.taken, Some(true));
+        assert_eq!(r2.next_pc, 4);
+    }
+}
+
+#[cfg(test)]
+mod control_tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::reg::Reg;
+
+    #[test]
+    fn computed_jump_table() {
+        // jump to base + selector via jmp.
+        let mut b = ProgramBuilder::new("jumptable");
+        // r1 = selector (1), r2 = target pc
+        b.addi(Reg::int(1), Reg::ZERO, 1);
+        b.addi(Reg::int(2), Reg::ZERO, 5); // case1 label index (computed below)
+        b.add(Reg::int(2), Reg::int(2), Reg::int(1));
+        b.push(crate::inst::Inst::jmp(Reg::int(3), Reg::int(2)));
+        b.halt(); // skipped
+        b.label("case0"); // pc 5
+        b.addi(Reg::int(4), Reg::ZERO, 100);
+        b.label("case1"); // pc 6
+        b.addi(Reg::int(4), Reg::int(4), 1);
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut mem = FlatMemory::new();
+        let mut st = ArchState::new(&prog);
+        st.run(&prog, &mut mem, 100).unwrap();
+        // Selector 1 skips case0's init: r4 == 1.
+        assert_eq!(st.read_reg(Reg::int(4)), 1);
+        assert_eq!(st.read_reg(Reg::int(3)), 4, "jmp links pc+1");
+    }
+
+    #[test]
+    fn nested_calls_return_correctly() {
+        // main -> f -> g, returns unwind in order.
+        let mut b = ProgramBuilder::new("nest");
+        b.jsr(Reg::int(26), "f");
+        b.addi(Reg::int(1), Reg::int(1), 100); // after f returns
+        b.halt();
+        b.label("f");
+        b.jsr(Reg::int(27), "g");
+        b.addi(Reg::int(1), Reg::int(1), 10); // after g returns
+        b.ret(Reg::int(26));
+        b.label("g");
+        b.addi(Reg::int(1), Reg::int(1), 1);
+        b.ret(Reg::int(27));
+        let prog = b.build().unwrap();
+        let mut mem = FlatMemory::new();
+        let mut st = ArchState::new(&prog);
+        let summary = st.run(&prog, &mut mem, 100).unwrap();
+        assert!(summary.halted);
+        assert_eq!(st.read_reg(Reg::int(1)), 111);
+    }
+}

@@ -1,0 +1,159 @@
+//! Architectural register model.
+//!
+//! The machine has 64 architectural registers arranged in two banks:
+//! integer registers `r0`–`r31` (indices 0–31) and floating-point registers
+//! `f0`–`f31` (indices 32–63). Following the Alpha convention, `r31` and
+//! `f31` are hard-wired zero registers: reads return 0 and writes are
+//! discarded. The rename machinery never allocates physical registers for
+//! them.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total number of architectural registers across both banks.
+pub const NUM_ARCH_REGS: u8 = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register: a bank-tagged index into the 64-entry
+/// architectural register space.
+///
+/// `Reg` is a plain index newtype; whether it refers to the integer or the
+/// floating-point bank is encoded in the index range (0–31 integer, 32–63
+/// floating point).
+///
+/// ```
+/// use looseloops_isa::Reg;
+/// let r = Reg::int(5);
+/// assert!(r.is_int() && !r.is_zero());
+/// assert!(Reg::fp(31).is_zero());
+/// assert_eq!(Reg::int(5).to_string(), "r5");
+/// assert_eq!(Reg::fp(2).to_string(), "f2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired integer zero register, `r31`.
+    pub const ZERO: Reg = Reg(31);
+    /// The hard-wired floating-point zero register, `f31`.
+    pub const FZERO: Reg = Reg(63);
+
+    /// Integer register `r<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < NUM_INT_REGS, "integer register index {n} out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `f<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < NUM_FP_REGS, "fp register index {n} out of range");
+        Reg(NUM_INT_REGS + n)
+    }
+
+    /// Construct from a raw unified index (0–63).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 64`.
+    pub fn from_index(idx: u8) -> Reg {
+        assert!(idx < NUM_ARCH_REGS, "register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// The unified 0–63 index of this register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for registers in the integer bank (`r0`–`r31`).
+    pub fn is_int(self) -> bool {
+        self.0 < NUM_INT_REGS
+    }
+
+    /// True for registers in the floating-point bank (`f0`–`f31`).
+    pub fn is_fp(self) -> bool {
+        !self.is_int()
+    }
+
+    /// True for the hard-wired zero registers `r31` and `f31`.
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO || self == Reg::FZERO
+    }
+
+    /// Bank-local number (0–31) of this register.
+    pub fn number(self) -> u8 {
+        self.0 % NUM_INT_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.number())
+        } else {
+            write!(f, "f{}", self.number())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_partition_the_index_space() {
+        for n in 0..32 {
+            assert!(Reg::int(n).is_int());
+            assert!(!Reg::int(n).is_fp());
+            assert!(Reg::fp(n).is_fp());
+            assert_eq!(Reg::int(n).number(), n);
+            assert_eq!(Reg::fp(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::FZERO.is_zero());
+        assert!(!Reg::int(0).is_zero());
+        assert!(!Reg::fp(30).is_zero());
+        assert_eq!(Reg::int(31), Reg::ZERO);
+        assert_eq!(Reg::fp(31), Reg::FZERO);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(0).to_string(), "r0");
+        assert_eq!(Reg::fp(17).to_string(), "f17");
+        assert_eq!(Reg::ZERO.to_string(), "r31");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..NUM_ARCH_REGS {
+            assert_eq!(Reg::from_index(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_int_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let _ = Reg::from_index(64);
+    }
+}

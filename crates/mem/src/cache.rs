@@ -1,0 +1,330 @@
+//! Set-associative timing cache with true-LRU replacement.
+//!
+//! The cache is a *timing directory*: it tracks tags and recency only. The
+//! pipeline asks [`Cache::access`] whether an address would hit and lets the
+//! functional memory hold the actual bytes.
+
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set); 1 = direct mapped.
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Access latency in cycles on a hit.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// The paper's base 64 KiB, 2-way, 64 B-line, 3-cycle data cache.
+    pub fn l1d_default() -> CacheConfig {
+        CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, hit_latency: 3 }
+    }
+
+    /// 64 KiB, 2-way, 64 B-line, single-cycle instruction cache.
+    pub fn l1i_default() -> CacheConfig {
+        CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, hit_latency: 1 }
+    }
+
+    /// 1 MiB, 8-way unified second-level cache, 12-cycle access.
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig { size_bytes: 1 << 20, assoc: 8, line_bytes: 64, hit_latency: 12 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; 0 when no accesses occurred.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    // Monotonic use stamp for true LRU.
+    last_use: u64,
+}
+
+/// A set-associative, true-LRU, write-allocate timing cache.
+///
+/// ```
+/// use looseloops_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, hit_latency: 3 });
+/// assert!(!c.access(0x40));   // cold miss, line now resident
+/// assert!(c.access(0x40));    // hit
+/// assert!(c.access(0x7f));    // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * assoc, row-major by set
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size, or capacity not divisible by `assoc * line_bytes`).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0, "bad line size");
+        assert!(cfg.assoc > 0, "associativity must be positive");
+        assert!(
+            cfg.size_bytes.is_multiple_of(cfg.assoc * cfg.line_bytes) && cfg.num_sets() > 0,
+            "capacity must be a whole number of sets"
+        );
+        assert!(cfg.num_sets().is_power_of_two(), "set count must be a power of two");
+        Cache { lines: vec![Line::default(); cfg.num_sets() * cfg.assoc], cfg, stamp: 0, stats: CacheStats::default() }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) as usize) & (self.cfg.num_sets() - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes as u64 / self.cfg.num_sets() as u64
+    }
+
+    /// Access `addr`: returns `true` on a hit. On a miss the line is filled
+    /// (write-allocate), evicting the LRU way. Recency and statistics are
+    /// updated either way.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let ways = &mut self.lines[set * self.cfg.assoc..(set + 1) * self.cfg.assoc];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = stamp;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("assoc > 0");
+        *victim = Line { tag, valid: true, last_use: stamp };
+        false
+    }
+
+    /// Would `addr` hit right now? No state is modified.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lines[set * self.cfg.assoc..(set + 1) * self.cfg.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Fill `addr`'s line without counting an access (used for prefetch-like
+    /// warm-up and by tests).
+    pub fn fill(&mut self, addr: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let assoc = self.cfg.assoc;
+        let ways = &mut self.lines[set * assoc..(set + 1) * assoc];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = stamp;
+            return;
+        }
+        let victim =
+            ways.iter_mut().min_by_key(|l| if l.valid { l.last_use } else { 0 }).expect("assoc");
+        *victim = Line { tag, valid: true, last_use: stamp };
+    }
+
+    /// Invalidate the line containing `addr`, if resident.
+    pub fn invalidate(&mut self, addr: u64) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for l in &mut self.lines[set * self.cfg.assoc..(set + 1) * self.cfg.assoc] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+            }
+        }
+    }
+
+    /// Empty the cache and reset recency (statistics are preserved).
+    pub fn invalidate_all(&mut self) {
+        self.lines.fill(Line::default());
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B/{}-way/{}B-line cache: {} hits, {} misses ({:.2}% miss)",
+            self.cfg.size_bytes,
+            self.cfg.assoc,
+            self.cfg.line_bytes,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 64B lines.
+        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, hit_latency: 3 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line, different set
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with addresses ≡ 0 (mod 128).
+        c.access(0); // way A
+        c.access(128); // way B
+        c.access(0); // touch A so B is LRU
+        c.access(256); // evicts B
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(128);
+        assert!(c.probe(0) && c.probe(128));
+        let before = c.stats();
+        assert!(!c.probe(256));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn invalidate_single_line() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(64);
+        c.invalidate(0);
+        assert!(!c.probe(0));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn invalidate_all_flushes() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(64);
+        c.invalidate_all();
+        assert!(!c.probe(0) && !c.probe(64));
+    }
+
+    #[test]
+    fn fill_counts_no_access() {
+        let mut c = tiny();
+        c.fill(0);
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = tiny();
+        // 8 distinct lines mapping to 2 sets x 2 ways: 2x over capacity,
+        // round-robin access defeats LRU entirely.
+        for _ in 0..4 {
+            for i in 0..8u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_reuses() {
+        let mut c = tiny();
+        for _ in 0..4 {
+            for i in 0..4u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.stats().misses, 4, "only cold misses");
+        assert_eq!(c.stats().hits, 12);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn default_geometries_are_sane() {
+        assert_eq!(CacheConfig::l1d_default().num_sets(), 512);
+        assert_eq!(CacheConfig::l2_default().num_sets(), 2048);
+        let _ = Cache::new(CacheConfig::l1d_default());
+        let _ = Cache::new(CacheConfig::l1i_default());
+        let _ = Cache::new(CacheConfig::l2_default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_geometry_rejected() {
+        let _ = Cache::new(CacheConfig { size_bytes: 100, assoc: 3, line_bytes: 7, hit_latency: 1 });
+    }
+}

@@ -1,0 +1,409 @@
+//! The full memory hierarchy of the paper's base machine: split first-level
+//! caches, a unified second level, banked L1D access, a data TLB, and a flat
+//! main-memory latency.
+
+use crate::bank::BankTracker;
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
+use crate::tlb::{Tlb, TlbConfig, TlbOutcome};
+
+/// Which port an access uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I, no TLB modelled).
+    InstFetch,
+    /// Data load.
+    DataRead,
+    /// Data store.
+    DataWrite,
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// First-level cache.
+    L1,
+    /// Unified second-level cache.
+    L2,
+    /// Main memory.
+    Memory,
+}
+
+/// Timing outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total latency in cycles, including bank-conflict and TLB-walk delays.
+    pub latency: u32,
+    /// The level that supplied the line.
+    pub level: HitLevel,
+    /// The access missed in the data TLB and the policy is `Trap`; the
+    /// pipeline must squash and refetch.
+    pub tlb_trap: bool,
+    /// Extra cycles spent waiting for a busy bank.
+    pub bank_wait: u32,
+}
+
+impl AccessResult {
+    /// True if this access hit in the first-level cache with no TLB trap —
+    /// the case the paper's load-hit speculation bets on.
+    pub fn is_l1_hit(&self) -> bool {
+        self.level == HitLevel::L1 && !self.tlb_trap
+    }
+}
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// First-level instruction cache.
+    pub l1i: CacheConfig,
+    /// First-level data cache.
+    pub l1d: CacheConfig,
+    /// Unified second-level cache.
+    pub l2: CacheConfig,
+    /// Main-memory access latency (beyond L2) in cycles.
+    pub mem_latency: u32,
+    /// Number of L1D banks (power of two).
+    pub l1d_banks: usize,
+    /// Miss-status holding registers: maximum concurrent outstanding L1D
+    /// misses. Further misses wait for a free MSHR (bounding memory-level
+    /// parallelism).
+    pub mshrs: usize,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Optional L1D stride prefetcher (an extension beyond the paper's
+    /// machine; `None` reproduces the paper).
+    pub prefetch: Option<PrefetchConfig>,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig::l1i_default(),
+            l1d: CacheConfig::l1d_default(),
+            l2: CacheConfig::l2_default(),
+            mem_latency: 120,
+            l1d_banks: 8,
+            mshrs: 8,
+            dtlb: TlbConfig::default(),
+            prefetch: None,
+        }
+    }
+}
+
+/// Aggregate statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 instruction cache hits/misses.
+    pub l1i: CacheStats,
+    /// L1 data cache hits/misses.
+    pub l1d: CacheStats,
+    /// Unified L2 hits/misses.
+    pub l2: CacheStats,
+    /// Data-TLB (hits, misses).
+    pub dtlb_hits: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// L1D bank conflicts.
+    pub bank_conflicts: u64,
+    /// Accesses delayed waiting for a free MSHR.
+    pub mshr_waits: u64,
+    /// Prefetch fills issued (0 without a prefetcher).
+    pub prefetches: u64,
+}
+
+/// L1I + L1D + L2 + memory timing model.
+///
+/// ```
+/// use looseloops_mem::{MemHierarchy, HierarchyConfig, AccessKind, HitLevel};
+/// let mut m = MemHierarchy::new(HierarchyConfig::default());
+/// let first = m.access(AccessKind::DataRead, 0x1000, 0);
+/// assert_eq!(first.level, HitLevel::Memory);
+/// let again = m.access(AccessKind::DataRead, 0x1000, 10);
+/// assert_eq!(again.level, HitLevel::L1);
+/// assert!(again.latency < first.latency);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    dtlb: Tlb,
+    banks: BankTracker,
+    // Completion cycles of outstanding L1D misses.
+    mshr_busy: Vec<u64>,
+    mshr_waits: u64,
+    prefetcher: Option<StreamPrefetcher>,
+}
+
+impl MemHierarchy {
+    /// Build the hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> MemHierarchy {
+        MemHierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            dtlb: Tlb::new(cfg.dtlb),
+            banks: BankTracker::new(cfg.l1d_banks, cfg.l1d.line_bytes as u64),
+            mshr_busy: Vec::with_capacity(cfg.mshrs),
+            mshr_waits: 0,
+            prefetcher: cfg.prefetch.map(StreamPrefetcher::new),
+            cfg,
+        }
+    }
+
+    /// Feed the prefetcher a demand load (`pc`, `addr`); confirmed streams
+    /// fill L1D and L2 directly (an idealized zero-contention fill path).
+    pub fn observe_load(&mut self, pc: u64, addr: u64) {
+        if let Some(p) = &mut self.prefetcher {
+            for target in p.observe(pc, addr) {
+                self.l1d.fill(target);
+                self.l2.fill(target);
+            }
+        }
+    }
+
+    /// The hierarchy's configuration.
+    pub fn config(&self) -> HierarchyConfig {
+        self.cfg
+    }
+
+    /// Perform one timed access at cycle `now`.
+    pub fn access(&mut self, kind: AccessKind, addr: u64, now: u64) -> AccessResult {
+        match kind {
+            AccessKind::InstFetch => {
+                let (l1, l1_lat) = (&mut self.l1i, self.cfg.l1i.hit_latency);
+                if l1.access(addr) {
+                    return AccessResult { latency: l1_lat, level: HitLevel::L1, tlb_trap: false, bank_wait: 0 };
+                }
+                if self.l2.access(addr) {
+                    return AccessResult {
+                        latency: l1_lat + self.cfg.l2.hit_latency,
+                        level: HitLevel::L2,
+                        tlb_trap: false,
+                        bank_wait: 0,
+                    };
+                }
+                AccessResult {
+                    latency: l1_lat + self.cfg.l2.hit_latency + self.cfg.mem_latency,
+                    level: HitLevel::Memory,
+                    tlb_trap: false,
+                    bank_wait: 0,
+                }
+            }
+            AccessKind::DataRead | AccessKind::DataWrite => {
+                let mut latency = self.cfg.l1d.hit_latency;
+                let mut tlb_trap = false;
+                match self.dtlb.access(addr) {
+                    TlbOutcome::Hit => {}
+                    TlbOutcome::MissPenalty { extra } => latency += extra,
+                    TlbOutcome::MissTrap => tlb_trap = true,
+                }
+                let bank_wait = self.banks.reserve(addr, now) as u32;
+                latency += bank_wait;
+                let level = if self.l1d.access(addr) {
+                    HitLevel::L1
+                } else if self.l2.access(addr) {
+                    latency += self.cfg.l2.hit_latency;
+                    HitLevel::L2
+                } else {
+                    latency += self.cfg.l2.hit_latency + self.cfg.mem_latency;
+                    HitLevel::Memory
+                };
+                if level != HitLevel::L1 {
+                    // An L1 miss occupies an MSHR for its whole flight; when
+                    // all are busy, the access waits for the earliest free.
+                    self.mshr_busy.retain(|&done| done > now);
+                    if self.mshr_busy.len() >= self.cfg.mshrs {
+                        let earliest = *self.mshr_busy.iter().min().expect("non-empty");
+                        let wait = (earliest - now) as u32;
+                        latency += wait;
+                        self.mshr_waits += 1;
+                        // Retire the slot we are taking over.
+                        if let Some(pos) =
+                            self.mshr_busy.iter().position(|&d| d == earliest)
+                        {
+                            self.mshr_busy.swap_remove(pos);
+                        }
+                    }
+                    self.mshr_busy.push(now + latency as u64);
+                }
+                AccessResult { latency, level, tlb_trap, bank_wait }
+            }
+        }
+    }
+
+    /// Would a data access to `addr` hit in L1D? (No state change.)
+    pub fn probe_l1d(&self, addr: u64) -> bool {
+        self.l1d.probe(addr)
+    }
+
+    /// Latency of an L1D hit with no hazards — the deterministic value the
+    /// issue logic schedules load consumers against (the paper's load-hit
+    /// speculation).
+    pub fn l1d_hit_latency(&self) -> u32 {
+        self.cfg.l1d.hit_latency
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> HierarchyStats {
+        let (dtlb_hits, dtlb_misses) = self.dtlb.stats();
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            dtlb_hits,
+            dtlb_misses,
+            bank_conflicts: self.banks.conflicts(),
+            mshr_waits: self.mshr_waits,
+            prefetches: self.prefetcher.as_ref().map_or(0, StreamPrefetcher::issued),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::TlbMissPolicy;
+
+    fn small() -> MemHierarchy {
+        MemHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, hit_latency: 1 },
+            l1d: CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, hit_latency: 3 },
+            l2: CacheConfig { size_bytes: 8192, assoc: 4, line_bytes: 64, hit_latency: 12 },
+            mem_latency: 100,
+            l1d_banks: 2,
+            mshrs: 8,
+            dtlb: TlbConfig { entries: 4, page_bytes: 4096, miss_policy: TlbMissPolicy::Penalty(20) },
+            prefetch: None,
+        })
+    }
+
+    #[test]
+    fn prefetcher_converts_stream_misses_to_hits() {
+        let mut with = MemHierarchy::new(HierarchyConfig {
+            prefetch: Some(crate::prefetch::PrefetchConfig::default()),
+            ..HierarchyConfig::default()
+        });
+        let mut without = MemHierarchy::new(HierarchyConfig::default());
+        let mut now = 0;
+        for i in 0..64u64 {
+            let addr = 0x40_0000 + i * 64;
+            with.access(AccessKind::DataRead, addr, now);
+            with.observe_load(0x99, addr);
+            without.access(AccessKind::DataRead, addr, now);
+            now += 200; // let MSHRs drain
+        }
+        let (w, wo) = (with.stats(), without.stats());
+        assert!(w.prefetches > 20, "stream must be detected: {}", w.prefetches);
+        assert!(
+            w.l1d.misses < wo.l1d.misses / 2,
+            "prefetching must remove most stream misses: {} vs {}",
+            w.l1d.misses,
+            wo.l1d.misses
+        );
+    }
+
+    #[test]
+    fn mshr_limit_serializes_excess_misses() {
+        let mut m = MemHierarchy::new(HierarchyConfig {
+            mshrs: 1,
+            ..HierarchyConfig::default()
+        });
+        // Two cold misses in the same cycle to different lines/banks.
+        let a = m.access(AccessKind::DataRead, 0x10_0000, 0);
+        let b = m.access(AccessKind::DataRead, 0x20_0040, 0);
+        assert!(!a.is_l1_hit() && !b.is_l1_hit());
+        assert!(
+            b.latency >= a.latency * 2 - 8,
+            "second miss must wait for the single MSHR: {} vs {}",
+            b.latency,
+            a.latency
+        );
+        assert_eq!(m.stats().mshr_waits, 1);
+    }
+
+    #[test]
+    fn plentiful_mshrs_do_not_wait() {
+        let mut m = MemHierarchy::new(HierarchyConfig::default());
+        for i in 0..8u64 {
+            m.access(AccessKind::DataRead, 0x10_0000 + i * 64, 0);
+        }
+        assert_eq!(m.stats().mshr_waits, 0);
+    }
+
+    #[test]
+    fn latency_accumulates_down_the_hierarchy() {
+        let mut m = small();
+        let r = m.access(AccessKind::DataRead, 0, 0);
+        assert_eq!(r.level, HitLevel::Memory);
+        assert_eq!(r.latency, 3 + 20 + 12 + 100); // l1 + tlb walk + l2 + mem
+        let r = m.access(AccessKind::DataRead, 0, 1);
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(r.latency, 3);
+        assert!(r.is_l1_hit());
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut m = small();
+        // Fill 32 lines: 2x the 1 KiB L1D, well within the 8 KiB L2.
+        // Keep all lines within one TLB page to isolate cache effects, and
+        // space accesses far enough apart that banks and MSHRs fully drain.
+        let mut now = 0;
+        for i in 0..32u64 {
+            m.access(AccessKind::DataRead, i * 64, now);
+            now += 200;
+        }
+        let r = m.access(AccessKind::DataRead, 0, now);
+        assert_eq!(r.level, HitLevel::L2, "evicted from L1 but resident in L2");
+        assert_eq!(r.latency, 3 + 12);
+    }
+
+    #[test]
+    fn bank_conflicts_add_wait() {
+        let mut m = small();
+        m.access(AccessKind::DataRead, 0, 0);
+        // Lines 0 and 128 both map to bank 0 of 2 at 64B interleave.
+        m.access(AccessKind::DataRead, 128, 50);
+        let r = m.access(AccessKind::DataRead, 0, 50);
+        assert_eq!(r.bank_wait, 1);
+        assert_eq!(m.stats().bank_conflicts, 1);
+    }
+
+    #[test]
+    fn tlb_trap_surfaces() {
+        let mut m = MemHierarchy::new(HierarchyConfig {
+            dtlb: TlbConfig { entries: 2, page_bytes: 4096, miss_policy: TlbMissPolicy::Trap },
+            ..HierarchyConfig::default()
+        });
+        let r = m.access(AccessKind::DataRead, 0x9000, 0);
+        assert!(r.tlb_trap);
+        assert!(!r.is_l1_hit());
+        let r = m.access(AccessKind::DataRead, 0x9000, 1);
+        assert!(!r.tlb_trap, "retry after trap hits the TLB");
+    }
+
+    #[test]
+    fn ifetch_bypasses_tlb_and_banks() {
+        let mut m = small();
+        let r = m.access(AccessKind::InstFetch, 0, 0);
+        assert_eq!(r.level, HitLevel::Memory);
+        assert_eq!(r.latency, 1 + 12 + 100);
+        let r = m.access(AccessKind::InstFetch, 0, 0);
+        assert_eq!(r.latency, 1);
+        assert_eq!(m.stats().l1i.hits, 1);
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let mut m = small();
+        m.access(AccessKind::DataRead, 0, 0);
+        m.access(AccessKind::DataWrite, 0, 1);
+        m.access(AccessKind::InstFetch, 0, 2);
+        let s = m.stats();
+        assert_eq!(s.l1d.accesses(), 2);
+        assert_eq!(s.l1i.accesses(), 1);
+        assert_eq!(s.dtlb_hits + s.dtlb_misses, 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Memory-hierarchy timing models for the *Loose Loops* reproduction.
+//!
+//! The functional data lives in a flat byte-addressed memory
+//! ([`looseloops_isa::FlatMemory`](https://docs.rs/looseloops-isa)); the
+//! structures in this crate are *timing directories*: they track which lines
+//! would be resident in each cache level and answer "how long would this
+//! access take, and where did it hit?". Keeping data and timing separate
+//! makes the timing model trivially coherent and lets the pipeline
+//! replay/flush speculative work without un-doing memory traffic.
+//!
+//! Components:
+//!
+//! - [`Cache`]: set-associative, LRU, write-allocate timing cache.
+//! - [`BankTracker`]: per-cycle bank-busy accounting for bank conflicts.
+//! - [`Tlb`]: small fully-associative translation buffer whose misses can
+//!   either add a fixed walk penalty or raise a pipeline trap (the paper's
+//!   `turb3d` discussion relies on dTLB-miss traps recovering from fetch).
+//! - [`MemHierarchy`]: L1I + L1D + unified L2 + main memory — the
+//!   configuration of the paper's base machine — returning an
+//!   [`AccessResult`] per access.
+
+pub mod bank;
+pub mod cache;
+pub mod prefetch;
+pub mod hierarchy;
+pub mod tlb;
+
+pub use bank::BankTracker;
+pub use prefetch::{PrefetchConfig, StreamPrefetcher};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{
+    AccessKind, AccessResult, HierarchyConfig, HierarchyStats, HitLevel, MemHierarchy,
+};
+pub use tlb::{Tlb, TlbConfig, TlbMissPolicy, TlbOutcome};

@@ -1,0 +1,119 @@
+//! Property tests for the memory-hierarchy timing models against
+//! executable reference models.
+
+use looseloops_mem::{BankTracker, Cache, CacheConfig, Tlb, TlbConfig, TlbMissPolicy, TlbOutcome};
+use proptest::prelude::*;
+
+/// Reference set-associative LRU cache: naive timestamps.
+struct RefCache {
+    sets: Vec<Vec<(u64, u64)>>, // (tag, last_use)
+    assoc: usize,
+    line: u64,
+    stamp: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, assoc: usize, line: u64) -> RefCache {
+        RefCache { sets: vec![Vec::new(); sets], assoc, line, stamp: 0 }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let nsets = self.sets.len() as u64;
+        let set = ((addr / self.line) % nsets) as usize;
+        let tag = addr / self.line / nsets;
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            e.1 = self.stamp;
+            return true;
+        }
+        if ways.len() == self.assoc {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, u))| *u)
+                .map(|(i, _)| i)
+                .unwrap();
+            ways.swap_remove(lru);
+        }
+        ways.push((tag, self.stamp));
+        false
+    }
+}
+
+proptest! {
+    /// The timing cache agrees hit-for-hit with the reference LRU model.
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..4096, 1..400)
+    ) {
+        // 4 sets x 2 ways x 64B lines = 512 B — tiny, to force evictions.
+        let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, hit_latency: 1 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg.num_sets(), cfg.assoc, cfg.line_bytes as u64);
+        for a in addrs {
+            prop_assert_eq!(cache.access(a), reference.access(a), "addr {}", a);
+        }
+    }
+
+    /// Hits + misses always equals accesses; a just-accessed line always
+    /// probes resident.
+    #[test]
+    fn cache_accounting_invariants(addrs in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            assoc: 4,
+            line_bytes: 32,
+            hit_latency: 2,
+        });
+        for (i, a) in addrs.iter().enumerate() {
+            cache.access(*a);
+            prop_assert!(cache.probe(*a), "just-accessed line must be resident");
+            prop_assert_eq!(cache.stats().accesses(), i as u64 + 1);
+        }
+    }
+
+    /// Bank reservations never allow two grants of the same bank in the
+    /// same cycle, and waits are exactly the backlog.
+    #[test]
+    fn bank_grants_are_serialized(
+        reqs in prop::collection::vec((0u64..16, 0u64..8), 1..100)
+    ) {
+        let mut banks = BankTracker::new(4, 64);
+        let mut grants: Vec<(usize, u64)> = Vec::new(); // (bank, grant cycle)
+        let mut reqs = reqs.clone();
+        reqs.sort_by_key(|&(_, t)| t);
+        for (line, t) in reqs {
+            let addr = line * 64;
+            let wait = banks.reserve(addr, t);
+            let bank = banks.bank_of(addr);
+            let grant = t + wait;
+            prop_assert!(
+                !grants.contains(&(bank, grant)),
+                "double grant of bank {bank} at cycle {grant}"
+            );
+            grants.push((bank, grant));
+        }
+    }
+
+    /// TLB: after any access, an immediate re-access of the same page hits;
+    /// the (hits, misses) tally is conserved.
+    #[test]
+    fn tlb_refill_and_accounting(pages in prop::collection::vec(0u64..32, 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bytes: 4096,
+            miss_policy: TlbMissPolicy::Trap,
+        });
+        let mut accesses = 0u64;
+        for p in pages {
+            let addr = p * 4096;
+            let _ = tlb.access(addr);
+            accesses += 1;
+            prop_assert_eq!(tlb.access(addr), TlbOutcome::Hit, "refill must stick");
+            accesses += 1;
+            let (h, m) = tlb.stats();
+            prop_assert_eq!(h + m, accesses);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Dynamic (in-flight) instruction records and their slab allocator.
+
+use looseloops_isa::{Inst, Reg};
+use looseloops_regs::PhysReg;
+
+/// Handle to an in-flight instruction. Generational: a stale handle (to a
+/// squashed and reused slot) never resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstId {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+/// Where an instruction stands in its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstPhase {
+    /// Fetched/renamed, travelling the DEC-IQ pipe.
+    FrontEnd,
+    /// Waiting in the instruction queue.
+    InIq,
+    /// Selected; travelling the IQ-EX pipe or executing.
+    Issued,
+    /// Result produced (loads: data returned; stores: address + data
+    /// staged).
+    Complete,
+    /// Architecturally retired (slot about to be reclaimed).
+    Retired,
+}
+
+/// How a source operand was (or will be) obtained — the paper's operand
+/// classes plus the baseline register-file path and the miss case
+/// (Figure 9's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandSource {
+    /// Pre-read from the register file in DEC-IQ (DRA *completed* operand).
+    PreRead,
+    /// Forwarding buffer (*timely* operand).
+    Forward,
+    /// Cluster register cache (*cached* operand).
+    Crc,
+    /// Monolithic register-file read on the IQ-EX path (base machine only).
+    RegFile,
+    /// DRA operand miss — the operand-resolution loop fired.
+    Miss,
+}
+
+/// One renamed source operand.
+#[derive(Debug, Clone, Copy)]
+pub struct SrcOperand {
+    /// Architectural register.
+    pub arch: Reg,
+    /// Physical register after rename.
+    pub phys: PhysReg,
+    /// Pre-read value captured in the DEC-IQ path (DRA) or delivered by the
+    /// operand-miss recovery path into the payload.
+    pub payload: Option<u64>,
+    /// DRA: this consumer's rename-time increment of its cluster's
+    /// insertion table is still outstanding (no forwarding-buffer read has
+    /// decremented it). Squash recovery undoes outstanding increments so
+    /// wrong-path consumers do not flood the CRCs.
+    pub itable_pending: bool,
+    /// Earliest cycle this operand alone would let the instruction issue
+    /// (maintained against the producer's schedule; `u64::MAX` = unknown).
+    pub ready_at: u64,
+    /// The wake-up version of the producer's physical register at the
+    /// moment this operand was found missing at execute. The entry may not
+    /// reissue until the producer re-broadcasts (version changes) — the
+    /// hardware's "pull back and wait for the corrected wake-up".
+    pub blocked_version: Option<u32>,
+    /// Where the operand was obtained at (last) execution.
+    pub obtained: Option<OperandSource>,
+    /// Cycle the operand's value became available (for the Figure 6 gap
+    /// statistic); `None` until known.
+    pub avail_cycle: Option<u64>,
+}
+
+/// A renamed destination.
+#[derive(Debug, Clone, Copy)]
+pub struct DestRename {
+    /// Architectural destination.
+    pub arch: Reg,
+    /// Newly allocated physical register.
+    pub new: PhysReg,
+    /// Previous mapping (freed at retire, restored on rollback).
+    pub prev: PhysReg,
+}
+
+/// Control-flow prediction made at fetch.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchPrediction {
+    /// Predicted direction (`true` for unconditional).
+    pub taken: bool,
+    /// PC the fetch unit continued at after this instruction.
+    pub next_pc: u64,
+    /// Global-history snapshot for recovery.
+    pub history: looseloops_branch::HistorySnapshot,
+    /// Prediction context from `DirectionPredictor::predict_ctx`
+    /// (pre-prediction history state; used for in-order training and
+    /// per-branch history repair).
+    pub ctx: u64,
+}
+
+/// A dynamic instruction.
+#[derive(Debug, Clone)]
+pub struct DynInst {
+    /// Global age (monotonic across all threads; per-thread order is a
+    /// subsequence).
+    pub seq: u64,
+    /// Owning hardware thread.
+    pub thread: usize,
+    /// Fetch PC (instruction index).
+    pub pc: u64,
+    /// Decoded instruction.
+    pub inst: Inst,
+    /// Lifetime phase.
+    pub phase: InstPhase,
+    /// Renamed sources (`None` slots follow `Inst::srcs`).
+    pub srcs: [Option<SrcOperand>; 2],
+    /// Renamed destination.
+    pub dest: Option<DestRename>,
+    /// Functional-unit cluster this instruction was slotted to at decode.
+    pub cluster: usize,
+    /// Prediction state for control instructions.
+    pub pred: Option<BranchPrediction>,
+    /// Return-address-stack checkpoint taken at fetch (control
+    /// instructions only), restored on mis-speculation recovery.
+    pub ras_ckpt: Option<looseloops_branch::ReturnAddressStack>,
+    /// Cycle fetched.
+    pub fetch_cycle: u64,
+    /// Cycle renamed (start of DEC-IQ).
+    pub rename_cycle: u64,
+    /// Cycle inserted into the IQ.
+    pub insert_cycle: Option<u64>,
+    /// Cycle (most recently) issued.
+    pub issue_cycle: Option<u64>,
+    /// Cycle execution produced the result (the forwarding timestamp).
+    pub complete_cycle: Option<u64>,
+    /// Result value (dest write, if any).
+    pub result: Option<u64>,
+    /// Effective address and size for memory operations.
+    pub mem_addr: Option<(u64, u8)>,
+    /// Resolved direction for control instructions.
+    pub taken: Option<bool>,
+    /// Architecturally correct next PC (known after execute).
+    pub next_pc: Option<u64>,
+    /// Number of times this instruction issued (1 = no replays).
+    pub issue_count: u32,
+    /// Load mis-speculation shadow: this instruction must replay because an
+    /// operand was not present at execute.
+    pub needs_replay: bool,
+    /// dTLB miss trap pending (serviced at retire).
+    pub tlb_trap: bool,
+    /// This conditional branch holds a recovery checkpoint (released at
+    /// resolution or squash).
+    pub holds_checkpoint: bool,
+    /// The load hit L1 (valid once complete; drives confirmation stats).
+    pub load_l1_hit: Option<bool>,
+    /// Store data value staged for retire-time memory write.
+    pub store_data: Option<u64>,
+}
+
+impl DynInst {
+    fn new(seq: u64, thread: usize, pc: u64, inst: Inst, fetch_cycle: u64) -> DynInst {
+        DynInst {
+            seq,
+            thread,
+            pc,
+            inst,
+            phase: InstPhase::FrontEnd,
+            srcs: [None, None],
+            dest: None,
+            cluster: 0,
+            pred: None,
+            ras_ckpt: None,
+            fetch_cycle,
+            rename_cycle: 0,
+            insert_cycle: None,
+            issue_cycle: None,
+            complete_cycle: None,
+            result: None,
+            mem_addr: None,
+            taken: None,
+            next_pc: None,
+            issue_count: 0,
+            needs_replay: false,
+            tlb_trap: false,
+            holds_checkpoint: false,
+            load_l1_hit: None,
+            store_data: None,
+        }
+    }
+
+    /// True once the instruction has produced its result.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.phase, InstPhase::Complete | InstPhase::Retired)
+    }
+}
+
+/// Generational slab holding all in-flight instructions.
+#[derive(Debug, Default)]
+pub struct InstSlab {
+    slots: Vec<Option<DynInst>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl InstSlab {
+    /// An empty slab.
+    pub fn new() -> InstSlab {
+        InstSlab::default()
+    }
+
+    /// Number of live instructions.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Allocate a record for a freshly fetched instruction.
+    pub fn alloc(
+        &mut self,
+        seq: u64,
+        thread: usize,
+        pc: u64,
+        inst: Inst,
+        fetch_cycle: u64,
+    ) -> InstId {
+        self.live += 1;
+        let di = DynInst::new(seq, thread, pc, inst, fetch_cycle);
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(di);
+                InstId { slot, gen: self.gens[slot as usize] }
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(di));
+                self.gens.push(0);
+                InstId { slot, gen: 0 }
+            }
+        }
+    }
+
+    /// Free a record (retire or squash). Stale handles to this slot stop
+    /// resolving.
+    pub fn release(&mut self, id: InstId) {
+        assert!(self.get(id).is_some(), "releasing a dead or stale InstId");
+        self.slots[id.slot as usize] = None;
+        self.gens[id.slot as usize] = self.gens[id.slot as usize].wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+    }
+
+    /// Resolve a handle; `None` for released/stale handles.
+    pub fn get(&self, id: InstId) -> Option<&DynInst> {
+        if self.gens.get(id.slot as usize) == Some(&id.gen) {
+            self.slots[id.slot as usize].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable resolve.
+    pub fn get_mut(&mut self, id: InstId) -> Option<&mut DynInst> {
+        if self.gens.get(id.slot as usize) == Some(&id.gen) {
+            self.slots[id.slot as usize].as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Direct access that must succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle.
+    pub fn expect(&self, id: InstId) -> &DynInst {
+        self.get(id).expect("live InstId")
+    }
+
+    /// Mutable direct access that must succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle.
+    pub fn expect_mut(&mut self, id: InstId) -> &mut DynInst {
+        self.get_mut(id).expect("live InstId")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_isa::Inst as I;
+
+    #[test]
+    fn alloc_get_release() {
+        let mut s = InstSlab::new();
+        let id = s.alloc(1, 0, 100, I::nop(), 5);
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.expect(id).pc, 100);
+        s.release(id);
+        assert_eq!(s.live(), 0);
+        assert!(s.get(id).is_none(), "stale handle must not resolve");
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut s = InstSlab::new();
+        let a = s.alloc(1, 0, 1, I::nop(), 0);
+        s.release(a);
+        let b = s.alloc(2, 0, 2, I::nop(), 0);
+        assert_eq!(a.slot, b.slot, "slot is reused");
+        assert!(s.get(a).is_none());
+        assert_eq!(s.expect(b).pc, 2);
+    }
+
+    #[test]
+    fn phases_start_at_frontend() {
+        let mut s = InstSlab::new();
+        let id = s.alloc(1, 0, 0, I::halt(), 0);
+        assert_eq!(s.expect(id).phase, InstPhase::FrontEnd);
+        assert!(!s.expect(id).is_complete());
+        s.expect_mut(id).phase = InstPhase::Complete;
+        assert!(s.expect(id).is_complete());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_release_panics() {
+        let mut s = InstSlab::new();
+        let id = s.alloc(1, 0, 0, I::nop(), 0);
+        s.release(id);
+        s.release(id);
+    }
+}

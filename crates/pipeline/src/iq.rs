@@ -1,0 +1,223 @@
+//! The unified instruction queue (IQ).
+//!
+//! Holds dependency-wait state for up to `capacity` instructions across all
+//! threads. Instructions are *retained after issue* until the execute stage
+//! confirms they will not replay; the confirmation takes `iq_ex_stages +
+//! confirm_feedback` cycles (the load-resolution loop delay) plus an extra
+//! cycle to clear the entry — the IQ-pressure effect of paper §2.2.2.
+
+use crate::dyninst::InstId;
+
+/// Wait-state of one IQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IqState {
+    /// Waiting for operands.
+    Waiting,
+    /// Issued speculatively; retained in case of replay.
+    Issued,
+    /// Confirmed by execute; the slot frees at the embedded cycle.
+    Confirmed {
+        /// Cycle at which the entry's slot is reusable.
+        free_at: u64,
+    },
+}
+
+/// One IQ entry.
+#[derive(Debug, Clone, Copy)]
+pub struct IqEntry {
+    /// Instruction handle.
+    pub id: InstId,
+    /// Global age (issue priority: oldest first).
+    pub seq: u64,
+    /// Owning thread.
+    pub thread: usize,
+    /// Cluster the instruction was slotted to at decode.
+    pub cluster: usize,
+    /// Wait-state.
+    pub state: IqState,
+}
+
+/// The unified, clustered instruction queue.
+#[derive(Debug)]
+pub struct IssueQueue {
+    entries: Vec<IqEntry>,
+    capacity: usize,
+    per_cluster: Vec<u32>,
+    // Statistics.
+    occupancy_sum: u64,
+    issued_occupancy_sum: u64,
+    samples: u64,
+    peak: usize,
+}
+
+impl IssueQueue {
+    /// An empty IQ with `capacity` slots serving `clusters` clusters.
+    pub fn new(capacity: usize, clusters: usize) -> IssueQueue {
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            per_cluster: vec![0; clusters],
+            occupancy_sum: 0,
+            issued_occupancy_sum: 0,
+            samples: 0,
+            peak: 0,
+        }
+    }
+
+    /// Entries currently slotted to `cluster` (for least-loaded slotting at
+    /// decode).
+    pub fn cluster_len(&self, cluster: usize) -> u32 {
+        self.per_cluster[cluster]
+    }
+
+    /// Slots in use (waiting + issued + not-yet-cleared confirmed entries).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free slots available for insertion.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Insert an instruction; returns `false` (and does nothing) when full.
+    pub fn insert(&mut self, entry: IqEntry) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.per_cluster[entry.cluster] += 1;
+        self.entries.push(entry);
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// Iterate all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration (the scheduler updates states in place).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut IqEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Find the entry for `id`.
+    pub fn find_mut(&mut self, id: InstId) -> Option<&mut IqEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Release confirmed entries whose `free_at` has arrived.
+    pub fn release_confirmed(&mut self, now: u64) {
+        let per_cluster = &mut self.per_cluster;
+        self.entries.retain(|e| {
+            let release = matches!(e.state, IqState::Confirmed { free_at } if free_at <= now);
+            if release {
+                per_cluster[e.cluster] -= 1;
+            }
+            !release
+        });
+    }
+
+    /// Remove entries selected by `kill` (squash). Returns the removed
+    /// entries (for useless-work accounting).
+    pub fn squash(&mut self, mut kill: impl FnMut(&IqEntry) -> bool) -> Vec<IqEntry> {
+        let mut removed = Vec::new();
+        let per_cluster = &mut self.per_cluster;
+        self.entries.retain(|e| {
+            if kill(e) {
+                per_cluster[e.cluster] -= 1;
+                removed.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Record one cycle's occupancy statistics.
+    pub fn sample_occupancy(&mut self) {
+        self.samples += 1;
+        self.occupancy_sum += self.entries.len() as u64;
+        self.issued_occupancy_sum +=
+            self.entries.iter().filter(|e| !matches!(e.state, IqState::Waiting)).count() as u64;
+    }
+
+    /// (mean occupancy, mean post-issue occupancy, peak) over the sampled
+    /// cycles.
+    pub fn occupancy_stats(&self) -> (f64, f64, usize) {
+        if self.samples == 0 {
+            return (0.0, 0.0, self.peak);
+        }
+        (
+            self.occupancy_sum as f64 / self.samples as f64,
+            self.issued_occupancy_sum as f64 / self.samples as f64,
+            self.peak,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, cluster: usize) -> IqEntry {
+        IqEntry {
+            id: InstId { slot: seq as u32, gen: 0 },
+            seq,
+            thread: 0,
+            cluster,
+            state: IqState::Waiting,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut q = IssueQueue::new(2, 4);
+        assert!(q.insert(entry(1, 0)));
+        assert!(q.insert(entry(2, 1)));
+        assert!(!q.insert(entry(3, 2)), "full IQ rejects insertion");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.free_slots(), 0);
+    }
+
+    #[test]
+    fn confirmed_entries_release_on_time() {
+        let mut q = IssueQueue::new(4, 4);
+        q.insert(entry(1, 0));
+        q.find_mut(InstId { slot: 1, gen: 0 }).unwrap().state = IqState::Confirmed { free_at: 10 };
+        q.release_confirmed(9);
+        assert_eq!(q.len(), 1, "not yet");
+        q.release_confirmed(10);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn squash_removes_matching() {
+        let mut q = IssueQueue::new(8, 4);
+        for s in 1..=5 {
+            q.insert(entry(s, 0));
+        }
+        let killed = q.squash(|e| e.seq > 3);
+        assert_eq!(killed.len(), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn occupancy_sampling() {
+        let mut q = IssueQueue::new(8, 4);
+        q.insert(entry(1, 0));
+        q.insert(entry(2, 0));
+        q.find_mut(InstId { slot: 2, gen: 0 }).unwrap().state = IqState::Issued;
+        q.sample_occupancy();
+        let (mean, issued_mean, peak) = q.occupancy_stats();
+        assert_eq!(mean, 2.0);
+        assert_eq!(issued_mean, 1.0);
+        assert_eq!(peak, 2);
+    }
+}

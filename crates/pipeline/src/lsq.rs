@@ -1,0 +1,143 @@
+//! Memory-dependence machinery.
+//!
+//! Loads issue speculatively with respect to older stores whose addresses
+//! are still unknown. When a store later computes its address and finds a
+//! younger, already-executed load to an overlapping address, the machine
+//! takes a *memory trap* — the paper's load/store reorder trap, whose
+//! initiation stage is issue and whose recovery stage is fetch (the dotted
+//! loop of Figure 2). The [`StoreWaitTable`] is the 21264-style predictor
+//! that stops a previously-trapping load from issuing ahead of unresolved
+//! stores again.
+
+/// PC-indexed store-wait bits (memory-dependence predictor).
+#[derive(Debug, Clone)]
+pub struct StoreWaitTable {
+    bits: Vec<bool>,
+    set_events: u64,
+}
+
+impl StoreWaitTable {
+    /// A table with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> StoreWaitTable {
+        assert!(entries.is_power_of_two(), "store-wait table must be a power of two");
+        StoreWaitTable { bits: vec![false; entries], set_events: 0 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.bits.len() - 1)
+    }
+
+    /// Must the load at `pc` wait for all older store addresses?
+    pub fn must_wait(&self, pc: u64) -> bool {
+        self.bits[self.index(pc)]
+    }
+
+    /// Record that the load at `pc` caused an ordering violation.
+    pub fn mark(&mut self, pc: u64) {
+        let i = self.index(pc);
+        if !self.bits[i] {
+            self.set_events += 1;
+        }
+        self.bits[i] = true;
+    }
+
+    /// Number of distinct set events (diagnostics).
+    pub fn marks(&self) -> u64 {
+        self.set_events
+    }
+
+    /// Clear all bits (the 21264 flushes the table periodically; exposed
+    /// for experiments).
+    pub fn clear(&mut self) {
+        self.bits.fill(false);
+    }
+}
+
+/// Do two memory accesses `(addr, size)` overlap?
+pub fn overlaps(a: (u64, u8), b: (u64, u8)) -> bool {
+    let (aa, asz) = a;
+    let (ba, bsz) = b;
+    aa < ba.wrapping_add(bsz as u64) && ba < aa.wrapping_add(asz as u64)
+}
+
+/// Can a load `(addr, size)` be fully satisfied by a store `(addr, size)`?
+/// (Byte-containment; partial overlaps force conservative handling.)
+pub fn contains(store: (u64, u8), load: (u64, u8)) -> bool {
+    let (sa, ssz) = store;
+    let (la, lsz) = load;
+    sa <= la && la.wrapping_add(lsz as u64) <= sa.wrapping_add(ssz as u64)
+}
+
+/// Extract a load's value from a containing store's data.
+///
+/// # Panics
+///
+/// Panics unless [`contains`]`(store, load)`.
+pub fn forward_value(store: (u64, u8), store_data: u64, load: (u64, u8)) -> u64 {
+    assert!(contains(store, load), "store does not contain load");
+    let shift = 8 * (load.0 - store.0);
+    let v = store_data >> shift;
+    match load.1 {
+        8 => v,
+        4 => v & 0xffff_ffff,
+        1 => v & 0xff,
+        s => panic!("unsupported load size {s}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_bits_lifecycle() {
+        let mut t = StoreWaitTable::new(16);
+        assert!(!t.must_wait(0x40));
+        t.mark(0x40);
+        assert!(t.must_wait(0x40));
+        t.mark(0x40);
+        assert_eq!(t.marks(), 1, "re-marking is not a new event");
+        t.clear();
+        assert!(!t.must_wait(0x40));
+    }
+
+    #[test]
+    fn pc_aliasing_is_by_table_size() {
+        let mut t = StoreWaitTable::new(16);
+        t.mark(3);
+        assert!(t.must_wait(19), "3 and 19 alias in a 16-entry table");
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert!(overlaps((0, 8), (0, 8)));
+        assert!(overlaps((0, 8), (7, 1)));
+        assert!(!overlaps((0, 8), (8, 8)));
+        assert!(overlaps((4, 8), (0, 8)));
+        assert!(!overlaps((0, 4), (4, 4)));
+    }
+
+    #[test]
+    fn containment_and_forwarding() {
+        assert!(contains((0, 8), (0, 8)));
+        assert!(contains((0, 8), (4, 4)));
+        assert!(!contains((4, 4), (0, 8)));
+        assert!(!contains((0, 4), (2, 4)), "partial overlap is not containment");
+
+        let data = 0x1122_3344_5566_7788u64;
+        assert_eq!(forward_value((0, 8), data, (0, 8)), data);
+        assert_eq!(forward_value((0, 8), data, (4, 4)), 0x1122_3344);
+        assert_eq!(forward_value((0, 8), data, (0, 4)), 0x5566_7788);
+        assert_eq!(forward_value((0, 8), data, (7, 1)), 0x11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forwarding_requires_containment() {
+        let _ = forward_value((0, 4), 0, (2, 4));
+    }
+}

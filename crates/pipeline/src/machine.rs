@@ -1,0 +1,1808 @@
+//! The cycle-level machine model.
+//!
+//! An execution-driven, 8-wide, clustered, SMT out-of-order pipeline with
+//! explicit signal-propagation delays: wake-ups, confirmations, redirects
+//! and miss signals all ride delay lines rather than acting instantly —
+//! the property the paper credits ASIM with enforcing.
+//!
+//! Stage order within a cycle is reverse (retire → … → fetch) so that no
+//! information computed in a stage can be consumed by an earlier stage in
+//! the same cycle.
+
+use crate::config::{LoadSpecPolicy, PipelineConfig, RegisterScheme};
+use crate::dyninst::{
+    BranchPrediction, DestRename, InstId, InstPhase, InstSlab, OperandSource, SrcOperand,
+};
+use crate::iq::{IqEntry, IqState, IssueQueue};
+use crate::lsq::{contains, forward_value, overlaps, StoreWaitTable};
+use crate::stats::SimStats;
+use crate::trace::PipelineTracer;
+use looseloops_branch::{
+    build_predictor, Btb, DirectionPredictor, LinePredictor, ReturnAddressStack,
+};
+use looseloops_isa::{
+    branch_taken, eval_op, ArchState, Class, FlatMemory, Inst, Memory, Opcode, Program, Retired,
+};
+use looseloops_mem::{AccessKind, MemHierarchy};
+use looseloops_regs::{
+    ClusterRegCache, ForwardingBuffer, FreeList, InsertionTable, PhysReg, PhysRegFile, RenameMap,
+    Rpft,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-thread front-end and program-order state.
+#[derive(Debug)]
+struct ThreadState {
+    program: Program,
+    fetch_pc: u64,
+    /// Fetch suspended: a `halt` was fetched, or the PC ran off the image
+    /// on a wrong path. Cleared by squash redirects.
+    fetch_suspended: bool,
+    fetch_stall_until: u64,
+    /// Fetched instructions awaiting rename, with the cycle they become
+    /// eligible (fetch-stage delay).
+    decode_q: VecDeque<(u64, InstId)>,
+    /// Renamed instructions travelling the DEC-IQ pipe toward the IQ.
+    transit_q: VecDeque<(u64, InstId)>,
+    /// Program-order window (renamed, not yet retired).
+    rob: VecDeque<InstId>,
+    /// In-flight stores in program order.
+    store_q: VecDeque<InstId>,
+    ras: ReturnAddressStack,
+    /// Sequence number of an un-retired memory barrier stalling rename.
+    mb_stall_seq: Option<u64>,
+    /// Unresolved conditional branches in flight (checkpoint accounting).
+    unresolved_branches: usize,
+    /// The thread retired its `halt`.
+    done: bool,
+    /// Verification oracle (enabled by [`Machine::enable_verification`]).
+    oracle: Option<(ArchState, FlatMemory)>,
+}
+
+impl ThreadState {
+    fn frontend_len(&self) -> usize {
+        self.decode_q.len() + self.transit_q.len()
+    }
+
+    fn icount(&self) -> usize {
+        self.frontend_len() + self.rob.len()
+    }
+}
+
+/// The simulated machine: construct with [`Machine::new`], drive with
+/// [`Machine::run`], read results from [`Machine::stats`].
+pub struct Machine {
+    cfg: PipelineConfig,
+    cycle: u64,
+    seq: u64,
+    slab: InstSlab,
+    iq: IssueQueue,
+    threads: Vec<ThreadState>,
+    // Register machinery.
+    freelist: FreeList,
+    physfile: PhysRegFile,
+    rename: Vec<RenameMap>,
+    fwd: ForwardingBuffer,
+    rpft: Rpft,
+    crcs: Vec<ClusterRegCache>,
+    itables: Vec<InsertionTable>,
+    /// Per physical register: earliest cycle a consumer may *issue* so its
+    /// operand is present at execute. `u64::MAX` = producer unscheduled.
+    ready_at: Vec<u64>,
+    /// Per physical register: cycle the value was actually produced
+    /// (`u64::MAX` while in flight).
+    avail_cycle: Vec<u64>,
+    /// Per physical register: bumped whenever `ready_at` is rewritten, so
+    /// consumers blocked on a failed wake-up know when to retry.
+    ready_version: Vec<u32>,
+    // Memory.
+    hier: MemHierarchy,
+    data_mem: FlatMemory,
+    // Prediction.
+    pred: Box<dyn DirectionPredictor>,
+    btb: Btb,
+    line_pred: LinePredictor,
+    store_wait: StoreWaitTable,
+    // Event queues: cycle -> [(inst, issue-stamp)].
+    exec_events: BTreeMap<u64, Vec<(InstId, u32)>>,
+    complete_events: BTreeMap<u64, Vec<(InstId, u32)>>,
+    /// Delayed wake-up corrections: the IQ learns a load missed only after
+    /// the load-resolution loop's feedback delay. (cycle -> [(inst, stamp,
+    /// corrected ready_at)]).
+    wakeup_events: BTreeMap<u64, Vec<(InstId, u32, u64)>>,
+    frontend_stall_until: u64,
+    /// Per-cluster count of slotted instructions still in DEC-IQ transit
+    /// (the IQ itself tracks inserted ones). Slotting balances on the sum,
+    /// otherwise whole fetch groups clump onto one cluster for the length
+    /// of the transit pipe.
+    cluster_pressure: Vec<u32>,
+    stats: SimStats,
+    /// Captured retire stream (for equivalence tests), if enabled.
+    retire_capture: Option<Vec<(usize, Retired)>>,
+    /// Kanata pipeline tracer, if enabled.
+    tracer: Option<PipelineTracer>,
+}
+
+impl Machine {
+    /// Build a machine running `programs` (one per hardware thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`PipelineConfig::validate`])
+    /// or the program count does not match `cfg.threads`.
+    pub fn new(cfg: PipelineConfig, programs: Vec<Program>) -> Machine {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        assert_eq!(programs.len(), cfg.threads, "one program per hardware thread");
+
+        let mut freelist = FreeList::new(cfg.phys_regs);
+        let rename: Vec<RenameMap> =
+            (0..cfg.threads).map(|_| RenameMap::new(&mut freelist)).collect();
+        let mut data_mem = FlatMemory::new();
+        for p in &programs {
+            data_mem.load_init_data(p);
+        }
+        let (crcs, itables) = match cfg.scheme {
+            RegisterScheme::Monolithic => (Vec::new(), Vec::new()),
+            RegisterScheme::Dra { crc_entries, crc_policy } => (
+                (0..cfg.clusters)
+                    .map(|_| ClusterRegCache::with_policy(crc_entries, crc_policy))
+                    .collect(),
+                (0..cfg.clusters).map(|_| InsertionTable::new(cfg.phys_regs)).collect(),
+            ),
+        };
+        let threads = programs
+            .into_iter()
+            .map(|program| ThreadState {
+                fetch_pc: program.entry,
+                program,
+                fetch_suspended: false,
+                fetch_stall_until: 0,
+                decode_q: VecDeque::new(),
+                transit_q: VecDeque::new(),
+                rob: VecDeque::new(),
+                store_q: VecDeque::new(),
+                ras: ReturnAddressStack::new(cfg.ras_entries),
+                mb_stall_seq: None,
+                unresolved_branches: 0,
+                done: false,
+                oracle: None,
+            })
+            .collect();
+
+        Machine {
+            iq: IssueQueue::new(cfg.iq_entries, cfg.clusters),
+            physfile: PhysRegFile::new(cfg.phys_regs),
+            fwd: ForwardingBuffer::new(cfg.fwd_window),
+            rpft: Rpft::new(cfg.phys_regs),
+            ready_at: vec![0; cfg.phys_regs],
+            avail_cycle: vec![0; cfg.phys_regs],
+            ready_version: vec![0; cfg.phys_regs],
+            hier: MemHierarchy::new(cfg.mem),
+            pred: build_predictor(cfg.predictor),
+            btb: Btb::new(cfg.btb_entries),
+            line_pred: LinePredictor::new(cfg.line_entries, cfg.width as u64),
+            store_wait: StoreWaitTable::new(cfg.store_wait_entries),
+            stats: SimStats::new(cfg.threads),
+            crcs,
+            itables,
+            threads,
+            rename,
+            freelist,
+            data_mem,
+            cycle: 0,
+            seq: 0,
+            slab: InstSlab::new(),
+            exec_events: BTreeMap::new(),
+            complete_events: BTreeMap::new(),
+            wakeup_events: BTreeMap::new(),
+            frontend_stall_until: 0,
+            cluster_pressure: vec![0; cfg.clusters],
+            retire_capture: None,
+            tracer: None,
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Architectural data memory (retired stores + initial images).
+    pub fn data_mem(&mut self) -> &mut FlatMemory {
+        &mut self.data_mem
+    }
+
+    /// Architectural value of register `r` in `thread` (via the retired
+    /// rename mapping — only meaningful once the pipeline has drained, e.g.
+    /// after the thread halts).
+    pub fn arch_reg(&mut self, thread: usize, r: looseloops_isa::Reg) -> u64 {
+        if r.is_zero() {
+            return 0;
+        }
+        let p = self.rename[thread].lookup(r);
+        self.physfile.read(p)
+    }
+
+    /// Check every retired instruction against the functional interpreter.
+    ///
+    /// # Panics
+    ///
+    /// Any later `run` panics on the first divergence. Only valid for
+    /// workloads whose threads touch disjoint memory (all bundled
+    /// workloads do).
+    pub fn enable_verification(&mut self) {
+        for t in &mut self.threads {
+            let mut mem = FlatMemory::new();
+            mem.load_init_data(&t.program);
+            t.oracle = Some((ArchState::new(&t.program), mem));
+        }
+    }
+
+    /// Start recording a Kanata pipeline trace (viewable in Konata-style
+    /// pipeline viewers). Costly in memory for long runs; intended for
+    /// windows of up to a few hundred thousand cycles.
+    pub fn enable_trace(&mut self) {
+        self.tracer = Some(PipelineTracer::new());
+    }
+
+    /// Drain the Kanata trace recorded since `enable_trace` (empty string
+    /// if tracing was never enabled).
+    pub fn take_trace(&mut self) -> String {
+        self.tracer.as_mut().map(PipelineTracer::take).unwrap_or_default()
+    }
+
+    /// Record `(thread, Retired)` for every retirement (equivalence tests).
+    pub fn enable_retire_capture(&mut self) {
+        self.retire_capture = Some(Vec::new());
+    }
+
+    /// Drain and return the captured retire stream.
+    pub fn take_retires(&mut self) -> Vec<(usize, Retired)> {
+        self.retire_capture.replace(Vec::new()).unwrap_or_default()
+    }
+
+    /// Number of dynamic instructions currently tracked (fetched, not yet
+    /// retired or squashed).
+    pub fn in_flight(&self) -> usize {
+        self.slab.live()
+    }
+
+    /// Free physical registers (diagnostics: after a full drain this must
+    /// equal `phys_regs - 64 * threads` or registers leaked).
+    pub fn free_phys_regs(&self) -> usize {
+        self.freelist.available()
+    }
+
+    /// All threads have retired their `halt`.
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(|t| t.done)
+    }
+
+    /// Reset statistics counters (after warm-up) without touching
+    /// micro-architectural state.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::new(self.cfg.threads);
+    }
+
+    /// Run until every thread halts, `max_retired` instructions retire
+    /// (total), or `max_cycles` elapse — whichever is first. Returns the
+    /// statistics.
+    pub fn run(&mut self, max_retired: u64, max_cycles: u64) -> &SimStats {
+        let target = self.stats.total_retired().saturating_add(max_retired);
+        let last_cycle = self.cycle.saturating_add(max_cycles);
+        while !self.is_done() && self.stats.total_retired() < target && self.cycle < last_cycle {
+            self.step_cycle();
+        }
+        self.finalize_stats();
+        &self.stats
+    }
+
+    /// Advance exactly one cycle.
+    pub fn step_cycle(&mut self) {
+        let now = self.cycle;
+        self.do_retire(now);
+        self.do_complete(now);
+        // Write-back runs before execute: a value leaving the forwarding
+        // buffer this cycle is already in the register file / CRCs when
+        // this cycle's executions read operands (the hardware's write-back
+        // bypass wire).
+        self.do_writeback(now);
+        self.do_execute(now);
+        self.do_wakeups(now);
+        self.do_issue(now);
+        self.do_insert(now);
+        self.do_rename(now);
+        self.do_fetch(now);
+        self.iq.release_confirmed(now);
+        self.iq.sample_occupancy();
+        if now < self.frontend_stall_until {
+            self.stats.operand_miss_stall_cycles += 1;
+        }
+        self.stats.cycles += 1;
+        self.cycle += 1;
+    }
+
+    fn finalize_stats(&mut self) {
+        let (mean, post, peak) = self.iq.occupancy_stats();
+        self.stats.iq_occupancy_mean = mean;
+        self.stats.iq_post_issue_mean = post;
+        self.stats.iq_peak = peak;
+        self.stats.mem = self.hier.stats();
+        self.stats.line_pred = self.line_pred.stats();
+        if let RegisterScheme::Dra { .. } = self.cfg.scheme {
+            self.stats.insertion_saturations =
+                self.itables.iter().map(|t| t.saturation_events()).sum();
+        }
+    }
+
+    /// Rewrite a register's wake-up schedule and bump its version so
+    /// blocked consumers re-evaluate.
+    fn set_ready_at(&mut self, p: PhysReg, v: u64) {
+        self.ready_at[p.index()] = v;
+        self.ready_version[p.index()] = self.ready_version[p.index()].wrapping_add(1);
+    }
+
+    /// Process due wake-up corrections (the delayed miss notifications of
+    /// the load-resolution loop).
+    fn do_wakeups(&mut self, now: u64) {
+        while let Some((&cyc, _)) = self.wakeup_events.first_key_value() {
+            if cyc > now {
+                break;
+            }
+            let (_, list) = self.wakeup_events.pop_first().expect("non-empty");
+            for (id, stamp, ready) in list {
+                let Some(di) = self.slab.get(id) else { continue };
+                if di.issue_count != stamp {
+                    continue;
+                }
+                if let Some(DestRename { new, .. }) = di.dest {
+                    let v = ready.min(self.ready_at[new.index()]);
+                    self.set_ready_at(new, v);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- fetch
+
+    fn do_fetch(&mut self, now: u64) {
+        if now < self.frontend_stall_until {
+            return;
+        }
+        // ICOUNT: fetch from the eligible thread with the fewest in-flight
+        // instructions.
+        let decode_cap = (self.cfg.fetch_stages as usize + 2) * self.cfg.width;
+        let Some(t) = (0..self.threads.len())
+            .filter(|&t| {
+                let th = &self.threads[t];
+                !th.done
+                    && !th.fetch_suspended
+                    && th.fetch_stall_until <= now
+                    && th.decode_q.len() < decode_cap
+            })
+            .min_by_key(|&t| (self.threads[t].icount(), t))
+        else {
+            return;
+        };
+
+        let block_start = self.threads[t].fetch_pc;
+        // One aligned I-cache access per fetch block.
+        let block_addr = Program::inst_addr(block_start) & !63;
+        let ic = self.hier.access(AccessKind::InstFetch, block_addr, now);
+        if !ic.is_l1_hit() {
+            self.threads[t].fetch_stall_until = now + ic.latency as u64;
+            return;
+        }
+
+        let width = self.cfg.width as u64;
+        let block_end = (block_start / width + 1) * width; // stay in the fetch block
+        let mut pc = block_start;
+        let next_fetch_pc;
+        loop {
+            let Some(inst) = self.threads[t].program.fetch(pc) else {
+                // Wrong-path runaway: suspend until a squash redirects us.
+                self.threads[t].fetch_suspended = true;
+                next_fetch_pc = pc;
+                break;
+            };
+            let id = self.alloc_inst(t, pc, inst, now);
+            if let Some(tr) = &mut self.tracer {
+                let seq = self.slab.expect(id).seq;
+                tr.fetch(now, id, seq, t, &format!("{pc:>6}: {inst}"));
+            }
+            self.stats.fetched += 1;
+            let ready = now + self.cfg.fetch_stages as u64;
+            self.threads[t].decode_q.push_back((ready, id));
+
+            if inst.class() == Class::Halt {
+                self.threads[t].fetch_suspended = true;
+                next_fetch_pc = pc + 1;
+                break;
+            }
+            if inst.class().is_control() {
+                let (next, taken) = self.predict_control(t, id, pc, inst);
+                if taken {
+                    next_fetch_pc = next;
+                    break;
+                }
+            }
+            pc += 1;
+            if pc >= block_end {
+                next_fetch_pc = pc;
+                break;
+            }
+        }
+
+        // Next-line predictor: the tight loop. A wrong prediction costs one
+        // fetch bubble.
+        let predicted = self.line_pred.predict(block_start);
+        self.line_pred.train(block_start, next_fetch_pc);
+        if predicted != next_fetch_pc {
+            self.threads[t].fetch_stall_until = self.threads[t].fetch_stall_until.max(now + 2);
+        }
+        self.threads[t].fetch_pc = next_fetch_pc;
+    }
+
+    /// Predict a control instruction at fetch. Returns (next fetch pc,
+    /// redirects-away-from-fall-through).
+    fn predict_control(&mut self, t: usize, id: InstId, pc: u64, inst: Inst) -> (u64, bool) {
+        let history = self.pred.snapshot_history();
+        let ras_ckpt = self.threads[t].ras.checkpoint();
+        let mut pred_ctx = 0u64;
+        let fall = pc + 1;
+        let (next, taken) = match inst.class() {
+            Class::CondBranch => {
+                let (dir, ctx) = self.pred.predict_ctx(pc);
+                pred_ctx = ctx;
+                if dir {
+                    ((fall as i64 + inst.imm as i64) as u64, true)
+                } else {
+                    (fall, false)
+                }
+            }
+            Class::Branch => {
+                // PC-relative target, known from pre-decode bits.
+                if inst.op == Opcode::Jsr {
+                    self.threads[t].ras.push(fall);
+                }
+                (((fall as i64) + inst.imm as i64) as u64, true)
+            }
+            Class::Jump => {
+                let target = if inst.op == Opcode::Ret {
+                    self.threads[t].ras.pop()
+                } else {
+                    self.btb.lookup(pc)
+                };
+                (target.unwrap_or(fall), true)
+            }
+            _ => unreachable!("not a control class"),
+        };
+        let di = self.slab.expect_mut(id);
+        di.pred = Some(BranchPrediction { taken, next_pc: next, history, ctx: pred_ctx });
+        di.ras_ckpt = Some(ras_ckpt);
+        (next, taken)
+    }
+
+    fn alloc_inst(&mut self, t: usize, pc: u64, inst: Inst, now: u64) -> InstId {
+        self.seq += 1;
+        self.slab.alloc(self.seq, t, pc, inst, now)
+    }
+
+    // ---------------------------------------------------------------- rename
+
+    fn do_rename(&mut self, now: u64) {
+        if now < self.frontend_stall_until {
+            return;
+        }
+        let transit_cap = (self.cfg.dec_iq_stages as usize + 2) * self.cfg.width;
+        let mut budget = self.cfg.width;
+        // Round-robin across threads, in per-thread program order.
+        let nthreads = self.threads.len();
+        let mut blocked = vec![false; nthreads];
+        #[allow(clippy::needless_range_loop)] // t also indexes self.threads
+        'outer: while budget > 0 {
+            let mut progress = false;
+            for t in 0..nthreads {
+                if budget == 0 {
+                    break 'outer;
+                }
+                if blocked[t] {
+                    continue;
+                }
+                let th = &self.threads[t];
+                let Some(&(ready, id)) = th.decode_q.front() else {
+                    blocked[t] = true;
+                    continue;
+                };
+                if ready > now
+                    || th.mb_stall_seq.is_some()
+                    || th.transit_q.len() >= transit_cap
+                    || self.total_in_flight() >= self.cfg.max_in_flight
+                {
+                    if ready <= now {
+                        self.stats.rename_stall_cycles += 1;
+                    }
+                    blocked[t] = true;
+                    continue;
+                }
+                if !self.rename_one(t, id, now) {
+                    self.stats.rename_stall_cycles += 1;
+                    blocked[t] = true;
+                    continue;
+                }
+                self.threads[t].decode_q.pop_front();
+                budget -= 1;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    fn total_in_flight(&self) -> usize {
+        // Every renamed, un-retired instruction sits in its thread's ROB
+        // (instructions in DEC-IQ transit included), so the ROB lengths ARE
+        // the in-flight count.
+        self.threads.iter().map(|t| t.rob.len()).sum()
+    }
+
+    /// Rename one instruction; returns `false` if it must stall (free-list
+    /// exhaustion or no free branch checkpoint).
+    fn rename_one(&mut self, t: usize, id: InstId, now: u64) -> bool {
+        let inst = self.slab.expect(id).inst;
+        if inst.class() == Class::CondBranch {
+            if let Some(limit) = self.cfg.branch_checkpoints {
+                if self.threads[t].unresolved_branches >= limit {
+                    return false; // wait for an older branch to resolve
+                }
+            }
+        }
+        // Sources must be looked up against the *pre-instruction* map —
+        // before the destination rename overwrites a same-register mapping
+        // (e.g. `add r2, r2, r1`).
+        let mut src_phys: [Option<(looseloops_isa::Reg, PhysReg)>; 2] = [None, None];
+        for (slot, arch) in inst.srcs().into_iter().enumerate() {
+            if let Some(arch) = arch {
+                src_phys[slot] = Some((arch, self.rename[t].lookup(arch)));
+            }
+        }
+        let dest = match inst.dest() {
+            Some(arch) => {
+                let Some((new, prev)) = self.rename[t].rename_dest(arch, &mut self.freelist)
+                else {
+                    return false;
+                };
+                self.on_allocate_phys(new);
+                Some(DestRename { arch, new, prev })
+            }
+            None => None,
+        };
+
+        // Cluster slotting: least-loaded among the clusters whose
+        // functional units can execute this class (FP on the first
+        // `fp_clusters`, memory on the last `mem_clusters`), counting both
+        // IQ occupancy and DEC-IQ transit; ties to the lowest index.
+        let class0 = inst.class();
+        let eligible: std::ops::Range<usize> = match class0 {
+            Class::FpAdd | Class::FpMul | Class::FpDiv => 0..self.cfg.fp_clusters,
+            Class::Load | Class::Store => {
+                (self.cfg.clusters - self.cfg.mem_clusters)..self.cfg.clusters
+            }
+            _ => 0..self.cfg.clusters,
+        };
+        let cluster = eligible
+            .min_by_key(|&c| (self.iq.cluster_len(c) + self.cluster_pressure[c], c))
+            .expect("at least one cluster");
+
+        // Sources.
+        let mut srcs: [Option<SrcOperand>; 2] = [None, None];
+        for (slot, entry) in src_phys.into_iter().enumerate() {
+            let Some((arch, phys)) = entry else { continue };
+            let mut payload = None;
+            let mut itable_pending = false;
+            if self.cfg.scheme.is_dra() {
+                if self.rpft.can_preread(phys) {
+                    // Completed operand: pre-read during DEC-IQ.
+                    payload = Some(self.physfile.read(phys));
+                } else {
+                    // Not in the register file yet: tell this cluster's
+                    // insertion table a consumer is coming.
+                    self.itables[cluster].increment(phys);
+                    itable_pending = true;
+                }
+            }
+            srcs[slot] = Some(SrcOperand {
+                arch,
+                phys,
+                payload,
+                ready_at: 0,
+                obtained: None,
+                avail_cycle: None,
+                itable_pending,
+                blocked_version: None,
+            });
+        }
+
+        if let Some(tr) = &mut self.tracer {
+            tr.stage(now, id, "Dc");
+        }
+        let class = inst.class();
+        if class == Class::CondBranch {
+            self.threads[t].unresolved_branches += 1;
+            self.slab.expect_mut(id).holds_checkpoint = true;
+        }
+        let di = self.slab.expect_mut(id);
+        di.rename_cycle = now;
+        di.dest = dest;
+        di.srcs = srcs;
+        di.cluster = cluster;
+
+        match class {
+            Class::MemBar => {
+                di.phase = InstPhase::Complete;
+                di.next_pc = Some(di.pc + 1);
+                self.threads[t].mb_stall_seq = Some(di.seq);
+                self.threads[t].rob.push_back(id);
+            }
+            Class::Halt => {
+                di.phase = InstPhase::Complete;
+                di.next_pc = Some(di.pc);
+                self.threads[t].rob.push_back(id);
+            }
+            _ => {
+                if class == Class::Store {
+                    self.threads[t].store_q.push_back(id);
+                }
+                self.cluster_pressure[cluster] += 1;
+                self.threads[t].rob.push_back(id);
+                let insert_at = now + self.cfg.dec_iq_stages as u64;
+                self.threads[t].transit_q.push_back((insert_at, id));
+            }
+        }
+        true
+    }
+
+    fn on_allocate_phys(&mut self, p: PhysReg) {
+        self.physfile.mark_allocated(p);
+        self.rpft.on_allocate(p);
+        self.fwd.invalidate(p);
+        for c in &mut self.crcs {
+            c.invalidate(p);
+        }
+        for t in &mut self.itables {
+            t.clear(p);
+        }
+        self.ready_at[p.index()] = u64::MAX;
+        self.avail_cycle[p.index()] = u64::MAX;
+    }
+
+    // ---------------------------------------------------------------- insert
+
+    fn do_insert(&mut self, now: u64) {
+        if now < self.frontend_stall_until {
+            return;
+        }
+        let nthreads = self.threads.len();
+        let mut blocked = vec![false; nthreads];
+        #[allow(clippy::needless_range_loop)] // t also indexes self.threads
+        loop {
+            let mut progress = false;
+            for t in 0..nthreads {
+                if blocked[t] {
+                    continue;
+                }
+                let Some(&(ready, id)) = self.threads[t].transit_q.front() else {
+                    blocked[t] = true;
+                    continue;
+                };
+                if ready > now || self.iq.free_slots() == 0 {
+                    blocked[t] = true;
+                    continue;
+                }
+                let di = self.slab.expect(id);
+                let entry = IqEntry {
+                    id,
+                    seq: di.seq,
+                    thread: t,
+                    cluster: di.cluster,
+                    state: IqState::Waiting,
+                };
+                let inserted = self.iq.insert(entry);
+                debug_assert!(inserted);
+                self.cluster_pressure[di.cluster] -= 1;
+                if let Some(tr) = &mut self.tracer {
+                    tr.stage(now, id, "Q");
+                }
+                let di = self.slab.expect_mut(id);
+                di.phase = InstPhase::InIq;
+                di.insert_cycle = Some(now);
+                self.threads[t].transit_q.pop_front();
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- issue
+
+    /// Earliest-issue constraint for one source operand.
+    fn src_ready(&self, src: &SrcOperand, now: u64) -> bool {
+        if src.payload.is_some() {
+            return src.ready_at <= now;
+        }
+        // A consumer that already executed against a stale wake-up stays
+        // blocked until the producer re-broadcasts (version change).
+        if src.blocked_version == Some(self.ready_version[src.phys.index()]) {
+            return false;
+        }
+        self.ready_at[src.phys.index()] <= now
+    }
+
+    fn entry_ready(&self, e: &IqEntry, now: u64) -> bool {
+        let di = self.slab.expect(e.id);
+        for src in di.srcs.iter().flatten() {
+            if !self.src_ready(src, now) {
+                return false;
+            }
+        }
+        // Store-wait discipline: a load whose PC has trapped before must
+        // wait for every older store's address.
+        if di.inst.class() == Class::Load && self.store_wait.must_wait(di.pc) {
+            for &sid in &self.threads[e.thread].store_q {
+                let s = self.slab.expect(sid);
+                if s.seq < di.seq && s.mem_addr.is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn do_issue(&mut self, now: u64) {
+        // One selection per cluster: oldest ready waiting entry.
+        let mut picks: Vec<Option<(u64, InstId)>> = vec![None; self.cfg.clusters];
+        for e in self.iq.iter() {
+            if !matches!(e.state, IqState::Waiting) {
+                continue;
+            }
+            if let Some((seq, _)) = picks[e.cluster] {
+                if e.seq >= seq {
+                    continue;
+                }
+            }
+            if self.entry_ready(e, now) {
+                picks[e.cluster] = Some((e.seq, e.id));
+            }
+        }
+        for pick in picks.into_iter().flatten() {
+            let (_, id) = pick;
+            self.issue_one(id, now);
+        }
+    }
+
+    fn issue_one(&mut self, id: InstId, now: u64) {
+        if let Some(tr) = &mut self.tracer {
+            tr.stage(now, id, "Is");
+        }
+        let y = self.cfg.iq_ex_stages as u64;
+        let di = self.slab.expect_mut(id);
+        di.issue_cycle = Some(now);
+        di.issue_count += 1;
+        di.phase = InstPhase::Issued;
+        let stamp = di.issue_count;
+        let class = di.inst.class();
+        let dest = di.dest;
+        if let Some(e) = self.iq.find_mut(id) {
+            e.state = IqState::Issued;
+        }
+        let exec_at = now + y;
+        self.exec_events.entry(exec_at).or_default().push((id, stamp));
+
+        // Speculative wake-up broadcast: consumers may issue so they reach
+        // execute exactly when the (predicted) result forwards.
+        if let Some(DestRename { new, .. }) = dest {
+            let lat = self.class_latency(class) as u64;
+            let speculate_loads = !matches!(self.cfg.load_policy, LoadSpecPolicy::Stall);
+            if class != Class::Load || speculate_loads {
+                let predicted_complete = exec_at + lat - 1;
+                self.set_ready_at(new, (predicted_complete + 1).saturating_sub(y));
+            }
+            // Under Stall, load consumers wake only once the outcome is
+            // known (set in the execute stage).
+        }
+    }
+
+    /// Deterministic execution latency by class; loads get AGU + L1-hit
+    /// here (the speculative schedule), with the true latency applied at
+    /// the data-cache access.
+    fn class_latency(&self, class: Class) -> u32 {
+        let l = &self.cfg.lat;
+        match class {
+            Class::IntAlu | Class::Branch | Class::CondBranch | Class::Jump => l.int_alu,
+            Class::IntMul => l.int_mul,
+            Class::FpAdd => l.fp_add,
+            Class::FpMul => l.fp_mul,
+            Class::FpDiv => l.fp_div,
+            Class::Load => l.agu + self.hier.l1d_hit_latency(),
+            Class::Store => l.agu,
+            Class::MemBar | Class::Halt => 1,
+        }
+    }
+
+    // --------------------------------------------------------------- execute
+
+    fn do_execute(&mut self, now: u64) {
+        let Some(list) = self.exec_events.remove(&now) else { return };
+        // Oldest-first so same-cycle store→load forwarding within a thread
+        // resolves in program order.
+        let mut list: Vec<(u64, InstId, u32)> = list
+            .into_iter()
+            .filter_map(|(id, stamp)| {
+                let di = self.slab.get(id)?;
+                (di.issue_count == stamp && di.phase == InstPhase::Issued)
+                    .then_some((di.seq, id, stamp))
+            })
+            .collect();
+        list.sort_unstable_by_key(|&(seq, _, _)| seq);
+        for (_, id, stamp) in list {
+            // An older instruction in this very batch may have squashed or
+            // replayed this one (branch recovery, memory trap, shadow
+            // kill): re-validate before executing.
+            let still_due = self
+                .slab
+                .get(id)
+                .is_some_and(|di| di.issue_count == stamp && di.phase == InstPhase::Issued);
+            if still_due {
+                self.execute_one(id, now);
+            }
+        }
+    }
+
+    /// Gathered operand values, or the reason execution must abort.
+    fn gather_operands(
+        &mut self,
+        id: InstId,
+        now: u64,
+    ) -> Result<([u64; 2], [Option<OperandSource>; 2]), ExecAbort> {
+        let di = self.slab.expect(id);
+        let cluster = di.cluster;
+        let srcs = di.srcs;
+        let mut vals = [0u64; 2];
+        let mut sources = [None; 2];
+        for (i, src) in srcs.iter().enumerate() {
+            let Some(src) = src else { continue };
+            if let Some(v) = src.payload {
+                vals[i] = v;
+                // A re-acquisition after an operand miss is not a new read.
+                sources[i] = match src.obtained {
+                    Some(OperandSource::Miss) => None,
+                    _ => Some(OperandSource::PreRead),
+                };
+                continue;
+            }
+            let p = src.phys;
+            if self.avail_cycle[p.index()] >= now {
+                // Producer has not produced: load-shadow (or chained)
+                // replay.
+                return Err(ExecAbort::ProducerNotReady(i));
+            }
+            match self.cfg.scheme {
+                RegisterScheme::Monolithic => {
+                    // Forwarding buffer first; older values come from the
+                    // monolithic register file read during IQ-EX.
+                    if self.fwd.lookup(p, now).is_some() {
+                        sources[i] = Some(OperandSource::Forward);
+                    } else {
+                        sources[i] = Some(OperandSource::RegFile);
+                    }
+                    vals[i] = self.physfile.read(p);
+                }
+                RegisterScheme::Dra { .. } => {
+                    if let Some(v) = self.fwd.lookup(p, now) {
+                        vals[i] = v;
+                        sources[i] = Some(OperandSource::Forward);
+                    } else if let Some(v) = self.crcs[cluster].lookup(p) {
+                        vals[i] = v;
+                        sources[i] = Some(OperandSource::Crc);
+                    } else {
+                        return Err(ExecAbort::OperandMiss(i));
+                    }
+                }
+            }
+        }
+        Ok((vals, sources))
+    }
+
+    fn execute_one(&mut self, id: InstId, now: u64) {
+        match self.gather_operands(id, now) {
+            Ok((vals, sources)) => self.execute_with(id, now, vals, sources),
+            Err(ExecAbort::ProducerNotReady(slot)) => {
+                // Block until the producer re-broadcasts its wake-up —
+                // unless the value is completing this very cycle (no
+                // further broadcast is coming; a plain retry suffices).
+                {
+                    let version = {
+                        let di = self.slab.expect(id);
+                        di.srcs[slot].and_then(|s| {
+                            (self.avail_cycle[s.phys.index()] == u64::MAX)
+                                .then(|| self.ready_version[s.phys.index()])
+                        })
+                    };
+                    let di = self.slab.expect_mut(id);
+                    if let Some(src) = di.srcs[slot].as_mut() {
+                        src.blocked_version = version;
+                    }
+                }
+                self.replay(id, ReplayCause::Producer)
+            }
+            Err(ExecAbort::OperandMiss(slot)) => self.operand_miss(id, slot, now),
+        }
+    }
+
+    /// Put an issued instruction back to Waiting (it will reissue).
+    fn replay(&mut self, id: InstId, cause: ReplayCause) {
+        if let Some(tr) = &mut self.tracer {
+            tr.stage(self.cycle, id, "Q");
+        }
+        let di = self.slab.expect_mut(id);
+        di.phase = InstPhase::InIq;
+        di.needs_replay = true;
+        // Withdraw the speculative wake-up this issue broadcast: the
+        // result is NOT coming on the predicted schedule. Consumers go
+        // back to waiting until the replayed issue re-broadcasts;
+        // otherwise they spin through issue -> execute -> replay.
+        let dest = di.dest;
+        if let Some(DestRename { new, .. }) = dest {
+            if self.avail_cycle[new.index()] == u64::MAX {
+                self.set_ready_at(new, u64::MAX);
+            }
+        }
+        if let Some(e) = self.iq.find_mut(id) {
+            e.state = IqState::Waiting;
+        }
+        match cause {
+            // Producer-not-ready chains are rooted at mis-speculated loads
+            // (deterministic-latency producers never disappoint their
+            // consumers) — the paper's load-resolution-loop useless work.
+            ReplayCause::Producer => self.stats.load_replays += 1,
+            ReplayCause::OperandMiss => self.stats.operand_replays += 1,
+            ReplayCause::Shadow => self.stats.shadow_replays += 1,
+        }
+    }
+
+    /// DRA operand-resolution-loop mis-speculation: the value exists only
+    /// in the register file. Read it there, deliver to the payload, replay,
+    /// and stall the front end while the recovery runs (paper §5.4).
+    fn operand_miss(&mut self, id: InstId, slot: usize, now: u64) {
+        if std::env::var_os("LOOSELOOPS_DEBUG_MISS").is_some() {
+            let di = self.slab.expect(id);
+            let src = di.srcs[slot].as_ref().unwrap();
+            eprintln!(
+                "MISS pc={} inst={} arch={} phys={} cluster={} gap={} itable={} crc_has={} crc_len={}",
+                di.pc, di.inst, src.arch, src.phys, di.cluster,
+                now.saturating_sub(self.avail_cycle[src.phys.index()]),
+                self.itables[di.cluster].count(src.phys),
+                self.crcs[di.cluster].probe(src.phys).is_some(),
+                self.crcs[di.cluster].len(),
+            );
+        }
+        self.stats.operand_misses += 1;
+        self.stats.operand_sources[4] += 1; // Miss bucket
+        let delivery = now + self.cfg.rf_read_latency as u64;
+        self.frontend_stall_until = self.frontend_stall_until.max(delivery);
+        let y = self.cfg.iq_ex_stages as u64;
+        let di = self.slab.expect_mut(id);
+        let phys = di.srcs[slot].as_ref().expect("missing operand slot").phys;
+        let src = di.srcs[slot].as_mut().expect("missing operand slot");
+        src.obtained = Some(OperandSource::Miss);
+        src.ready_at = (delivery + 1).saturating_sub(y);
+        let value = self.physfile.read(phys);
+        let src = self.slab.expect_mut(id).srcs[slot].as_mut().expect("slot");
+        src.payload = Some(value);
+        self.replay(id, ReplayCause::OperandMiss);
+    }
+
+    fn execute_with(
+        &mut self,
+        id: InstId,
+        now: u64,
+        vals: [u64; 2],
+        sources: [Option<OperandSource>; 2],
+    ) {
+        if let Some(tr) = &mut self.tracer {
+            tr.stage(now, id, "X");
+        }
+        // Commit operand bookkeeping (stats + DRA insertion-table
+        // decrements) only on successful execution.
+        let (cluster, srcs_snapshot) = {
+            let di = self.slab.expect(id);
+            (di.cluster, di.srcs)
+        };
+        for (i, s) in sources.iter().enumerate() {
+            let Some(s) = s else { continue };
+            let bucket = match s {
+                OperandSource::PreRead => 0,
+                OperandSource::Forward => 1,
+                OperandSource::Crc => 2,
+                OperandSource::RegFile => 3,
+                OperandSource::Miss => 4,
+            };
+            self.stats.operand_sources[bucket] += 1;
+            if *s == OperandSource::Forward && self.cfg.scheme.is_dra() {
+                if let Some(src) = &srcs_snapshot[i] {
+                    self.itables[cluster].decrement(src.phys);
+                    if let Some(slot) = self.slab.expect_mut(id).srcs[i].as_mut() {
+                        slot.itable_pending = false;
+                    }
+                }
+            }
+        }
+        // Record operand availability (Figure 6).
+        {
+            let rename_cycle = self.slab.expect(id).rename_cycle;
+            let mut avail = [None, None];
+            for (i, src) in srcs_snapshot.iter().enumerate() {
+                let Some(src) = src else { continue };
+                let a = if src.payload.is_some() {
+                    rename_cycle
+                } else {
+                    self.avail_cycle[src.phys.index()].max(rename_cycle)
+                };
+                avail[i] = Some(a);
+            }
+            let di = self.slab.expect_mut(id);
+            for (i, a) in avail.into_iter().enumerate() {
+                if let (Some(slot), Some(a)) = (di.srcs[i].as_mut(), a) {
+                    slot.avail_cycle = Some(a);
+                    if slot.obtained.is_none() {
+                        slot.obtained = sources[i];
+                    }
+                }
+            }
+        }
+
+        let di = self.slab.expect(id);
+        let (inst, pc, t, seq) = (di.inst, di.pc, di.thread, di.seq);
+        let s1 = if inst.rs1.is_zero() { 0 } else { vals[0] };
+        let s2 = if inst.uses_imm {
+            inst.imm as i64 as u64
+        } else if inst.rs2.is_zero() {
+            0
+        } else {
+            vals[1]
+        };
+
+        match inst.class() {
+            Class::Load => self.execute_load(id, now, s1),
+            Class::Store => self.execute_store(id, now, s1, s2),
+            Class::CondBranch | Class::Branch | Class::Jump => {
+                self.execute_control(id, now, s1)
+            }
+            Class::IntAlu | Class::IntMul | Class::FpAdd | Class::FpMul | Class::FpDiv => {
+                let result = if inst.op == Opcode::Nop { 0 } else { eval_op(inst.op, s1, s2) };
+                let lat = self.class_latency(inst.class()) as u64;
+                self.finish_exec(id, now, now + lat - 1, Some(result), pc + 1, true);
+            }
+            Class::MemBar | Class::Halt => {
+                unreachable!("barriers and halts never enter the IQ (thread {t}, seq {seq})")
+            }
+        }
+    }
+
+    /// Common execute epilogue: confirm the IQ entry, schedule completion.
+    /// `broadcast` re-anchors the destination wake-up immediately; load
+    /// misses pass `false` and deliver the correction later, after the
+    /// load-resolution loop's feedback delay (see `execute_load`).
+    fn finish_exec(
+        &mut self,
+        id: InstId,
+        now: u64,
+        complete_at: u64,
+        result: Option<u64>,
+        next_pc: u64,
+        broadcast: bool,
+    ) {
+        let free_at = now + self.cfg.confirm_feedback as u64 + self.cfg.iq_clear_extra as u64;
+        if let Some(e) = self.iq.find_mut(id) {
+            e.state = IqState::Confirmed { free_at };
+        }
+        let y = self.cfg.iq_ex_stages as u64;
+        let di = self.slab.expect_mut(id);
+        di.result = result;
+        di.next_pc = Some(next_pc);
+        let stamp = di.issue_count;
+        let dest = di.dest;
+        if broadcast {
+            if let Some(DestRename { new, .. }) = dest {
+                // Re-anchor the wake-up to the true completion time.
+                self.set_ready_at(new, (complete_at + 1).saturating_sub(y));
+            }
+        }
+        self.complete_events.entry(complete_at.max(now)).or_default().push((id, stamp));
+    }
+
+    fn execute_load(&mut self, id: InstId, now: u64, base: u64) {
+        let agu = self.cfg.lat.agu as u64;
+        let y = self.cfg.iq_ex_stages as u64;
+        let (inst, t, seq, pc) = {
+            let di = self.slab.expect(id);
+            (di.inst, di.thread, di.seq, di.pc)
+        };
+        let addr = base.wrapping_add(inst.imm as i64 as u64);
+        let size: u8 = if inst.op == Opcode::Ldl { 4 } else { 8 };
+
+        // Memory-dependence check against older in-flight stores.
+        let mut forwarded: Option<u64> = None;
+        let mut conflict_pending = false;
+        for &sid in self.threads[t].store_q.iter().rev() {
+            let s = self.slab.expect(sid);
+            if s.seq >= seq {
+                continue;
+            }
+            match s.mem_addr {
+                Some(sa) if overlaps(sa, (addr, size)) => {
+                    if contains(sa, (addr, size)) {
+                        forwarded =
+                            Some(forward_value(sa, s.store_data.expect("store data"), (addr, size)));
+                    } else {
+                        conflict_pending = true; // partial overlap: wait it out
+                    }
+                    break; // newest older store wins
+                }
+                Some(_) => continue,
+                None => {} // unknown address: speculate past it
+            }
+        }
+        if conflict_pending {
+            // Rare partial-overlap case: retry once the store has retired.
+            let di = self.slab.expect_mut(id);
+            if let Some(src) = di.srcs[0].as_mut() {
+                src.ready_at = ((now + 4 + 1).saturating_sub(y)).max(src.ready_at);
+                if src.payload.is_none() {
+                    src.payload = Some(base);
+                }
+            }
+            self.replay(id, ReplayCause::Producer);
+            return;
+        }
+
+        // Timed cache access (wrong-path loads pollute realistically).
+        let access = self.hier.access(AccessKind::DataRead, addr, now + agu - 1);
+        // Train the optional stream prefetcher on demand loads.
+        self.hier.observe_load(pc, addr);
+        let hit = access.is_l1_hit();
+        let complete_at = now + agu - 1 + access.latency as u64;
+        let value = forwarded.unwrap_or_else(|| self.data_mem.read(addr, size));
+
+        self.stats.loads += 1;
+        self.stats.record_load_latency(agu + access.latency as u64);
+        if hit {
+            self.stats.load_l1_hits += 1;
+        } else {
+            self.stats.load_l1_misses += 1;
+        }
+
+        {
+            let di = self.slab.expect_mut(id);
+            di.mem_addr = Some((addr, size));
+            di.load_l1_hit = Some(hit);
+            di.tlb_trap = access.tlb_trap;
+        }
+
+        // The load-resolution loop: hit/miss becomes known at the end of
+        // the (speculatively scheduled) hit latency.
+        let known_at = now + agu - 1 + self.hier.l1d_hit_latency() as u64;
+        if !hit {
+            match self.cfg.load_policy {
+                LoadSpecPolicy::Stall | LoadSpecPolicy::ReissueTree => {}
+                LoadSpecPolicy::ReissueShadow => self.kill_load_shadow(id, t),
+                LoadSpecPolicy::Refetch => {
+                    self.finish_exec(id, now, complete_at, Some(value), pc + 1, true);
+                    self.refetch_after_load(id, known_at);
+                    return;
+                }
+            }
+        }
+        if matches!(self.cfg.load_policy, LoadSpecPolicy::Stall) {
+            // Consumers were never woken speculatively; wake them for the
+            // known outcome, no earlier than the determination point.
+            if let Some(DestRename { new, .. }) = self.slab.expect(id).dest {
+                let v = ((complete_at + 1).saturating_sub(y)).max(known_at + 1);
+                self.set_ready_at(new, v);
+            }
+            let di = self.slab.expect_mut(id);
+            let stamp = di.issue_count;
+            di.next_pc = Some(pc + 1);
+            di.result = Some(value);
+            let free_at = now + self.cfg.confirm_feedback as u64 + self.cfg.iq_clear_extra as u64;
+            if let Some(e) = self.iq.find_mut(id) {
+                e.state = IqState::Confirmed { free_at };
+            }
+            self.complete_events.entry(complete_at).or_default().push((id, stamp));
+            return;
+        }
+        if hit {
+            self.finish_exec(id, now, complete_at, Some(value), pc + 1, true);
+        } else {
+            // The IQ keeps issuing against the stale hit-assumed schedule
+            // until the miss signal traverses the load-resolution loop's
+            // feedback path; only then does the corrected wake-up land.
+            self.finish_exec(id, now, complete_at, Some(value), pc + 1, false);
+            let stamp = self.slab.expect(id).issue_count;
+            let corrected = (complete_at + 1).saturating_sub(y);
+            self.wakeup_events
+                .entry(known_at + self.cfg.confirm_feedback as u64)
+                .or_default()
+                .push((id, stamp, corrected));
+        }
+    }
+
+    /// 21264-style recovery: kill every issued-but-unconfirmed instruction
+    /// of the thread (in the load shadow), dependent or not.
+    fn kill_load_shadow(&mut self, load: InstId, t: usize) {
+        let load_seq = self.slab.expect(load).seq;
+        let mut to_replay = Vec::new();
+        for e in self.iq.iter() {
+            if e.thread == t
+                && e.seq > load_seq
+                && matches!(e.state, IqState::Issued)
+                && e.id != load
+            {
+                to_replay.push(e.id);
+            }
+        }
+        for id in to_replay {
+            self.replay(id, ReplayCause::Shadow);
+        }
+    }
+
+    /// Refetch recovery for a load miss: squash everything after the load
+    /// and refetch from the next instruction.
+    fn refetch_after_load(&mut self, load: InstId, redirect_at: u64) {
+        let (t, seq, pc) = {
+            let di = self.slab.expect(load);
+            (di.thread, di.seq, di.pc)
+        };
+        self.squash_after(t, seq, pc + 1, redirect_at + 1);
+    }
+
+    fn execute_store(&mut self, id: InstId, now: u64, base: u64, data: u64) {
+        let (inst, t, seq, pc) = {
+            let di = self.slab.expect(id);
+            (di.inst, di.thread, di.seq, di.pc)
+        };
+        let addr = base.wrapping_add(inst.imm as i64 as u64);
+        let size: u8 = if inst.op == Opcode::Stl { 4 } else { 8 };
+        {
+            let di = self.slab.expect_mut(id);
+            di.mem_addr = Some((addr, size));
+            di.store_data = Some(data);
+        }
+
+        // Memory-order violation: a younger load of ours already executed
+        // against an overlapping address (it read stale data).
+        let mut violator: Option<(u64, InstId)> = None;
+        for &lid in &self.threads[t].rob {
+            let l = self.slab.expect(lid);
+            if l.seq <= seq || l.inst.class() != Class::Load {
+                continue;
+            }
+            if let Some(la) = l.mem_addr {
+                if overlaps((addr, size), la)
+                    && matches!(l.phase, InstPhase::Issued | InstPhase::Complete)
+                    && violator.map(|(s, _)| l.seq < s).unwrap_or(true)
+                {
+                    violator = Some((l.seq, lid));
+                }
+            }
+        }
+        let complete_at = now + self.cfg.lat.agu as u64 - 1;
+        self.finish_exec(id, now, complete_at.max(now), None, pc + 1, true);
+
+        if let Some((_, lid)) = violator {
+            let (lseq, lpc) = {
+                let l = self.slab.expect(lid);
+                (l.seq, l.pc)
+            };
+            self.stats.mem_order_traps += 1;
+            self.store_wait.mark(lpc);
+            // Recovery stage is fetch (paper Figure 2, memory trap loop):
+            // squash from the violating load inclusive and refetch it.
+            self.squash_after(t, lseq - 1, lpc, now + 1);
+        }
+    }
+
+    fn execute_control(&mut self, id: InstId, now: u64, s1: u64) {
+        let (inst, pc, t) = {
+            let di = self.slab.expect(id);
+            (di.inst, di.pc, di.thread)
+        };
+        let fall = pc + 1;
+        let (taken, target) = match inst.class() {
+            Class::CondBranch => {
+                let tk = branch_taken(inst.op, s1);
+                (tk, if tk { (fall as i64 + inst.imm as i64) as u64 } else { fall })
+            }
+            Class::Branch => (true, (fall as i64 + inst.imm as i64) as u64),
+            Class::Jump => (true, s1),
+            _ => unreachable!(),
+        };
+        let result = inst.dest().map(|_| fall); // link value for jsr/jmp
+
+        // Prediction tables are trained at retire (in order, correct path
+        // only); execute handles only detection and history repair.
+        if inst.class() == Class::CondBranch {
+            let di = self.slab.expect_mut(id);
+            if di.holds_checkpoint {
+                di.holds_checkpoint = false;
+                self.threads[t].unresolved_branches -= 1;
+            }
+        }
+
+        let (pred_next, history) = {
+            let di = self.slab.expect_mut(id);
+            di.taken = Some(taken);
+            let p = di.pred.as_ref().expect("control instructions carry predictions");
+            (p.next_pc, p.history)
+        };
+
+        let lat = self.cfg.lat.int_alu as u64;
+        self.finish_exec(id, now, now + lat - 1, result, target, true);
+
+        if pred_next != target {
+            // Mis-speculation on the branch-resolution loop.
+            if inst.class() == Class::CondBranch {
+                self.stats.branch_mispredicts += 1;
+            } else {
+                self.stats.target_mispredicts += 1;
+            }
+            self.stats.branch_squashes += 1;
+            // Restore speculative history to the pre-branch snapshot, then
+            // shift the true outcome in.
+            self.pred.restore_history(history);
+            if inst.class() == Class::CondBranch {
+                self.pred.speculate_history(taken);
+                let ctx = self.slab.expect(id).pred.as_ref().expect("prediction").ctx;
+                self.pred.repair(pc, ctx, taken);
+            }
+            let seq = self.slab.expect(id).seq;
+            let ras = self.slab.expect_mut(id).ras_ckpt.take();
+            if let Some(ras) = ras {
+                self.threads[t].ras.restore(&ras);
+                // Redo this instruction's own RAS effect.
+                match inst.op {
+                    Opcode::Jsr => self.threads[t].ras.push(fall),
+                    Opcode::Ret => {
+                        let _ = self.threads[t].ras.pop();
+                    }
+                    _ => {}
+                }
+            }
+            // Branch-resolution feedback delay: one cycle.
+            self.squash_after(t, seq, target, now + 1);
+        }
+    }
+
+    // -------------------------------------------------------------- complete
+
+    fn do_complete(&mut self, now: u64) {
+        // Drain every due bucket. Results scheduled "for this cycle" during
+        // a later stage of the previous iteration (single-cycle ops
+        // complete in their execute cycle) are picked up here, one
+        // simulator iteration later, stamped with their true cycle.
+        let mut due: Vec<(u64, InstId, u32, u64)> = Vec::new();
+        while let Some((&cyc, _)) = self.complete_events.first_key_value() {
+            if cyc > now {
+                break;
+            }
+            let (cyc, list) = self.complete_events.pop_first().expect("non-empty");
+            for (id, stamp) in list {
+                if let Some(di) = self.slab.get(id) {
+                    if di.issue_count == stamp {
+                        due.push((di.seq, id, stamp, cyc));
+                    }
+                }
+            }
+        }
+        due.sort_unstable_by_key(|&(seq, _, _, _)| seq);
+        for (_, id, _, cyc) in due {
+            if let Some(tr) = &mut self.tracer {
+                tr.stage(now, id, "Cm");
+            }
+            let di = self.slab.expect_mut(id);
+            di.phase = InstPhase::Complete;
+            di.complete_cycle = Some(cyc);
+            let (dest, result) = (di.dest, di.result);
+            if let (Some(DestRename { new, .. }), Some(v)) = (dest, result) {
+                self.physfile.write(new, v);
+                self.fwd.insert(new, v, cyc);
+                self.avail_cycle[new.index()] = cyc;
+                let y = self.cfg.iq_ex_stages as u64;
+                let nv = self.ready_at[new.index()].min((cyc + 1).saturating_sub(y));
+                self.set_ready_at(new, nv);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- writeback
+
+    /// Register-file write-back: values leaving the forwarding buffer
+    /// become pre-readable (RPFT) and, under the DRA, are captured by the
+    /// cluster register caches whose insertion tables show outstanding
+    /// consumers.
+    fn do_writeback(&mut self, now: u64) {
+        for (p, v) in self.fwd.expiring(now) {
+            self.rpft.on_writeback(p);
+            if self.cfg.scheme.is_dra() {
+                for c in 0..self.cfg.clusters {
+                    if self.itables[c].take_at_writeback(p) {
+                        self.crcs[c].insert(p, v);
+                    }
+                }
+            }
+        }
+        self.fwd.evict_expired(now);
+    }
+
+    // ---------------------------------------------------------------- retire
+
+    fn do_retire(&mut self, now: u64) {
+        let mut budget = self.cfg.width;
+        let nthreads = self.threads.len();
+        let mut blocked = vec![false; nthreads];
+        #[allow(clippy::needless_range_loop)] // t also indexes self.threads
+        'outer: loop {
+            let mut progress = false;
+            for t in 0..nthreads {
+                if budget == 0 {
+                    break 'outer;
+                }
+                if blocked[t] || self.threads[t].done {
+                    blocked[t] = true;
+                    continue;
+                }
+                let Some(&id) = self.threads[t].rob.front() else {
+                    blocked[t] = true;
+                    continue;
+                };
+                let di = self.slab.expect(id);
+                if di.phase != InstPhase::Complete {
+                    blocked[t] = true;
+                    continue;
+                }
+                self.retire_one(t, id, now);
+                budget -= 1;
+                progress = true;
+                if self.threads[t].done {
+                    blocked[t] = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    fn retire_one(&mut self, t: usize, id: InstId, now: u64) {
+        let di = self.slab.expect(id);
+        let (inst, pc, seq, tlb_trap) = (di.inst, di.pc, di.seq, di.tlb_trap);
+        let pred_ctx = di.pred.as_ref().map(|p| p.ctx);
+        let next_pc = di.next_pc.expect("complete instructions know their next pc");
+        let retired = Retired {
+            pc,
+            inst,
+            wrote: di.dest.map(|d| (d.arch, di.result.expect("dest implies result"))),
+            mem_addr: di.mem_addr,
+            taken: di.taken.or(match inst.class() {
+                Class::CondBranch => Some(next_pc != pc + 1),
+                Class::Branch | Class::Jump => Some(true),
+                _ => None,
+            }),
+            next_pc,
+        };
+
+        // Stores drain to memory at retire.
+        if inst.class() == Class::Store {
+            let (addr, size) = di.mem_addr.expect("stores know their address");
+            let data = di.store_data.expect("stores stage their data");
+            self.data_mem.write(addr, size, data);
+            self.hier.access(AccessKind::DataWrite, addr, now);
+            let front = self.threads[t].store_q.pop_front();
+            debug_assert_eq!(front, Some(id), "stores retire in order");
+        }
+
+        if let Some(DestRename { prev, .. }) = di.dest {
+            self.freelist.release(prev);
+        }
+        match inst.class() {
+            Class::CondBranch => {
+                self.stats.branches += 1;
+                let ctx = pred_ctx.expect("conditional branches carry predictions");
+                self.pred.train_ctx(pc, ctx, retired.taken.expect("resolved branch"));
+            }
+            Class::Jump => {
+                self.btb.update(pc, next_pc);
+            }
+            _ => {}
+        }
+        match inst.class() {
+            Class::MemBar => {
+                self.stats.mem_barriers += 1;
+                if self.threads[t].mb_stall_seq == Some(seq) {
+                    self.threads[t].mb_stall_seq = None;
+                }
+            }
+            Class::Halt => {
+                self.threads[t].done = true;
+            }
+            _ => {}
+        }
+
+        // Figure 6: operand availability gap, measured on retired
+        // (correct-path) instructions.
+        {
+            let di = self.slab.expect(id);
+            let a: Vec<u64> = di.srcs.iter().flatten().filter_map(|s| s.avail_cycle).collect();
+            let gap = match a.as_slice() {
+                [x, y] => x.abs_diff(*y),
+                _ => 0,
+            };
+            self.stats.record_gap(gap);
+        }
+
+        // Oracle check.
+        {
+            let th = &mut self.threads[t];
+            if let Some((oracle, omem)) = &mut th.oracle {
+                let expect = oracle.step(&th.program, omem).expect("oracle keeps pace");
+                assert_eq!(
+                    expect, retired,
+                    "retire stream diverged from the functional model at thread {t} pc {pc} (cycle {now})"
+                );
+            }
+        }
+        if let Some(log) = &mut self.retire_capture {
+            log.push((t, retired));
+        }
+
+        if let Some(tr) = &mut self.tracer {
+            tr.retire(now, id);
+        }
+        self.threads[t].rob.pop_front();
+        self.slab.release(id);
+        self.stats.retired[t] += 1;
+
+        // Post-retire traps: dTLB miss (recovery from the top of the pipe).
+        if tlb_trap && !self.threads[t].done {
+            self.stats.tlb_traps += 1;
+            self.squash_after(t, seq, next_pc, now + 1);
+        }
+    }
+
+    // ---------------------------------------------------------------- squash
+
+    /// Kill every instruction of `thread` younger than `after_seq`, roll
+    /// back rename state, and redirect fetch to `new_pc` at `redirect_at`.
+    fn squash_after(&mut self, thread: usize, after_seq: u64, new_pc: u64, redirect_at: u64) {
+        // Front-end queues: not yet renamed (decode_q) — just drop.
+        let th = &mut self.threads[thread];
+        let mut dropped: Vec<InstId> = Vec::new();
+        while let Some(&(_, id)) = th.decode_q.back() {
+            if self.slab.expect(id).seq > after_seq {
+                th.decode_q.pop_back();
+                dropped.push(id);
+            } else {
+                break;
+            }
+        }
+        th.transit_q.retain(|&(_, id)| {
+            // Renamed instructions also sit in the ROB; the ROB walk below
+            // releases them.
+            self.slab.expect(id).seq <= after_seq
+        });
+        th.store_q.retain(|&id| self.slab.expect(id).seq <= after_seq);
+        if th.mb_stall_seq.is_some_and(|s| s > after_seq) {
+            th.mb_stall_seq = None;
+        }
+
+        // IQ entries (their slab records are released by the ROB walk).
+        self.iq.squash(|e| e.thread == thread && e.seq > after_seq);
+
+        // ROB walk, youngest first: rename rollback + slab release.
+        while let Some(&id) = self.threads[thread].rob.back() {
+            let di = self.slab.expect(id);
+            if di.seq <= after_seq {
+                break;
+            }
+            self.stats.squashed += 1;
+            if di.issue_count > 0 {
+                self.stats.squashed_after_issue += 1;
+            }
+            if di.phase == InstPhase::FrontEnd {
+                // Still in DEC-IQ transit: release its slotting pressure.
+                self.cluster_pressure[di.cluster] -= 1;
+            }
+            if di.holds_checkpoint {
+                self.threads[thread].unresolved_branches -= 1;
+            }
+            // Optional idealization: undo this consumer's outstanding
+            // insertion-table increments (real hardware leaves the 2-bit
+            // counters polluted by wrong-path consumers).
+            if self.cfg.scheme.is_dra() && self.cfg.dra_ideal_squash_cleanup {
+                let cluster = di.cluster;
+                let pend: Vec<_> = di
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .filter(|s| s.itable_pending)
+                    .map(|s| s.phys)
+                    .collect();
+                for p in pend {
+                    self.itables[cluster].decrement(p);
+                }
+            }
+            let di = self.slab.expect(id);
+            if let Some(DestRename { arch, new, prev }) = di.dest {
+                self.rename[thread].rollback(arch, prev, &mut self.freelist);
+                // The squashed allocation must never satisfy later lookups.
+                self.fwd.invalidate(new);
+                for c in &mut self.crcs {
+                    c.invalidate(new);
+                }
+                for it in &mut self.itables {
+                    it.clear(new);
+                }
+                self.ready_at[new.index()] = 0;
+                self.avail_cycle[new.index()] = 0;
+                self.physfile.mark_ready(new);
+            }
+            if let Some(tr) = &mut self.tracer {
+                tr.flush(self.cycle, id);
+            }
+            self.threads[thread].rob.pop_back();
+            self.slab.release(id);
+        }
+        for id in dropped {
+            self.stats.squashed += 1;
+            if let Some(tr) = &mut self.tracer {
+                tr.flush(self.cycle, id);
+            }
+            self.slab.release(id);
+        }
+
+        // Fetch redirect.
+        let th = &mut self.threads[thread];
+        th.fetch_pc = new_pc;
+        th.fetch_suspended = false;
+        th.fetch_stall_until = th.fetch_stall_until.max(redirect_at);
+    }
+}
+
+/// Why execution could not proceed.
+enum ExecAbort {
+    /// The source at this slot has an in-flight producer (load shadow).
+    ProducerNotReady(usize),
+    /// DRA: source at the given slot missed payload/forward/CRC.
+    OperandMiss(usize),
+}
+
+/// Replay-cause attribution for useless-work statistics.
+enum ReplayCause {
+    Producer,
+    OperandMiss,
+    Shadow,
+}
+
+#[cfg(test)]
+mod timing_tests {
+    use super::*;
+
+    /// The paper's load-resolution-loop arithmetic: an IQ entry issued at T
+    /// is confirmed at T + IQ-EX + feedback and cleared one cycle later.
+    #[test]
+    fn iq_entries_are_retained_for_the_loop_delay() {
+        let prog = looseloops_isa::asm::assemble(
+            "addi r1, r31, 5\ntop:\nadd r2, r2, r1\nsubi r1, r1, 1\nbne r1, top\nhalt",
+        )
+        .unwrap();
+        let cfg = PipelineConfig::base();
+        let loop_delay = cfg.load_loop_delay() as u64; // 8
+        let clear = cfg.iq_clear_extra as u64;
+        let mut m = Machine::new(cfg, vec![prog]);
+        m.enable_verification();
+        // Step until the first instruction issues, then watch its entry.
+        let mut issued_at = None;
+        let mut freed_at = None;
+        for _ in 0..2000 {
+            m.step_cycle();
+            let held: Vec<u64> = m.iq.iter().map(|e| e.seq).collect();
+            if issued_at.is_none() {
+                if let Some(e) = m.iq.iter().find(|e| e.seq == 1) {
+                    if !matches!(e.state, IqState::Waiting) {
+                        issued_at = Some(
+                            m.slab.expect(e.id).issue_cycle.unwrap(),
+                        );
+                    }
+                }
+            } else if freed_at.is_none() && !held.contains(&1) {
+                freed_at = Some(m.cycle() - 1);
+            }
+            if m.is_done() {
+                break;
+            }
+        }
+        assert!(m.is_done());
+        let (issued, freed) = (issued_at.unwrap(), freed_at.unwrap());
+        assert_eq!(
+            freed,
+            issued + loop_delay + clear,
+            "entry must persist for the load-resolution loop delay plus the clear cycle"
+        );
+    }
+
+    /// Back-to-back dependent single-cycle ALU ops execute in consecutive
+    /// cycles (the forwarding tight loop).
+    #[test]
+    fn dependent_alu_chain_is_back_to_back() {
+        let prog = looseloops_isa::asm::assemble(
+            "addi r1, r31, 1\naddi r1, r1, 1\naddi r1, r1, 1\naddi r1, r1, 1\nhalt",
+        )
+        .unwrap();
+        let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+        m.enable_verification();
+        let mut exec_cycles = Vec::new();
+        for _ in 0..2000 {
+            m.step_cycle();
+            if m.is_done() {
+                break;
+            }
+        }
+        assert!(m.is_done());
+        // Re-run capturing completion cycles via a fresh machine and the
+        // retire capture (completion separation == 1 implies back-to-back).
+        let prog = looseloops_isa::asm::assemble(
+            "addi r1, r31, 1\naddi r1, r1, 1\naddi r1, r1, 1\naddi r1, r1, 1\nhalt",
+        )
+        .unwrap();
+        let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+        loop {
+            m.step_cycle();
+            for e in m.iq.iter() {
+                if let Some(di) = m.slab.get(e.id) {
+                    if let Some(c) = di.complete_cycle {
+                        if !exec_cycles.contains(&(di.seq, c)) {
+                            exec_cycles.push((di.seq, c));
+                        }
+                    }
+                }
+            }
+            if m.is_done() || m.cycle() > 2000 {
+                break;
+            }
+        }
+        assert!(m.is_done());
+        exec_cycles.sort_unstable();
+        exec_cycles.dedup_by_key(|&mut (s, _)| s);
+        for w in exec_cycles.windows(2) {
+            assert_eq!(
+                w[1].1 - w[0].1,
+                1,
+                "dependent adds must complete in consecutive cycles: {exec_cycles:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Simulation statistics.
+//!
+//! Everything the paper's figures need: IPC, branch/load mis-speculation
+//! counts, reissue (useless-work) counts, operand-source breakdown
+//! (Figure 9), the operand-availability-gap histogram (Figure 6), and IQ
+//! occupancy.
+
+use looseloops_mem::HierarchyStats;
+
+/// Maximum tracked operand-availability gap; larger gaps land in the last
+/// bucket (Figure 6 plots 0..=60).
+pub const GAP_BUCKETS: usize = 128;
+
+/// Counters for one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired, per thread.
+    pub retired: Vec<u64>,
+    /// Instructions fetched (including wrong-path work).
+    pub fetched: u64,
+    /// Wrong-path instructions squashed before retirement.
+    pub squashed: u64,
+    /// Squashed instructions that had already issued at least once — the
+    /// paper's "useless work" for control/order mis-speculation.
+    pub squashed_after_issue: u64,
+
+    /// Conditional branches executed (correct path, resolved).
+    pub branches: u64,
+    /// Conditional-branch direction mispredictions.
+    pub branch_mispredicts: u64,
+    /// Indirect/target mispredictions (BTB/RAS wrong).
+    pub target_mispredicts: u64,
+
+    /// Loads executed to completion.
+    pub loads: u64,
+    /// Loads that hit L1 (the speculation the base machine bets on).
+    pub load_l1_hits: u64,
+    /// Loads that missed L1.
+    pub load_l1_misses: u64,
+    /// Issued instructions killed and reissued because an operand was not
+    /// present at execute while its producer was still in flight — the
+    /// load-resolution-loop useless work (paper: "number of instructions
+    /// reissued").
+    pub load_replays: u64,
+    /// Replays triggered by the ReissueShadow policy on non-dependent
+    /// instructions.
+    pub shadow_replays: u64,
+
+    /// DRA: operand-resolution-loop mis-speculations (operand misses).
+    pub operand_misses: u64,
+    /// DRA: instructions reissued because of operand misses (the missing
+    /// instruction itself plus issued dependents).
+    pub operand_replays: u64,
+    /// Operand-source breakdown: [pre-read, forward, CRC, reg-file, miss].
+    pub operand_sources: [u64; 5],
+    /// DRA insertion-table saturation events (consumers lost to the 2-bit
+    /// counter limit, §5.4).
+    pub insertion_saturations: u64,
+
+    /// Memory-order violation traps (load/store reorder).
+    pub mem_order_traps: u64,
+    /// dTLB miss traps serviced at retire.
+    pub tlb_traps: u64,
+    /// Memory barriers retired.
+    pub mem_barriers: u64,
+    /// Branch-recovery squash events.
+    pub branch_squashes: u64,
+
+    /// Histogram of cycles between first- and second-operand availability
+    /// (Figure 6). Single/zero-operand instructions count in bucket 0.
+    pub operand_gap_hist: Vec<u64>,
+    /// Histogram of load latencies in cycles (AGU + cache/TLB/bank/MSHR),
+    /// clamped to the last bucket.
+    pub load_latency_hist: Vec<u64>,
+
+    /// Cycles rename stalled (free list, in-flight cap, IQ backpressure,
+    /// memory barrier).
+    pub rename_stall_cycles: u64,
+    /// Cycles the front end was stalled servicing DRA operand misses.
+    pub operand_miss_stall_cycles: u64,
+
+    /// Mean IQ occupancy over the run.
+    pub iq_occupancy_mean: f64,
+    /// Mean count of post-issue (retained) entries.
+    pub iq_post_issue_mean: f64,
+    /// Peak IQ occupancy.
+    pub iq_peak: usize,
+
+    /// Memory-hierarchy counters.
+    pub mem: HierarchyStats,
+    /// Line-predictor (correct, wrong).
+    pub line_pred: (u64, u64),
+}
+
+impl SimStats {
+    /// Zeroed statistics for `threads` hardware threads.
+    pub fn new(threads: usize) -> SimStats {
+        SimStats {
+            cycles: 0,
+            retired: vec![0; threads],
+            fetched: 0,
+            squashed: 0,
+            squashed_after_issue: 0,
+            branches: 0,
+            branch_mispredicts: 0,
+            target_mispredicts: 0,
+            loads: 0,
+            load_l1_hits: 0,
+            load_l1_misses: 0,
+            load_replays: 0,
+            shadow_replays: 0,
+            operand_misses: 0,
+            operand_replays: 0,
+            operand_sources: [0; 5],
+            insertion_saturations: 0,
+            mem_order_traps: 0,
+            tlb_traps: 0,
+            mem_barriers: 0,
+            branch_squashes: 0,
+            operand_gap_hist: vec![0; GAP_BUCKETS],
+            load_latency_hist: vec![0; 512],
+            rename_stall_cycles: 0,
+            operand_miss_stall_cycles: 0,
+            iq_occupancy_mean: 0.0,
+            iq_post_issue_mean: 0.0,
+            iq_peak: 0,
+            mem: HierarchyStats::default(),
+            line_pred: (0, 0),
+        }
+    }
+
+    /// Total instructions retired across threads.
+    pub fn total_retired(&self) -> u64 {
+        self.retired.iter().sum()
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_retired() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate in [0, 1].
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// L1 data-cache load miss rate in [0, 1].
+    pub fn load_miss_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_l1_misses as f64 / self.loads as f64
+        }
+    }
+
+    /// Fraction of source operands obtained from each location, in Figure 9
+    /// order: [pre-read, forwarding buffer, CRC, register file, miss].
+    pub fn operand_source_fractions(&self) -> [f64; 5] {
+        let total: u64 = self.operand_sources.iter().sum();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let mut f = [0.0; 5];
+        for (o, s) in f.iter_mut().zip(self.operand_sources) {
+            *o = s as f64 / total as f64;
+        }
+        f
+    }
+
+    /// DRA operand miss rate over all delivered operands.
+    pub fn operand_miss_rate(&self) -> f64 {
+        self.operand_source_fractions()[4]
+    }
+
+    /// Record one load's total latency.
+    pub fn record_load_latency(&mut self, latency: u64) {
+        let b = (latency as usize).min(self.load_latency_hist.len() - 1);
+        self.load_latency_hist[b] += 1;
+    }
+
+    /// The latency at or below which fraction `p` (0..=1) of loads
+    /// completed; `None` when no loads were recorded.
+    pub fn load_latency_percentile(&self, p: f64) -> Option<u64> {
+        let total: u64 = self.load_latency_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (total as f64 * p).ceil() as u64;
+        let mut acc = 0;
+        for (lat, &count) in self.load_latency_hist.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return Some(lat as u64);
+            }
+        }
+        Some(self.load_latency_hist.len() as u64 - 1)
+    }
+
+    /// Record an operand availability gap (Figure 6).
+    pub fn record_gap(&mut self, gap: u64) {
+        let b = (gap as usize).min(GAP_BUCKETS - 1);
+        self.operand_gap_hist[b] += 1;
+    }
+
+    /// Cumulative distribution of operand gaps: `cdf[i]` = fraction of
+    /// instructions with gap ≤ i.
+    pub fn gap_cdf(&self) -> Vec<f64> {
+        let total: u64 = self.operand_gap_hist.iter().sum();
+        if total == 0 {
+            return vec![1.0; GAP_BUCKETS];
+        }
+        let mut acc = 0u64;
+        self.operand_gap_hist
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total as f64
+            })
+            .collect()
+    }
+
+    /// Total useless work: every killed-after-issue or reissued
+    /// instruction.
+    pub fn useless_work(&self) -> u64 {
+        self.squashed_after_issue
+            + self.load_replays
+            + self.shadow_replays
+            + self.operand_replays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_math() {
+        let mut s = SimStats::new(2);
+        s.cycles = 100;
+        s.retired = vec![300, 100];
+        assert_eq!(s.total_retired(), 400);
+        assert!((s.ipc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::new(1);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.branch_mispredict_rate(), 0.0);
+        assert_eq!(s.load_miss_rate(), 0.0);
+        assert_eq!(s.operand_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn operand_fractions_sum_to_one() {
+        let mut s = SimStats::new(1);
+        s.operand_sources = [10, 50, 20, 15, 5];
+        let f = s.operand_source_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s.operand_miss_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_histogram_and_cdf() {
+        let mut s = SimStats::new(1);
+        s.record_gap(0);
+        s.record_gap(0);
+        s.record_gap(5);
+        s.record_gap(10_000); // clamps into the last bucket
+        let cdf = s.gap_cdf();
+        assert!((cdf[0] - 0.5).abs() < 1e-12);
+        assert!((cdf[5] - 0.75).abs() < 1e-12);
+        assert!((cdf[GAP_BUCKETS - 1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_latency_percentiles() {
+        let mut s = SimStats::new(1);
+        assert_eq!(s.load_latency_percentile(0.5), None);
+        for _ in 0..90 {
+            s.record_load_latency(4);
+        }
+        for _ in 0..10 {
+            s.record_load_latency(135);
+        }
+        assert_eq!(s.load_latency_percentile(0.5), Some(4));
+        assert_eq!(s.load_latency_percentile(0.9), Some(4));
+        assert_eq!(s.load_latency_percentile(0.95), Some(135));
+        s.record_load_latency(10_000); // clamps
+        assert_eq!(*s.load_latency_hist.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn useless_work_rolls_up() {
+        let mut s = SimStats::new(1);
+        s.squashed_after_issue = 1;
+        s.load_replays = 2;
+        s.shadow_replays = 3;
+        s.operand_replays = 4;
+        assert_eq!(s.useless_work(), 10);
+    }
+}

@@ -1,0 +1,167 @@
+//! Pipeline tracing in the Kanata log format.
+//!
+//! [Kanata](https://github.com/shioyadan/Konata) is the de-facto exchange
+//! format for out-of-order pipeline viewers: one row per dynamic
+//! instruction, stage occupancy over cycles, retirement vs. flush. Enable
+//! with `Machine::enable_trace()`, run, then write
+//! `Machine::take_trace()` to a `.kanata` file and open it in a viewer.
+//!
+//! Stages emitted:
+//!
+//! | tag | meaning |
+//! |---|---|
+//! | `F`  | fetch / front-end queues |
+//! | `Dc` | rename + DEC-IQ transit |
+//! | `Q`  | waiting in the instruction queue (re-entered on replay) |
+//! | `Is` | issued: IQ-EX transit |
+//! | `X`  | executing |
+//! | `Cm` | complete, waiting to retire |
+
+use crate::dyninst::InstId;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Incremental Kanata log builder.
+#[derive(Debug, Default)]
+pub struct PipelineTracer {
+    buf: String,
+    rows: HashMap<InstId, u64>,
+    next_row: u64,
+    retire_id: u64,
+    last_cycle: u64,
+    started: bool,
+}
+
+impl PipelineTracer {
+    /// An empty trace.
+    pub fn new() -> PipelineTracer {
+        PipelineTracer::default()
+    }
+
+    fn advance(&mut self, cycle: u64) {
+        if !self.started {
+            self.buf.push_str("Kanata\t0004\n");
+            let _ = writeln!(self.buf, "C=\t{cycle}");
+            self.last_cycle = cycle;
+            self.started = true;
+            return;
+        }
+        if cycle > self.last_cycle {
+            let _ = writeln!(self.buf, "C\t{}", cycle - self.last_cycle);
+            self.last_cycle = cycle;
+        }
+    }
+
+    /// A new dynamic instruction was fetched.
+    pub fn fetch(&mut self, cycle: u64, id: InstId, seq: u64, thread: usize, text: &str) {
+        self.advance(cycle);
+        let row = self.next_row;
+        self.next_row += 1;
+        self.rows.insert(id, row);
+        let _ = writeln!(self.buf, "I\t{row}\t{seq}\t{thread}");
+        let _ = writeln!(self.buf, "L\t{row}\t0\t{text}");
+        let _ = writeln!(self.buf, "S\t{row}\t0\tF");
+    }
+
+    /// The instruction entered a stage.
+    pub fn stage(&mut self, cycle: u64, id: InstId, stage: &str) {
+        if let Some(&row) = self.rows.get(&id) {
+            self.advance(cycle);
+            let _ = writeln!(self.buf, "S\t{row}\t0\t{stage}");
+        }
+    }
+
+    /// The instruction retired.
+    pub fn retire(&mut self, cycle: u64, id: InstId) {
+        if let Some(row) = self.rows.remove(&id) {
+            self.advance(cycle);
+            let rid = self.retire_id;
+            self.retire_id += 1;
+            let _ = writeln!(self.buf, "R\t{row}\t{rid}\t0");
+        }
+    }
+
+    /// The instruction was squashed.
+    pub fn flush(&mut self, cycle: u64, id: InstId) {
+        if let Some(row) = self.rows.remove(&id) {
+            self.advance(cycle);
+            let rid = self.retire_id;
+            self.retire_id += 1;
+            let _ = writeln!(self.buf, "R\t{row}\t{rid}\t1");
+        }
+    }
+
+    /// Drain the accumulated log.
+    pub fn take(&mut self) -> String {
+        self.rows.clear();
+        self.started = false;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Number of live (fetched, not yet retired/flushed) rows.
+    pub fn live_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(slot: u32) -> InstId {
+        InstId { slot, gen: 0 }
+    }
+
+    #[test]
+    fn emits_header_and_row_lifecycle() {
+        let mut t = PipelineTracer::new();
+        t.fetch(10, id(0), 1, 0, "add r1, r2, r3");
+        t.stage(12, id(0), "Dc");
+        t.stage(15, id(0), "Q");
+        t.stage(16, id(0), "Is");
+        t.stage(19, id(0), "X");
+        t.retire(21, id(0));
+        let log = t.take();
+        assert!(log.starts_with("Kanata\t0004\nC=\t10\n"));
+        assert!(log.contains("I\t0\t1\t0"));
+        assert!(log.contains("L\t0\t0\tadd r1, r2, r3"));
+        assert!(log.contains("S\t0\t0\tF"));
+        assert!(log.contains("S\t0\t0\tX"));
+        assert!(log.contains("R\t0\t0\t0"));
+        // Cycle deltas sum to the elapsed time.
+        let total: u64 = log
+            .lines()
+            .filter(|l| l.starts_with("C\t"))
+            .map(|l| l[2..].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn flush_marks_row_squashed() {
+        let mut t = PipelineTracer::new();
+        t.fetch(0, id(3), 7, 1, "bne r1, -2");
+        t.flush(4, id(3));
+        let log = t.take();
+        assert!(log.contains("R\t0\t0\t1"), "flush bit set: {log}");
+        assert_eq!(t.live_rows(), 0);
+    }
+
+    #[test]
+    fn unknown_ids_are_ignored() {
+        let mut t = PipelineTracer::new();
+        t.fetch(0, id(1), 1, 0, "nop");
+        t.stage(1, id(9), "X"); // never fetched
+        t.retire(2, id(9));
+        assert_eq!(t.live_rows(), 1);
+    }
+
+    #[test]
+    fn same_cycle_events_share_a_delta() {
+        let mut t = PipelineTracer::new();
+        t.fetch(5, id(0), 1, 0, "nop");
+        t.fetch(5, id(1), 2, 0, "nop");
+        let log = t.take();
+        assert_eq!(log.matches("C\t").count(), 0, "no delta inside one cycle");
+    }
+}

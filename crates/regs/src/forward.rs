@@ -1,0 +1,165 @@
+//! The forwarding buffer.
+//!
+//! Paper §2.2.1: "The base model contains a forwarding buffer which retains
+//! results for instructions executed in the last 9 cycles" — five cycles to
+//! cover long-latency operations and limit register-file write ports, four
+//! more to cover the write-back wire delay. A hit here is the paper's
+//! *timely operand* class; the buffer is what turns the execute→RF-write
+//! loose loop into a tight loop.
+
+use crate::PhysReg;
+use std::collections::HashMap;
+
+/// Sliding-window result store: `(physical register → value)` for results
+/// produced in the last `window` cycles.
+#[derive(Debug, Clone)]
+pub struct ForwardingBuffer {
+    window: u64,
+    // preg -> (produced_cycle, value). One producer can be live per preg at
+    // a time (rename guarantees it), so a map is an exact CAM model.
+    entries: HashMap<PhysReg, (u64, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ForwardingBuffer {
+    /// A buffer retaining results for `window` cycles (the paper uses 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> ForwardingBuffer {
+        assert!(window > 0, "forwarding window must be positive");
+        ForwardingBuffer { window, entries: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// The retention window in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Record a result produced at `cycle`.
+    pub fn insert(&mut self, r: PhysReg, value: u64, cycle: u64) {
+        self.entries.insert(r, (cycle, value));
+    }
+
+    /// Look up `r` at `now`: a hit if its producer wrote within the window
+    /// (strictly fewer than `window` cycles ago, counting the producing
+    /// cycle itself).
+    pub fn lookup(&mut self, r: PhysReg, now: u64) -> Option<u64> {
+        match self.entries.get(&r) {
+            Some(&(cycle, value)) if now >= cycle && now - cycle < self.window => {
+                self.hits += 1;
+                Some(value)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-counting lookup for diagnostics and the insertion-table protocol
+    /// (checking whether a value is *about to leave* the buffer).
+    pub fn probe(&self, r: PhysReg, now: u64) -> Option<u64> {
+        match self.entries.get(&r) {
+            Some(&(cycle, value)) if now >= cycle && now - cycle < self.window => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Values whose retention expires exactly at `now` — i.e. results
+    /// written back to the register file this cycle. The DRA snoops this
+    /// write-back traffic to fill the cluster register caches.
+    pub fn expiring(&self, now: u64) -> Vec<(PhysReg, u64)> {
+        let mut v: Vec<(PhysReg, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, &(cycle, _))| now.saturating_sub(cycle) == self.window)
+            .map(|(&r, &(_, value))| (r, value))
+            .collect();
+        v.sort_by_key(|(r, _)| *r);
+        v
+    }
+
+    /// Drop entries older than the window (housekeeping; also keeps
+    /// `expiring` cheap). Call once per cycle after `expiring`.
+    pub fn evict_expired(&mut self, now: u64) {
+        let w = self.window;
+        self.entries.retain(|_, &mut (cycle, _)| now.saturating_sub(cycle) <= w);
+    }
+
+    /// Invalidate any entry for `r` (physical-register reallocation; a new
+    /// consumer must never see the previous incarnation's value).
+    pub fn invalidate(&mut self, r: PhysReg) {
+        self.entries.remove(&r);
+    }
+
+    /// Clear everything (full squash of a thread does **not** require this —
+    /// values remain architecturally correct — but tests use it).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// (hits, misses) among counted lookups.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_within_window_miss_after() {
+        let mut f = ForwardingBuffer::new(9);
+        f.insert(PhysReg(1), 42, 100);
+        assert_eq!(f.lookup(PhysReg(1), 100), Some(42));
+        assert_eq!(f.lookup(PhysReg(1), 108), Some(42));
+        assert_eq!(f.lookup(PhysReg(1), 109), None);
+        assert_eq!(f.stats(), (2, 1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_window() {
+        let mut f = ForwardingBuffer::new(4);
+        f.insert(PhysReg(2), 1, 10);
+        f.insert(PhysReg(2), 2, 13);
+        assert_eq!(f.lookup(PhysReg(2), 16), Some(2));
+    }
+
+    #[test]
+    fn expiring_reports_writeback_traffic() {
+        let mut f = ForwardingBuffer::new(9);
+        f.insert(PhysReg(1), 11, 100);
+        f.insert(PhysReg(2), 22, 101);
+        assert_eq!(f.expiring(109), vec![(PhysReg(1), 11)]);
+        assert_eq!(f.expiring(110), vec![(PhysReg(2), 22)]);
+        assert!(f.expiring(111).is_empty(), "only reported at the exact boundary");
+    }
+
+    #[test]
+    fn evict_expired_removes_stale_entries() {
+        let mut f = ForwardingBuffer::new(2);
+        f.insert(PhysReg(1), 5, 0);
+        f.evict_expired(10);
+        assert!(f.probe(PhysReg(1), 1).is_none());
+    }
+
+    #[test]
+    fn invalidate_on_reallocation() {
+        let mut f = ForwardingBuffer::new(9);
+        f.insert(PhysReg(7), 99, 50);
+        f.invalidate(PhysReg(7));
+        assert_eq!(f.lookup(PhysReg(7), 51), None);
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let mut f = ForwardingBuffer::new(9);
+        f.insert(PhysReg(1), 1, 0);
+        let _ = f.probe(PhysReg(1), 0);
+        assert_eq!(f.stats(), (0, 0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Physical-register free list.
+
+use crate::PhysReg;
+
+/// LIFO free list of physical registers.
+///
+/// Registers are handed out at rename and returned at retire (or on a
+/// squash, when speculative allocations are rolled back). The list starts
+/// full: every physical register except those consumed by the initial
+/// architectural mappings is free.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    free: Vec<PhysReg>,
+    total: usize,
+}
+
+impl FreeList {
+    /// A free list over `total` physical registers, all initially free.
+    pub fn new(total: usize) -> FreeList {
+        assert!(total > 0 && total <= u16::MAX as usize, "bad physical register count");
+        FreeList { free: (0..total as u16).rev().map(PhysReg).collect(), total }
+    }
+
+    /// Allocate a register, or `None` if the pool is exhausted (the pipeline
+    /// stalls rename in that case).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        self.free.pop()
+    }
+
+    /// Return a register to the pool.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics on double-free.
+    pub fn release(&mut self, r: PhysReg) {
+        debug_assert!(!self.free.contains(&r), "double free of {r}");
+        debug_assert!(r.index() < self.total, "{r} outside pool");
+        self.free.push(r);
+    }
+
+    /// Number of currently free registers.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total pool size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_conserves_pool() {
+        let mut f = FreeList::new(8);
+        assert_eq!(f.available(), 8);
+        let a = f.alloc().unwrap();
+        let b = f.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(f.available(), 6);
+        f.release(a);
+        f.release(b);
+        assert_eq!(f.available(), 8);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut f = FreeList::new(2);
+        assert!(f.alloc().is_some());
+        assert!(f.alloc().is_some());
+        assert!(f.alloc().is_none());
+    }
+
+    #[test]
+    fn allocations_are_unique_until_released() {
+        let mut f = FreeList::new(16);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            assert!(seen.insert(f.alloc().unwrap()));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn double_free_panics_in_debug() {
+        let mut f = FreeList::new(4);
+        let a = f.alloc().unwrap();
+        f.release(a);
+        f.release(a);
+    }
+}

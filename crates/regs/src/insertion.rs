@@ -1,0 +1,136 @@
+//! Per-cluster insertion table — paper §5.3.
+//!
+//! One table per functional-unit cluster; one 2-bit saturating counter per
+//! physical register. The counter tracks how many *outstanding* consumers
+//! slotted to this cluster have not yet obtained the operand:
+//!
+//! - **increment** when rename sends a not-yet-completed source register
+//!   number for an instruction slotted here (saturating at 3);
+//! - **decrement** when the operand is read from the forwarding buffer by a
+//!   consumer in this cluster;
+//! - at register-file write-back, a **non-zero** count means consumers are
+//!   still in flight: the value is inserted into this cluster's register
+//!   cache and the counter cleared.
+//!
+//! Saturation at 3 is a deliberate fidelity point: the paper's §5.4
+//! explains that an operand with more than three consumers on one cluster
+//! under-counts, the counter reaches zero early, the value is *not*
+//! cached, and later consumers take an operand miss.
+
+use crate::PhysReg;
+
+/// Maximum trackable consumers per operand per cluster (2-bit counters).
+pub const MAX_CONSUMERS: u8 = 3;
+
+/// 2-bit outstanding-consumer counters, one per physical register.
+#[derive(Debug, Clone)]
+pub struct InsertionTable {
+    counts: Vec<u8>,
+    saturations: u64,
+}
+
+impl InsertionTable {
+    /// A table over `total` physical registers, all counters zero.
+    pub fn new(total: usize) -> InsertionTable {
+        InsertionTable { counts: vec![0; total], saturations: 0 }
+    }
+
+    /// Current count for `r`.
+    pub fn count(&self, r: PhysReg) -> u8 {
+        self.counts[r.index()]
+    }
+
+    /// A consumer of `r` slotted to this cluster was renamed. Saturates at
+    /// [`MAX_CONSUMERS`]; returns `false` (and records the event) when the
+    /// increment was lost to saturation.
+    pub fn increment(&mut self, r: PhysReg) -> bool {
+        let c = &mut self.counts[r.index()];
+        if *c >= MAX_CONSUMERS {
+            self.saturations += 1;
+            false
+        } else {
+            *c += 1;
+            true
+        }
+    }
+
+    /// A consumer in this cluster read `r` from the forwarding buffer.
+    pub fn decrement(&mut self, r: PhysReg) {
+        let c = &mut self.counts[r.index()];
+        *c = c.saturating_sub(1);
+    }
+
+    /// At write-back: should this cluster's register cache capture `r`?
+    /// Clears the counter either way (the table hands responsibility to the
+    /// CRC).
+    pub fn take_at_writeback(&mut self, r: PhysReg) -> bool {
+        let c = &mut self.counts[r.index()];
+        let needed = *c > 0;
+        *c = 0;
+        needed
+    }
+
+    /// Clear the counter (physical-register reallocation).
+    pub fn clear(&mut self, r: PhysReg) {
+        self.counts[r.index()] = 0;
+    }
+
+    /// How many increments were lost to 2-bit saturation (a source of
+    /// operand misses — paper §5.4).
+    pub fn saturation_events(&self) -> u64 {
+        self.saturations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_up_and_down() {
+        let mut t = InsertionTable::new(8);
+        let r = PhysReg(2);
+        assert!(t.increment(r));
+        assert!(t.increment(r));
+        assert_eq!(t.count(r), 2);
+        t.decrement(r);
+        assert_eq!(t.count(r), 1);
+    }
+
+    #[test]
+    fn saturates_at_three() {
+        let mut t = InsertionTable::new(8);
+        let r = PhysReg(0);
+        assert!(t.increment(r));
+        assert!(t.increment(r));
+        assert!(t.increment(r));
+        assert!(!t.increment(r), "fourth consumer is lost");
+        assert_eq!(t.count(r), 3);
+        assert_eq!(t.saturation_events(), 1);
+    }
+
+    #[test]
+    fn decrement_floors_at_zero() {
+        let mut t = InsertionTable::new(8);
+        t.decrement(PhysReg(1));
+        assert_eq!(t.count(PhysReg(1)), 0);
+    }
+
+    #[test]
+    fn writeback_capture_protocol() {
+        let mut t = InsertionTable::new(8);
+        let r = PhysReg(3);
+        assert!(!t.take_at_writeback(r), "no consumers → discard");
+        t.increment(r);
+        assert!(t.take_at_writeback(r), "outstanding consumer → cache it");
+        assert_eq!(t.count(r), 0, "counter cleared after capture");
+    }
+
+    #[test]
+    fn clear_on_reallocation() {
+        let mut t = InsertionTable::new(8);
+        t.increment(PhysReg(4));
+        t.clear(PhysReg(4));
+        assert_eq!(t.count(PhysReg(4)), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Register machinery for the *Loose Loops* reproduction.
+//!
+//! Two groups of structures live here:
+//!
+//! **Baseline machine** (paper §2): [`FreeList`] + [`RenameMap`] register
+//! renaming, the [`PhysRegFile`] (monolithic, fully ported, multi-cycle
+//! access), and the [`ForwardingBuffer`] that turns the
+//! execute→register-write loose loop into a tight loop by retaining the
+//! last nine cycles of results.
+//!
+//! **Distributed Register Algorithm** (paper §4–5): the
+//! [`Rpft`] (register pre-read filtering table: one valid bit per physical
+//! register), one [`InsertionTable`] per functional-unit cluster (2-bit
+//! outstanding-consumer counters), and one [`ClusterRegCache`] per cluster
+//! (16-entry FIFO register cache).
+//!
+//! The pipeline crate wires these together; this crate owns the structure
+//! semantics and their invariants.
+
+pub mod crc;
+pub mod forward;
+pub mod freelist;
+pub mod insertion;
+pub mod physfile;
+pub mod rename;
+pub mod rpft;
+
+pub use crc::{ClusterRegCache, CrcPolicy};
+pub use forward::ForwardingBuffer;
+pub use freelist::FreeList;
+pub use insertion::InsertionTable;
+pub use physfile::PhysRegFile;
+pub use rename::RenameMap;
+pub use rpft::Rpft;
+
+use std::fmt;
+
+/// A physical register name.
+///
+/// Physical registers are allocated from the [`FreeList`] at rename and
+/// reclaimed at retire (when the previous mapping of the same architectural
+/// register retires past).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}

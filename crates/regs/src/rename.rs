@@ -1,0 +1,138 @@
+//! Architectural→physical register rename map.
+//!
+//! One map exists per hardware thread. Recovery from mis-speculation uses
+//! ROB-walk rollback: each in-flight instruction remembers the previous
+//! mapping of its destination ([`RenameMap::rename_dest`] returns it), and a
+//! squash walks the killed instructions youngest-first calling
+//! [`RenameMap::rollback`].
+
+use crate::freelist::FreeList;
+use crate::PhysReg;
+use looseloops_isa::reg::NUM_ARCH_REGS;
+use looseloops_isa::Reg;
+
+/// Per-thread rename map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameMap {
+    map: [PhysReg; NUM_ARCH_REGS as usize],
+}
+
+impl RenameMap {
+    /// Build the initial map, consuming one physical register per
+    /// architectural register from `freelist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the free list cannot supply 64 registers.
+    pub fn new(freelist: &mut FreeList) -> RenameMap {
+        let mut map = [PhysReg(0); NUM_ARCH_REGS as usize];
+        for slot in map.iter_mut() {
+            *slot = freelist.alloc().expect("free list too small for initial mappings");
+        }
+        RenameMap { map }
+    }
+
+    /// Current physical register holding `arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked about a zero register — those never rename and the
+    /// pipeline must special-case them (sources are stripped by
+    /// `Inst::srcs`, destinations by `Inst::dest`).
+    pub fn lookup(&self, arch: Reg) -> PhysReg {
+        assert!(!arch.is_zero(), "zero registers are not renamed");
+        self.map[arch.index()]
+    }
+
+    /// Rename a destination: allocate a new physical register for `arch`
+    /// and return `(new, previous)`. The previous mapping is what the
+    /// instruction frees at retire — or re-installs on rollback.
+    ///
+    /// Returns `None` when the free list is empty (rename must stall).
+    pub fn rename_dest(&mut self, arch: Reg, freelist: &mut FreeList) -> Option<(PhysReg, PhysReg)> {
+        assert!(!arch.is_zero(), "zero registers are not renamed");
+        let new = freelist.alloc()?;
+        let prev = std::mem::replace(&mut self.map[arch.index()], new);
+        Some((new, prev))
+    }
+
+    /// Undo a `rename_dest` during squash recovery: re-install `prev` for
+    /// `arch` and return the squashed physical register to the free list.
+    pub fn rollback(&mut self, arch: Reg, prev: PhysReg, freelist: &mut FreeList) {
+        let squashed = std::mem::replace(&mut self.map[arch.index()], prev);
+        freelist.release(squashed);
+    }
+
+    /// Snapshot the whole map (used by tests and by checkpoint-style
+    /// recovery experiments).
+    pub fn snapshot(&self) -> RenameMap {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_then_lookup_sees_new_mapping() {
+        let mut fl = FreeList::new(128);
+        let mut rm = RenameMap::new(&mut fl);
+        let r1 = Reg::int(1);
+        let before = rm.lookup(r1);
+        let (new, prev) = rm.rename_dest(r1, &mut fl).unwrap();
+        assert_eq!(prev, before);
+        assert_eq!(rm.lookup(r1), new);
+        assert_ne!(new, prev);
+    }
+
+    #[test]
+    fn rollback_restores_and_frees() {
+        let mut fl = FreeList::new(128);
+        let mut rm = RenameMap::new(&mut fl);
+        let r2 = Reg::int(2);
+        let orig = rm.lookup(r2);
+        let avail = fl.available();
+        let (new, prev) = rm.rename_dest(r2, &mut fl).unwrap();
+        rm.rollback(r2, prev, &mut fl);
+        assert_eq!(rm.lookup(r2), orig);
+        assert_eq!(fl.available(), avail);
+        // The squashed register is reusable.
+        let mut seen_new = false;
+        for _ in 0..fl.available() {
+            if fl.alloc() == Some(new) {
+                seen_new = true;
+            }
+        }
+        assert!(seen_new);
+    }
+
+    #[test]
+    fn nested_rollbacks_unwind_in_reverse_order() {
+        let mut fl = FreeList::new(128);
+        let mut rm = RenameMap::new(&mut fl);
+        let r = Reg::int(3);
+        let p0 = rm.lookup(r);
+        let (_p1, prev1) = rm.rename_dest(r, &mut fl).unwrap();
+        let (_p2, prev2) = rm.rename_dest(r, &mut fl).unwrap();
+        // Squash youngest first.
+        rm.rollback(r, prev2, &mut fl);
+        rm.rollback(r, prev1, &mut fl);
+        assert_eq!(rm.lookup(r), p0);
+    }
+
+    #[test]
+    fn rename_stalls_on_empty_free_list() {
+        let mut fl = FreeList::new(64); // exactly the initial mappings
+        let mut rm = RenameMap::new(&mut fl);
+        assert!(rm.rename_dest(Reg::int(1), &mut fl).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_register_lookup_panics() {
+        let mut fl = FreeList::new(128);
+        let rm = RenameMap::new(&mut fl);
+        let _ = rm.lookup(Reg::ZERO);
+    }
+}

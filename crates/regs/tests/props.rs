@@ -1,0 +1,116 @@
+//! Property tests for the register machinery: conservation laws and
+//! reference-model equivalence for the DRA structures.
+
+use looseloops_regs::{ClusterRegCache, ForwardingBuffer, FreeList, PhysReg, RenameMap};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// Free-list conservation: allocations + available == total, always;
+    /// rollback and release restore exactly.
+    #[test]
+    fn freelist_conserves_registers(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let total = 64;
+        let mut fl = FreeList::new(total);
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(r) = fl.alloc() {
+                    prop_assert!(!held.contains(&r), "double allocation of {r}");
+                    held.push(r);
+                }
+            } else if let Some(r) = held.pop() {
+                fl.release(r);
+            }
+            prop_assert_eq!(held.len() + fl.available(), total);
+        }
+    }
+
+    /// Rename + rollback in LIFO order restores the original mapping and
+    /// loses no registers.
+    #[test]
+    fn rename_rollback_is_exact(regs in prop::collection::vec(1u8..31, 1..40)) {
+        let mut fl = FreeList::new(256);
+        let mut rm = RenameMap::new(&mut fl);
+        let before: Vec<_> =
+            (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
+        let avail = fl.available();
+        let mut undo = Vec::new();
+        for r in &regs {
+            let arch = looseloops_isa::Reg::int(*r);
+            let (_, prev) = rm.rename_dest(arch, &mut fl).unwrap();
+            undo.push((arch, prev));
+        }
+        for (arch, prev) in undo.into_iter().rev() {
+            rm.rollback(arch, prev, &mut fl);
+        }
+        let after: Vec<_> =
+            (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(fl.available(), avail);
+    }
+
+    /// The CRC behaves exactly like a reference FIFO-of-pairs model.
+    #[test]
+    fn crc_matches_reference_fifo(
+        ops in prop::collection::vec((0u8..3, 0u16..24, any::<u64>()), 1..300)
+    ) {
+        let cap = 4;
+        let mut crc = ClusterRegCache::new(cap);
+        let mut reference: VecDeque<(u16, u64)> = VecDeque::new();
+        for (op, reg, val) in ops {
+            let p = PhysReg(reg);
+            match op {
+                0 => {
+                    // insert
+                    if let Some(e) = reference.iter_mut().find(|(r, _)| *r == reg) {
+                        e.1 = val;
+                    } else {
+                        if reference.len() == cap {
+                            reference.pop_front();
+                        }
+                        reference.push_back((reg, val));
+                    }
+                    crc.insert(p, val);
+                }
+                1 => {
+                    // lookup
+                    let expect = reference.iter().find(|(r, _)| *r == reg).map(|&(_, v)| v);
+                    prop_assert_eq!(crc.lookup(p), expect);
+                }
+                _ => {
+                    // invalidate
+                    reference.retain(|(r, _)| *r != reg);
+                    crc.invalidate(p);
+                }
+            }
+            prop_assert_eq!(crc.len(), reference.len());
+        }
+    }
+
+    /// Forwarding-buffer window semantics against a reference: a lookup at
+    /// time `t` hits iff the last insert for that register happened within
+    /// the window.
+    #[test]
+    fn forwarding_window_is_exact(
+        inserts in prop::collection::vec((0u16..8, 0u64..40, any::<u64>()), 1..60),
+        probes in prop::collection::vec((0u16..8, 0u64..60), 1..60)
+    ) {
+        let window = 9;
+        let mut fwd = ForwardingBuffer::new(window);
+        let mut sorted = inserts.clone();
+        sorted.sort_by_key(|&(_, cycle, _)| cycle);
+        for (reg, cycle, val) in &sorted {
+            fwd.insert(PhysReg(*reg), *val, *cycle);
+        }
+        for (reg, t) in probes {
+            let expect = sorted
+                .iter()
+                .rev()
+                .find(|&&(r, _, _)| r == reg)
+                .filter(|&&(_, c, _)| t >= c && t - c < window)
+                .map(|&(_, _, v)| v);
+            prop_assert_eq!(fwd.probe(PhysReg(reg), t), expect);
+        }
+    }
+}

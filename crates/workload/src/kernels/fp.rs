@@ -1,0 +1,266 @@
+//! Floating-point Spec95 proxies: `apsi`, `hydro2d`, `mgrid`, `su2cor`,
+//! `swim`, `turb3d`.
+//!
+//! Paper §3.1 characterizations reproduced here:
+//!
+//! - `swim`, `turb3d`: many loads with L1 misses (L2-resident data) —
+//!   sensitive to the load-resolution loop, biggest winners from a shorter
+//!   IQ-EX. `turb3d` additionally takes dTLB-miss traps and has wide
+//!   operand-availability gaps (Figure 6).
+//! - `hydro2d`, `mgrid`: L2-missing streams — dominated by main-memory
+//!   latency, insensitive to pipeline length.
+//! - `apsi`: long, narrow dependence chains (low ILP) — insensitive to
+//!   pipeline length, and the DRA's pathological case (many long-reuse
+//!   operands thrash the 16-entry CRCs).
+//! - `su2cor`: few mispredictions, but wide independent FP bursts queue up
+//!   in front of branch resolution (queuing-delay-limited).
+
+use super::{f, r, Kern};
+use looseloops_isa::Program;
+
+/// `swim` proxy: stencil-style streaming over three 32 KiB arrays —
+/// a 96 KiB combined footprint that exceeds the 64 KiB L1 but is firmly
+/// L2-resident. Four independent lanes per iteration, each a load pair
+/// feeding a short FP chain; streaming evictions make roughly a line's
+/// worth of loads miss L1 per pass; every miss replays issued dependents
+/// (the load-resolution-loop useless work). Wide ILP keeps issue slots
+/// and IQ capacity — the resources that loop wastes — precious.
+pub fn swim(base: u64) -> Program {
+    // 32 KiB per array, staggered by a line so the three arrays do not
+    // alias to the same L1 sets (one way of the 64 KiB 2-way L1 is
+    // exactly 32 KiB).
+    const ARRAY: i32 = 0x8040;
+    const LANES: u8 = 4;
+    let mut k = Kern::new("swim");
+    k.load_base(r(1), base);
+    // FP constant 3.0 in f28.
+    k.b.addi(r(3), r(31), 3);
+    k.b.push(looseloops_isa::Inst::op_rr(looseloops_isa::Opcode::FCvtIf, f(28), r(3), r(31)));
+    k.outer_begin();
+    // cursor = (iter * 32) mod 32 KiB; each lane gets its own cursor copy
+    // (compiled array code spreads address registers — and a single base
+    // register with 12 memory consumers would saturate the DRA's 2-bit
+    // insertion-table counters, which is apsi's pathology, not swim's).
+    k.b.slli(r(2), r(21), 5);
+    k.b.andi(r(2), r(2), 0x7fe0);
+    k.b.add(r(2), r(2), r(1));
+    for lane in 0..LANES {
+        let (a, b, s, t, u) = (f(lane * 5), f(lane * 5 + 1), f(lane * 5 + 2), f(lane * 5 + 3), f(lane * 5 + 4));
+        let cur = r(10 + lane);
+        k.b.addi(cur, r(2), lane as i32 * 8);
+        k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, a, cur, 0));
+        k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, b, cur, ARRAY));
+        k.b.fadd(s, a, b);
+        k.b.fmul(t, s, f(28));
+        k.b.fadd(u, t, b);
+        k.b.push(looseloops_isa::Inst::store(
+            looseloops_isa::Opcode::FStq,
+            u,
+            cur,
+            2 * ARRAY,
+        ));
+        k.b.fadd(f(24 + lane % 4), f(24 + lane % 4), u); // per-lane accumulator
+    }
+    k.outer_end();
+    k.build()
+}
+
+/// `turb3d` proxy: `swim`-like streaming plus (a) an early-produced value
+/// consumed at the end of a long load/FP chain — the wide
+/// operand-availability gap of Figure 6 — and (b) a periodic long-stride
+/// access across an 8 MiB region that misses the 64-entry dTLB and traps.
+pub fn turb3d(base: u64) -> Program {
+    // 32 KiB per streamed array, staggered by a line to avoid L1 set
+    // aliasing (see `swim`).
+    const ARRAY: i32 = 0x8040;
+    let mut k = Kern::new("turb3d");
+    k.load_base(r(1), base);
+    k.seed(r(8), 0x7b3d);
+    k.outer_begin();
+    k.xorshift(r(8), r(3));
+    // Early value: available as soon as the iteration starts.
+    k.b.andi(r(4), r(21), 0xff);
+    k.b.push(looseloops_isa::Inst::op_rr(looseloops_isa::Opcode::FCvtIf, f(10), r(4), r(31)));
+    // Long chain: four dependent loads + FP ops (tens of cycles).
+    k.b.slli(r(2), r(21), 3);
+    k.b.andi(r(2), r(2), 0x7ff8);
+    k.b.add(r(2), r(2), r(1));
+    k.b.fldq(f(0), r(2), 0);
+    k.b.fadd(f(1), f(0), f(10));
+    k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, f(2), r(2), ARRAY));
+    k.b.fmul(f(3), f(1), f(2));
+    k.b.push(looseloops_isa::Inst::load(
+        looseloops_isa::Opcode::FLdq,
+        f(4),
+        r(2),
+        2 * ARRAY,
+    ));
+    k.b.fadd(f(5), f(3), f(4));
+    // Extend the serial chain so the early value's consumer sits tens of
+    // cycles away (the wide tail of the Figure 6 CDF).
+    k.b.fmul(f(7), f(5), f(5));
+    k.b.fadd(f(8), f(7), f(5));
+    k.b.fmul(f(9), f(8), f(7));
+    // Late consumer of the early value: the Figure 6 gap.
+    k.b.fmul(f(6), f(9), f(10));
+    k.b.fadd(f(24), f(24), f(6));
+    // Every 8th iteration: poke a page-granular stride across 8 MiB
+    // (dTLB capacity misses -> traps, paper's turb3d signature).
+    k.rand_guard(r(8), r(5), 11, 3, |k| {
+        k.b.slli(r(6), r(21), 13); // 8 KiB pages
+        k.b.andi(r(6), r(6), 0x7f_ffff);
+        k.b.add(r(6), r(6), r(1));
+        k.b.ldq(r(7), r(6), 0);
+        k.b.add(r(16), r(16), r(7));
+    });
+    k.outer_end();
+    k.build()
+}
+
+/// `hydro2d` proxy: two 8 MiB streams touched a cache line per iteration —
+/// every load misses L1 *and* L2, so main-memory latency dominates and
+/// pipeline length barely matters.
+pub fn hydro2d(base: u64) -> Program {
+    let mut k = Kern::new("hydro2d");
+    k.load_base(r(1), base);
+    k.outer_begin();
+    // cursor = (iter * 64) mod 8 MiB — a new line every iteration.
+    k.b.slli(r(2), r(21), 6);
+    k.b.andi(r(2), r(2), 0x7f_ffc0);
+    k.b.add(r(2), r(2), r(1));
+    k.b.fldq(f(0), r(2), 0);
+    // The second stream lives 8 MiB (plus a line of stagger) away.
+    k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, f(1), r(2), 0x40_0040));
+    k.b.fadd(f(2), f(0), f(1));
+    k.b.fmul(f(3), f(2), f(2));
+    k.b.fadd(f(24), f(24), f(3));
+    k.b.fstq(f(3), r(2), 16);
+    k.outer_end();
+    k.build()
+}
+
+/// `mgrid` proxy: three-point stencil over an 8 MiB grid at line stride —
+/// memory-bound like `hydro2d`, slightly more FP work per miss.
+pub fn mgrid(base: u64) -> Program {
+    let mut k = Kern::new("mgrid");
+    k.load_base(r(1), base);
+    k.outer_begin();
+    k.b.slli(r(2), r(21), 6);
+    k.b.andi(r(2), r(2), 0x7f_ffc0);
+    k.b.add(r(2), r(2), r(1));
+    k.b.fldq(f(0), r(2), 0);
+    k.b.fldq(f(1), r(2), 64);
+    k.b.fldq(f(2), r(2), 128);
+    k.b.fadd(f(3), f(0), f(1));
+    k.b.fadd(f(4), f(3), f(2));
+    k.b.fmul(f(5), f(4), f(4));
+    k.b.fadd(f(24), f(24), f(5));
+    k.outer_end();
+    k.build()
+}
+
+/// `su2cor` proxy: eight independent load+FP chains per iteration (wide
+/// ILP that keeps the IQ full) with an infrequent (~3% taken)
+/// data-dependent branch — mispredictions are rare but resolve slowly
+/// behind the queued FP work, the paper's queuing-delay story.
+pub fn su2cor(base: u64) -> Program {
+    const ARRAY: i32 = 0x8000; // 32 KiB, wraps quickly, L2-resident
+    let mut k = Kern::new("su2cor");
+    k.load_base(r(1), base);
+    k.seed(r(8), 0x5c02);
+    k.outer_begin();
+    k.xorshift(r(8), r(3));
+    k.b.slli(r(2), r(21), 6); // a fresh line each iteration
+    k.b.andi(r(2), r(2), ARRAY - 64);
+    k.b.add(r(2), r(2), r(1));
+    // Eight independent lanes.
+    for lane in 0..8u8 {
+        k.b.push(looseloops_isa::Inst::load(
+            looseloops_isa::Opcode::FLdq,
+            f(lane),
+            r(2),
+            (lane as i32) * 8,
+        ));
+        k.b.fmul(f(8 + lane), f(lane), f(lane));
+        k.b.fadd(f(16 + lane), f(16 + lane), f(8 + lane));
+    }
+    // Rare data-dependent branch (~3% taken).
+    k.rand_guard(r(8), r(4), 17, 5, |k| {
+        k.b.addi(r(16), r(16), 1);
+        k.b.xor(r(17), r(17), r(8));
+    });
+    k.outer_end();
+    k.build()
+}
+
+/// `apsi` proxy: the DRA's pathological case, built around the paper's
+/// §5.4 insertion-table saturation mechanism.
+///
+/// Each iteration produces 20 long-reuse values feeding a long *serial* FP
+/// chain (ILP is minimal, so pipeline length barely matters — the paper's
+/// Figure 4 behaviour). Mid-chain, a value `g` is produced and immediately
+/// consumed by a 24-wide burst: ~3 burst consumers land in every cluster
+/// and read `g` from the forwarding buffer, decrementing the 2-bit
+/// insertion-table counters to zero (increments beyond 3 were lost to
+/// saturation). At write-back the zero count says "no consumers in
+/// flight", `g` is never cached — and the chain's *late* consumers of `g`
+/// take operand-resolution-loop misses whose recovery delays the critical
+/// chain directly. The base machine just reads the register file and is
+/// unaffected: exactly the paper's "apsi loses under the DRA" story.
+pub fn apsi(base: u64) -> Program {
+    const K: u8 = 20; // long-reuse values per iteration (f3..f22)
+    let mut k = Kern::new("apsi");
+    k.load_base(r(1), base);
+    k.seed(r(8), 0xa451);
+    k.outer_begin();
+    k.xorshift(r(8), r(3));
+    // Produce the iteration's long-reuse values (cheap, independent).
+    for i in 0..K {
+        k.b.addi(r(3), r(21), i as i32 + 1);
+        k.b.push(looseloops_isa::Inst::op_rr(
+            looseloops_isa::Opcode::FCvtIf,
+            f(3 + i),
+            r(3),
+            r(31),
+        ));
+    }
+    // Occasional L2-resident load feeding the chain.
+    k.b.slli(r(2), r(21), 3);
+    k.b.andi(r(2), r(2), 0xfff8); // 64 KiB
+    k.b.add(r(2), r(2), r(1));
+    k.b.fldq(f(0), r(2), 0);
+    k.b.fadd(f(1), f(1), f(0));
+    // The serial chain: 2·K links consuming the values in reverse
+    // production order, each twice, plus the `g` mechanism above.
+    for link in 0..(2 * K) {
+        let v = f(3 + (K - 1 - (link / 2) % K));
+        if link % 2 == 0 {
+            k.b.fadd(f(1), f(1), v);
+        } else {
+            k.b.fmul(f(1), f(1), v);
+        }
+        if link == 3 {
+            // g = chain-dependent value, then the saturating burst.
+            k.b.fadd(f(23), f(1), v);
+            for b in 0..24u8 {
+                k.b.fadd(f(24 + b % 4), f(23), f(23));
+            }
+        }
+        if link >= 28 && link % 4 == 0 {
+            // Late consumers of g: the forwarding buffer is long past and
+            // the CRCs never captured it.
+            k.b.fadd(f(1), f(1), f(23));
+        }
+        if link == 13 || link == 37 {
+            // Data-dependent branches (apsi is still a real program).
+            let shift = 7 + link as i32;
+            k.rand_guard(r(8), r(4), shift, 3, |k| {
+                k.b.fadd(f(28), f(28), v);
+                k.b.addi(r(16), r(16), 1);
+            });
+        }
+    }
+    k.b.fadd(f(30), f(30), f(1));
+    k.outer_end();
+    k.build()
+}

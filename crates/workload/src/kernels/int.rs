@@ -1,0 +1,194 @@
+//! Integer Spec95 proxies: `compress`, `gcc`, `go`, `m88ksim`.
+//!
+//! The paper (§3.1) characterizes the integer codes through the
+//! branch-resolution loop: `compress`, `gcc` and `go` lose heavily to
+//! branch mispredictions (and, for `compress`/`gcc`, also to load misses),
+//! while `m88ksim` "does not have as many branches or branch
+//! mispredictions" and is far less sensitive to pipeline length.
+
+use super::{r, Kern};
+use looseloops_isa::Program;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// `compress` proxy: a hash-table update loop — random 8-byte accesses
+/// into a 48 KiB hot table (mostly L1 hits, the paper's "high load hit
+/// rate") with every eighth iteration touching a cold 2 MiB region
+/// (L2/memory misses), interleaved with data-dependent branches (≈25% and
+/// ≈12.5% taken) that defeat the predictor, plus a store per iteration.
+pub fn compress(base: u64) -> Program {
+    let mut k = Kern::new("compress");
+    k.load_base(r(1), base);
+    k.seed(r(8), 0x1234);
+    k.outer_begin();
+    k.xorshift(r(8), r(3));
+    // Random hot-table index within 48 KiB (use a 64 KiB mask and fold).
+    k.b.andi(r(5), r(8), 0xbff8);
+    k.b.add(r(5), r(5), r(1));
+    k.b.ldq(r(6), r(5), 0);
+    k.b.add(r(16), r(16), r(6));
+    // Cold-region poke: 1 iteration in 8 misses into 2 MiB.
+    k.rand_guard(r(8), r(4), 45, 3, |k| {
+        k.b.srli(r(7), r(8), 5);
+        k.b.andi(r(7), r(7), 0x1f_fff8);
+        k.b.add(r(7), r(7), r(1));
+        k.b.ldq(r(7), r(7), 0);
+        k.b.add(r(18), r(18), r(7));
+    });
+    // ~25% taken data-dependent branch.
+    k.rand_guard(r(8), r(4), 19, 2, |k| {
+        k.b.addi(r(16), r(16), 1);
+        k.b.xor(r(17), r(17), r(8));
+    });
+    // ~12.5% taken data-dependent branch.
+    k.rand_guard(r(8), r(4), 31, 3, |k| {
+        k.b.add(r(17), r(17), r(16));
+    });
+    k.b.addi(r(6), r(6), 1);
+    k.b.stq(r(6), r(5), 0);
+    k.outer_end();
+    k.build()
+}
+
+/// `gcc` proxy: pointer chasing through a shuffled 48 KiB ring of 64-byte
+/// nodes (a serial, mostly-L1-hitting load chain) with an occasional cold
+/// poke into a 2 MiB region, plus moderately unpredictable branches — the
+/// paper's "useless work due to branch mispredictions, burdened by load
+/// misses" profile.
+pub fn gcc(base: u64) -> Program {
+    const NODES: usize = 768; // 768 * 64 B = 48 KiB: mostly L1-resident
+    let mut k = Kern::new("gcc");
+
+    // Build a single-cycle permutation ring: node i -> node perm[i].
+    let mut order: Vec<u64> = (1..NODES as u64).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(0x6cc));
+    let mut next = vec![0u64; NODES];
+    let mut cur = 0u64;
+    for &n in &order {
+        next[cur as usize] = base + n * 64;
+        cur = n;
+    }
+    next[cur as usize] = base; // close the ring
+    for (i, &ptr) in next.iter().enumerate() {
+        k.b.data_words(base + i as u64 * 64, &[ptr]);
+    }
+
+    k.load_base(r(1), base);
+    k.b.add(r(2), r(1), r(31)); // cursor = base
+    k.seed(r(8), 0x5678);
+    k.outer_begin();
+    k.xorshift(r(8), r(3));
+    k.b.ldq(r(2), r(2), 0); // chase
+    k.b.ldq(r(6), r(2), 8); // payload
+    k.b.add(r(16), r(16), r(6));
+    // Cold-region poke: 1 iteration in 16 misses into 2 MiB.
+    k.rand_guard(r(8), r(4), 43, 4, |k| {
+        k.b.srli(r(7), r(8), 3);
+        k.b.andi(r(7), r(7), 0x1f_fff8);
+        k.b.add(r(7), r(7), r(1));
+        k.b.ldq(r(7), r(7), 0);
+        k.b.add(r(18), r(18), r(7));
+    });
+    // ~25% taken branch.
+    k.rand_guard(r(8), r(4), 9, 2, |k| {
+        k.b.xor(r(17), r(17), r(2));
+        k.b.addi(r(16), r(16), 3);
+    });
+    // ~12.5% taken branch.
+    k.rand_guard(r(8), r(4), 23, 3, |k| {
+        k.b.add(r(18), r(18), r(16));
+    });
+    k.b.and(r(19), r(19), r(8));
+    k.outer_end();
+    k.build()
+}
+
+/// `go` proxy: branch after branch on PRNG bits (≈25% mispredict each),
+/// tiny 32 KiB working set — the paper's most branch-limited code.
+pub fn go(base: u64) -> Program {
+    let mut k = Kern::new("go");
+    k.load_base(r(1), base);
+    k.seed(r(8), 0x9abc);
+    k.outer_begin();
+    k.xorshift(r(8), r(3));
+    k.b.andi(r(5), r(8), 0x7ff8); // 32 KiB
+    k.b.add(r(5), r(5), r(1));
+    k.b.ldq(r(6), r(5), 0);
+    k.rand_guard(r(8), r(4), 3, 2, |k| {
+        k.b.addi(r(16), r(16), 1);
+    });
+    k.rand_guard(r(8), r(4), 13, 2, |k| {
+        k.b.add(r(17), r(17), r(6));
+    });
+    k.rand_guard(r(8), r(4), 29, 2, |k| {
+        k.b.xor(r(18), r(18), r(8));
+    });
+    k.rand_guard(r(8), r(4), 41, 2, |k| {
+        k.b.subi(r(16), r(16), 1);
+    });
+    k.outer_end();
+    k.build()
+}
+
+/// `m88ksim` proxy: a well-predicted interpreter-style loop — periodic
+/// (learnable) branches, ALU-dominated work, small sequential working set.
+/// The paper notes it has fewer branches/mispredictions and shows the
+/// least pipeline-length sensitivity of the integer codes.
+pub fn m88ksim(base: u64) -> Program {
+    let mut k = Kern::new("m88ksim");
+    k.load_base(r(1), base);
+    k.outer_begin();
+    // Sequential 8 KiB walk (L1-resident).
+    k.b.andi(r(2), r(21), 0x7f8);
+    k.b.slli(r(2), r(2), 2);
+    k.b.add(r(5), r(2), r(1));
+    k.b.ldq(r(6), r(5), 0);
+    // Periodic branch: taken 1 cycle in 4 — local history learns it.
+    let skip = "m88_skip";
+    k.b.andi(r(4), r(21), 3);
+    k.b.bne(r(4), skip);
+    k.b.add(r(16), r(16), r(6));
+    k.b.xor(r(17), r(17), r(16));
+    k.b.label(skip);
+    // ALU ladder (plenty of ILP).
+    k.b.add(r(16), r(16), r(6));
+    k.b.addi(r(17), r(17), 7);
+    k.b.xor(r(18), r(18), r(17));
+    k.b.slli(r(3), r(16), 1);
+    k.b.srli(r(4), r(17), 2);
+    k.b.add(r(19), r(3), r(4));
+    k.b.sub(r(19), r(19), r(18));
+    k.b.stq(r(19), r(5), 8);
+    k.outer_end();
+    k.build()
+}
+
+/// Pointer-chase microbenchmark (not a Spec95 proxy): a pure serial
+/// load-to-load chain over an L1-resident ring. The load is always the
+/// last-arriving operand of its consumer, so the load-resolution-loop
+/// management policy is the whole story: speculation-with-reissue beats
+/// stalling by roughly the IQ-EX latency per chase (paper §2.2.2).
+pub fn chase(base: u64) -> Program {
+    const NODES: usize = 4096; // 32 KiB of 8-byte pointers, L1-resident
+    let mut k = Kern::new("chase");
+    let mut order: Vec<u64> = (1..NODES as u64).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(0xc4a5e));
+    let mut next = vec![0u64; NODES];
+    let mut cur = 0u64;
+    for &n in &order {
+        next[cur as usize] = base + n * 8;
+        cur = n;
+    }
+    next[cur as usize] = base;
+    for (i, &ptr) in next.iter().enumerate() {
+        k.b.data_words(base + i as u64 * 8, &[ptr]);
+    }
+    k.load_base(r(1), base);
+    k.b.add(r(2), r(1), r(31));
+    k.outer_begin();
+    k.b.ldq(r(2), r(2), 0); // the chase: serial load-to-load
+    k.b.add(r(16), r(16), r(2));
+    k.outer_end();
+    k.build()
+}

@@ -1,0 +1,171 @@
+//! Kernel construction helpers and the per-benchmark kernel functions.
+//!
+//! Register conventions shared by every kernel:
+//!
+//! | register | use |
+//! |---|---|
+//! | `r1`, `r2`  | data-region base, cursor |
+//! | `r3`–`r7`   | scratch |
+//! | `r8`        | xorshift64 PRNG state |
+//! | `r16`–`r19` | integer accumulators |
+//! | `r20`       | outer loop counter (2^40 iterations — effectively infinite) |
+//! | `r21`       | iteration index |
+//! | `f0`–`f7`   | floating-point work |
+//! | `f10`–`f21` | per-iteration values (long-reuse operands) |
+//!
+//! Randomness comes from an in-register xorshift64, so the instruction
+//! stream is deterministic and identical across machine configurations —
+//! exactly what cross-configuration speedup comparisons need.
+
+pub mod fp;
+pub mod int;
+
+use looseloops_isa::{Program, ProgramBuilder, Reg};
+
+/// Integer register shorthand.
+pub(crate) fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// Floating-point register shorthand.
+pub(crate) fn f(n: u8) -> Reg {
+    Reg::fp(n)
+}
+
+/// Shared kernel-building idioms on top of [`ProgramBuilder`].
+pub(crate) struct Kern {
+    pub b: ProgramBuilder,
+    labels: u32,
+}
+
+impl Kern {
+    pub fn new(name: &str) -> Kern {
+        Kern { b: ProgramBuilder::new(name), labels: 0 }
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!("{stem}_{}", self.labels)
+    }
+
+    /// Load a large constant `base` (multiple of 1 MiB, < 2^43) into `rd`.
+    pub fn load_base(&mut self, rd: Reg, base: u64) {
+        assert_eq!(base % (1 << 20), 0, "base must be MiB-aligned");
+        assert!(base >> 20 <= 0x7f_ffff, "base too large for the immediate path");
+        self.b.addi(rd, Reg::ZERO, (base >> 20) as i32);
+        self.b.slli(rd, rd, 20);
+    }
+
+    /// Seed the xorshift64 state in `x`.
+    pub fn seed(&mut self, x: Reg, seed: i32) {
+        self.b.addi(x, Reg::ZERO, seed);
+        self.b.slli(x, x, 13);
+        self.b.addi(x, x, seed ^ 0x2f1d);
+    }
+
+    /// One xorshift64 step on `x` (`t` is scratch): 6 single-cycle ops.
+    pub fn xorshift(&mut self, x: Reg, t: Reg) {
+        self.b.slli(t, x, 13);
+        self.b.xor(x, x, t);
+        self.b.srli(t, x, 7);
+        self.b.xor(x, x, t);
+        self.b.slli(t, x, 17);
+        self.b.xor(x, x, t);
+    }
+
+    /// Begin the effectively-infinite outer loop (counter in `r20`).
+    pub fn outer_begin(&mut self) {
+        self.b.addi(r(20), Reg::ZERO, 1);
+        self.b.slli(r(20), r(20), 40);
+        self.b.label("outer");
+    }
+
+    /// Close the outer loop and emit the (never-reached in measurement)
+    /// halt.
+    pub fn outer_end(&mut self) {
+        self.b.addi(r(21), r(21), 1);
+        self.b.subi(r(20), r(20), 1);
+        self.b.bne(r(20), "outer");
+        self.b.halt();
+    }
+
+    /// A data-dependent forward branch: with probability
+    /// `1/2^bits` (on uniform PRNG bits) the next `skip` instructions
+    /// execute; otherwise they are branched over. Returns after emitting
+    /// the test; the caller emits the body and then calls the returned
+    /// closure... (simpler: the caller passes the body emitter).
+    ///
+    /// `shift` selects which PRNG bits decide, so several branches per
+    /// iteration stay independent.
+    pub fn rand_guard(
+        &mut self,
+        x: Reg,
+        t: Reg,
+        shift: i32,
+        bits: u32,
+        body: impl FnOnce(&mut Kern),
+    ) {
+        let skip = self.fresh_label("skip");
+        self.b.srli(t, x, shift);
+        self.b.andi(t, t, (1i32 << bits) - 1);
+        // Body runs when the selected bits are all zero (prob 1/2^bits).
+        self.b.bne(t, skip.clone());
+        body(self);
+        self.b.label(skip);
+    }
+
+    /// Finish and return the program.
+    pub fn build(self) -> Program {
+        self.b.build().expect("kernel labels are internally consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_isa::{ArchState, FlatMemory};
+
+    #[test]
+    fn helpers_produce_runnable_code() {
+        let mut k = Kern::new("helper-test");
+        k.load_base(r(1), 16 << 20);
+        k.seed(r(8), 12345);
+        k.outer_begin();
+        k.xorshift(r(8), r(3));
+        k.rand_guard(r(8), r(4), 5, 2, |k| {
+            k.b.addi(r(16), r(16), 1);
+        });
+        k.outer_end();
+        let prog = k.build();
+
+        let mut mem = FlatMemory::with_program(&prog);
+        let mut st = ArchState::new(&prog);
+        let summary = st.run(&prog, &mut mem, 50_000).unwrap();
+        assert!(!summary.halted, "outer loop must be effectively infinite");
+        assert_eq!(st.read_reg(r(1)), 16 << 20);
+        // The guarded body fired roughly 1/4 of iterations.
+        let iters = st.read_reg(r(21));
+        let fired = st.read_reg(r(16));
+        assert!(iters > 1000);
+        let frac = fired as f64 / iters as f64;
+        assert!((0.15..0.35).contains(&frac), "guard fired {frac} of iterations");
+    }
+
+    #[test]
+    fn xorshift_has_no_short_cycle() {
+        let mut k = Kern::new("prng");
+        k.seed(r(8), 999);
+        k.outer_begin();
+        k.xorshift(r(8), r(3));
+        k.outer_end();
+        let prog = k.build();
+        let mut mem = FlatMemory::with_program(&prog);
+        let mut st = ArchState::new(&prog);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            st.run(&prog, &mut mem, 9).unwrap(); // one iteration
+            seen.insert(st.read_reg(r(8)));
+        }
+        assert!(seen.len() > 190, "PRNG state must not repeat quickly");
+    }
+}

@@ -1,0 +1,191 @@
+//! The benchmark roster: ten Spec95 proxies and the paper's SMT pairs.
+
+use crate::kernels::{fp, int};
+use looseloops_isa::Program;
+use std::fmt;
+
+/// Default data-region base for a single-threaded run (thread 0).
+pub const THREAD0_BASE: u64 = 16 << 20; // 16 MiB
+/// Data-region base for thread 1 in SMT runs — 128 MiB away from thread 0,
+/// guaranteeing disjoint footprints (largest kernel touches 8 MiB).
+pub const THREAD1_BASE: u64 = 144 << 20;
+
+/// The ten Spec95-proxy benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Branchy hash-table loop, 48 KiB hot table + 2 MiB cold pokes (int).
+    Compress,
+    /// Pointer chasing (48 KiB ring) + branches + cold pokes (int).
+    Gcc,
+    /// Branch-dominated, 32 KiB (int).
+    Go,
+    /// Well-predicted, ALU-heavy, L1-resident (int).
+    M88ksim,
+    /// Long narrow FP chains, low ILP — DRA's pathological case (fp).
+    Apsi,
+    /// Memory-bound 8 (+8) MiB streams (fp).
+    Hydro2d,
+    /// Memory-bound 8 MiB stencil (fp).
+    Mgrid,
+    /// Wide FP bursts + rare branches (queuing-limited) (fp).
+    Su2cor,
+    /// L1-missing, L2-resident stream — load-loop sensitive (fp).
+    Swim,
+    /// Like swim plus dTLB traps and wide operand gaps (fp).
+    Turb3d,
+}
+
+impl Benchmark {
+    /// All ten benchmarks, in the paper's figure order.
+    pub fn all() -> [Benchmark; 10] {
+        use Benchmark::*;
+        [Compress, Gcc, Go, M88ksim, Apsi, Hydro2d, Mgrid, Su2cor, Swim, Turb3d]
+    }
+
+    /// The paper's benchmark name (as printed in its figures).
+    pub fn name(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Compress => "compress",
+            Gcc => "gcc",
+            Go => "go",
+            M88ksim => "m88ksim",
+            Apsi => "apsi",
+            Hydro2d => "hydro2d",
+            Mgrid => "mgrid",
+            Su2cor => "su2cor",
+            Swim => "swim",
+            Turb3d => "turb3d",
+        }
+    }
+
+    /// One-line characterization (the paper's §3.1 description this proxy
+    /// targets).
+    pub fn description(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Compress => "hash-table loop: random data-dependent branches, 48 KiB hot table + cold pokes",
+            Gcc => "pointer chasing (48 KiB ring) + unpredictable branches + cold pokes",
+            Go => "branch after branch on random data; the most branch-limited code",
+            M88ksim => "well-predicted periodic branches, ALU-heavy, L1-resident",
+            Apsi => "long narrow FP chains (low ILP); the DRA's operand-miss pathology",
+            Hydro2d => "8 MiB streams, every line from main memory",
+            Mgrid => "8 MiB stencil, memory-latency dominated",
+            Su2cor => "wide independent FP lanes queueing ahead of rare branches",
+            Swim => "L2-resident stencil streams; the load-resolution loop's best customer",
+            Turb3d => "swim-like streams plus dTLB traps and wide operand-availability gaps",
+        }
+    }
+
+    /// True for the integer-suite proxies.
+    pub fn is_int(self) -> bool {
+        use Benchmark::*;
+        matches!(self, Compress | Gcc | Go | M88ksim)
+    }
+
+    /// Build the kernel with its data region at `base` (MiB-aligned).
+    pub fn program_at(self, base: u64) -> Program {
+        use Benchmark::*;
+        match self {
+            Compress => int::compress(base),
+            Gcc => int::gcc(base),
+            Go => int::go(base),
+            M88ksim => int::m88ksim(base),
+            Apsi => fp::apsi(base),
+            Hydro2d => fp::hydro2d(base),
+            Mgrid => fp::mgrid(base),
+            Su2cor => fp::su2cor(base),
+            Swim => fp::swim(base),
+            Turb3d => fp::turb3d(base),
+        }
+    }
+
+    /// Build the kernel at the default single-thread base.
+    pub fn program(self) -> Program {
+        self.program_at(THREAD0_BASE)
+    }
+
+    /// The paper's three multi-threaded workloads.
+    pub fn pairs() -> [SmtPair; 3] {
+        use Benchmark::*;
+        [SmtPair(M88ksim, Compress), SmtPair(Go, Su2cor), SmtPair(Apsi, Swim)]
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt.write_str(self.name())
+    }
+}
+
+/// A two-thread SMT workload with disjoint data regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmtPair(pub Benchmark, pub Benchmark);
+
+impl SmtPair {
+    /// `a-b` naming as in the paper ("m88ksim-compress").
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.0.name(), self.1.name())
+    }
+
+    /// The two programs, placed in disjoint address regions.
+    pub fn programs(&self) -> Vec<Program> {
+        vec![self.0.program_at(THREAD0_BASE), self.1.program_at(THREAD1_BASE)]
+    }
+}
+
+impl fmt::Display for SmtPair {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fmt, "{}-{}", self.0, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_isa::{ArchState, FlatMemory};
+
+    #[test]
+    fn every_kernel_builds_and_runs_functionally() {
+        for b in Benchmark::all() {
+            let prog = b.program();
+            assert!(!prog.is_empty(), "{b}");
+            let mut mem = FlatMemory::with_program(&prog);
+            let mut st = ArchState::new(&prog);
+            let summary = st.run(&prog, &mut mem, 100_000).unwrap();
+            assert!(!summary.halted, "{b} must loop effectively forever");
+            assert_eq!(summary.retired, 100_000, "{b}");
+        }
+    }
+
+    #[test]
+    fn pair_programs_are_disjoint() {
+        for pair in Benchmark::pairs() {
+            let ps = pair.programs();
+            assert_eq!(ps.len(), 2);
+            // Data regions: thread 0 in [16 MiB, 144 MiB), thread 1 above.
+            for (addr, _) in &ps[0].init_data {
+                assert!(*addr >= THREAD0_BASE && *addr < THREAD1_BASE);
+            }
+            for (addr, _) in &ps[1].init_data {
+                assert!(*addr >= THREAD1_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_classes() {
+        assert_eq!(Benchmark::Compress.name(), "compress");
+        assert!(Benchmark::Gcc.is_int());
+        assert!(!Benchmark::Swim.is_int());
+        assert_eq!(Benchmark::pairs()[2].name(), "apsi-swim");
+        assert_eq!(Benchmark::all().len(), 10);
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        for b in Benchmark::all() {
+            assert_eq!(b.program(), b.program(), "{b}");
+        }
+    }
+}

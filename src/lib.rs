@@ -1,0 +1,21 @@
+//! Umbrella crate for the *Loose Loops Sink Chips* reproduction.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! can exercise the whole workspace through a single dependency. All real
+//! functionality lives in the member crates and is re-exported here:
+//!
+//! - [`looseloops`] — loop analysis, simulator front-door, DRA ([`core`]).
+//! - [`isa`] — the mini Alpha-like ISA, assembler and functional interpreter.
+//! - [`mem`] — caches, TLB, main memory.
+//! - [`branch`] — branch predictors.
+//! - [`regs`] — rename machinery, register file, forwarding buffer, CRC/RPFT.
+//! - [`pipeline`] — the cycle-level out-of-order SMT pipeline model.
+//! - [`workload`] — Spec95-proxy kernels and synthetic workloads.
+
+pub use looseloops as core;
+pub use looseloops_branch as branch;
+pub use looseloops_isa as isa;
+pub use looseloops_mem as mem;
+pub use looseloops_pipeline as pipeline;
+pub use looseloops_regs as regs;
+pub use looseloops_workload as workload;

@@ -1,118 +1,116 @@
-//! Criterion micro-benchmarks for the simulator's hot structures and for
-//! end-to-end simulation throughput (simulated instructions per wall
-//! second). These do not reproduce paper figures; they keep the simulator
-//! itself honest.
+//! Micro-benchmarks for the simulator's hot structures and for end-to-end
+//! simulation throughput (simulated instructions per wall second). These do
+//! not reproduce paper figures; they keep the simulator itself honest.
+//!
+//! A tiny self-contained harness (median-of-N wall-clock timing) stands in
+//! for criterion so the workspace builds offline with no external
+//! dependencies. Run with `cargo bench --bench micro`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use looseloops::branch::{DirectionPredictor, TournamentPredictor};
 use looseloops::mem::{Cache, CacheConfig};
 use looseloops::regs::{ClusterRegCache, ForwardingBuffer, FreeList, PhysReg, RenameMap};
 use looseloops::{Machine, PipelineConfig};
 use looseloops_workload::Benchmark;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("l1d_access_stream", |b| {
-        let mut cache = Cache::new(CacheConfig::l1d_default());
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..1024 {
-                addr = addr.wrapping_add(64) & 0xf_ffff;
-                black_box(cache.access(addr));
-            }
+/// Time `f` for `iters` repetitions, `samples` times, and report the median
+/// per-element rate.
+fn report<F: FnMut()>(name: &str, elements: u64, samples: usize, mut f: F) {
+    // One warmup pass.
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
         })
-    });
-    g.bench_function("l1d_access_random", |b| {
-        let mut cache = Cache::new(CacheConfig::l1d_default());
-        let mut x = 0x9e3779b97f4a7c15u64;
-        b.iter(|| {
-            for _ in 0..1024 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                black_box(cache.access(x & 0xf_ffff));
-            }
-        })
-    });
-    g.finish();
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = times[times.len() / 2];
+    let rate = elements as f64 / median;
+    println!("{name:<40} {:>10.1} ns/iter   {:>12.2} Melem/s", median * 1e9, rate / 1e6);
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictor");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("tournament_predict_train", |b| {
-        let mut p = TournamentPredictor::new_21264_like();
-        b.iter(|| {
-            for pc in 0..1024u64 {
-                let (t, ctx) = p.predict_ctx(pc);
-                p.train_ctx(pc, ctx, t ^ (pc & 3 == 0));
-            }
-        })
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::l1d_default());
+    let mut addr = 0u64;
+    report("cache/l1d_access_stream", 1024, 50, || {
+        for _ in 0..1024 {
+            addr = addr.wrapping_add(64) & 0xf_ffff;
+            black_box(cache.access(addr));
+        }
     });
-    g.finish();
+    let mut cache = Cache::new(CacheConfig::l1d_default());
+    let mut x = 0x9e3779b97f4a7c15u64;
+    report("cache/l1d_access_random", 1024, 50, || {
+        for _ in 0..1024 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            black_box(cache.access(x & 0xf_ffff));
+        }
+    });
 }
 
-fn bench_regs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("regs");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("crc_insert_lookup", |b| {
-        let mut crc = ClusterRegCache::new(16);
-        b.iter(|| {
-            for i in 0..1024u16 {
-                crc.insert(PhysReg(i % 64), i as u64);
-                black_box(crc.lookup(PhysReg((i / 2) % 64)));
-            }
-        })
+fn bench_predictor() {
+    let mut p = TournamentPredictor::new_21264_like();
+    report("predictor/tournament_predict_train", 1024, 50, || {
+        for pc in 0..1024u64 {
+            let (t, ctx) = p.predict_ctx(pc);
+            p.train_ctx(pc, ctx, t ^ (pc & 3 == 0));
+        }
     });
-    g.bench_function("forwarding_insert_lookup", |b| {
-        let mut fwd = ForwardingBuffer::new(9);
-        b.iter(|| {
-            for i in 0..1024u64 {
-                fwd.insert(PhysReg((i % 128) as u16), i, i);
-                black_box(fwd.lookup(PhysReg(((i + 5) % 128) as u16), i));
-                if i % 8 == 0 {
-                    fwd.evict_expired(i);
-                }
-            }
-        })
-    });
-    g.bench_function("rename_rollback", |b| {
-        let mut fl = FreeList::new(512);
-        let mut rm = RenameMap::new(&mut fl);
-        let arch = looseloops::isa::Reg::int(5);
-        b.iter(|| {
-            let mut undo = Vec::with_capacity(128);
-            for _ in 0..128 {
-                let (_, prev) = rm.rename_dest(arch, &mut fl).unwrap();
-                undo.push(prev);
-            }
-            for prev in undo.into_iter().rev() {
-                rm.rollback(arch, prev, &mut fl);
-            }
-        })
-    });
-    g.finish();
 }
 
-fn bench_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine");
-    g.sample_size(10);
-    for (name, cfg) in [
-        ("base_m88ksim", PipelineConfig::base()),
-        ("dra_m88ksim", PipelineConfig::dra_for_rf(3)),
-    ] {
-        g.throughput(Throughput::Elements(20_000));
-        g.bench_function(format!("{name}_20k_insts"), |b| {
-            b.iter(|| {
-                let mut m = Machine::new(cfg.clone(), vec![Benchmark::M88ksim.program()]);
-                m.run(20_000, 2_000_000);
-                black_box(m.stats().total_retired())
-            })
+fn bench_regs() {
+    let mut crc = ClusterRegCache::new(16);
+    report("regs/crc_insert_lookup", 1024, 50, || {
+        for i in 0..1024u16 {
+            crc.insert(PhysReg(i % 64), i as u64);
+            black_box(crc.lookup(PhysReg((i / 2) % 64)));
+        }
+    });
+    let mut fwd = ForwardingBuffer::new(9);
+    report("regs/forwarding_insert_lookup", 1024, 50, || {
+        for i in 0..1024u64 {
+            fwd.insert(PhysReg((i % 128) as u16), i, i);
+            black_box(fwd.lookup(PhysReg(((i + 5) % 128) as u16), i));
+            if i % 8 == 0 {
+                fwd.evict_expired(i);
+            }
+        }
+    });
+    let mut fl = FreeList::new(512);
+    let mut rm = RenameMap::new(&mut fl);
+    let arch = looseloops::isa::Reg::int(5);
+    report("regs/rename_rollback", 128, 50, || {
+        let mut undo = Vec::with_capacity(128);
+        for _ in 0..128 {
+            let (_, prev) = rm.rename_dest(arch, &mut fl).unwrap();
+            undo.push(prev);
+        }
+        for prev in undo.into_iter().rev() {
+            rm.rollback(arch, prev, &mut fl);
+        }
+    });
+}
+
+fn bench_machine() {
+    for (name, cfg) in
+        [("base_m88ksim", PipelineConfig::base()), ("dra_m88ksim", PipelineConfig::dra_for_rf(3))]
+    {
+        report(&format!("machine/{name}_20k_insts"), 20_000, 5, || {
+            let mut m = Machine::must(cfg.clone(), vec![Benchmark::M88ksim.program()]);
+            m.run(20_000, 2_000_000).expect("benchmark kernels never deadlock");
+            black_box(m.stats().total_retired());
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_predictor, bench_regs, bench_machine);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_predictor();
+    bench_regs();
+    bench_machine();
+}

@@ -35,7 +35,10 @@ fn print_stats(stats: &SimStats, json: bool) {
         println!("  \"operand_sources\": {:?},", stats.operand_sources);
         println!("  \"mem_order_traps\": {},", stats.mem_order_traps);
         println!("  \"tlb_traps\": {},", stats.tlb_traps);
-        println!("  \"iq_occupancy_mean\": {}", stats.iq_occupancy_mean);
+        println!("  \"iq_occupancy_mean\": {},", stats.iq_occupancy_mean);
+        println!("  \"audit_checks\": {},", stats.audit_checks);
+        println!("  \"faults_injected\": {},", stats.faults_injected);
+        println!("  \"deadlocks_detected\": {}", stats.deadlocks_detected);
         println!("}}");
         return;
     }
@@ -79,6 +82,12 @@ fn print_stats(stats: &SimStats, json: bool) {
         "IQ occupancy          mean {:.1}  post-issue {:.1}  peak {}",
         stats.iq_occupancy_mean, stats.iq_post_issue_mean, stats.iq_peak
     );
+    if stats.audit_checks > 0 || stats.faults_injected > 0 || stats.deadlocks_detected > 0 {
+        println!(
+            "hardening             audit checks {}  faults injected {} (flip/spike/miss {:?})  deadlocks {}",
+            stats.audit_checks, stats.faults_injected, stats.faults_by_kind, stats.deadlocks_detected
+        );
+    }
 }
 
 /// `looseloops run`
@@ -110,9 +119,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     } else {
         return Err(ArgError("run needs --bench, --pair, or --asm".into()));
     };
-    cfg.validate().map_err(ArgError)?;
+    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
 
-    let mut m = Machine::new(cfg, programs);
+    let mut m = Machine::new(cfg, programs).map_err(|e| ArgError(e.to_string()))?;
     if args.has("verify") {
         m.enable_verification();
     }
@@ -120,7 +129,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         m.enable_trace();
     }
     if budget.warmup > 0 {
-        m.run(budget.warmup, budget.max_cycles);
+        m.run(budget.warmup, budget.max_cycles).map_err(|e| ArgError(e.to_string()))?;
         m.reset_stats();
         // Tracing starts after warm-up.
         if args.get("trace").is_some() {
@@ -128,7 +137,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             m.enable_trace();
         }
     }
-    m.run(budget.measure, budget.max_cycles);
+    m.run(budget.measure, budget.max_cycles).map_err(|e| ArgError(e.to_string()))?;
 
     if !args.has("json") {
         println!("== {label} ==");
@@ -224,9 +233,9 @@ pub fn asm(args: &Args) -> Result<(), ArgError> {
     if args.has("run") {
         let cfg = config_from_args(args)?;
         let max: u64 = args.get_or("instructions", 1_000_000)?;
-        let mut m = Machine::new(cfg, vec![prog]);
+        let mut m = Machine::new(cfg, vec![prog]).map_err(|e| ArgError(e.to_string()))?;
         m.enable_verification();
-        m.run(max, 100_000_000);
+        m.run(max, 100_000_000).map_err(|e| ArgError(e.to_string()))?;
         println!("halted: {}", m.is_done());
         print_stats(m.stats(), false);
     }

@@ -1,11 +1,13 @@
 //! Flag → [`PipelineConfig`] translation shared by the subcommands.
 
 use crate::args::{ArgError, Args};
-use looseloops::{LoadSpecPolicy, PipelineConfig, RunBudget};
+use looseloops::{FaultPlan, LoadSpecPolicy, PipelineConfig, RunBudget};
 
 /// Flags understood by every simulation-running subcommand.
-pub const CONFIG_FLAGS: &[&str] =
-    &["scheme", "rf", "dec", "ex", "policy", "threads", "predictor"];
+pub const CONFIG_FLAGS: &[&str] = &[
+    "scheme", "rf", "dec", "ex", "policy", "threads", "predictor",
+    "audit", "watchdog", "inject", "inject-seed",
+];
 
 /// Budget flags.
 pub const BUDGET_FLAGS: &[&str] = &["warmup", "measure", "max-cycles"];
@@ -64,8 +66,48 @@ pub fn config_from_args(args: &Args) -> Result<PipelineConfig, ArgError> {
         };
     }
     cfg.threads = args.get_or("threads", cfg.threads)?;
-    cfg.validate().map_err(ArgError)?;
+    if args.has("audit") {
+        cfg.audit = true;
+    }
+    cfg.watchdog_window = args.get_or("watchdog", cfg.watchdog_window)?;
+    if let Some(spec) = args.get("inject") {
+        cfg.faults = Some(faults_from_spec(spec, args.get_or("inject-seed", 1)?)?);
+    }
+    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
     Ok(cfg)
+}
+
+/// Parse `--inject` specs: comma-separated `branch:RATE`, `load:RATE[:CYCLES]`,
+/// `operand:RATE` entries, e.g. `--inject branch:0.01,load:0.05:300`.
+fn faults_from_spec(spec: &str, seed: u64) -> Result<FaultPlan, ArgError> {
+    let mut plan = FaultPlan { seed, ..FaultPlan::default() };
+    for entry in spec.split(',') {
+        let mut fields = entry.split(':');
+        let kind = fields.next().unwrap_or("");
+        let rate: f64 = fields
+            .next()
+            .ok_or_else(|| ArgError(format!("--inject `{entry}`: missing rate (kind:rate)")))?
+            .parse()
+            .map_err(|_| ArgError(format!("--inject `{entry}`: bad rate")))?;
+        match kind {
+            "branch" => plan.branch_flip_rate = rate,
+            "load" => {
+                plan.load_spike_rate = rate;
+                if let Some(cycles) = fields.next() {
+                    plan.load_spike_cycles = cycles
+                        .parse()
+                        .map_err(|_| ArgError(format!("--inject `{entry}`: bad spike cycles")))?;
+                }
+            }
+            "operand" => plan.operand_miss_rate = rate,
+            other => {
+                return Err(ArgError(format!(
+                    "--inject: unknown fault kind `{other}` (branch|load|operand)"
+                )))
+            }
+        }
+    }
+    Ok(plan)
 }
 
 /// Build a run budget from `--warmup/--measure/--max-cycles`.
@@ -87,8 +129,13 @@ mod tests {
     use looseloops::RegisterScheme;
 
     fn args(s: &str) -> Args {
-        let vals: Vec<&str> =
-            CONFIG_FLAGS.iter().chain(BUDGET_FLAGS.iter()).copied().collect();
+        // Same value-flag set as main.rs: everything but the boolean --audit.
+        let vals: Vec<&str> = CONFIG_FLAGS
+            .iter()
+            .chain(BUDGET_FLAGS.iter())
+            .copied()
+            .filter(|f| *f != "audit")
+            .collect();
         Args::parse(s.split_whitespace().map(String::from), &vals).unwrap()
     }
 
@@ -130,5 +177,35 @@ mod tests {
     fn budget_parses() {
         let b = budget_from_args(&args("--warmup 10 --measure 20")).unwrap();
         assert_eq!((b.warmup, b.measure), (10, 20));
+    }
+
+    #[test]
+    fn audit_and_watchdog_flags() {
+        let cfg = config_from_args(&args("--audit --watchdog 1000")).unwrap();
+        assert!(cfg.audit);
+        assert_eq!(cfg.watchdog_window, 1000);
+        let cfg = config_from_args(&args("")).unwrap();
+        assert!(!cfg.audit);
+    }
+
+    #[test]
+    fn inject_spec_parses() {
+        let cfg =
+            config_from_args(&args("--inject branch:0.01,load:0.05:300 --inject-seed 7")).unwrap();
+        let plan = cfg.faults.unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.branch_flip_rate, 0.01);
+        assert_eq!(plan.load_spike_rate, 0.05);
+        assert_eq!(plan.load_spike_cycles, 300);
+        assert_eq!(plan.operand_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn bad_inject_specs_report() {
+        assert!(config_from_args(&args("--inject gamma:0.5")).is_err());
+        assert!(config_from_args(&args("--inject branch")).is_err());
+        assert!(config_from_args(&args("--inject branch:lots")).is_err());
+        // Out-of-range rate is caught by PipelineConfig::validate.
+        assert!(config_from_args(&args("--inject branch:1.5")).is_err());
     }
 }

@@ -31,6 +31,10 @@ COMMANDS:
              --predictor tournament|gshare|local|bimodal|taken
              --threads N  --warmup N  --measure N  --max-cycles N
              --verify  --trace FILE  --json
+             --audit  (per-cycle invariant auditor)
+             --watchdog N  (deadlock window in cycles, 0 = off)
+             --inject branch:RATE,load:RATE[:CYCLES],operand:RATE
+             --inject-seed N  (fault schedule seed, default 1)
     figure   Regenerate one of the paper's evaluation figures
              fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|predictor
              --warmup N  --measure N  --smoke  --json-out FILE
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
         "bench", "pair", "asm", "trace", "json-out", "workloads",
         "scheme", "rf", "dec", "ex", "policy", "threads", "predictor",
         "warmup", "measure", "max-cycles", "instructions",
+        "watchdog", "inject", "inject-seed",
     ]
     .to_vec();
     let args = match Args::parse(rest, &value_flags) {

@@ -51,7 +51,10 @@ pub use experiments::{
 pub use loops::{loop_inventory, LoopInfo, LoopKind, Management, Stage};
 pub use machines::{alpha21264_like, pentium4_like};
 pub use report::{FigureResult, Series};
-pub use simulator::{run_benchmark, run_pair, run_programs, RunBudget};
+pub use simulator::{
+    run_benchmark, run_pair, run_programs, try_run_benchmark, try_run_pair, try_run_programs,
+    RunBudget,
+};
 
 // Substrate re-exports.
 pub use looseloops_branch as branch;
@@ -62,6 +65,7 @@ pub use looseloops_regs as regs;
 pub use looseloops_workload as workload;
 
 pub use looseloops_pipeline::{
-    LoadSpecPolicy, Machine, PipelineConfig, RegisterScheme, SimStats,
+    ConfigError, DeadlockError, FaultKind, FaultPlan, InvariantKind, InvariantViolation,
+    LoadSpecPolicy, Machine, PipelineConfig, PipelineSnapshot, RegisterScheme, SimError, SimStats,
 };
 pub use looseloops_workload::{Benchmark, SmtPair};

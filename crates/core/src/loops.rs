@@ -16,11 +16,10 @@
 //! machine's loops without running it.
 
 use looseloops_pipeline::{PipelineConfig, RegisterScheme};
-use serde::Serialize;
 use std::fmt;
 
 /// Pipeline stages, in machine order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Stage {
     /// Instruction fetch.
     Fetch,
@@ -54,7 +53,7 @@ impl fmt::Display for Stage {
 }
 
 /// What causes the loop (paper §1: control, data, or resource hazards).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoopKind {
     /// Control hazard (branch/next-line loops).
     Control,
@@ -65,7 +64,7 @@ pub enum LoopKind {
 }
 
 /// One micro-architectural loop of a configured machine.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LoopInfo {
     /// Loop name as used in the paper ("branch resolution", …).
     pub name: &'static str,
@@ -87,7 +86,7 @@ pub struct LoopInfo {
 }
 
 /// How a loop is managed (paper §1: stall or speculate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Management {
     /// The pipe stalls until the loop resolves.
     Stall,

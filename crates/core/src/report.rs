@@ -1,10 +1,9 @@
 //! Result containers and table rendering for the figure harnesses.
 
-use serde::Serialize;
 use std::fmt;
 
 /// One data series (a line/bar group in a paper figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series label (usually a configuration like "9_3").
     pub label: String,
@@ -13,7 +12,7 @@ pub struct Series {
 }
 
 /// A reproduced figure: labeled rows × labeled columns of numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Figure identifier ("fig4", …).
     pub id: String,

@@ -7,7 +7,7 @@
 //! thousands of instructions, tests use thousands.
 
 use looseloops_isa::Program;
-use looseloops_pipeline::{Machine, PipelineConfig, SimStats};
+use looseloops_pipeline::{Machine, PipelineConfig, SimError, SimStats};
 use looseloops_workload::{Benchmark, SmtPair};
 
 /// Instruction/cycle budget for one run.
@@ -44,37 +44,77 @@ impl Default for RunBudget {
 /// Run `programs` (one per configured thread) under `cfg`: warm up, reset
 /// statistics, measure. Returns the measured-window statistics.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid or the thread/program counts
-/// disagree (see [`Machine::new`]).
-pub fn run_programs(cfg: &PipelineConfig, programs: Vec<Program>, budget: RunBudget) -> SimStats {
-    let mut m = Machine::new(cfg.clone(), programs);
+/// Everything [`Machine::new`] and [`Machine::run`] can report: an invalid
+/// configuration, a mismatched program count, a deadlock, or (with
+/// `cfg.audit`) an invariant violation.
+pub fn try_run_programs(
+    cfg: &PipelineConfig,
+    programs: Vec<Program>,
+    budget: RunBudget,
+) -> Result<SimStats, SimError> {
+    let mut m = Machine::new(cfg.clone(), programs)?;
     if budget.warmup > 0 {
-        m.run(budget.warmup, budget.max_cycles);
+        m.run(budget.warmup, budget.max_cycles)?;
         m.reset_stats();
     }
-    m.run(budget.measure, budget.max_cycles).clone()
+    Ok(m.run(budget.measure, budget.max_cycles)?.clone())
 }
 
 /// Run a single-threaded benchmark proxy.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cfg.threads != 1`.
-pub fn run_benchmark(cfg: &PipelineConfig, bench: Benchmark, budget: RunBudget) -> SimStats {
-    assert_eq!(cfg.threads, 1, "run_benchmark needs a single-threaded config");
-    run_programs(cfg, vec![bench.program()], budget)
+/// As [`try_run_programs`]; a non-single-threaded `cfg` surfaces as
+/// [`SimError::ProgramCount`].
+pub fn try_run_benchmark(
+    cfg: &PipelineConfig,
+    bench: Benchmark,
+    budget: RunBudget,
+) -> Result<SimStats, SimError> {
+    try_run_programs(cfg, vec![bench.program()], budget)
 }
 
 /// Run one of the paper's SMT pairs.
 ///
+/// # Errors
+///
+/// As [`try_run_programs`]; a non-two-threaded `cfg` surfaces as
+/// [`SimError::ProgramCount`].
+pub fn try_run_pair(
+    cfg: &PipelineConfig,
+    pair: SmtPair,
+    budget: RunBudget,
+) -> Result<SimStats, SimError> {
+    try_run_programs(cfg, pair.programs(), budget)
+}
+
+/// [`try_run_programs`] for infallible contexts (benches, examples).
+///
 /// # Panics
 ///
-/// Panics if `cfg.threads != 2`.
+/// Panics on any [`SimError`].
+pub fn run_programs(cfg: &PipelineConfig, programs: Vec<Program>, budget: RunBudget) -> SimStats {
+    try_run_programs(cfg, programs, budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run_benchmark`] for infallible contexts.
+///
+/// # Panics
+///
+/// Panics on any [`SimError`], including `cfg.threads != 1`.
+pub fn run_benchmark(cfg: &PipelineConfig, bench: Benchmark, budget: RunBudget) -> SimStats {
+    try_run_benchmark(cfg, bench, budget).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run_pair`] for infallible contexts.
+///
+/// # Panics
+///
+/// Panics on any [`SimError`], including `cfg.threads != 2`.
 pub fn run_pair(cfg: &PipelineConfig, pair: SmtPair, budget: RunBudget) -> SimStats {
-    assert_eq!(cfg.threads, 2, "run_pair needs a two-threaded config");
-    run_programs(cfg, pair.programs(), budget)
+    try_run_pair(cfg, pair, budget).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -108,5 +148,12 @@ mod tests {
     #[should_panic]
     fn thread_count_mismatch_panics() {
         let _ = run_benchmark(&PipelineConfig::base().smt(2), Benchmark::Go, RunBudget::test());
+    }
+
+    #[test]
+    fn thread_count_mismatch_is_typed() {
+        let err = try_run_benchmark(&PipelineConfig::base().smt(2), Benchmark::Go, RunBudget::test())
+            .expect_err("2-thread config with one program");
+        assert!(matches!(err, SimError::ProgramCount { expected: 2, got: 1 }));
     }
 }

@@ -1,78 +1,109 @@
-//! Property tests for the ISA layer.
+//! Randomized property tests for the ISA layer.
+//!
+//! These run the same properties a proptest suite would, but over a fixed
+//! deterministic seed schedule from `looseloops-rng` so the whole repo
+//! builds and tests without external dependencies (and failures reproduce
+//! exactly).
 
 use looseloops_isa::{decode, encode, eval_op, FlatMemory, Inst, Memory, Opcode, Reg};
-use proptest::prelude::*;
+use looseloops_rng::Rng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(Reg::from_index)
+const CASES: u64 = 512;
+
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.gen_range(0u8..64))
 }
 
-fn arb_opcode() -> impl Strategy<Value = Opcode> {
-    (0u8..looseloops_isa::inst::NUM_OPCODES).prop_map(|v| Opcode::from_u8(v).unwrap())
+fn arb_opcode(rng: &mut Rng) -> Opcode {
+    Opcode::from_u8(rng.gen_range(0u8..looseloops_isa::inst::NUM_OPCODES)).unwrap()
 }
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    (arb_opcode(), arb_reg(), arb_reg(), arb_reg(), Inst::IMM_MIN..=Inst::IMM_MAX, any::<bool>())
-        .prop_map(|(op, rd, rs1, rs2, imm, uses_imm)| Inst { op, rd, rs1, rs2, imm, uses_imm })
+fn arb_inst(rng: &mut Rng) -> Inst {
+    Inst {
+        op: arb_opcode(rng),
+        rd: arb_reg(rng),
+        rs1: arb_reg(rng),
+        rs2: arb_reg(rng),
+        imm: rng.gen_range(Inst::IMM_MIN..=Inst::IMM_MAX),
+        uses_imm: rng.gen_bool(0.5),
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(inst in arb_inst()) {
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x15a1);
+    for _ in 0..CASES {
+        let inst = arb_inst(&mut rng);
         let word = encode(inst);
         let back = decode(word).expect("encoded instructions always decode");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst);
     }
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u64>()) {
-        let _ = decode(word); // may Err, must not panic
+#[test]
+fn decode_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x15a2);
+    for _ in 0..CASES * 4 {
+        let _ = decode(rng.next_u64()); // may Err, must not panic
     }
+}
 
-    #[test]
-    fn decoded_garbage_reencodes_identically(word in any::<u64>()) {
+#[test]
+fn decoded_garbage_reencodes_identically() {
+    let mut rng = Rng::seed_from_u64(0x15a3);
+    for _ in 0..CASES * 4 {
+        let word = rng.next_u64();
         if let Ok(inst) = decode(word) {
             // Valid words are fixed points of decode∘encode.
-            prop_assert_eq!(encode(inst), word);
+            assert_eq!(encode(inst), word);
         }
     }
+}
 
-    #[test]
-    fn commutative_ops_commute(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn commutative_ops_commute() {
+    let mut rng = Rng::seed_from_u64(0x15a4);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         for op in [Opcode::Add, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Mul] {
-            prop_assert_eq!(eval_op(op, a, b), eval_op(op, b, a));
+            assert_eq!(eval_op(op, a, b), eval_op(op, b, a));
         }
-        prop_assert_eq!(eval_op(Opcode::Seq, a, b), eval_op(Opcode::Seq, b, a));
+        assert_eq!(eval_op(Opcode::Seq, a, b), eval_op(Opcode::Seq, b, a));
     }
+}
 
-    #[test]
-    fn shifts_mask_their_amount(a in any::<u64>(), s in any::<u64>()) {
-        prop_assert_eq!(
-            eval_op(Opcode::Sll, a, s),
-            eval_op(Opcode::Sll, a, s & 63)
-        );
-        prop_assert_eq!(
-            eval_op(Opcode::Srl, a, s),
-            eval_op(Opcode::Srl, a, s & 63)
-        );
-        prop_assert_eq!(
-            eval_op(Opcode::Sra, a, s),
-            eval_op(Opcode::Sra, a, s & 63)
-        );
+#[test]
+fn shifts_mask_their_amount() {
+    let mut rng = Rng::seed_from_u64(0x15a5);
+    for _ in 0..CASES {
+        let (a, s) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(eval_op(Opcode::Sll, a, s), eval_op(Opcode::Sll, a, s & 63));
+        assert_eq!(eval_op(Opcode::Srl, a, s), eval_op(Opcode::Srl, a, s & 63));
+        assert_eq!(eval_op(Opcode::Sra, a, s), eval_op(Opcode::Sra, a, s & 63));
     }
+}
 
-    #[test]
-    fn comparison_trichotomy(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn comparison_trichotomy() {
+    let mut rng = Rng::seed_from_u64(0x15a6);
+    for i in 0..CASES {
+        let a = rng.next_u64();
+        // Mix in equal pairs: a random pair of u64s is almost never equal.
+        let b = if i % 4 == 0 { a } else { rng.next_u64() };
         let lt = eval_op(Opcode::Slt, a, b);
         let gt = eval_op(Opcode::Slt, b, a);
         let eq = eval_op(Opcode::Seq, a, b);
-        prop_assert_eq!(lt + gt + eq, 1, "exactly one of <, >, == holds");
+        assert_eq!(lt + gt + eq, 1, "exactly one of <, >, == holds");
     }
+}
 
-    #[test]
-    fn memory_read_back_what_you_wrote(
-        writes in prop::collection::vec((any::<u64>(), any::<u64>()), 1..20)
-    ) {
+#[test]
+fn memory_read_back_what_you_wrote() {
+    let mut rng = Rng::seed_from_u64(0x15a7);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..20);
+        let writes: Vec<(u64, u64)> =
+            (0..n).map(|_| (rng.next_u64(), rng.next_u64())).collect();
         let mut m = FlatMemory::new();
         for (addr, val) in &writes {
             m.write(*addr, 8, *val);
@@ -85,54 +116,68 @@ proptest! {
         for (addr, val) in last {
             // Only check addresses not partially overwritten by others.
             if writes.iter().filter(|(a, _)| a.abs_diff(addr) < 8).count() == 1 {
-                prop_assert_eq!(m.read(addr, 8), val);
+                assert_eq!(m.read(addr, 8), val);
             }
-        }
-    }
-
-    #[test]
-    fn byte_assembled_reads_match_word_reads(addr in any::<u64>(), val in any::<u64>()) {
-        let mut m = FlatMemory::new();
-        m.write(addr, 8, val);
-        let lo = m.read(addr, 4);
-        let hi = m.read(addr.wrapping_add(4), 4);
-        prop_assert_eq!(lo | (hi << 32), val);
-    }
-
-    #[test]
-    fn srcs_and_dest_never_include_zero_registers(inst in arb_inst()) {
-        for s in inst.srcs().into_iter().flatten() {
-            prop_assert!(!s.is_zero());
-        }
-        if let Some(d) = inst.dest() {
-            prop_assert!(!d.is_zero());
         }
     }
 }
 
-proptest! {
-    /// assemble ∘ disassemble is the identity on instruction streams built
-    /// from any mix of representable instructions.
-    #[test]
-    fn disassembly_round_trips(insts in prop::collection::vec(arb_inst(), 1..40)) {
+#[test]
+fn byte_assembled_reads_match_word_reads() {
+    let mut rng = Rng::seed_from_u64(0x15a8);
+    for _ in 0..CASES {
+        let (addr, val) = (rng.next_u64(), rng.next_u64());
+        let mut m = FlatMemory::new();
+        m.write(addr, 8, val);
+        let lo = m.read(addr, 4);
+        let hi = m.read(addr.wrapping_add(4), 4);
+        assert_eq!(lo | (hi << 32), val);
+    }
+}
+
+#[test]
+fn srcs_and_dest_never_include_zero_registers() {
+    let mut rng = Rng::seed_from_u64(0x15a9);
+    for _ in 0..CASES {
+        let inst = arb_inst(&mut rng);
+        for s in inst.srcs().into_iter().flatten() {
+            assert!(!s.is_zero());
+        }
+        if let Some(d) = inst.dest() {
+            assert!(!d.is_zero());
+        }
+    }
+}
+
+/// assemble ∘ disassemble is the identity on instruction streams built
+/// from any mix of representable instructions.
+#[test]
+fn disassembly_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x15aa);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..40);
         // The text form expresses exactly the canonical instructions (dead
         // fields normalized — see `Inst::canonical`).
-        let insts: Vec<Inst> = insts.into_iter().map(Inst::canonical).collect();
+        let insts: Vec<Inst> = (0..n).map(|_| arb_inst(&mut rng).canonical()).collect();
         let prog = looseloops_isa::Program::new("p", insts);
         let text = looseloops_isa::disassemble(&prog);
         let back = looseloops_isa::assemble(&text)
             .unwrap_or_else(|e| panic!("disassembly must re-assemble: {e}\n{text}"));
-        prop_assert_eq!(back.insts, prog.insts);
+        assert_eq!(back.insts, prog.insts);
     }
+}
 
-    /// Canonicalization never changes an instruction's dataflow contract.
-    #[test]
-    fn canonicalization_preserves_semantics(inst in arb_inst()) {
+/// Canonicalization never changes an instruction's dataflow contract.
+#[test]
+fn canonicalization_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(0x15ab);
+    for _ in 0..CASES {
+        let inst = arb_inst(&mut rng);
         let c = inst.canonical();
-        prop_assert_eq!(c.canonical(), c, "idempotent");
-        prop_assert_eq!(c.op, inst.op);
-        prop_assert_eq!(c.dest(), inst.dest());
+        assert_eq!(c.canonical(), c, "idempotent");
+        assert_eq!(c.op, inst.op);
+        assert_eq!(c.dest(), inst.dest());
         // Sources: identical except that immediate forms drop the dead rs2.
-        prop_assert_eq!(c.srcs()[0], inst.srcs()[0]);
+        assert_eq!(c.srcs()[0], inst.srcs()[0]);
     }
 }

@@ -1,8 +1,9 @@
-//! Property tests for the memory-hierarchy timing models against
-//! executable reference models.
+//! Randomized property tests for the memory-hierarchy timing models
+//! against executable reference models, driven by a deterministic seed
+//! schedule from `looseloops-rng`.
 
 use looseloops_mem::{BankTracker, Cache, CacheConfig, Tlb, TlbConfig, TlbMissPolicy, TlbOutcome};
-use proptest::prelude::*;
+use looseloops_rng::Rng;
 
 /// Reference set-associative LRU cache: naive timestamps.
 struct RefCache {
@@ -41,79 +42,92 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// The timing cache agrees hit-for-hit with the reference LRU model.
-    #[test]
-    fn cache_matches_reference_lru(
-        addrs in prop::collection::vec(0u64..4096, 1..400)
-    ) {
+/// The timing cache agrees hit-for-hit with the reference LRU model.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = Rng::seed_from_u64(0x3e31);
+    for _ in 0..64 {
         // 4 sets x 2 ways x 64B lines = 512 B — tiny, to force evictions.
         let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, hit_latency: 1 };
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(cfg.num_sets(), cfg.assoc, cfg.line_bytes as u64);
-        for a in addrs {
-            prop_assert_eq!(cache.access(a), reference.access(a), "addr {}", a);
+        let n = rng.gen_range(1usize..400);
+        for _ in 0..n {
+            let a = rng.gen_range(0u64..4096);
+            assert_eq!(cache.access(a), reference.access(a), "addr {a}");
         }
     }
+}
 
-    /// Hits + misses always equals accesses; a just-accessed line always
-    /// probes resident.
-    #[test]
-    fn cache_accounting_invariants(addrs in prop::collection::vec(0u64..100_000, 1..200)) {
+/// Hits + misses always equals accesses; a just-accessed line always
+/// probes resident.
+#[test]
+fn cache_accounting_invariants() {
+    let mut rng = Rng::seed_from_u64(0x3e32);
+    for _ in 0..32 {
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 1024,
             assoc: 4,
             line_bytes: 32,
             hit_latency: 2,
         });
-        for (i, a) in addrs.iter().enumerate() {
-            cache.access(*a);
-            prop_assert!(cache.probe(*a), "just-accessed line must be resident");
-            prop_assert_eq!(cache.stats().accesses(), i as u64 + 1);
+        let n = rng.gen_range(1usize..200);
+        for i in 0..n {
+            let a = rng.gen_range(0u64..100_000);
+            cache.access(a);
+            assert!(cache.probe(a), "just-accessed line must be resident");
+            assert_eq!(cache.stats().accesses(), i as u64 + 1);
         }
     }
+}
 
-    /// Bank reservations never allow two grants of the same bank in the
-    /// same cycle, and waits are exactly the backlog.
-    #[test]
-    fn bank_grants_are_serialized(
-        reqs in prop::collection::vec((0u64..16, 0u64..8), 1..100)
-    ) {
+/// Bank reservations never allow two grants of the same bank in the
+/// same cycle, and waits are exactly the backlog.
+#[test]
+fn bank_grants_are_serialized() {
+    let mut rng = Rng::seed_from_u64(0x3e33);
+    for _ in 0..64 {
         let mut banks = BankTracker::new(4, 64);
         let mut grants: Vec<(usize, u64)> = Vec::new(); // (bank, grant cycle)
-        let mut reqs = reqs.clone();
+        let n = rng.gen_range(1usize..100);
+        let mut reqs: Vec<(u64, u64)> =
+            (0..n).map(|_| (rng.gen_range(0u64..16), rng.gen_range(0u64..8))).collect();
         reqs.sort_by_key(|&(_, t)| t);
         for (line, t) in reqs {
             let addr = line * 64;
             let wait = banks.reserve(addr, t);
             let bank = banks.bank_of(addr);
             let grant = t + wait;
-            prop_assert!(
+            assert!(
                 !grants.contains(&(bank, grant)),
                 "double grant of bank {bank} at cycle {grant}"
             );
             grants.push((bank, grant));
         }
     }
+}
 
-    /// TLB: after any access, an immediate re-access of the same page hits;
-    /// the (hits, misses) tally is conserved.
-    #[test]
-    fn tlb_refill_and_accounting(pages in prop::collection::vec(0u64..32, 1..200)) {
+/// TLB: after any access, an immediate re-access of the same page hits;
+/// the (hits, misses) tally is conserved.
+#[test]
+fn tlb_refill_and_accounting() {
+    let mut rng = Rng::seed_from_u64(0x3e34);
+    for _ in 0..32 {
         let mut tlb = Tlb::new(TlbConfig {
             entries: 8,
             page_bytes: 4096,
             miss_policy: TlbMissPolicy::Trap,
         });
         let mut accesses = 0u64;
-        for p in pages {
-            let addr = p * 4096;
+        let n = rng.gen_range(1usize..200);
+        for _ in 0..n {
+            let addr = rng.gen_range(0u64..32) * 4096;
             let _ = tlb.access(addr);
             accesses += 1;
-            prop_assert_eq!(tlb.access(addr), TlbOutcome::Hit, "refill must stick");
+            assert_eq!(tlb.access(addr), TlbOutcome::Hit, "refill must stick");
             accesses += 1;
             let (h, m) = tlb.stats();
-            prop_assert_eq!(h + m, accesses);
+            assert_eq!(h + m, accesses);
         }
     }
 }

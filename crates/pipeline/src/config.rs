@@ -5,6 +5,8 @@
 //! "IQ-EX"), plus the register-access scheme (monolithic baseline vs the
 //! DRA) and the load-speculation policy ablations of §2.2.2.
 
+use crate::error::ConfigError;
+use crate::faults::FaultPlan;
 use looseloops_branch::PredictorKind;
 use looseloops_mem::{HierarchyConfig, TlbMissPolicy};
 
@@ -154,6 +156,18 @@ pub struct PipelineConfig {
     /// idealization is an ablation knob for quantifying how much of the
     /// operand-miss rate is squash pollution.
     pub dra_ideal_squash_cleanup: bool,
+    /// Run the per-cycle invariant auditor (freelist conservation, IQ/ROB
+    /// occupancy, RPFT/CRC/insertion-table consistency — see `audit.rs`).
+    /// Costs a few multiples of simulation speed; the test suites enable it,
+    /// production sweeps leave it off.
+    pub audit: bool,
+    /// Forward-progress watchdog: if no thread retires an instruction for
+    /// this many cycles while un-halted threads still have work,
+    /// [`crate::Machine::run`] returns a [`crate::DeadlockError`] instead of
+    /// burning to `max_cycles`. `0` disables the watchdog.
+    pub watchdog_window: u64,
+    /// Fault-injection schedule (`None` = no injection).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for PipelineConfig {
@@ -195,6 +209,9 @@ impl Default for PipelineConfig {
             store_wait_entries: 1024,
             branch_checkpoints: None,
             dra_ideal_squash_cleanup: false,
+            audit: false,
+            watchdog_window: 50_000,
+            faults: None,
         }
     }
 }
@@ -256,54 +273,62 @@ impl PipelineConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first problem found as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.threads == 0 || self.threads > 4 {
-            return Err(format!("threads must be 1–4, got {}", self.threads));
+            return Err(ConfigError::ThreadCount { got: self.threads });
         }
         if self.width == 0 || self.clusters == 0 {
-            return Err("width and clusters must be positive".into());
+            return Err(ConfigError::ZeroWidthOrClusters);
         }
         if self.branch_checkpoints == Some(0) {
-            return Err("branch_checkpoints must be at least 1 when limited".into());
+            return Err(ConfigError::NoBranchCheckpoints);
         }
         if self.fp_clusters == 0 || self.fp_clusters > self.clusters {
-            return Err("fp_clusters must be in 1..=clusters".into());
+            return Err(ConfigError::FpClusters {
+                fp_clusters: self.fp_clusters,
+                clusters: self.clusters,
+            });
         }
         if self.mem_clusters == 0 || self.mem_clusters > self.clusters {
-            return Err("mem_clusters must be in 1..=clusters".into());
+            return Err(ConfigError::MemClusters {
+                mem_clusters: self.mem_clusters,
+                clusters: self.clusters,
+            });
         }
         if self.iq_ex_stages < 1 {
-            return Err("iq_ex_stages must be at least 1".into());
+            return Err(ConfigError::IqExTooShort);
         }
         if self.dec_iq_stages < 1 {
-            return Err("dec_iq_stages must be at least 1".into());
+            return Err(ConfigError::DecIqTooShort);
         }
         let arch = 64 * self.threads;
         if self.phys_regs < arch + self.max_in_flight {
-            return Err(format!(
-                "phys_regs ({}) must cover {} architectural mappings plus {} in flight",
-                self.phys_regs, arch, self.max_in_flight
-            ));
+            return Err(ConfigError::TooFewPhysRegs {
+                phys_regs: self.phys_regs,
+                arch,
+                max_in_flight: self.max_in_flight,
+            });
         }
-        if self.scheme == RegisterScheme::Monolithic
-            && self.iq_ex_stages < self.rf_read_latency
-        {
-            return Err(format!(
-                "monolithic IQ-EX ({}) cannot be shorter than the register read ({})",
-                self.iq_ex_stages, self.rf_read_latency
-            ));
+        if self.scheme == RegisterScheme::Monolithic && self.iq_ex_stages < self.rf_read_latency {
+            return Err(ConfigError::MonolithicRfReadTooLong {
+                iq_ex_stages: self.iq_ex_stages,
+                rf_read_latency: self.rf_read_latency,
+            });
         }
         if let RegisterScheme::Dra { crc_entries, .. } = self.scheme {
             if crc_entries == 0 {
-                return Err("CRC must have at least one entry".into());
+                return Err(ConfigError::EmptyCrc);
             }
             if self.dec_iq_stages < 2 + self.rf_read_latency {
-                return Err(format!(
-                    "DRA DEC-IQ ({}) must fit rename (2) + register read ({})",
-                    self.dec_iq_stages, self.rf_read_latency
-                ));
+                return Err(ConfigError::DraDecIqTooShort {
+                    dec_iq_stages: self.dec_iq_stages,
+                    rf_read_latency: self.rf_read_latency,
+                });
             }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
         }
         Ok(())
     }

@@ -85,6 +85,36 @@ impl IssueQueue {
         self.capacity - self.entries.len()
     }
 
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy by wait-state: (waiting, issued, confirmed).
+    pub fn state_breakdown(&self) -> (usize, usize, usize) {
+        let mut b = (0, 0, 0);
+        for e in &self.entries {
+            match e.state {
+                IqState::Waiting => b.0 += 1,
+                IqState::Issued => b.1 += 1,
+                IqState::Confirmed { .. } => b.2 += 1,
+            }
+        }
+        b
+    }
+
+    /// True when the per-cluster tallies match the entries (auditor check).
+    pub fn cluster_counts_consistent(&self) -> bool {
+        let mut counts = vec![0u32; self.per_cluster.len()];
+        for e in &self.entries {
+            match counts.get_mut(e.cluster) {
+                Some(c) => *c += 1,
+                None => return false,
+            }
+        }
+        counts == self.per_cluster
+    }
+
     /// Insert an instruction; returns `false` (and does nothing) when full.
     pub fn insert(&mut self, entry: IqEntry) -> bool {
         if self.entries.len() >= self.capacity {

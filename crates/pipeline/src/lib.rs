@@ -25,15 +25,23 @@
 //!         halt
 //!     ",
 //! ).unwrap();
-//! let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+//! let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
 //! m.enable_verification();
-//! let ipc = m.run(u64::MAX, 100_000).ipc();
+//! let ipc = m.run(u64::MAX, 100_000).unwrap().ipc();
 //! assert!(m.is_done());
 //! assert!(ipc > 0.5);
 //! ```
+//!
+//! Construction and run paths report failures as typed [`SimError`]s; the
+//! opt-in per-cycle invariant auditor (`cfg.audit`), the forward-progress
+//! watchdog (`cfg.watchdog_window`), and the deterministic fault-injection
+//! harness ([`FaultPlan`]) form the simulation hardening layer.
 
+pub mod audit;
 pub mod config;
 pub mod dyninst;
+pub mod error;
+pub mod faults;
 pub mod iq;
 pub mod lsq;
 pub mod machine;
@@ -42,6 +50,11 @@ pub mod trace;
 
 pub use config::{ExecLatencies, LoadSpecPolicy, PipelineConfig, RegisterScheme};
 pub use dyninst::{DynInst, InstId, InstPhase, OperandSource};
+pub use error::{
+    ConfigError, DeadlockError, InvariantKind, InvariantViolation, PipelineSnapshot, SimError,
+    ThreadSnapshot,
+};
+pub use faults::{FaultInjector, FaultKind, FaultPlan};
 pub use iq::{IqEntry, IqState, IssueQueue};
 pub use lsq::StoreWaitTable;
 pub use machine::Machine;

@@ -13,6 +13,8 @@ use crate::config::{LoadSpecPolicy, PipelineConfig, RegisterScheme};
 use crate::dyninst::{
     BranchPrediction, DestRename, InstId, InstPhase, InstSlab, OperandSource, SrcOperand,
 };
+use crate::error::{DeadlockError, PipelineSnapshot, SimError, ThreadSnapshot};
+use crate::faults::FaultInjector;
 use crate::iq::{IqEntry, IqState, IssueQueue};
 use crate::lsq::{contains, forward_value, overlaps, StoreWaitTable};
 use crate::stats::SimStats;
@@ -30,33 +32,34 @@ use looseloops_regs::{
 };
 use std::collections::{BTreeMap, VecDeque};
 
-/// Per-thread front-end and program-order state.
+/// Per-thread front-end and program-order state. Fields are crate-visible
+/// for the invariant auditor (`audit.rs`).
 #[derive(Debug)]
-struct ThreadState {
-    program: Program,
-    fetch_pc: u64,
+pub(crate) struct ThreadState {
+    pub(crate) program: Program,
+    pub(crate) fetch_pc: u64,
     /// Fetch suspended: a `halt` was fetched, or the PC ran off the image
     /// on a wrong path. Cleared by squash redirects.
-    fetch_suspended: bool,
-    fetch_stall_until: u64,
+    pub(crate) fetch_suspended: bool,
+    pub(crate) fetch_stall_until: u64,
     /// Fetched instructions awaiting rename, with the cycle they become
     /// eligible (fetch-stage delay).
-    decode_q: VecDeque<(u64, InstId)>,
+    pub(crate) decode_q: VecDeque<(u64, InstId)>,
     /// Renamed instructions travelling the DEC-IQ pipe toward the IQ.
-    transit_q: VecDeque<(u64, InstId)>,
+    pub(crate) transit_q: VecDeque<(u64, InstId)>,
     /// Program-order window (renamed, not yet retired).
-    rob: VecDeque<InstId>,
+    pub(crate) rob: VecDeque<InstId>,
     /// In-flight stores in program order.
-    store_q: VecDeque<InstId>,
-    ras: ReturnAddressStack,
+    pub(crate) store_q: VecDeque<InstId>,
+    pub(crate) ras: ReturnAddressStack,
     /// Sequence number of an un-retired memory barrier stalling rename.
-    mb_stall_seq: Option<u64>,
+    pub(crate) mb_stall_seq: Option<u64>,
     /// Unresolved conditional branches in flight (checkpoint accounting).
-    unresolved_branches: usize,
+    pub(crate) unresolved_branches: usize,
     /// The thread retired its `halt`.
-    done: bool,
+    pub(crate) done: bool,
     /// Verification oracle (enabled by [`Machine::enable_verification`]).
-    oracle: Option<(ArchState, FlatMemory)>,
+    pub(crate) oracle: Option<(ArchState, FlatMemory)>,
 }
 
 impl ThreadState {
@@ -69,70 +72,77 @@ impl ThreadState {
     }
 }
 
-/// The simulated machine: construct with [`Machine::new`], drive with
-/// [`Machine::run`], read results from [`Machine::stats`].
+/// The simulated machine: construct with [`Machine::new`] (or the
+/// panicking [`Machine::must`]), drive with [`Machine::run`], read results
+/// from [`Machine::stats`]. Fields are crate-visible for the invariant
+/// auditor (`audit.rs`).
 pub struct Machine {
-    cfg: PipelineConfig,
-    cycle: u64,
-    seq: u64,
-    slab: InstSlab,
-    iq: IssueQueue,
-    threads: Vec<ThreadState>,
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) cycle: u64,
+    pub(crate) seq: u64,
+    pub(crate) slab: InstSlab,
+    pub(crate) iq: IssueQueue,
+    pub(crate) threads: Vec<ThreadState>,
     // Register machinery.
-    freelist: FreeList,
-    physfile: PhysRegFile,
-    rename: Vec<RenameMap>,
-    fwd: ForwardingBuffer,
-    rpft: Rpft,
-    crcs: Vec<ClusterRegCache>,
-    itables: Vec<InsertionTable>,
+    pub(crate) freelist: FreeList,
+    pub(crate) physfile: PhysRegFile,
+    pub(crate) rename: Vec<RenameMap>,
+    pub(crate) fwd: ForwardingBuffer,
+    pub(crate) rpft: Rpft,
+    pub(crate) crcs: Vec<ClusterRegCache>,
+    pub(crate) itables: Vec<InsertionTable>,
     /// Per physical register: earliest cycle a consumer may *issue* so its
     /// operand is present at execute. `u64::MAX` = producer unscheduled.
-    ready_at: Vec<u64>,
+    pub(crate) ready_at: Vec<u64>,
     /// Per physical register: cycle the value was actually produced
     /// (`u64::MAX` while in flight).
-    avail_cycle: Vec<u64>,
+    pub(crate) avail_cycle: Vec<u64>,
     /// Per physical register: bumped whenever `ready_at` is rewritten, so
     /// consumers blocked on a failed wake-up know when to retry.
-    ready_version: Vec<u32>,
+    pub(crate) ready_version: Vec<u32>,
     // Memory.
-    hier: MemHierarchy,
-    data_mem: FlatMemory,
+    pub(crate) hier: MemHierarchy,
+    pub(crate) data_mem: FlatMemory,
     // Prediction.
-    pred: Box<dyn DirectionPredictor>,
-    btb: Btb,
-    line_pred: LinePredictor,
-    store_wait: StoreWaitTable,
+    pub(crate) pred: Box<dyn DirectionPredictor>,
+    pub(crate) btb: Btb,
+    pub(crate) line_pred: LinePredictor,
+    pub(crate) store_wait: StoreWaitTable,
     // Event queues: cycle -> [(inst, issue-stamp)].
-    exec_events: BTreeMap<u64, Vec<(InstId, u32)>>,
-    complete_events: BTreeMap<u64, Vec<(InstId, u32)>>,
+    pub(crate) exec_events: BTreeMap<u64, Vec<(InstId, u32)>>,
+    pub(crate) complete_events: BTreeMap<u64, Vec<(InstId, u32)>>,
     /// Delayed wake-up corrections: the IQ learns a load missed only after
     /// the load-resolution loop's feedback delay. (cycle -> [(inst, stamp,
     /// corrected ready_at)]).
-    wakeup_events: BTreeMap<u64, Vec<(InstId, u32, u64)>>,
-    frontend_stall_until: u64,
+    pub(crate) wakeup_events: BTreeMap<u64, Vec<(InstId, u32, u64)>>,
+    pub(crate) frontend_stall_until: u64,
     /// Per-cluster count of slotted instructions still in DEC-IQ transit
     /// (the IQ itself tracks inserted ones). Slotting balances on the sum,
     /// otherwise whole fetch groups clump onto one cluster for the length
     /// of the transit pipe.
-    cluster_pressure: Vec<u32>,
-    stats: SimStats,
+    pub(crate) cluster_pressure: Vec<u32>,
+    pub(crate) stats: SimStats,
     /// Captured retire stream (for equivalence tests), if enabled.
-    retire_capture: Option<Vec<(usize, Retired)>>,
+    pub(crate) retire_capture: Option<Vec<(usize, Retired)>>,
     /// Kanata pipeline tracer, if enabled.
-    tracer: Option<PipelineTracer>,
+    pub(crate) tracer: Option<PipelineTracer>,
+    /// Armed fault injector (from `cfg.faults`), if any.
+    pub(crate) injector: Option<FaultInjector>,
 }
 
 impl Machine {
     /// Build a machine running `programs` (one per hardware thread).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid ([`PipelineConfig::validate`])
-    /// or the program count does not match `cfg.threads`.
-    pub fn new(cfg: PipelineConfig, programs: Vec<Program>) -> Machine {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid configuration: {e}"));
-        assert_eq!(programs.len(), cfg.threads, "one program per hardware thread");
+    /// Returns [`SimError::Config`] if the configuration is invalid
+    /// ([`PipelineConfig::validate`]) and [`SimError::ProgramCount`] if the
+    /// program count does not match `cfg.threads`.
+    pub fn new(cfg: PipelineConfig, programs: Vec<Program>) -> Result<Machine, SimError> {
+        cfg.validate()?;
+        if programs.len() != cfg.threads {
+            return Err(SimError::ProgramCount { expected: cfg.threads, got: programs.len() });
+        }
 
         let mut freelist = FreeList::new(cfg.phys_regs);
         let rename: Vec<RenameMap> =
@@ -169,7 +179,7 @@ impl Machine {
             })
             .collect();
 
-        Machine {
+        Ok(Machine {
             iq: IssueQueue::new(cfg.iq_entries, cfg.clusters),
             physfile: PhysRegFile::new(cfg.phys_regs),
             fwd: ForwardingBuffer::new(cfg.fwd_window),
@@ -199,8 +209,18 @@ impl Machine {
             cluster_pressure: vec![0; cfg.clusters],
             retire_capture: None,
             tracer: None,
+            injector: cfg.faults.map(FaultInjector::new),
             cfg,
-        }
+        })
+    }
+
+    /// [`Machine::new`] for infallible contexts (benches, examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or mismatched program count.
+    pub fn must(cfg: PipelineConfig, programs: Vec<Program>) -> Machine {
+        Machine::new(cfg, programs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The machine's configuration.
@@ -298,14 +318,99 @@ impl Machine {
     /// Run until every thread halts, `max_retired` instructions retire
     /// (total), or `max_cycles` elapse — whichever is first. Returns the
     /// statistics.
-    pub fn run(&mut self, max_retired: u64, max_cycles: u64) -> &SimStats {
+    ///
+    /// When `cfg.audit` is set, the invariant auditor runs after every
+    /// cycle; when `cfg.watchdog_window` is non-zero, a forward-progress
+    /// watchdog monitors retirement.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no instruction retires for a whole
+    /// watchdog window while un-halted threads still have work, and
+    /// [`SimError::Invariant`] if the auditor finds a broken structural
+    /// invariant. Both carry enough state to diagnose the wedge; the
+    /// machine is left intact for inspection.
+    pub fn run(&mut self, max_retired: u64, max_cycles: u64) -> Result<&SimStats, SimError> {
         let target = self.stats.total_retired().saturating_add(max_retired);
         let last_cycle = self.cycle.saturating_add(max_cycles);
+        let window = self.cfg.watchdog_window;
+        // The watchdog anchors at run start so a machine that never retires
+        // anything still trips it.
+        let mut last_retired = self.stats.total_retired();
+        let mut last_progress_cycle = self.cycle;
         while !self.is_done() && self.stats.total_retired() < target && self.cycle < last_cycle {
             self.step_cycle();
+            if self.cfg.audit {
+                if let Err(v) = self.audit() {
+                    self.finalize_stats();
+                    return Err(v.into());
+                }
+            }
+            let retired = self.stats.total_retired();
+            if retired != last_retired {
+                last_retired = retired;
+                last_progress_cycle = self.cycle;
+            } else if window > 0 && self.cycle - last_progress_cycle >= window {
+                self.stats.deadlocks_detected += 1;
+                self.finalize_stats();
+                return Err(DeadlockError {
+                    cycle: self.cycle,
+                    window,
+                    last_retire_cycle: last_progress_cycle,
+                    snapshot: self.snapshot(),
+                }
+                .into());
+            }
         }
         self.finalize_stats();
-        &self.stats
+        Ok(&self.stats)
+    }
+
+    /// Point-in-time occupancy of every pipeline structure (the payload of
+    /// a [`DeadlockError`], also useful for ad-hoc diagnostics).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            cycle: self.cycle,
+            iq_len: self.iq.len(),
+            iq_capacity: self.iq.capacity(),
+            iq_states: self.iq.state_breakdown(),
+            free_phys_regs: self.freelist.available(),
+            phys_regs: self.cfg.phys_regs,
+            in_flight: self.total_in_flight(),
+            max_in_flight: self.cfg.max_in_flight,
+            frontend_stall_until: self.frontend_stall_until,
+            pending_events: (
+                self.exec_events.values().map(Vec::len).sum(),
+                self.complete_events.values().map(Vec::len).sum(),
+                self.wakeup_events.values().map(Vec::len).sum(),
+            ),
+            threads: self
+                .threads
+                .iter()
+                .map(|th| ThreadSnapshot {
+                    done: th.done,
+                    fetch_pc: th.fetch_pc,
+                    fetch_suspended: th.fetch_suspended,
+                    fetch_stall_until: th.fetch_stall_until,
+                    decode_q: th.decode_q.len(),
+                    transit_q: th.transit_q.len(),
+                    rob: th.rob.len(),
+                    store_q: th.store_q.len(),
+                    unresolved_branches: th.unresolved_branches,
+                    mb_stalled: th.mb_stall_seq.is_some(),
+                    oldest: th.rob.front().and_then(|&id| self.slab.get(id)).map(|di| {
+                        let phase = match di.phase {
+                            InstPhase::FrontEnd => "FrontEnd",
+                            InstPhase::InIq => "InIq",
+                            InstPhase::Issued => "Issued",
+                            InstPhase::Complete => "Complete",
+                            InstPhase::Retired => "Retired",
+                        };
+                        (di.seq, di.pc, phase)
+                    }),
+                })
+                .collect(),
+        }
     }
 
     /// Advance exactly one cycle.
@@ -344,6 +449,10 @@ impl Machine {
             self.stats.insertion_saturations =
                 self.itables.iter().map(|t| t.saturation_events()).sum();
         }
+        if let Some(inj) = &self.injector {
+            self.stats.faults_injected = inj.injected();
+            self.stats.faults_by_kind = inj.by_kind();
+        }
     }
 
     /// Rewrite a register's wake-up schedule and bump its version so
@@ -360,6 +469,7 @@ impl Machine {
             if cyc > now {
                 break;
             }
+            // invariant: first_key_value above proved the map non-empty.
             let (_, list) = self.wakeup_events.pop_first().expect("non-empty");
             for (id, stamp, ready) in list {
                 let Some(di) = self.slab.get(id) else { continue };
@@ -463,7 +573,15 @@ impl Machine {
         let fall = pc + 1;
         let (next, taken) = match inst.class() {
             Class::CondBranch => {
-                let (dir, ctx) = self.pred.predict_ctx(pc);
+                let (mut dir, ctx) = self.pred.predict_ctx(pc);
+                // Fault injection: a flipped direction is just a wrong
+                // prediction — resolution squashes and repairs history
+                // exactly as for a natural mispredict.
+                if let Some(inj) = &mut self.injector {
+                    if inj.flip_branch(self.cycle) {
+                        dir = !dir;
+                    }
+                }
                 pred_ctx = ctx;
                 if dir {
                     ((fall as i64 + inst.imm as i64) as u64, true)
@@ -602,6 +720,8 @@ impl Machine {
             }
             _ => 0..self.cfg.clusters,
         };
+        // invariant: validate() guarantees fp_clusters and mem_clusters are
+        // both in 1..=clusters, so every eligibility range is non-empty.
         let cluster = eligible
             .min_by_key(|&c| (self.iq.cluster_len(c) + self.cluster_pressure[c], c))
             .expect("at least one cluster");
@@ -912,6 +1032,13 @@ impl Machine {
                     vals[i] = self.physfile.read(p);
                 }
                 RegisterScheme::Dra { .. } => {
+                    // Fault injection: force this lookup to miss. Safe
+                    // because the producer-not-ready check above already
+                    // passed — the value is in the register file, so the
+                    // architected miss-recovery path delivers it.
+                    if self.injector.as_mut().is_some_and(|inj| inj.drop_operand(now)) {
+                        return Err(ExecAbort::OperandMiss(i));
+                    }
                     if let Some(v) = self.fwd.lookup(p, now) {
                         vals[i] = v;
                         sources[i] = Some(OperandSource::Forward);
@@ -1185,11 +1312,17 @@ impl Machine {
         // Train the optional stream prefetcher on demand loads.
         self.hier.observe_load(pc, addr);
         let hit = access.is_l1_hit();
-        let complete_at = now + agu - 1 + access.latency as u64;
+        // Fault injection: a latency spike delays the value. Scheduling
+        // treats a spiked hit as a miss (so the delayed wake-up correction
+        // reaches consumers); the L1 hit/miss *stats* keep the real cache
+        // outcome.
+        let spike = self.injector.as_mut().and_then(|inj| inj.load_spike(now)).unwrap_or(0);
+        let sched_hit = hit && spike == 0;
+        let complete_at = now + agu - 1 + access.latency as u64 + spike;
         let value = forwarded.unwrap_or_else(|| self.data_mem.read(addr, size));
 
         self.stats.loads += 1;
-        self.stats.record_load_latency(agu + access.latency as u64);
+        self.stats.record_load_latency(agu + access.latency as u64 + spike);
         if hit {
             self.stats.load_l1_hits += 1;
         } else {
@@ -1206,7 +1339,7 @@ impl Machine {
         // The load-resolution loop: hit/miss becomes known at the end of
         // the (speculatively scheduled) hit latency.
         let known_at = now + agu - 1 + self.hier.l1d_hit_latency() as u64;
-        if !hit {
+        if !sched_hit {
             match self.cfg.load_policy {
                 LoadSpecPolicy::Stall | LoadSpecPolicy::ReissueTree => {}
                 LoadSpecPolicy::ReissueShadow => self.kill_load_shadow(id, t),
@@ -1235,7 +1368,7 @@ impl Machine {
             self.complete_events.entry(complete_at).or_default().push((id, stamp));
             return;
         }
-        if hit {
+        if sched_hit {
             self.finish_exec(id, now, complete_at, Some(value), pc + 1, true);
         } else {
             // The IQ keeps issuing against the stale hit-assumed schedule
@@ -1356,6 +1489,8 @@ impl Machine {
         let (pred_next, history) = {
             let di = self.slab.expect_mut(id);
             di.taken = Some(taken);
+            // invariant: predict_control stamped a prediction on every
+            // control instruction at fetch, before it could reach execute.
             let p = di.pred.as_ref().expect("control instructions carry predictions");
             (p.next_pc, p.history)
         };
@@ -1409,6 +1544,7 @@ impl Machine {
             if cyc > now {
                 break;
             }
+            // invariant: first_key_value above proved the map non-empty.
             let (cyc, list) = self.complete_events.pop_first().expect("non-empty");
             for (id, stamp) in list {
                 if let Some(di) = self.slab.get(id) {
@@ -1501,6 +1637,9 @@ impl Machine {
         let di = self.slab.expect(id);
         let (inst, pc, seq, tlb_trap) = (di.inst, di.pc, di.seq, di.tlb_trap);
         let pred_ctx = di.pred.as_ref().map(|p| p.ctx);
+        // invariant: only Complete-phase instructions retire, and every
+        // path into Complete (finish_exec, rename of barriers/halts, the
+        // Stall-policy load path) sets next_pc first.
         let next_pc = di.next_pc.expect("complete instructions know their next pc");
         let retired = Retired {
             pc,
@@ -1722,7 +1861,7 @@ mod timing_tests {
         let cfg = PipelineConfig::base();
         let loop_delay = cfg.load_loop_delay() as u64; // 8
         let clear = cfg.iq_clear_extra as u64;
-        let mut m = Machine::new(cfg, vec![prog]);
+        let mut m = Machine::new(cfg, vec![prog]).unwrap();
         m.enable_verification();
         // Step until the first instruction issues, then watch its entry.
         let mut issued_at = None;
@@ -1762,7 +1901,7 @@ mod timing_tests {
             "addi r1, r31, 1\naddi r1, r1, 1\naddi r1, r1, 1\naddi r1, r1, 1\nhalt",
         )
         .unwrap();
-        let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+        let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
         m.enable_verification();
         let mut exec_cycles = Vec::new();
         for _ in 0..2000 {
@@ -1778,7 +1917,7 @@ mod timing_tests {
             "addi r1, r31, 1\naddi r1, r1, 1\naddi r1, r1, 1\naddi r1, r1, 1\nhalt",
         )
         .unwrap();
-        let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+        let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
         loop {
             m.step_cycle();
             for e in m.iq.iter() {

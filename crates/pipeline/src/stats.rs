@@ -92,6 +92,17 @@ pub struct SimStats {
     pub mem: HierarchyStats,
     /// Line-predictor (correct, wrong).
     pub line_pred: (u64, u64),
+
+    /// Forward-progress watchdog trips (0 or 1 per run; the run ends with
+    /// a `DeadlockError` when it fires).
+    pub deadlocks_detected: u64,
+    /// Faults injected by the fault-injection harness, total.
+    pub faults_injected: u64,
+    /// Injected faults by class: [branch flips, load spikes, operand
+    /// misses] (`FaultKind` order).
+    pub faults_by_kind: [u64; 3],
+    /// Per-cycle invariant-auditor passes completed.
+    pub audit_checks: u64,
 }
 
 impl SimStats {
@@ -128,6 +139,10 @@ impl SimStats {
             iq_peak: 0,
             mem: HierarchyStats::default(),
             line_pred: (0, 0),
+            deadlocks_detected: 0,
+            faults_injected: 0,
+            faults_by_kind: [0; 3],
+            audit_checks: 0,
         }
     }
 

@@ -5,9 +5,11 @@ use looseloops_pipeline::{LoadSpecPolicy, Machine, PipelineConfig, RegisterSchem
 
 fn run_to_halt(cfg: PipelineConfig, src: &str) -> Machine {
     let prog = asm::assemble(src).unwrap();
-    let mut m = Machine::new(cfg, vec![prog]);
+    // Every smoke test runs with the per-cycle invariant auditor on.
+    let cfg = PipelineConfig { audit: true, ..cfg };
+    let mut m = Machine::new(cfg, vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 200_000);
+    m.run(u64::MAX, 200_000).unwrap();
     assert!(m.is_done(), "program did not halt within budget: cycle={}", m.cycle());
     m
 }
@@ -155,9 +157,9 @@ fn smt_two_threads() {
     ",
     )
     .unwrap();
-    let mut m = Machine::new(PipelineConfig::base().smt(2), vec![p0, p1]);
+    let mut m = Machine::new(PipelineConfig::base().smt(2), vec![p0, p1]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 400_000);
+    m.run(u64::MAX, 400_000).unwrap();
     assert!(m.is_done());
     assert_eq!(m.arch_reg(0, Reg::int(2)), 5050);
     assert_eq!(m.arch_reg(1, Reg::int(2)), 1275);
@@ -178,8 +180,8 @@ fn dra_is_used_and_reports_sources() {
 fn deterministic_across_runs() {
     let run = || {
         let prog = asm::assemble(SUM_LOOP).unwrap();
-        let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
-        m.run(u64::MAX, 200_000);
+        let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
+        m.run(u64::MAX, 200_000).unwrap();
         (m.cycle(), m.stats().total_retired(), m.stats().branch_mispredicts)
     };
     assert_eq!(run(), run());
@@ -209,9 +211,9 @@ fn no_resource_leaks_after_drain() {
         let threads = cfg.threads;
         let phys = cfg.phys_regs;
         let prog = asm::assemble(src).unwrap();
-        let mut m = Machine::new(cfg, vec![prog]);
+        let mut m = Machine::new(cfg, vec![prog]).unwrap();
         m.enable_verification();
-        m.run(u64::MAX, 2_000_000);
+        m.run(u64::MAX, 2_000_000).unwrap();
         assert!(m.is_done());
         assert_eq!(m.in_flight(), 0, "slab must be empty after drain");
         assert_eq!(
@@ -239,9 +241,9 @@ fn tlb_trap_policy_refetches_and_stays_correct() {
             halt
     ";
     let prog = asm::assemble(src).unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 2_000_000);
+    m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done());
     assert!(m.stats().tlb_traps > 0, "cold pages must trap");
     assert_eq!(m.arch_reg(0, Reg::int(4)), 0, "untouched memory reads zero");
@@ -278,8 +280,8 @@ fn icount_shares_fetch_between_threads() {
     ",
     )
     .unwrap();
-    let mut m = Machine::new(PipelineConfig::base().smt(2), vec![noisy, clean]);
-    m.run(60_000, 2_000_000);
+    let mut m = Machine::new(PipelineConfig::base().smt(2), vec![noisy, clean]).unwrap();
+    m.run(60_000, 2_000_000).unwrap();
     let s = m.stats();
     assert!(
         s.retired[1] > s.retired[0],
@@ -304,10 +306,10 @@ fn kanata_trace_accounts_for_every_instruction() {
             halt
     ";
     let prog = asm::assemble(src).unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_trace();
     m.enable_verification();
-    m.run(u64::MAX, 200_000);
+    m.run(u64::MAX, 200_000).unwrap();
     assert!(m.is_done());
     let log = m.take_trace();
     assert!(log.starts_with("Kanata\t0004\n"));
@@ -338,9 +340,9 @@ fn four_thread_smt_is_supported() {
         .unwrap()
     };
     let cfg = PipelineConfig::base().smt(4);
-    let mut m = Machine::new(cfg, vec![mk(40), mk(50), mk(60), mk(70)]);
+    let mut m = Machine::new(cfg, vec![mk(40), mk(50), mk(60), mk(70)]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 400_000);
+    m.run(u64::MAX, 400_000).unwrap();
     assert!(m.is_done());
     for (t, n) in [(0u64, 40u64), (1, 50), (2, 60), (3, 70)] {
         assert_eq!(m.arch_reg(t as usize, Reg::int(2)), n * (n + 1) / 2, "thread {t}");
@@ -366,9 +368,9 @@ fn partial_overlap_store_load_is_architecturally_correct() {
             halt
     ";
     let prog = asm::assemble(src).unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification(); // the whole point: values must stay exact
-    m.run(u64::MAX, 2_000_000);
+    m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done());
 }
 
@@ -396,9 +398,9 @@ fn taken_branch_at_fetch_block_boundary() {
             halt
     ";
     let prog = asm::assemble(src).unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 2_000_000);
+    m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done());
     assert_eq!(m.arch_reg(0, Reg::int(2)), 20100);
 }
@@ -425,9 +427,9 @@ fn deep_recursion_exercises_the_ras() {
             ret  r26
     ";
     let prog = asm::assemble(src).unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 2_000_000);
+    m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done());
     assert_eq!(m.arch_reg(0, Reg::int(3)), 12);
 }

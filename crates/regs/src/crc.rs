@@ -117,6 +117,12 @@ impl ClusterRegCache {
         self.entries.iter().find(|(reg, _)| *reg == r).map(|&(_, v)| v)
     }
 
+    /// Iterate resident `(register, value)` pairs in replacement order
+    /// (used by the pipeline's invariant auditor).
+    pub fn entries(&self) -> impl Iterator<Item = (PhysReg, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
     /// Invalidate any entry for `r` (physical-register reallocation — the
     /// paper's stale-value rule, §5.5).
     pub fn invalidate(&mut self, r: PhysReg) {

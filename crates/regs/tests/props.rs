@@ -1,64 +1,74 @@
-//! Property tests for the register machinery: conservation laws and
-//! reference-model equivalence for the DRA structures.
+//! Randomized property tests for the register machinery: conservation laws
+//! and reference-model equivalence for the DRA structures, driven by a
+//! deterministic seed schedule from `looseloops-rng`.
 
 use looseloops_regs::{ClusterRegCache, ForwardingBuffer, FreeList, PhysReg, RenameMap};
-use proptest::prelude::*;
+use looseloops_rng::Rng;
 use std::collections::VecDeque;
 
-proptest! {
-    /// Free-list conservation: allocations + available == total, always;
-    /// rollback and release restore exactly.
-    #[test]
-    fn freelist_conserves_registers(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+/// Free-list conservation: allocations + available == total, always;
+/// rollback and release restore exactly.
+#[test]
+fn freelist_conserves_registers() {
+    let mut rng = Rng::seed_from_u64(0x4e61);
+    for _ in 0..64 {
         let total = 64;
         let mut fl = FreeList::new(total);
         let mut held = Vec::new();
-        for alloc in ops {
-            if alloc {
+        let steps = rng.gen_range(1usize..200);
+        for _ in 0..steps {
+            if rng.gen_bool(0.5) {
                 if let Some(r) = fl.alloc() {
-                    prop_assert!(!held.contains(&r), "double allocation of {r}");
+                    assert!(!held.contains(&r), "double allocation of {r}");
                     held.push(r);
                 }
             } else if let Some(r) = held.pop() {
                 fl.release(r);
             }
-            prop_assert_eq!(held.len() + fl.available(), total);
+            assert_eq!(held.len() + fl.available(), total);
         }
     }
+}
 
-    /// Rename + rollback in LIFO order restores the original mapping and
-    /// loses no registers.
-    #[test]
-    fn rename_rollback_is_exact(regs in prop::collection::vec(1u8..31, 1..40)) {
+/// Rename + rollback in LIFO order restores the original mapping and
+/// loses no registers.
+#[test]
+fn rename_rollback_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x4e62);
+    for _ in 0..64 {
         let mut fl = FreeList::new(256);
         let mut rm = RenameMap::new(&mut fl);
-        let before: Vec<_> =
-            (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
+        let before: Vec<_> = (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
         let avail = fl.available();
         let mut undo = Vec::new();
-        for r in &regs {
-            let arch = looseloops_isa::Reg::int(*r);
+        let n = rng.gen_range(1usize..40);
+        for _ in 0..n {
+            let arch = looseloops_isa::Reg::int(rng.gen_range(1u8..31));
             let (_, prev) = rm.rename_dest(arch, &mut fl).unwrap();
             undo.push((arch, prev));
         }
         for (arch, prev) in undo.into_iter().rev() {
             rm.rollback(arch, prev, &mut fl);
         }
-        let after: Vec<_> =
-            (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
-        prop_assert_eq!(before, after);
-        prop_assert_eq!(fl.available(), avail);
+        let after: Vec<_> = (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
+        assert_eq!(before, after);
+        assert_eq!(fl.available(), avail);
     }
+}
 
-    /// The CRC behaves exactly like a reference FIFO-of-pairs model.
-    #[test]
-    fn crc_matches_reference_fifo(
-        ops in prop::collection::vec((0u8..3, 0u16..24, any::<u64>()), 1..300)
-    ) {
+/// The CRC behaves exactly like a reference FIFO-of-pairs model.
+#[test]
+fn crc_matches_reference_fifo() {
+    let mut rng = Rng::seed_from_u64(0x4e63);
+    for _ in 0..64 {
         let cap = 4;
         let mut crc = ClusterRegCache::new(cap);
         let mut reference: VecDeque<(u16, u64)> = VecDeque::new();
-        for (op, reg, val) in ops {
+        let steps = rng.gen_range(1usize..300);
+        for _ in 0..steps {
+            let op = rng.gen_range(0u8..3);
+            let reg = rng.gen_range(0u16..24);
+            let val = rng.next_u64();
             let p = PhysReg(reg);
             match op {
                 0 => {
@@ -76,7 +86,7 @@ proptest! {
                 1 => {
                     // lookup
                     let expect = reference.iter().find(|(r, _)| *r == reg).map(|&(_, v)| v);
-                    prop_assert_eq!(crc.lookup(p), expect);
+                    assert_eq!(crc.lookup(p), expect);
                 }
                 _ => {
                     // invalidate
@@ -84,33 +94,39 @@ proptest! {
                     crc.invalidate(p);
                 }
             }
-            prop_assert_eq!(crc.len(), reference.len());
+            assert_eq!(crc.len(), reference.len());
         }
     }
+}
 
-    /// Forwarding-buffer window semantics against a reference: a lookup at
-    /// time `t` hits iff the last insert for that register happened within
-    /// the window.
-    #[test]
-    fn forwarding_window_is_exact(
-        inserts in prop::collection::vec((0u16..8, 0u64..40, any::<u64>()), 1..60),
-        probes in prop::collection::vec((0u16..8, 0u64..60), 1..60)
-    ) {
+/// Forwarding-buffer window semantics against a reference: a lookup at
+/// time `t` hits iff the last insert for that register happened within
+/// the window.
+#[test]
+fn forwarding_window_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x4e64);
+    for _ in 0..64 {
         let window = 9;
         let mut fwd = ForwardingBuffer::new(window);
-        let mut sorted = inserts.clone();
+        let n_ins = rng.gen_range(1usize..60);
+        let mut sorted: Vec<(u16, u64, u64)> = (0..n_ins)
+            .map(|_| (rng.gen_range(0u16..8), rng.gen_range(0u64..40), rng.next_u64()))
+            .collect();
         sorted.sort_by_key(|&(_, cycle, _)| cycle);
         for (reg, cycle, val) in &sorted {
             fwd.insert(PhysReg(*reg), *val, *cycle);
         }
-        for (reg, t) in probes {
+        let n_probe = rng.gen_range(1usize..60);
+        for _ in 0..n_probe {
+            let reg = rng.gen_range(0u16..8);
+            let t = rng.gen_range(0u64..60);
             let expect = sorted
                 .iter()
                 .rev()
                 .find(|&&(r, _, _)| r == reg)
                 .filter(|&&(_, c, _)| t >= c && t - c < window)
                 .map(|&(_, _, v)| v);
-            prop_assert_eq!(fwd.probe(PhysReg(reg), t), expect);
+            assert_eq!(fwd.probe(PhysReg(reg), t), expect);
         }
     }
 }

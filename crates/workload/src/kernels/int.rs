@@ -8,9 +8,7 @@
 
 use super::{r, Kern};
 use looseloops_isa::Program;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use looseloops_rng::Rng;
 
 /// `compress` proxy: a hash-table update loop — random 8-byte accesses
 /// into a 48 KiB hot table (mostly L1 hits, the paper's "high load hit
@@ -62,7 +60,7 @@ pub fn gcc(base: u64) -> Program {
 
     // Build a single-cycle permutation ring: node i -> node perm[i].
     let mut order: Vec<u64> = (1..NODES as u64).collect();
-    order.shuffle(&mut StdRng::seed_from_u64(0x6cc));
+    Rng::seed_from_u64(0x6cc).shuffle(&mut order);
     let mut next = vec![0u64; NODES];
     let mut cur = 0u64;
     for &n in &order {
@@ -173,7 +171,7 @@ pub fn chase(base: u64) -> Program {
     const NODES: usize = 4096; // 32 KiB of 8-byte pointers, L1-resident
     let mut k = Kern::new("chase");
     let mut order: Vec<u64> = (1..NODES as u64).collect();
-    order.shuffle(&mut StdRng::seed_from_u64(0xc4a5e));
+    Rng::seed_from_u64(0xc4a5e).shuffle(&mut order);
     let mut next = vec![0u64; NODES];
     let mut cur = 0u64;
     for &n in &order {

@@ -9,8 +9,7 @@
 
 use crate::kernels::{f, r, Kern};
 use looseloops_isa::{Inst, Opcode, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use looseloops_rng::Rng;
 
 /// Knobs for the synthetic generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +66,7 @@ pub fn synthetic(params: SyntheticParams) -> Program {
         params.footprint.is_power_of_two() && params.footprint <= (8 << 20),
         "footprint must be a power of two up to 8 MiB"
     );
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut k = Kern::new("synthetic");
     k.load_base(r(1), params.base);
     k.seed(r(8), (params.seed as i32 & 0xffff) | 1);
@@ -80,7 +79,7 @@ pub fn synthetic(params: SyntheticParams) -> Program {
     let chain_reg = if params.fp { f(9) } else { r(9) };
 
     // Random address in r5 helper state: recompute before each access.
-    let emit_addr = |k: &mut Kern, rng: &mut StdRng| {
+    let emit_addr = |k: &mut Kern, rng: &mut Rng| {
         let shift = rng.gen_range(0..24);
         k.b.srli(r(5), r(8), shift);
         k.b.andi(r(5), r(5), mask as i32);
@@ -112,28 +111,24 @@ pub fn synthetic(params: SyntheticParams) -> Program {
     while (events.len() as u32) < params.body_len {
         events.push(Ev::Alu);
     }
-    // Deterministic shuffle.
-    for i in (1..events.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        events.swap(i, j);
-    }
+    rng.shuffle(&mut events);
 
     let mut branch_shift = 3;
     for ev in events {
         match ev {
             Ev::Alu => {
-                let a = acc_int[rng.gen_range(0..4)];
-                let op = [Opcode::Add, Opcode::Xor, Opcode::Sub][rng.gen_range(0..3)];
+                let a = acc_int[rng.gen_range(0..4usize)];
+                let op = [Opcode::Add, Opcode::Xor, Opcode::Sub][rng.gen_range(0..3usize)];
                 k.b.push(Inst::op_rr(op, a, a, r(8)));
             }
             Ev::Load => {
                 emit_addr(&mut k, &mut rng);
                 if params.fp {
-                    let d = acc_fp[rng.gen_range(0..4)];
+                    let d = acc_fp[rng.gen_range(0..4usize)];
                     k.b.push(Inst::load(Opcode::FLdq, f(2), r(5), 0));
                     k.b.fadd(d, d, f(2));
                 } else {
-                    let d = acc_int[rng.gen_range(0..4)];
+                    let d = acc_int[rng.gen_range(0..4usize)];
                     k.b.ldq(r(6), r(5), 0);
                     k.b.add(d, d, r(6));
                 }
@@ -145,7 +140,7 @@ pub fn synthetic(params: SyntheticParams) -> Program {
             Ev::Branch => {
                 branch_shift = (branch_shift + 11) % 48;
                 let bits = params.taken_bits;
-                let a = acc_int[rng.gen_range(0..4)];
+                let a = acc_int[rng.gen_range(0..4usize)];
                 k.rand_guard(r(8), r(4), branch_shift, bits, |k| {
                     k.b.addi(a, a, 1);
                 });

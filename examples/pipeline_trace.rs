@@ -32,10 +32,10 @@ fn main() {
     )
     .expect("valid assembly");
 
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_trace();
     m.enable_verification();
-    m.run(u64::MAX, 1_000_000);
+    m.run(u64::MAX, 1_000_000).unwrap();
     assert!(m.is_done());
     let log = m.take_trace();
     std::fs::write(&out, &log).expect("write trace");

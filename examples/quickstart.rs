@@ -36,11 +36,11 @@ fn main() {
 
     // The paper's base machine: 8-wide, 8 clusters, 128-entry IQ,
     // 5-cycle DEC-IQ, 5-cycle IQ-EX.
-    let mut machine = Machine::new(PipelineConfig::base(), vec![program]);
+    let mut machine = Machine::new(PipelineConfig::base(), vec![program]).unwrap();
     // Check every retired instruction against the functional interpreter.
     machine.enable_verification();
 
-    machine.run(u64::MAX, 1_000_000);
+    machine.run(u64::MAX, 1_000_000).unwrap();
     assert!(machine.is_done(), "program should halt");
 
     let sum = machine.arch_reg(0, Reg::int(4));

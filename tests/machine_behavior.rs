@@ -110,9 +110,9 @@ fn memory_order_violation_trains_the_store_wait_table() {
     ",
     )
     .unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 2_000_000);
+    m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done());
     assert!(m.stats().mem_order_traps > 0, "the race must trap at least once");
     // The store-wait table keeps re-trapping bounded: far fewer traps than
@@ -162,8 +162,8 @@ fn synthetic_branch_knob_controls_mispredicts() {
     let cfg = PipelineConfig::base();
     let run = |p| {
         let prog = synthetic(p);
-        let mut m = Machine::new(cfg.clone(), vec![prog]);
-        m.run(10_000, 2_000_000);
+        let mut m = Machine::new(cfg.clone(), vec![prog]).unwrap();
+        m.run(10_000, 2_000_000).unwrap();
         m.stats().branch_mispredict_rate()
     };
     assert!(run(branchy) > run(base) + 0.05);
@@ -184,9 +184,9 @@ fn memory_barrier_drains_the_pipe() {
     ",
     )
     .unwrap();
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 1_000_000);
+    m.run(u64::MAX, 1_000_000).unwrap();
     assert!(m.is_done());
     assert_eq!(m.stats().mem_barriers, 200);
     // Each barrier costs roughly a pipeline drain; IPC collapses.

@@ -8,9 +8,9 @@ fn run_sample(name: &str) -> Machine {
     let src = std::fs::read_to_string(format!("examples/kernels/{name}"))
         .unwrap_or_else(|e| panic!("missing sample {name}: {e}"));
     let prog = asm::assemble_named(name, &src).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let mut m = Machine::new(PipelineConfig::base(), vec![prog]);
+    let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
     m.enable_verification();
-    m.run(u64::MAX, 2_000_000);
+    m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done(), "{name} must halt");
     m
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dra-33e7cfb6e738f75a.d: crates/bench/benches/ablation_dra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dra-33e7cfb6e738f75a.rmeta: crates/bench/benches/ablation_dra.rs Cargo.toml
+
+crates/bench/benches/ablation_dra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

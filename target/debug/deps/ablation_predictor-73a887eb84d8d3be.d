@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_predictor-73a887eb84d8d3be.d: crates/bench/benches/ablation_predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_predictor-73a887eb84d8d3be.rmeta: crates/bench/benches/ablation_predictor.rs Cargo.toml
+
+crates/bench/benches/ablation_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_prefetch-668079408a7db295.d: crates/bench/benches/ablation_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_prefetch-668079408a7db295.rmeta: crates/bench/benches/ablation_prefetch.rs Cargo.toml
+
+crates/bench/benches/ablation_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_structures-20b9c194b659dc9d.d: crates/bench/benches/ablation_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_structures-20b9c194b659dc9d.rmeta: crates/bench/benches/ablation_structures.rs Cargo.toml
+
+crates/bench/benches/ablation_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-17c9ffa5e3a33488.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-17c9ffa5e3a33488.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-1cea95e883ffbd22.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-1cea95e883ffbd22: tests/calibration.rs
+
+tests/calibration.rs:

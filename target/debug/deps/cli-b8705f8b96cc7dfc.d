@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-b8705f8b96cc7dfc.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-b8705f8b96cc7dfc.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_looseloops=placeholder:looseloops
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

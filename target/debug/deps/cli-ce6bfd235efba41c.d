@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-ce6bfd235efba41c.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-ce6bfd235efba41c: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_looseloops=/root/repo/target/debug/looseloops

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c57ad67c6c696d9f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c57ad67c6c696d9f: tests/determinism.rs
+
+tests/determinism.rs:

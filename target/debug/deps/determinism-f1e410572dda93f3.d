@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-f1e410572dda93f3.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-f1e410572dda93f3.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-644de79d5023f7b8.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-644de79d5023f7b8.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-a107082e24b58556.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-a107082e24b58556: tests/equivalence.rs
+
+tests/equivalence.rs:

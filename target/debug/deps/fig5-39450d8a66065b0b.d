@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-39450d8a66065b0b.d: crates/bench/benches/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-39450d8a66065b0b.rmeta: crates/bench/benches/fig5.rs Cargo.toml
+
+crates/bench/benches/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

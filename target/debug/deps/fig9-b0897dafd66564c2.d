@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-b0897dafd66564c2.d: crates/bench/benches/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-b0897dafd66564c2.rmeta: crates/bench/benches/fig9.rs Cargo.toml
+
+crates/bench/benches/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-6f0b3a40a7a2154f.d: tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-6f0b3a40a7a2154f.rmeta: tests/figures.rs Cargo.toml
+
+tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a8322a1e525526b9.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-a8322a1e525526b9: tests/figures.rs
+
+tests/figures.rs:

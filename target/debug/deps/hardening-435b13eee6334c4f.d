@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening-435b13eee6334c4f.d: crates/pipeline/tests/hardening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening-435b13eee6334c4f.rmeta: crates/pipeline/tests/hardening.rs Cargo.toml
+
+crates/pipeline/tests/hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening-ff2ebc75e2a703e1.d: crates/pipeline/tests/hardening.rs
+
+/root/repo/target/debug/deps/hardening-ff2ebc75e2a703e1: crates/pipeline/tests/hardening.rs
+
+crates/pipeline/tests/hardening.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/looseloops-072ba20a79b34dc0.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+/root/repo/target/debug/deps/looseloops-072ba20a79b34dc0: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/loops.rs:
+crates/core/src/machines.rs:
+crates/core/src/report.rs:
+crates/core/src/simulator.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/looseloops-0b7f43308f1af22d.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops-0b7f43308f1af22d.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/looseloops-47fe79e68d4967e4.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops-47fe79e68d4967e4.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/loops.rs:
+crates/core/src/machines.rs:
+crates/core/src/report.rs:
+crates/core/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

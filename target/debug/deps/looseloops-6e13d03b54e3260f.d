@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/looseloops-6e13d03b54e3260f.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops-6e13d03b54e3260f.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

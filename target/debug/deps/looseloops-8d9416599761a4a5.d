@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/looseloops-8d9416599761a4a5.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs
+
+/root/repo/target/debug/deps/looseloops-8d9416599761a4a5: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/config.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/looseloops-a3852fbeabce293d.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+/root/repo/target/debug/deps/liblooseloops-a3852fbeabce293d.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+/root/repo/target/debug/deps/liblooseloops-a3852fbeabce293d.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/loops.rs:
+crates/core/src/machines.rs:
+crates/core/src/report.rs:
+crates/core/src/simulator.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/looseloops-d10b519ff3bee0ce.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs
+
+/root/repo/target/debug/deps/looseloops-d10b519ff3bee0ce: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/config.rs:

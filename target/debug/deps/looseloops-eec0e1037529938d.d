@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/looseloops-eec0e1037529938d.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops-eec0e1037529938d.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/loops.rs:
+crates/core/src/machines.rs:
+crates/core/src/report.rs:
+crates/core/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_bench-2494c87b6c31ad01.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_bench-2494c87b6c31ad01.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

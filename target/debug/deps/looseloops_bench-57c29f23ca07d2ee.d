@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/looseloops_bench-57c29f23ca07d2ee.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblooseloops_bench-57c29f23ca07d2ee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblooseloops_bench-57c29f23ca07d2ee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_bench-c142219917c1dee1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_bench-c142219917c1dee1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

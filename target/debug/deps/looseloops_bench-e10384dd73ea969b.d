@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/looseloops_bench-e10384dd73ea969b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/looseloops_bench-e10384dd73ea969b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/looseloops_branch-0e5d6d930f9c16ab.d: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+/root/repo/target/debug/deps/liblooseloops_branch-0e5d6d930f9c16ab.rlib: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+/root/repo/target/debug/deps/liblooseloops_branch-0e5d6d930f9c16ab.rmeta: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+crates/branch/src/lib.rs:
+crates/branch/src/btb.rs:
+crates/branch/src/direction.rs:
+crates/branch/src/line.rs:
+crates/branch/src/ras.rs:

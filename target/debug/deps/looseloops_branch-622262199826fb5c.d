@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/looseloops_branch-622262199826fb5c.d: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_branch-622262199826fb5c.rmeta: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs Cargo.toml
+
+crates/branch/src/lib.rs:
+crates/branch/src/btb.rs:
+crates/branch/src/direction.rs:
+crates/branch/src/line.rs:
+crates/branch/src/ras.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/looseloops_branch-d8b61585f65e9376.d: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_branch-d8b61585f65e9376.rmeta: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs Cargo.toml
+
+crates/branch/src/lib.rs:
+crates/branch/src/btb.rs:
+crates/branch/src/direction.rs:
+crates/branch/src/line.rs:
+crates/branch/src/ras.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

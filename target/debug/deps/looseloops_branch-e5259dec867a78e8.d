@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_branch-e5259dec867a78e8.d: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+/root/repo/target/debug/deps/looseloops_branch-e5259dec867a78e8: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+crates/branch/src/lib.rs:
+crates/branch/src/btb.rs:
+crates/branch/src/direction.rs:
+crates/branch/src/line.rs:
+crates/branch/src/ras.rs:

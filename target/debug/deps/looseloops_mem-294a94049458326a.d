@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/looseloops_mem-294a94049458326a.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_mem-294a94049458326a.rmeta: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

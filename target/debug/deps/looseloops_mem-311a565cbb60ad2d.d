@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/looseloops_mem-311a565cbb60ad2d.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/looseloops_mem-311a565cbb60ad2d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/looseloops_mem-9d69dc72f11f5bb5.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/liblooseloops_mem-9d69dc72f11f5bb5.rlib: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/liblooseloops_mem-9d69dc72f11f5bb5.rmeta: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/looseloops_pipeline-a45bb3ac37034da7.d: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/debug/deps/looseloops_pipeline-a45bb3ac37034da7: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/audit.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/error.rs:
+crates/pipeline/src/faults.rs:
+crates/pipeline/src/iq.rs:
+crates/pipeline/src/lsq.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/looseloops_pipeline-dc5e78d1c0f95ff5.d: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_pipeline-dc5e78d1c0f95ff5.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs Cargo.toml
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/audit.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/error.rs:
+crates/pipeline/src/faults.rs:
+crates/pipeline/src/iq.rs:
+crates/pipeline/src/lsq.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

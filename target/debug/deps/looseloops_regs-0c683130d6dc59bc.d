@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/looseloops_regs-0c683130d6dc59bc.d: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+/root/repo/target/debug/deps/liblooseloops_regs-0c683130d6dc59bc.rlib: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+/root/repo/target/debug/deps/liblooseloops_regs-0c683130d6dc59bc.rmeta: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+crates/regs/src/lib.rs:
+crates/regs/src/crc.rs:
+crates/regs/src/forward.rs:
+crates/regs/src/freelist.rs:
+crates/regs/src/insertion.rs:
+crates/regs/src/physfile.rs:
+crates/regs/src/rename.rs:
+crates/regs/src/rpft.rs:

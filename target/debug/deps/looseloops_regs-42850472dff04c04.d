@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/looseloops_regs-42850472dff04c04.d: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+/root/repo/target/debug/deps/looseloops_regs-42850472dff04c04: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+crates/regs/src/lib.rs:
+crates/regs/src/crc.rs:
+crates/regs/src/forward.rs:
+crates/regs/src/freelist.rs:
+crates/regs/src/insertion.rs:
+crates/regs/src/physfile.rs:
+crates/regs/src/rename.rs:
+crates/regs/src/rpft.rs:

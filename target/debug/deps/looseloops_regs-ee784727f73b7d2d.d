@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/looseloops_regs-ee784727f73b7d2d.d: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_regs-ee784727f73b7d2d.rmeta: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs Cargo.toml
+
+crates/regs/src/lib.rs:
+crates/regs/src/crc.rs:
+crates/regs/src/forward.rs:
+crates/regs/src/freelist.rs:
+crates/regs/src/insertion.rs:
+crates/regs/src/physfile.rs:
+crates/regs/src/rename.rs:
+crates/regs/src/rpft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

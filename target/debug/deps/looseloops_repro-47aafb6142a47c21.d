@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_repro-47aafb6142a47c21.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_repro-47aafb6142a47c21.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_repro-c29d0af381eb28ee.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_repro-c29d0af381eb28ee.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/looseloops_repro-ef9cc2d0aee96cb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/looseloops_repro-ef9cc2d0aee96cb1: src/lib.rs
+
+src/lib.rs:

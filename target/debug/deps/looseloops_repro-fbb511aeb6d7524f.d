@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/looseloops_repro-fbb511aeb6d7524f.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblooseloops_repro-fbb511aeb6d7524f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblooseloops_repro-fbb511aeb6d7524f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_rng-53605782af0d998f.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_rng-53605782af0d998f.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

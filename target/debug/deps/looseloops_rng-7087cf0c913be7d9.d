@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/looseloops_rng-7087cf0c913be7d9.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_rng-7087cf0c913be7d9.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/looseloops_rng-c60be0b5f23f5c0c.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/looseloops_rng-c60be0b5f23f5c0c: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

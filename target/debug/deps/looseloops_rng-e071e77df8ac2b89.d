@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/looseloops_rng-e071e77df8ac2b89.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/liblooseloops_rng-e071e77df8ac2b89.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/liblooseloops_rng-e071e77df8ac2b89.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

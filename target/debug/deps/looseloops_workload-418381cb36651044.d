@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/looseloops_workload-418381cb36651044.d: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblooseloops_workload-418381cb36651044.rmeta: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/kernels/mod.rs:
+crates/workload/src/kernels/fp.rs:
+crates/workload/src/kernels/int.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

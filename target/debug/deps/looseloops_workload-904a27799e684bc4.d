@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/looseloops_workload-904a27799e684bc4.d: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+/root/repo/target/debug/deps/looseloops_workload-904a27799e684bc4: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/kernels/mod.rs:
+crates/workload/src/kernels/fp.rs:
+crates/workload/src/kernels/int.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/synthetic.rs:

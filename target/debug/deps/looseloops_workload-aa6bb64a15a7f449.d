@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/looseloops_workload-aa6bb64a15a7f449.d: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+/root/repo/target/debug/deps/liblooseloops_workload-aa6bb64a15a7f449.rlib: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+/root/repo/target/debug/deps/liblooseloops_workload-aa6bb64a15a7f449.rmeta: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/kernels/mod.rs:
+crates/workload/src/kernels/fp.rs:
+crates/workload/src/kernels/int.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_behavior-55e24c602255cc24.d: tests/machine_behavior.rs
+
+/root/repo/target/debug/deps/machine_behavior-55e24c602255cc24: tests/machine_behavior.rs
+
+tests/machine_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_behavior-95e739e5d0937d3d.d: tests/machine_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_behavior-95e739e5d0937d3d.rmeta: tests/machine_behavior.rs Cargo.toml
+
+tests/machine_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

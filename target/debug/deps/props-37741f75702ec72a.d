@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-37741f75702ec72a.d: crates/isa/tests/props.rs
+
+/root/repo/target/debug/deps/props-37741f75702ec72a: crates/isa/tests/props.rs
+
+crates/isa/tests/props.rs:

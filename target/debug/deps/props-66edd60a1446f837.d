@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-66edd60a1446f837.d: crates/mem/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-66edd60a1446f837.rmeta: crates/mem/tests/props.rs Cargo.toml
+
+crates/mem/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-8d28cd79a0951521.d: crates/regs/tests/props.rs
+
+/root/repo/target/debug/deps/props-8d28cd79a0951521: crates/regs/tests/props.rs
+
+crates/regs/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-93ca782ac36c10a4.d: crates/isa/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-93ca782ac36c10a4.rmeta: crates/isa/tests/props.rs Cargo.toml
+
+crates/isa/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

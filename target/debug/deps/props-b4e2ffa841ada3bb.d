@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-b4e2ffa841ada3bb.d: crates/regs/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-b4e2ffa841ada3bb.rmeta: crates/regs/tests/props.rs Cargo.toml
+
+crates/regs/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

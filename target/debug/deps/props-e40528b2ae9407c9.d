@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e40528b2ae9407c9.d: crates/mem/tests/props.rs
+
+/root/repo/target/debug/deps/props-e40528b2ae9407c9: crates/mem/tests/props.rs
+
+crates/mem/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sample_kernels-369b155cbe38f39b.d: tests/sample_kernels.rs
+
+/root/repo/target/debug/deps/sample_kernels-369b155cbe38f39b: tests/sample_kernels.rs
+
+tests/sample_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sample_kernels-efca975df0ec77fd.d: tests/sample_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsample_kernels-efca975df0ec77fd.rmeta: tests/sample_kernels.rs Cargo.toml
+
+tests/sample_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-6009160c511434c5.d: crates/pipeline/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-6009160c511434c5.rmeta: crates/pipeline/tests/smoke.rs Cargo.toml
+
+crates/pipeline/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

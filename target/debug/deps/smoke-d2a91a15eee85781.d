@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-d2a91a15eee85781.d: crates/pipeline/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-d2a91a15eee85781: crates/pipeline/tests/smoke.rs
+
+crates/pipeline/tests/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debug_stats-c21fef94795e23c6.d: examples/debug_stats.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebug_stats-c21fef94795e23c6.rmeta: examples/debug_stats.rs Cargo.toml
+
+examples/debug_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

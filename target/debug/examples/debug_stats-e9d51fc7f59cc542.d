@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_stats-e9d51fc7f59cc542.d: examples/debug_stats.rs
+
+/root/repo/target/debug/examples/debug_stats-e9d51fc7f59cc542: examples/debug_stats.rs
+
+examples/debug_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dra_comparison-20a915067a0af40a.d: examples/dra_comparison.rs
+
+/root/repo/target/debug/examples/dra_comparison-20a915067a0af40a: examples/dra_comparison.rs
+
+examples/dra_comparison.rs:

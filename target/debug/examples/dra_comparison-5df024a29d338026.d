@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dra_comparison-5df024a29d338026.d: examples/dra_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdra_comparison-5df024a29d338026.rmeta: examples/dra_comparison.rs Cargo.toml
+
+examples/dra_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

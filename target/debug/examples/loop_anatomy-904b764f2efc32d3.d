@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loop_anatomy-904b764f2efc32d3.d: examples/loop_anatomy.rs
+
+/root/repo/target/debug/examples/loop_anatomy-904b764f2efc32d3: examples/loop_anatomy.rs
+
+examples/loop_anatomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/loop_anatomy-bf3c63d3293bd908.d: examples/loop_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libloop_anatomy-bf3c63d3293bd908.rmeta: examples/loop_anatomy.rs Cargo.toml
+
+examples/loop_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_sweep-019ee94ab5aaed1d.d: examples/pipeline_sweep.rs
+
+/root/repo/target/debug/examples/pipeline_sweep-019ee94ab5aaed1d: examples/pipeline_sweep.rs
+
+examples/pipeline_sweep.rs:

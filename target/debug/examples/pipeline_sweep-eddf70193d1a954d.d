@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_sweep-eddf70193d1a954d.d: examples/pipeline_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_sweep-eddf70193d1a954d.rmeta: examples/pipeline_sweep.rs Cargo.toml
+
+examples/pipeline_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_trace-5933491497dcca14.d: examples/pipeline_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_trace-5933491497dcca14.rmeta: examples/pipeline_trace.rs Cargo.toml
+
+examples/pipeline_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-b088fd3b54c47fca.d: examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-b088fd3b54c47fca: examples/pipeline_trace.rs
+
+examples/pipeline_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-359ce1e4da803230.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-359ce1e4da803230: examples/quickstart.rs
+
+examples/quickstart.rs:

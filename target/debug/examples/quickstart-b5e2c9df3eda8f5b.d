@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b5e2c9df3eda8f5b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b5e2c9df3eda8f5b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smt_throughput-a09005e6e38d9e58.d: examples/smt_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmt_throughput-a09005e6e38d9e58.rmeta: examples/smt_throughput.rs Cargo.toml
+
+examples/smt_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smt_throughput-b436384d6429c7dd.d: examples/smt_throughput.rs
+
+/root/repo/target/debug/examples/smt_throughput-b436384d6429c7dd: examples/smt_throughput.rs
+
+examples/smt_throughput.rs:

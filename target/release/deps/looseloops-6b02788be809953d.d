@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/looseloops-6b02788be809953d.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+/root/repo/target/release/deps/liblooseloops-6b02788be809953d.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+/root/repo/target/release/deps/liblooseloops-6b02788be809953d.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/loops.rs crates/core/src/machines.rs crates/core/src/report.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/loops.rs:
+crates/core/src/machines.rs:
+crates/core/src/report.rs:
+crates/core/src/simulator.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/looseloops-fdc0a428afd6b1d0.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs
+
+/root/repo/target/release/deps/looseloops-fdc0a428afd6b1d0: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/config.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/config.rs:

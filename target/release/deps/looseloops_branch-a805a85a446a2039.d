@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/looseloops_branch-a805a85a446a2039.d: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+/root/repo/target/release/deps/liblooseloops_branch-a805a85a446a2039.rlib: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+/root/repo/target/release/deps/liblooseloops_branch-a805a85a446a2039.rmeta: crates/branch/src/lib.rs crates/branch/src/btb.rs crates/branch/src/direction.rs crates/branch/src/line.rs crates/branch/src/ras.rs
+
+crates/branch/src/lib.rs:
+crates/branch/src/btb.rs:
+crates/branch/src/direction.rs:
+crates/branch/src/line.rs:
+crates/branch/src/ras.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/looseloops_isa-6d8d51f20b2360a7.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/liblooseloops_isa-6d8d51f20b2360a7.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/liblooseloops_isa-6d8d51f20b2360a7.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

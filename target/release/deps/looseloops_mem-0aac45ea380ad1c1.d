@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/looseloops_mem-0aac45ea380ad1c1.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/liblooseloops_mem-0aac45ea380ad1c1.rlib: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/liblooseloops_mem-0aac45ea380ad1c1.rmeta: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/cache.rs crates/mem/src/prefetch.rs crates/mem/src/hierarchy.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/prefetch.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/looseloops_pipeline-3ae258b4c7f34b36.d: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/release/deps/liblooseloops_pipeline-3ae258b4c7f34b36.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/release/deps/liblooseloops_pipeline-3ae258b4c7f34b36.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/audit.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/error.rs crates/pipeline/src/faults.rs crates/pipeline/src/iq.rs crates/pipeline/src/lsq.rs crates/pipeline/src/machine.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/audit.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/error.rs:
+crates/pipeline/src/faults.rs:
+crates/pipeline/src/iq.rs:
+crates/pipeline/src/lsq.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

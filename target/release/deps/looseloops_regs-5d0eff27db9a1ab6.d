@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/looseloops_regs-5d0eff27db9a1ab6.d: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+/root/repo/target/release/deps/liblooseloops_regs-5d0eff27db9a1ab6.rlib: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+/root/repo/target/release/deps/liblooseloops_regs-5d0eff27db9a1ab6.rmeta: crates/regs/src/lib.rs crates/regs/src/crc.rs crates/regs/src/forward.rs crates/regs/src/freelist.rs crates/regs/src/insertion.rs crates/regs/src/physfile.rs crates/regs/src/rename.rs crates/regs/src/rpft.rs
+
+crates/regs/src/lib.rs:
+crates/regs/src/crc.rs:
+crates/regs/src/forward.rs:
+crates/regs/src/freelist.rs:
+crates/regs/src/insertion.rs:
+crates/regs/src/physfile.rs:
+crates/regs/src/rename.rs:
+crates/regs/src/rpft.rs:

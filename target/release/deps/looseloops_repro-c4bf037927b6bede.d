@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/looseloops_repro-c4bf037927b6bede.d: src/lib.rs
+
+/root/repo/target/release/deps/liblooseloops_repro-c4bf037927b6bede.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblooseloops_repro-c4bf037927b6bede.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/looseloops_rng-4c910245c36fa4b8.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/liblooseloops_rng-4c910245c36fa4b8.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/liblooseloops_rng-4c910245c36fa4b8.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/looseloops_workload-bffc2c53c907a5cf.d: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+/root/repo/target/release/deps/liblooseloops_workload-bffc2c53c907a5cf.rlib: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+/root/repo/target/release/deps/liblooseloops_workload-bffc2c53c907a5cf.rmeta: crates/workload/src/lib.rs crates/workload/src/kernels/mod.rs crates/workload/src/kernels/fp.rs crates/workload/src/kernels/int.rs crates/workload/src/profile.rs crates/workload/src/synthetic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/kernels/mod.rs:
+crates/workload/src/kernels/fp.rs:
+crates/workload/src/kernels/int.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aa58cb06244c2a15.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aa58cb06244c2a15: examples/quickstart.rs
+
+examples/quickstart.rs:

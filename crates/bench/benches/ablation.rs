@@ -1,10 +1,10 @@
 //! §2.2.2 ablation: load-resolution-loop management policies
 //! (tree reissue / 21264 shadow reissue / stall / refetch).
 
-use looseloops::{ablation_load_policies, Workload};
+use looseloops::{ablation_load_policies_on, Workload};
 
 fn main() {
-    looseloops_bench::run_figure("ablation-load-policy", |budget| {
-        ablation_load_policies(&Workload::paper_set(), budget)
+    looseloops_bench::run_figure("ablation-load-policy", |sweep, budget| {
+        ablation_load_policies_on(sweep, &Workload::paper_set(), budget)
     });
 }

@@ -1,7 +1,7 @@
 //! DRA design-choice ablation: CRC size, CRC replacement policy, and
 //! idealized insertion-table cleanup (DESIGN.md section 3).
 
-use looseloops::{ablation_dra_design, Benchmark, Workload};
+use looseloops::{ablation_dra_design_on, Benchmark, Workload};
 
 fn main() {
     // The DRA-sensitive subset: the pathological case, the load-loop
@@ -13,7 +13,7 @@ fn main() {
         Workload::Single(Benchmark::Gcc),
         Workload::Pair(Benchmark::pairs()[2]), // apsi-swim
     ];
-    looseloops_bench::run_figure("ablation-dra-design", |budget| {
-        ablation_dra_design(&ws, budget)
+    looseloops_bench::run_figure("ablation-dra-design", |sweep, budget| {
+        ablation_dra_design_on(sweep, &ws, budget)
     });
 }

@@ -1,7 +1,7 @@
 //! Direction-predictor ablation: how much the branch-resolution loop
 //! costs under weaker predictors.
 
-use looseloops::{ablation_predictors, Benchmark, Workload};
+use looseloops::{ablation_predictors_on, Benchmark, Workload};
 
 fn main() {
     let ws: Vec<Workload> = [
@@ -14,7 +14,7 @@ fn main() {
     .into_iter()
     .map(Workload::Single)
     .collect();
-    looseloops_bench::run_figure("ablation-predictor", |budget| {
-        ablation_predictors(&ws, budget)
+    looseloops_bench::run_figure("ablation-predictor", |sweep, budget| {
+        ablation_predictors_on(sweep, &ws, budget)
     });
 }

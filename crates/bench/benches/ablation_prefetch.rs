@@ -1,7 +1,7 @@
 //! Prefetcher extension ablation: attack the load loop's mis-speculation
 //! rate (prefetch) vs its delay (DRA), and both together.
 
-use looseloops::{ablation_prefetch, Benchmark, Workload};
+use looseloops::{ablation_prefetch_on, Benchmark, Workload};
 
 fn main() {
     let ws: Vec<Workload> = [
@@ -15,7 +15,7 @@ fn main() {
     .into_iter()
     .map(Workload::Single)
     .collect();
-    looseloops_bench::run_figure("ablation-prefetch", |budget| {
-        ablation_prefetch(&ws, budget)
+    looseloops_bench::run_figure("ablation-prefetch", |sweep, budget| {
+        ablation_prefetch_on(sweep, &ws, budget)
     });
 }

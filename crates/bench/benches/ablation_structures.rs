@@ -1,7 +1,7 @@
 //! Structure-capacity ablations: the forwarding window (paper §2.2.1) and
 //! the instruction-queue size (paper §2.2.2).
 
-use looseloops::{ablation_fwd_window, ablation_iq_size, Benchmark, Workload};
+use looseloops::{ablation_fwd_window_on, ablation_iq_size_on, Benchmark, Workload};
 
 fn main() {
     let ws: Vec<Workload> = [
@@ -14,8 +14,10 @@ fn main() {
     .into_iter()
     .map(Workload::Single)
     .collect();
-    looseloops_bench::run_figure("ablation-fwd-window", |budget| {
-        ablation_fwd_window(&ws, budget)
+    looseloops_bench::run_figure("ablation-fwd-window", |sweep, budget| {
+        ablation_fwd_window_on(sweep, &ws, budget)
     });
-    looseloops_bench::run_figure("ablation-iq-size", |budget| ablation_iq_size(&ws, budget));
+    looseloops_bench::run_figure("ablation-iq-size", |sweep, budget| {
+        ablation_iq_size_on(sweep, &ws, budget)
+    });
 }

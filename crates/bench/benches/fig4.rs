@@ -1,9 +1,9 @@
 //! Figure 4: performance vs pipeline length (DEC→EX = 6/10/14/18 cycles).
 
-use looseloops::{fig4_pipeline_length, Workload};
+use looseloops::{fig4_pipeline_length_on, Workload};
 
 fn main() {
-    looseloops_bench::run_figure("fig4", |budget| {
-        fig4_pipeline_length(&Workload::paper_set(), budget)
+    looseloops_bench::run_figure("fig4", |sweep, budget| {
+        fig4_pipeline_length_on(sweep, &Workload::paper_set(), budget)
     });
 }

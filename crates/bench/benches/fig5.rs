@@ -1,10 +1,10 @@
 //! Figure 5: fixed 12-cycle DEC→EX, shifting stages between DEC-IQ and
 //! IQ-EX (3_9 / 5_7 / 7_5 / 9_3).
 
-use looseloops::{fig5_fixed_total, Workload};
+use looseloops::{fig5_fixed_total_on, Workload};
 
 fn main() {
-    looseloops_bench::run_figure("fig5", |budget| {
-        fig5_fixed_total(&Workload::paper_set(), budget)
+    looseloops_bench::run_figure("fig5", |sweep, budget| {
+        fig5_fixed_total_on(sweep, &Workload::paper_set(), budget)
     });
 }

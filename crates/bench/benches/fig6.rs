@@ -1,8 +1,8 @@
 //! Figure 6: CDF of cycles between first- and second-operand availability
 //! (turb3d, base machine).
 
-use looseloops::fig6_operand_gap_cdf;
+use looseloops::fig6_operand_gap_cdf_on;
 
 fn main() {
-    looseloops_bench::run_figure("fig6", fig6_operand_gap_cdf);
+    looseloops_bench::run_figure("fig6", fig6_operand_gap_cdf_on);
 }

@@ -1,10 +1,10 @@
 //! Figure 8: DRA speedup over the base machine for 3/5/7-cycle register
 //! files (DRA:5_3 vs Base:5_5, DRA:7_3 vs Base:5_7, DRA:9_3 vs Base:5_9).
 
-use looseloops::{fig8_dra_speedup, Workload};
+use looseloops::{fig8_dra_speedup_on, Workload};
 
 fn main() {
-    looseloops_bench::run_figure("fig8", |budget| {
-        fig8_dra_speedup(&Workload::paper_set(), budget)
+    looseloops_bench::run_figure("fig8", |sweep, budget| {
+        fig8_dra_speedup_on(sweep, &Workload::paper_set(), budget)
     });
 }

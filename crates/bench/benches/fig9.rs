@@ -1,10 +1,10 @@
 //! Figure 9: operand-source breakdown under the DRA (7_3, 5-cycle register
 //! file): pre-read / forwarding buffer / CRC / miss.
 
-use looseloops::{fig9_operand_sources, Workload};
+use looseloops::{fig9_operand_sources_on, Workload};
 
 fn main() {
-    looseloops_bench::run_figure("fig9", |budget| {
-        fig9_operand_sources(&Workload::paper_set(), budget)
+    looseloops_bench::run_figure("fig9", |sweep, budget| {
+        fig9_operand_sources_on(sweep, &Workload::paper_set(), budget)
     });
 }

@@ -29,7 +29,11 @@ fn report<F: FnMut()>(name: &str, elements: u64, samples: usize, mut f: F) {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let median = times[times.len() / 2];
     let rate = elements as f64 / median;
-    println!("{name:<40} {:>10.1} ns/iter   {:>12.2} Melem/s", median * 1e9, rate / 1e6);
+    println!(
+        "{name:<40} {:>10.1} ns/iter   {:>12.2} Melem/s",
+        median * 1e9,
+        rate / 1e6
+    );
 }
 
 fn bench_cache() {
@@ -97,12 +101,14 @@ fn bench_regs() {
 }
 
 fn bench_machine() {
-    for (name, cfg) in
-        [("base_m88ksim", PipelineConfig::base()), ("dra_m88ksim", PipelineConfig::dra_for_rf(3))]
-    {
+    for (name, cfg) in [
+        ("base_m88ksim", PipelineConfig::base()),
+        ("dra_m88ksim", PipelineConfig::dra_for_rf(3)),
+    ] {
         report(&format!("machine/{name}_20k_insts"), 20_000, 5, || {
             let mut m = Machine::must(cfg.clone(), vec![Benchmark::M88ksim.program()]);
-            m.run(20_000, 2_000_000).expect("benchmark kernels never deadlock");
+            m.run(20_000, 2_000_000)
+                .expect("benchmark kernels never deadlock");
             black_box(m.stats().total_retired());
         });
     }

@@ -22,7 +22,11 @@ impl Btb {
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Btb {
         assert!(entries.is_power_of_two(), "BTB size must be a power of two");
-        Btb { entries: vec![(u64::MAX, 0); entries], hits: 0, misses: 0 }
+        Btb {
+            entries: vec![(u64::MAX, 0); entries],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {

@@ -139,8 +139,13 @@ impl BimodalPredictor {
     ///
     /// Panics otherwise.
     pub fn new(entries: usize) -> BimodalPredictor {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
-        BimodalPredictor { table: vec![Counter2::new(); entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        BimodalPredictor {
+            table: vec![Counter2::new(); entries],
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -174,9 +179,16 @@ impl GsharePredictor {
     ///
     /// Panics on invalid sizing.
     pub fn new(entries: usize, hist_bits: u32) -> GsharePredictor {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(hist_bits <= 32, "history too long");
-        GsharePredictor { table: vec![Counter2::new(); entries], history: 0, hist_bits }
+        GsharePredictor {
+            table: vec![Counter2::new(); entries],
+            history: 0,
+            hist_bits,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -350,7 +362,10 @@ impl TournamentPredictor {
         global_entries: usize,
         global_bits: u32,
     ) -> TournamentPredictor {
-        assert!(global_entries.is_power_of_two(), "global table must be a power of two");
+        assert!(
+            global_entries.is_power_of_two(),
+            "global table must be a power of two"
+        );
         TournamentPredictor {
             local: LocalPredictor::new(local_entries, local_bits),
             global: vec![Counter2::new(); global_entries],
@@ -414,7 +429,11 @@ impl DirectionPredictor for TournamentPredictor {
         let gctx = self.history;
         let gi = self.gindex();
         let (lt, lctx) = self.local.predict_ctx(pc);
-        let t = if self.choice[gi].taken() { self.global[gi].taken() } else { lt };
+        let t = if self.choice[gi].taken() {
+            self.global[gi].taken()
+        } else {
+            lt
+        };
         // Keep the local speculative history consistent with the actual
         // prediction when the global side overrides it.
         if t != lt {
@@ -503,7 +522,10 @@ mod tests {
             }
             p.update(pc, outcome);
         }
-        assert!(correct >= 95, "gshare should nail an alternating pattern, got {correct}/100");
+        assert!(
+            correct >= 95,
+            "gshare should nail an alternating pattern, got {correct}/100"
+        );
     }
 
     #[test]
@@ -520,7 +542,10 @@ mod tests {
             }
             p.update(pc, outcome);
         }
-        assert!(correct >= 140, "local should learn period-3, got {correct}/150");
+        assert!(
+            correct >= 140,
+            "local should learn period-3, got {correct}/150"
+        );
     }
 
     #[test]

@@ -27,9 +27,17 @@ impl LinePredictor {
     ///
     /// Panics if `entries` is not a power of two or `block_insts` is zero.
     pub fn new(entries: usize, block_insts: u64) -> LinePredictor {
-        assert!(entries.is_power_of_two(), "line predictor size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "line predictor size must be a power of two"
+        );
         assert!(block_insts > 0, "fetch block must be non-empty");
-        LinePredictor { table: vec![UNTRAINED; entries], block_insts, correct: 0, wrong: 0 }
+        LinePredictor {
+            table: vec![UNTRAINED; entries],
+            block_insts,
+            correct: 0,
+            wrong: 0,
+        }
     }
 
     fn index(&self, block_pc: u64) -> usize {

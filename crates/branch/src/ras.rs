@@ -19,8 +19,15 @@ impl ReturnAddressStack {
     ///
     /// Panics if `capacity` is not a power of two.
     pub fn new(capacity: usize) -> ReturnAddressStack {
-        assert!(capacity.is_power_of_two(), "RAS capacity must be a power of two");
-        ReturnAddressStack { slots: vec![0; capacity], top: 0, depth: 0 }
+        assert!(
+            capacity.is_power_of_two(),
+            "RAS capacity must be a power of two"
+        );
+        ReturnAddressStack {
+            slots: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Push a predicted return address (on a call).

@@ -86,7 +86,11 @@ impl Args {
             if !allowed.contains(&f.as_str()) {
                 return Err(ArgError(format!(
                     "unknown flag --{f} (allowed: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }

@@ -3,9 +3,10 @@
 use crate::args::{ArgError, Args};
 use crate::config::{budget_from_args, config_from_args, BUDGET_FLAGS, CONFIG_FLAGS};
 use looseloops::{
-    ablation_dra_design, ablation_load_policies, ablation_predictors, fig4_pipeline_length,
-    fig5_fixed_total, fig6_operand_gap_cdf, fig8_dra_speedup, fig9_operand_sources,
-    loop_inventory, FigureResult, Machine, RunBudget, SimStats, Workload,
+    ablation_dra_design_on, ablation_fwd_window_on, ablation_iq_size_on, ablation_load_policies_on,
+    ablation_predictors_on, ablation_prefetch_on, fig4_pipeline_length_on, fig5_fixed_total_on,
+    fig6_operand_gap_cdf_on, fig8_dra_speedup_on, fig9_operand_sources_on, loop_inventory,
+    FigureResult, Machine, RunBudget, SimStats, SweepEngine, Workload,
 };
 use looseloops_workload::Benchmark;
 
@@ -43,7 +44,11 @@ fn print_stats(stats: &SimStats, json: bool) {
         return;
     }
     println!("cycles                {}", stats.cycles);
-    println!("instructions retired  {} {:?}", stats.total_retired(), stats.retired);
+    println!(
+        "instructions retired  {} {:?}",
+        stats.total_retired(),
+        stats.retired
+    );
     println!("IPC                   {:.4}", stats.ipc());
     println!(
         "branches              {} ({} mispredicted, {:.2}%)",
@@ -101,7 +106,11 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         let b = Benchmark::all()
             .into_iter()
             .find(|b| b.name() == name)
-            .ok_or_else(|| ArgError(format!("unknown benchmark `{name}` — see `looseloops list`")))?;
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "unknown benchmark `{name}` — see `looseloops list`"
+                ))
+            })?;
         (vec![b.program()], name.to_string())
     } else if let Some(name) = args.get("pair") {
         let p = Benchmark::pairs()
@@ -129,7 +138,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         m.enable_trace();
     }
     if budget.warmup > 0 {
-        m.run(budget.warmup, budget.max_cycles).map_err(|e| ArgError(e.to_string()))?;
+        m.run(budget.warmup, budget.max_cycles)
+            .map_err(|e| ArgError(e.to_string()))?;
         m.reset_stats();
         // Tracing starts after warm-up.
         if args.get("trace").is_some() {
@@ -137,7 +147,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             m.enable_trace();
         }
     }
-    m.run(budget.measure, budget.max_cycles).map_err(|e| ArgError(e.to_string()))?;
+    m.run(budget.measure, budget.max_cycles)
+        .map_err(|e| ArgError(e.to_string()))?;
 
     if !args.has("json") {
         println!("== {label} ==");
@@ -153,18 +164,71 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Figure ids understood by `looseloops figure`, with their generators.
+/// `all` regenerates every one of them on a single engine, so overlapping
+/// grids (the base machine appears in several figures) simulate once.
+const FIGURE_IDS: &[&str] = &[
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "load-policy",
+    "dra-design",
+    "fwd-window",
+    "iq-size",
+    "prefetch",
+    "predictor",
+];
+
+fn generate_figure(
+    id: &str,
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> Result<FigureResult, ArgError> {
+    Ok(match id {
+        "fig4" => fig4_pipeline_length_on(sweep, workloads, budget),
+        "fig5" => fig5_fixed_total_on(sweep, workloads, budget),
+        "fig6" => fig6_operand_gap_cdf_on(sweep, budget),
+        "fig8" => fig8_dra_speedup_on(sweep, workloads, budget),
+        "fig9" => fig9_operand_sources_on(sweep, workloads, budget),
+        "load-policy" => ablation_load_policies_on(sweep, workloads, budget),
+        "dra-design" => ablation_dra_design_on(sweep, workloads, budget),
+        "fwd-window" => ablation_fwd_window_on(sweep, workloads, budget),
+        "iq-size" => ablation_iq_size_on(sweep, workloads, budget),
+        "prefetch" => ablation_prefetch_on(sweep, workloads, budget),
+        "predictor" => ablation_predictors_on(sweep, workloads, budget),
+        other => {
+            return Err(ArgError(format!(
+                "unknown figure `{other}` (known: {}, all)",
+                FIGURE_IDS.join(", ")
+            )))
+        }
+    })
+}
+
 /// `looseloops figure`
 pub fn figure(args: &Args) -> Result<(), ArgError> {
-    let allowed = config_flag_set(&["smoke", "json-out", "workloads"]);
+    let allowed = config_flag_set(&["smoke", "json-out", "workloads", "jobs"]);
     args.reject_unknown(&allowed)?;
     let id = args
         .positional()
         .first()
-        .ok_or_else(|| ArgError("figure needs an id (fig4…fig9, load-policy, dra-design, predictor)".into()))?
+        .ok_or_else(|| {
+            ArgError(format!(
+                "figure needs an id ({}, all)",
+                FIGURE_IDS.join(", ")
+            ))
+        })?
         .clone();
     let mut budget = budget_from_args(args)?;
     if args.has("smoke") {
-        budget = RunBudget { warmup: 1_000, measure: 5_000, max_cycles: 2_000_000 };
+        budget = RunBudget {
+            warmup: 1_000,
+            measure: 5_000,
+            max_cycles: 2_000_000,
+        };
     }
     let workloads: Vec<Workload> = match args.get("workloads") {
         None => Workload::paper_set(),
@@ -178,19 +242,32 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
             })
             .collect::<Result<_, _>>()?,
     };
-
-    let fig: FigureResult = match id.as_str() {
-        "fig4" => fig4_pipeline_length(&workloads, budget),
-        "fig5" => fig5_fixed_total(&workloads, budget),
-        "fig6" => fig6_operand_gap_cdf(budget),
-        "fig8" => fig8_dra_speedup(&workloads, budget),
-        "fig9" => fig9_operand_sources(&workloads, budget),
-        "load-policy" => ablation_load_policies(&workloads, budget),
-        "dra-design" => ablation_dra_design(&workloads, budget),
-        "predictor" => ablation_predictors(&workloads, budget),
-        other => return Err(ArgError(format!("unknown figure `{other}`"))),
+    // --jobs N overrides LOOSELOOPS_JOBS; 0 (or neither) sizes from the
+    // machine.
+    let jobs: usize = args.get_or("jobs", 0)?;
+    let sweep = if jobs == 0 {
+        SweepEngine::from_env()
+    } else {
+        SweepEngine::new(jobs)
     };
+
+    if id == "all" {
+        if args.get("json-out").is_some() {
+            return Err(ArgError(
+                "--json-out applies to a single figure, not `all`".into(),
+            ));
+        }
+        for fid in FIGURE_IDS {
+            let fig = generate_figure(fid, &sweep, &workloads, budget)?;
+            print!("{fig}");
+        }
+        eprintln!("[sweep] {}", sweep.summary().line());
+        return Ok(());
+    }
+
+    let fig = generate_figure(&id, &sweep, &workloads, budget)?;
     print!("{fig}");
+    eprintln!("[sweep] {}", sweep.summary().line());
     if let Some(path) = args.get("json-out") {
         std::fs::write(path, fig.to_json())
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
@@ -222,11 +299,15 @@ pub fn asm(args: &Args) -> Result<(), ArgError> {
         .positional()
         .first()
         .ok_or_else(|| ArgError("asm needs a source file".into()))?;
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let prog = looseloops_isa::asm::assemble_named(path, &src)
         .map_err(|e| ArgError(format!("{path}: {e}")))?;
-    println!("{path}: {} instructions, {} data chunks", prog.len(), prog.init_data.len());
+    println!(
+        "{path}: {} instructions, {} data chunks",
+        prog.len(),
+        prog.init_data.len()
+    );
     if args.has("disasm") {
         print!("{}", looseloops_isa::disassemble(&prog));
     }
@@ -235,7 +316,8 @@ pub fn asm(args: &Args) -> Result<(), ArgError> {
         let max: u64 = args.get_or("instructions", 1_000_000)?;
         let mut m = Machine::new(cfg, vec![prog]).map_err(|e| ArgError(e.to_string()))?;
         m.enable_verification();
-        m.run(max, 100_000_000).map_err(|e| ArgError(e.to_string()))?;
+        m.run(max, 100_000_000)
+            .map_err(|e| ArgError(e.to_string()))?;
         println!("halted: {}", m.is_done());
         print_stats(m.stats(), false);
     }

@@ -5,8 +5,17 @@ use looseloops::{FaultPlan, LoadSpecPolicy, PipelineConfig, RunBudget};
 
 /// Flags understood by every simulation-running subcommand.
 pub const CONFIG_FLAGS: &[&str] = &[
-    "scheme", "rf", "dec", "ex", "policy", "threads", "predictor",
-    "audit", "watchdog", "inject", "inject-seed",
+    "scheme",
+    "rf",
+    "dec",
+    "ex",
+    "policy",
+    "threads",
+    "predictor",
+    "audit",
+    "watchdog",
+    "inject",
+    "inject-seed",
 ];
 
 /// Budget flags.
@@ -31,11 +40,14 @@ pub fn config_from_args(args: &Args) -> Result<PipelineConfig, ArgError> {
         other => return Err(ArgError(format!("unknown scheme `{other}` (base|dra)"))),
     };
     if let Some(dec) = args.get("dec") {
-        cfg.dec_iq_stages =
-            dec.parse().map_err(|_| ArgError(format!("--dec: bad value `{dec}`")))?;
+        cfg.dec_iq_stages = dec
+            .parse()
+            .map_err(|_| ArgError(format!("--dec: bad value `{dec}`")))?;
     }
     if let Some(ex) = args.get("ex") {
-        cfg.iq_ex_stages = ex.parse().map_err(|_| ArgError(format!("--ex: bad value `{ex}`")))?;
+        cfg.iq_ex_stages = ex
+            .parse()
+            .map_err(|_| ArgError(format!("--ex: bad value `{ex}`")))?;
     }
     if let Some(p) = args.get("policy") {
         cfg.load_policy = match p {
@@ -80,7 +92,10 @@ pub fn config_from_args(args: &Args) -> Result<PipelineConfig, ArgError> {
 /// Parse `--inject` specs: comma-separated `branch:RATE`, `load:RATE[:CYCLES]`,
 /// `operand:RATE` entries, e.g. `--inject branch:0.01,load:0.05:300`.
 fn faults_from_spec(spec: &str, seed: u64) -> Result<FaultPlan, ArgError> {
-    let mut plan = FaultPlan { seed, ..FaultPlan::default() };
+    let mut plan = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
     for entry in spec.split(',') {
         let mut fields = entry.split(':');
         let kind = fields.next().unwrap_or("");

@@ -35,9 +35,11 @@ COMMANDS:
              --watchdog N  (deadlock window in cycles, 0 = off)
              --inject branch:RATE,load:RATE[:CYCLES],operand:RATE
              --inject-seed N  (fault schedule seed, default 1)
-    figure   Regenerate one of the paper's evaluation figures
-             fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|predictor
+    figure   Regenerate the paper's evaluation figures
+             fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|fwd-window|
+             iq-size|prefetch|predictor|all  (`all` shares one run cache)
              --warmup N  --measure N  --smoke  --json-out FILE
+             --jobs N  (sweep workers; default LOOSELOOPS_JOBS or all cores)
     loops    Print the micro-architectural loop inventory for a config
              (same config flags as `run`)
     asm      Assemble a .s file; --run simulates it, --disasm round-trips
@@ -51,10 +53,27 @@ fn main() -> ExitCode {
     let cmd = raw.first().cloned().unwrap_or_else(|| "help".into());
     let rest = raw.into_iter().skip(1);
     let value_flags: Vec<&str> = [
-        "bench", "pair", "asm", "trace", "json-out", "workloads",
-        "scheme", "rf", "dec", "ex", "policy", "threads", "predictor",
-        "warmup", "measure", "max-cycles", "instructions",
-        "watchdog", "inject", "inject-seed",
+        "bench",
+        "pair",
+        "asm",
+        "trace",
+        "json-out",
+        "workloads",
+        "jobs",
+        "scheme",
+        "rf",
+        "dec",
+        "ex",
+        "policy",
+        "threads",
+        "predictor",
+        "warmup",
+        "measure",
+        "max-cycles",
+        "instructions",
+        "watchdog",
+        "inject",
+        "inject-seed",
     ]
     .to_vec();
     let args = match Args::parse(rest, &value_flags) {
@@ -76,7 +95,9 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(args::ArgError(format!("unknown command `{other}` — try `looseloops help`"))),
+        other => Err(args::ArgError(format!(
+            "unknown command `{other}` — try `looseloops help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -31,9 +31,20 @@ fn list_names_everything() {
 #[test]
 fn run_bench_reports_stats() {
     let out = looseloops(&[
-        "run", "--bench", "m88ksim", "--warmup", "1000", "--measure", "5000", "--verify",
+        "run",
+        "--bench",
+        "m88ksim",
+        "--warmup",
+        "1000",
+        "--measure",
+        "5000",
+        "--verify",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("IPC"));
     assert!(text.contains("operand sources"));
@@ -42,7 +53,14 @@ fn run_bench_reports_stats() {
 #[test]
 fn run_json_is_parseable_shape() {
     let out = looseloops(&[
-        "run", "--bench", "go", "--warmup", "500", "--measure", "3000", "--json",
+        "run",
+        "--bench",
+        "go",
+        "--warmup",
+        "500",
+        "--measure",
+        "3000",
+        "--json",
     ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -54,9 +72,17 @@ fn run_json_is_parseable_shape() {
 fn asm_assembles_runs_and_disassembles() {
     let dir = std::env::temp_dir();
     let path = dir.join("looseloops_cli_test.s");
-    std::fs::write(&path, "addi r1, r31, 3\ntop:\nsubi r1, r1, 1\nbne r1, top\nhalt\n").unwrap();
+    std::fs::write(
+        &path,
+        "addi r1, r31, 3\ntop:\nsubi r1, r1, 1\nbne r1, top\nhalt\n",
+    )
+    .unwrap();
     let out = looseloops(&["asm", path.to_str().unwrap(), "--run", "--disasm"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("halted: true"));
     assert!(text.contains("subi r1, r1, 1"));
@@ -65,7 +91,11 @@ fn asm_assembles_runs_and_disassembles() {
 #[test]
 fn figure_smoke_runs() {
     let out = looseloops(&["figure", "fig6", "--smoke"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("fig6"));
 }
 
@@ -100,10 +130,21 @@ fn trace_file_is_written() {
     let path = std::env::temp_dir().join("looseloops_cli_trace.kanata");
     let _ = std::fs::remove_file(&path);
     let out = looseloops(&[
-        "run", "--bench", "go", "--warmup", "200", "--measure", "1500", "--trace",
+        "run",
+        "--bench",
+        "go",
+        "--warmup",
+        "200",
+        "--measure",
+        "1500",
+        "--trace",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let log = std::fs::read_to_string(&path).unwrap();
     assert!(log.starts_with("Kanata\t0004"));
     let _ = std::fs::remove_file(&path);
@@ -112,7 +153,11 @@ fn trace_file_is_written() {
 #[test]
 fn kernel_inspection_disassembles() {
     let out = looseloops(&["kernel", "go", "--disasm"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("go:"));
     assert!(text.contains("bne"), "go's disassembly has branches");

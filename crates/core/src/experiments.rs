@@ -5,12 +5,19 @@
 //! [`RunBudget`]. The bench targets in `looseloops-bench` call these with
 //! a large budget and print the tables recorded in EXPERIMENTS.md; tests
 //! call them with tiny budgets to keep CI fast.
+//!
+//! Every generator comes in two forms: `figN(workloads, budget)` runs on
+//! the process-wide [`SweepEngine::global`] (worker count from
+//! `LOOSELOOPS_JOBS` / the machine, memo cache shared between figures),
+//! while `figN_on(engine, workloads, budget)` runs on a caller-owned
+//! engine — tests use this to pin the worker count.
 
 use crate::report::{FigureResult, Series};
 use crate::simulator::{run_pair, run_programs, RunBudget};
-use looseloops_pipeline::{LoadSpecPolicy, PipelineConfig, SimStats};
+use crate::sweep::{Job, SweepEngine};
 use looseloops_branch;
 use looseloops_mem;
+use looseloops_pipeline::{LoadSpecPolicy, PipelineConfig, SimStats};
 use looseloops_regs;
 use looseloops_workload::{Benchmark, SmtPair};
 
@@ -75,7 +82,9 @@ impl Workload {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn speedup_figure(
+    sweep: &SweepEngine,
     id: &str,
     title: &str,
     expectation: &str,
@@ -84,10 +93,12 @@ fn speedup_figure(
     configs: &[(String, PipelineConfig)],
     baseline: usize,
 ) -> FigureResult {
+    let grid_configs: Vec<PipelineConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
     // ipc[config][workload]
-    let ipc: Vec<Vec<f64>> = configs
-        .iter()
-        .map(|(_, cfg)| workloads.iter().map(|w| w.run(cfg, budget).ipc()).collect())
+    let ipc: Vec<Vec<f64>> = sweep
+        .run_grid(&grid_configs, workloads, budget)
+        .into_iter()
+        .map(|row| row.into_iter().map(|s| s.ipc()).collect())
         .collect();
     let series = configs
         .iter()
@@ -114,11 +125,26 @@ fn speedup_figure(
 /// to 18 cycles (configs 3_3, 5_5, 7_7, 9_9); results are speedups
 /// relative to the 6-cycle machine.
 pub fn fig4_pipeline_length(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    fig4_pipeline_length_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`fig4_pipeline_length`] on a caller-owned engine.
+pub fn fig4_pipeline_length_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     let configs: Vec<(String, PipelineConfig)> = [(3, 3), (5, 5), (7, 7), (9, 9)]
         .into_iter()
-        .map(|(x, y)| (format!("{x}_{y}"), PipelineConfig::base_with_latencies(x, y)))
+        .map(|(x, y)| {
+            (
+                format!("{x}_{y}"),
+                PipelineConfig::base_with_latencies(x, y),
+            )
+        })
         .collect();
     speedup_figure(
+        sweep,
         "fig4",
         "Performance for varying pipeline lengths (relative to 6 cycles DEC->EX)",
         "monotonic losses up to ~24% at 18 cycles; int codes lose to the branch loop, \
@@ -134,11 +160,26 @@ pub fn fig4_pipeline_length(workloads: &[Workload], budget: RunBudget) -> Figure
 /// **Figure 5** — fixed overall DEC→EX length (12 cycles), varying the
 /// DEC-IQ / IQ-EX split: 3_9, 5_7, 7_5, 9_3 relative to 3_9.
 pub fn fig5_fixed_total(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    fig5_fixed_total_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`fig5_fixed_total`] on a caller-owned engine.
+pub fn fig5_fixed_total_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     let configs: Vec<(String, PipelineConfig)> = [(3, 9), (5, 7), (7, 5), (9, 3)]
         .into_iter()
-        .map(|(x, y)| (format!("{x}_{y}"), PipelineConfig::base_with_latencies(x, y)))
+        .map(|(x, y)| {
+            (
+                format!("{x}_{y}"),
+                PipelineConfig::base_with_latencies(x, y),
+            )
+        })
         .collect();
     speedup_figure(
+        sweep,
         "fig5",
         "Performance for a fixed 12-cycle DEC->EX, shifting stages out of IQ-EX (relative to 3_9)",
         "up to ~15% gain for 9_3 on the load-loop-sensitive codes (swim, turb3d, apsi-swim); \
@@ -154,7 +195,17 @@ pub fn fig5_fixed_total(workloads: &[Workload], budget: RunBudget) -> FigureResu
 /// an instruction's first and second operand becoming available, measured
 /// on `turb3d` on the base machine. Columns are gap values 0..=60.
 pub fn fig6_operand_gap_cdf(budget: RunBudget) -> FigureResult {
-    let stats = Workload::Single(Benchmark::Turb3d).run(&PipelineConfig::base(), budget);
+    fig6_operand_gap_cdf_on(SweepEngine::global(), budget)
+}
+
+/// [`fig6_operand_gap_cdf`] on a caller-owned engine.
+pub fn fig6_operand_gap_cdf_on(sweep: &SweepEngine, budget: RunBudget) -> FigureResult {
+    let job = Job::new(
+        PipelineConfig::base(),
+        Workload::Single(Benchmark::Turb3d),
+        budget,
+    );
+    let stats = &sweep.run_jobs(std::slice::from_ref(&job))[0];
     let cdf = stats.gap_cdf();
     let points: Vec<usize> = (0..=60).collect();
     FigureResult {
@@ -175,21 +226,40 @@ pub fn fig6_operand_gap_cdf(budget: RunBudget) -> FigureResult {
 /// and 7 cycles: DRA:5_3 vs Base:5_5, DRA:7_3 vs Base:5_7, DRA:9_3 vs
 /// Base:5_9.
 pub fn fig8_dra_speedup(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    fig8_dra_speedup_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`fig8_dra_speedup`] on a caller-owned engine.
+pub fn fig8_dra_speedup_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let rfs = [3u32, 5, 7];
+    // One grid of all six machines (base and DRA per register-file
+    // latency): rows 2k are base, rows 2k+1 the matched DRA.
+    let configs: Vec<PipelineConfig> = rfs
+        .iter()
+        .flat_map(|&rf| {
+            [
+                PipelineConfig::base_for_rf(rf),
+                PipelineConfig::dra_for_rf(rf),
+            ]
+        })
+        .collect();
+    let grid = sweep.run_grid(&configs, workloads, budget);
     let mut series = Vec::new();
-    for rf in [3u32, 5, 7] {
-        let base = PipelineConfig::base_for_rf(rf);
-        let dra = PipelineConfig::dra_for_rf(rf);
+    for k in 0..rfs.len() {
+        let base = &configs[2 * k];
+        let dra = &configs[2 * k + 1];
         let label = format!(
             "DRA:{}_{} vs Base:{}_{}",
             dra.dec_iq_stages, dra.iq_ex_stages, base.dec_iq_stages, base.iq_ex_stages
         );
-        let values = workloads
+        let values = grid[2 * k]
             .iter()
-            .map(|w| {
-                let b = w.run(&base, budget).ipc();
-                let d = w.run(&dra, budget).ipc();
-                d / b
-            })
+            .zip(&grid[2 * k + 1])
+            .map(|(b, d)| d.ipc() / b.ipc())
             .collect();
         series.push(Series { label, values });
     }
@@ -209,11 +279,21 @@ pub fn fig8_dra_speedup(workloads: &[Workload], budget: RunBudget) -> FigureResu
 /// configuration, 5-cycle register file): pre-read / forwarding buffer /
 /// CRC / miss fractions per workload.
 pub fn fig9_operand_sources(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    fig9_operand_sources_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`fig9_operand_sources`] on a caller-owned engine.
+pub fn fig9_operand_sources_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     let cfg = PipelineConfig::dra_for_rf(5);
     let labels = ["pre-read", "forward", "crc", "regfile", "miss"];
     let mut fractions: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
-    for w in workloads {
-        let f = w.run(&cfg, budget).operand_source_fractions();
+    let row = &sweep.run_grid(std::slice::from_ref(&cfg), workloads, budget)[0];
+    for stats in row {
+        let f = stats.operand_source_fractions();
         for (i, v) in f.into_iter().enumerate() {
             fractions[i].push(v);
         }
@@ -225,7 +305,10 @@ pub fn fig9_operand_sources(workloads: &[Workload], budget: RunBudget) -> Figure
         series: labels
             .iter()
             .zip(fractions)
-            .map(|(l, values)| Series { label: (*l).into(), values })
+            .map(|(l, values)| Series {
+                label: (*l).into(),
+                values,
+            })
             .collect(),
         paper_expectation: "more than half of operands come from the forwarding buffer; \
                             the rest split between pre-read and the CRCs; miss rates are \
@@ -237,6 +320,15 @@ pub fn fig9_operand_sources(workloads: &[Workload], budget: RunBudget) -> Figure
 /// **§2.2.2 ablation** — the four load-resolution-loop management
 /// policies, as speedups relative to the paper's choice (tree reissue).
 pub fn ablation_load_policies(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    ablation_load_policies_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`ablation_load_policies`] on a caller-owned engine.
+pub fn ablation_load_policies_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     let policies = [
         ("reissue-tree", LoadSpecPolicy::ReissueTree),
         ("reissue-shadow", LoadSpecPolicy::ReissueShadow),
@@ -246,7 +338,13 @@ pub fn ablation_load_policies(workloads: &[Workload], budget: RunBudget) -> Figu
     let configs: Vec<(String, PipelineConfig)> = policies
         .into_iter()
         .map(|(name, p)| {
-            (name.to_string(), PipelineConfig { load_policy: p, ..PipelineConfig::base() })
+            (
+                name.to_string(),
+                PipelineConfig {
+                    load_policy: p,
+                    ..PipelineConfig::base()
+                },
+            )
         })
         .collect();
     // Append the pointer-chase microbenchmark: the workload where the
@@ -255,6 +353,7 @@ pub fn ablation_load_policies(workloads: &[Workload], budget: RunBudget) -> Figu
     workloads.push(Workload::Micro("chase"));
     let workloads = &workloads[..];
     speedup_figure(
+        sweep,
         "ablation-load-policy",
         "Load mis-speculation recovery policies (relative to tree reissue)",
         "reissue beats stall; refetch is significantly worse than reissue (paper §2.2.2); \
@@ -272,6 +371,15 @@ pub fn ablation_load_policies(workloads: &[Workload], budget: RunBudget) -> Figu
 /// insertion-table cleanup on squash. All at the 5-cycle-RF DRA (7_3),
 /// relative to the paper's 16-entry FIFO.
 pub fn ablation_dra_design(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    ablation_dra_design_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`ablation_dra_design`] on a caller-owned engine.
+pub fn ablation_dra_design_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     use looseloops_regs::CrcPolicy;
     let dra = |entries: usize, policy: CrcPolicy, cleanup: bool| {
         let mut cfg = PipelineConfig::dra_for_rf(5);
@@ -283,13 +391,17 @@ pub fn ablation_dra_design(workloads: &[Workload], budget: RunBudget) -> FigureR
         cfg
     };
     let configs = vec![
-        ("fifo-16 (paper)".to_string(), dra(16, CrcPolicy::Fifo, false)),
+        (
+            "fifo-16 (paper)".to_string(),
+            dra(16, CrcPolicy::Fifo, false),
+        ),
         ("lru-16".to_string(), dra(16, CrcPolicy::Lru, false)),
         ("fifo-8".to_string(), dra(8, CrcPolicy::Fifo, false)),
         ("fifo-32".to_string(), dra(32, CrcPolicy::Fifo, false)),
         ("ideal-cleanup".to_string(), dra(16, CrcPolicy::Fifo, true)),
     ];
     speedup_figure(
+        sweep,
         "ablation-dra-design",
         "DRA design choices (7_3, 5-cycle RF; relative to the paper's 16-entry FIFO CRC)",
         "paper §5.1: mechanisms smarter than FIFO gain almost nothing; capacity matters          more than policy",
@@ -305,13 +417,29 @@ pub fn ablation_dra_design(workloads: &[Workload], budget: RunBudget) -> FigureR
 /// §2.2.1). Shorter windows push more operands onto the register-file /
 /// CRC paths; longer ones are increasingly unimplementable CAMs.
 pub fn ablation_fwd_window(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    ablation_fwd_window_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`ablation_fwd_window`] on a caller-owned engine.
+pub fn ablation_fwd_window_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     let configs: Vec<(String, PipelineConfig)> = [9u64, 5, 13, 17]
         .into_iter()
         .map(|w| {
-            (format!("window-{w}"), PipelineConfig { fwd_window: w, ..PipelineConfig::dra_for_rf(5) })
+            (
+                format!("window-{w}"),
+                PipelineConfig {
+                    fwd_window: w,
+                    ..PipelineConfig::dra_for_rf(5)
+                },
+            )
         })
         .collect();
     speedup_figure(
+        sweep,
         "ablation-fwd-window",
         "Forwarding-buffer retention window under the DRA (7_3; relative to the paper's 9)",
         "the 9-cycle window was sized to hand values to the register file exactly as          they expire; shrinking it shifts traffic to the CRCs (more operand misses),          growing it buys little because the gap distribution has a long tail (Figure 6)",
@@ -326,13 +454,29 @@ pub fn ablation_fwd_window(workloads: &[Workload], budget: RunBudget) -> FigureR
 /// retention shrinks the effective window, so smaller IQs magnify the
 /// load-resolution loop's cost.
 pub fn ablation_iq_size(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    ablation_iq_size_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`ablation_iq_size`] on a caller-owned engine.
+pub fn ablation_iq_size_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     let configs: Vec<(String, PipelineConfig)> = [128usize, 64, 32, 256]
         .into_iter()
         .map(|n| {
-            (format!("iq-{n}"), PipelineConfig { iq_entries: n, ..PipelineConfig::base() })
+            (
+                format!("iq-{n}"),
+                PipelineConfig {
+                    iq_entries: n,
+                    ..PipelineConfig::base()
+                },
+            )
         })
         .collect();
     speedup_figure(
+        sweep,
         "ablation-iq-size",
         "Instruction-queue capacity on the base machine (relative to the paper's 128)",
         "issued instructions are retained for the 8-cycle loop delay plus a clear          cycle; small IQs lose exposed ILP exactly as §2.2.2 argues",
@@ -348,6 +492,15 @@ pub fn ablation_iq_size(workloads: &[Workload], budget: RunBudget) -> FigureResu
 /// *rate*. This ablation runs base / base+prefetch / DRA / DRA+prefetch
 /// (5-cycle RF) to show the two are complementary.
 pub fn ablation_prefetch(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    ablation_prefetch_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`ablation_prefetch`] on a caller-owned engine.
+pub fn ablation_prefetch_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     use looseloops_mem::PrefetchConfig;
     let with_pf = |mut cfg: PipelineConfig| {
         cfg.mem.prefetch = Some(PrefetchConfig::default());
@@ -355,11 +508,18 @@ pub fn ablation_prefetch(workloads: &[Workload], budget: RunBudget) -> FigureRes
     };
     let configs = vec![
         ("base".to_string(), PipelineConfig::base_for_rf(5)),
-        ("base+prefetch".to_string(), with_pf(PipelineConfig::base_for_rf(5))),
+        (
+            "base+prefetch".to_string(),
+            with_pf(PipelineConfig::base_for_rf(5)),
+        ),
         ("dra".to_string(), PipelineConfig::dra_for_rf(5)),
-        ("dra+prefetch".to_string(), with_pf(PipelineConfig::dra_for_rf(5))),
+        (
+            "dra+prefetch".to_string(),
+            with_pf(PipelineConfig::dra_for_rf(5)),
+        ),
     ];
     speedup_figure(
+        sweep,
         "ablation-prefetch",
         "Stride prefetching vs / with the DRA (5-cycle RF; relative to the base machine)",
         "extension beyond the paper: prefetching cuts the load loop's mis-speculation          rate, the DRA cuts its delay — the streaming codes should take both",
@@ -374,6 +534,15 @@ pub fn ablation_prefetch(workloads: &[Workload], budget: RunBudget) -> FigureRes
 /// rate under different direction predictors, as speedup relative to the
 /// paper-style tournament.
 pub fn ablation_predictors(workloads: &[Workload], budget: RunBudget) -> FigureResult {
+    ablation_predictors_on(SweepEngine::global(), workloads, budget)
+}
+
+/// [`ablation_predictors`] on a caller-owned engine.
+pub fn ablation_predictors_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
     use looseloops_branch::PredictorKind;
     let configs: Vec<(String, PipelineConfig)> = [
         ("tournament", PredictorKind::Tournament),
@@ -383,9 +552,18 @@ pub fn ablation_predictors(workloads: &[Workload], budget: RunBudget) -> FigureR
         ("always-taken", PredictorKind::Taken),
     ]
     .into_iter()
-    .map(|(n, k)| (n.to_string(), PipelineConfig { predictor: k, ..PipelineConfig::base() }))
+    .map(|(n, k)| {
+        (
+            n.to_string(),
+            PipelineConfig {
+                predictor: k,
+                ..PipelineConfig::base()
+            },
+        )
+    })
     .collect();
     speedup_figure(
+        sweep,
         "ablation-predictor",
         "Direction predictors on the base machine (relative to the tournament)",
         "weaker predictors fire the branch-resolution loop more often; the          branch-limited integer codes pay the most",
@@ -401,7 +579,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> RunBudget {
-        RunBudget { warmup: 500, measure: 4_000, max_cycles: 2_000_000 }
+        RunBudget {
+            warmup: 500,
+            measure: 4_000,
+            max_cycles: 2_000_000,
+        }
     }
 
     #[test]

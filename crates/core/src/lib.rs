@@ -41,12 +41,15 @@ pub mod loops;
 pub mod machines;
 pub mod report;
 pub mod simulator;
+pub mod sweep;
 
 pub use experiments::{
-    ablation_dra_design, ablation_fwd_window, ablation_iq_size, ablation_load_policies,
-    ablation_predictors, ablation_prefetch,
-    fig4_pipeline_length,
-    fig5_fixed_total, fig6_operand_gap_cdf, fig8_dra_speedup, fig9_operand_sources, Workload,
+    ablation_dra_design, ablation_dra_design_on, ablation_fwd_window, ablation_fwd_window_on,
+    ablation_iq_size, ablation_iq_size_on, ablation_load_policies, ablation_load_policies_on,
+    ablation_predictors, ablation_predictors_on, ablation_prefetch, ablation_prefetch_on,
+    fig4_pipeline_length, fig4_pipeline_length_on, fig5_fixed_total, fig5_fixed_total_on,
+    fig6_operand_gap_cdf, fig6_operand_gap_cdf_on, fig8_dra_speedup, fig8_dra_speedup_on,
+    fig9_operand_sources, fig9_operand_sources_on, Workload,
 };
 pub use loops::{loop_inventory, LoopInfo, LoopKind, Management, Stage};
 pub use machines::{alpha21264_like, pentium4_like};
@@ -55,6 +58,7 @@ pub use simulator::{
     run_benchmark, run_pair, run_programs, try_run_benchmark, try_run_pair, try_run_programs,
     RunBudget,
 };
+pub use sweep::{default_jobs, jobs_from_env, Job, JobRecord, SweepEngine, SweepSummary};
 
 // Substrate re-exports.
 pub use looseloops_branch as branch;

@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn dra_introduces_the_operand_resolution_loop() {
         let loops = loop_inventory(&PipelineConfig::dra_for_rf(3));
-        let op = loops.iter().find(|l| l.name == "operand resolution").unwrap();
+        let op = loops
+            .iter()
+            .find(|l| l.name == "operand resolution")
+            .unwrap();
         assert_eq!(op.loop_length, 3, "IQ-EX shrinks to 3 under the DRA");
         assert_eq!(op.feedback_delay, 3, "recovery reads the register file");
         assert!(!op.is_tight());
@@ -253,13 +256,18 @@ mod tests {
     fn shrinking_iq_ex_shrinks_exactly_the_issue_loops() {
         let a = loop_inventory(&PipelineConfig::base_with_latencies(3, 9));
         let b = loop_inventory(&PipelineConfig::base_with_latencies(9, 3));
-        let delay = |ls: &[LoopInfo], n: &str| {
-            ls.iter().find(|l| l.name == n).unwrap().loop_delay()
-        };
+        let delay =
+            |ls: &[LoopInfo], n: &str| ls.iter().find(|l| l.name == n).unwrap().loop_delay();
         // Same overall pipe: branch loop unchanged.
-        assert_eq!(delay(&a, "branch resolution"), delay(&b, "branch resolution"));
+        assert_eq!(
+            delay(&a, "branch resolution"),
+            delay(&b, "branch resolution")
+        );
         // Load loop shrinks with IQ-EX.
-        assert_eq!(delay(&a, "load resolution") - delay(&b, "load resolution"), 6);
+        assert_eq!(
+            delay(&a, "load resolution") - delay(&b, "load resolution"),
+            6
+        );
     }
 
     #[test]

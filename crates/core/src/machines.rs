@@ -24,7 +24,7 @@ pub fn alpha21264_like() -> PipelineConfig {
         dec_iq_stages: 2,
         iq_ex_stages: 2,
         rf_read_latency: 1,
-        iq_entries: 35,       // 20 int + 15 fp in the real part
+        iq_entries: 35, // 20 int + 15 fp in the real part
         max_in_flight: 80,
         clusters: 4,
         fp_clusters: 2,
@@ -60,7 +60,10 @@ mod tests {
         let cfg = alpha21264_like();
         cfg.validate().unwrap();
         let loops = loop_inventory(&cfg);
-        let branch = loops.iter().find(|l| l.name == "branch resolution").unwrap();
+        let branch = loops
+            .iter()
+            .find(|l| l.name == "branch resolution")
+            .unwrap();
         // Paper §1: loop length 6, feedback 1, minimum cost 7.
         assert_eq!(branch.loop_length, 7, "2 fetch + 2 map + IQ + 2 IQ-EX");
         assert_eq!(branch.loop_delay(), 8);
@@ -74,7 +77,10 @@ mod tests {
         let cfg = pentium4_like();
         cfg.validate().unwrap();
         let loops = loop_inventory(&cfg);
-        let branch = loops.iter().find(|l| l.name == "branch resolution").unwrap();
+        let branch = loops
+            .iter()
+            .find(|l| l.name == "branch resolution")
+            .unwrap();
         assert!(
             (19..=23).contains(&branch.loop_delay()),
             "paper: ~20-cycle branch resolution, got {}",
@@ -86,10 +92,18 @@ mod tests {
     fn presets_actually_run() {
         use crate::simulator::{run_benchmark, RunBudget};
         use looseloops_workload::Benchmark;
-        let budget = RunBudget { warmup: 500, measure: 4_000, max_cycles: 2_000_000 };
+        let budget = RunBudget {
+            warmup: 500,
+            measure: 4_000,
+            max_cycles: 2_000_000,
+        };
         for cfg in [alpha21264_like(), pentium4_like()] {
             let s = run_benchmark(&cfg, Benchmark::M88ksim, budget);
-            assert!(s.ipc() > 0.2, "preset must execute sensibly, ipc={}", s.ipc());
+            assert!(
+                s.ipc() > 0.2,
+                "preset must execute sensibly, ipc={}",
+                s.ipc()
+            );
         }
     }
 
@@ -97,7 +111,11 @@ mod tests {
     fn deep_pipe_loses_on_branchy_code() {
         use crate::simulator::{run_benchmark, RunBudget};
         use looseloops_workload::Benchmark;
-        let budget = RunBudget { warmup: 2_000, measure: 10_000, max_cycles: 4_000_000 };
+        let budget = RunBudget {
+            warmup: 2_000,
+            measure: 10_000,
+            max_cycles: 4_000_000,
+        };
         let shallow = run_benchmark(&alpha21264_like(), Benchmark::Go, budget).ipc();
         let deep = run_benchmark(&pentium4_like(), Benchmark::Go, budget).ipc();
         assert!(

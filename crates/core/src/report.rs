@@ -56,17 +56,18 @@ impl FigureResult {
     }
 
     /// Render as CSV (one row per series, workloads as columns) for
-    /// spreadsheet/plotting pipelines.
+    /// spreadsheet/plotting pipelines. Column headers and series labels
+    /// go through the same field escaping.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str("series");
         for c in &self.columns {
             out.push(',');
-            out.push_str(c);
+            out.push_str(&csv_field(c));
         }
         out.push('\n');
         for s in &self.series {
-            out.push_str(&s.label.replace(',', ";"));
+            out.push_str(&csv_field(&s.label));
             for v in &s.values {
                 out.push(',');
                 out.push_str(&format!("{v}"));
@@ -86,24 +87,58 @@ impl FigureResult {
     }
 }
 
+/// CSV field escaping, shared by headers and series labels: commas become
+/// semicolons (the output stays one-value-per-comma without quoting
+/// rules), CR/LF become spaces so a field cannot break the row structure.
+fn csv_field(s: &str) -> String {
+    s.replace(',', ";").replace(['\r', '\n'], " ")
+}
+
 // Tiny hand-rolled JSON writer: the structures are flat and fully known,
 // so a dependency is not warranted.
 mod json {
     use super::FigureResult;
 
+    /// Escape `s` as a JSON string literal (RFC 8259), quotes included.
+    /// Every string in the output — id, title, columns, labels, the paper
+    /// expectation — goes through this one path. Unlike Rust's `{:?}`,
+    /// non-ASCII passes through verbatim (JSON is UTF-8) and control
+    /// characters use `\u00XX`, not Rust's `\u{XX}`.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
     pub fn render(fig: &FigureResult) -> String {
         let mut s = String::from("{\n");
-        s.push_str(&format!("  \"id\": {:?},\n", fig.id));
-        s.push_str(&format!("  \"title\": {:?},\n", fig.title));
+        s.push_str(&format!("  \"id\": {},\n", string(&fig.id)));
+        s.push_str(&format!("  \"title\": {},\n", string(&fig.title)));
         s.push_str(&format!(
             "  \"columns\": [{}],\n",
-            fig.columns.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", ")
+            fig.columns
+                .iter()
+                .map(|c| string(c))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         s.push_str("  \"series\": [\n");
         for (i, ser) in fig.series.iter().enumerate() {
             s.push_str(&format!(
-                "    {{ \"label\": {:?}, \"values\": [{}] }}{}\n",
-                ser.label,
+                "    {{ \"label\": {}, \"values\": [{}] }}{}\n",
+                string(&ser.label),
                 ser.values
                     .iter()
                     .map(|v| {
@@ -119,7 +154,10 @@ mod json {
             ));
         }
         s.push_str("  ],\n");
-        s.push_str(&format!("  \"paper_expectation\": {:?}\n", fig.paper_expectation));
+        s.push_str(&format!(
+            "  \"paper_expectation\": {}\n",
+            string(&fig.paper_expectation)
+        ));
         s.push('}');
         s
     }
@@ -141,8 +179,14 @@ mod tests {
             title: "sample".into(),
             columns: vec!["a".into(), "b".into()],
             series: vec![
-                Series { label: "s1".into(), values: vec![1.0, 0.5] },
-                Series { label: "s2".into(), values: vec![0.25, f64::NAN] },
+                Series {
+                    label: "s1".into(),
+                    values: vec![1.0, 0.5],
+                },
+                Series {
+                    label: "s2".into(),
+                    values: vec![0.25, f64::NAN],
+                },
             ],
             paper_expectation: "n/a".into(),
         }
@@ -178,5 +222,43 @@ mod tests {
     fn display_matches_table() {
         let f = sample();
         assert_eq!(f.to_string(), f.to_table());
+    }
+
+    #[test]
+    fn csv_escapes_headers_and_labels_alike() {
+        let mut f = sample();
+        f.columns[0] = "go,su2cor".into();
+        f.series[0].label = "DRA:7_3,base".into();
+        let c = f.to_csv();
+        let mut lines = c.lines();
+        assert_eq!(
+            lines.next(),
+            Some("series,go;su2cor,b"),
+            "comma in header must be escaped"
+        );
+        assert!(lines.next().unwrap().starts_with("DRA:7_3;base,1,"));
+        // Every row has the same field count.
+        for line in f.to_csv().lines() {
+            assert_eq!(line.matches(',').count(), 2, "ragged CSV row: {line}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_all_strings_through_one_path() {
+        let mut f = sample();
+        f.title = "a \"quoted\" title\nwith a newline".into();
+        f.columns[1] = "tab\there".into();
+        f.series[1].label = "back\\slash".into();
+        let j = f.to_json();
+        assert!(j.contains(r#""a \"quoted\" title\nwith a newline""#), "{j}");
+        assert!(j.contains(r#""tab\there""#), "{j}");
+        assert!(j.contains(r#""back\\slash""#), "{j}");
+    }
+
+    #[test]
+    fn json_passes_utf8_through_and_escapes_controls() {
+        assert_eq!(super::json::string("café π"), "\"café π\"");
+        assert_eq!(super::json::string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(super::json::string("a\tb"), "\"a\\tb\"");
     }
 }

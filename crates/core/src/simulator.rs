@@ -26,12 +26,20 @@ impl RunBudget {
     /// A budget suitable for the bundled figure benches: 50k warm-up,
     /// 300k measured instructions.
     pub fn bench() -> RunBudget {
-        RunBudget { warmup: 50_000, measure: 300_000, max_cycles: 20_000_000 }
+        RunBudget {
+            warmup: 50_000,
+            measure: 300_000,
+            max_cycles: 20_000_000,
+        }
     }
 
     /// A small budget for tests.
     pub fn test() -> RunBudget {
-        RunBudget { warmup: 2_000, measure: 20_000, max_cycles: 2_000_000 }
+        RunBudget {
+            warmup: 2_000,
+            measure: 20_000,
+            max_cycles: 2_000_000,
+        }
     }
 }
 
@@ -124,7 +132,11 @@ mod tests {
 
     #[test]
     fn warmup_is_excluded_from_measurement() {
-        let budget = RunBudget { warmup: 5_000, measure: 10_000, max_cycles: 5_000_000 };
+        let budget = RunBudget {
+            warmup: 5_000,
+            measure: 10_000,
+            max_cycles: 5_000_000,
+        };
         let stats = run_benchmark(&PipelineConfig::base(), Benchmark::M88ksim, budget);
         // Retired count reflects only the measured window (within the
         // retire-width granularity of the run loop).
@@ -147,13 +159,27 @@ mod tests {
     #[test]
     #[should_panic]
     fn thread_count_mismatch_panics() {
-        let _ = run_benchmark(&PipelineConfig::base().smt(2), Benchmark::Go, RunBudget::test());
+        let _ = run_benchmark(
+            &PipelineConfig::base().smt(2),
+            Benchmark::Go,
+            RunBudget::test(),
+        );
     }
 
     #[test]
     fn thread_count_mismatch_is_typed() {
-        let err = try_run_benchmark(&PipelineConfig::base().smt(2), Benchmark::Go, RunBudget::test())
-            .expect_err("2-thread config with one program");
-        assert!(matches!(err, SimError::ProgramCount { expected: 2, got: 1 }));
+        let err = try_run_benchmark(
+            &PipelineConfig::base().smt(2),
+            Benchmark::Go,
+            RunBudget::test(),
+        )
+        .expect_err("2-thread config with one program");
+        assert!(matches!(
+            err,
+            SimError::ProgramCount {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 }

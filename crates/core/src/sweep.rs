@@ -1,0 +1,457 @@
+//! Parallel sweep engine with memoized runs.
+//!
+//! Every figure of the evaluation is a grid of *independent* deterministic
+//! simulations — `configs × workloads` at one [`RunBudget`]. The
+//! [`SweepEngine`] executes such grids on a worker pool sized from
+//! [`std::thread::available_parallelism`] (overridable with `--jobs` /
+//! `LOOSELOOPS_JOBS`) and memoizes every completed run in a cache keyed by
+//! a stable hash of `(config, workload, budget)`, so configurations shared
+//! between figures (the base machine appears in Figure 4, Figure 8 and
+//! three ablations) are simulated exactly once per process.
+//!
+//! The simulator is fully deterministic, so the engine only *reorders*
+//! independent runs; results are bit-identical to the serial path
+//! regardless of the worker count (`tests/sweep_determinism.rs` enforces
+//! this).
+//!
+//! The workspace is dependency-free and offline, so there is no rayon
+//! here: the pool is a hand-rolled job queue behind a `Mutex<VecDeque>`,
+//! drained by scoped threads.
+
+use crate::experiments::Workload;
+use crate::simulator::RunBudget;
+use looseloops_pipeline::{PipelineConfig, SimStats};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One point of a sweep: a machine configuration, a workload, a budget.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The machine to simulate (thread count is adjusted to the workload).
+    pub config: PipelineConfig,
+    /// What to run on it.
+    pub workload: Workload,
+    /// Warm-up/measurement instruction budget.
+    pub budget: RunBudget,
+}
+
+/// FNV-1a, the classic 64-bit offset-basis/prime pair. Stable across
+/// processes and platforms, unlike `DefaultHasher`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Job {
+    /// Bundle a sweep point.
+    pub fn new(config: PipelineConfig, workload: Workload, budget: RunBudget) -> Job {
+        Job {
+            config,
+            workload,
+            budget,
+        }
+    }
+
+    /// The full memoization key. Every field of the configuration, the
+    /// workload and the budget participates via the `Debug` rendering
+    /// (plain data throughout, so the rendering is total and stable);
+    /// using the whole string as the map key makes collisions impossible.
+    pub fn key(&self) -> String {
+        format!("{:?}|{:?}|{:?}", self.config, self.workload, self.budget)
+    }
+
+    /// Stable 64-bit digest of [`Job::key`], for compact display.
+    pub fn key_hash(&self) -> u64 {
+        fnv1a64(self.key().as_bytes())
+    }
+
+    /// Short human label: workload name plus key digest.
+    pub fn label(&self) -> String {
+        format!("{}#{:08x}", self.workload.name(), self.key_hash() as u32)
+    }
+
+    fn run(&self) -> SimStats {
+        self.workload.run(&self.config, self.budget)
+    }
+}
+
+/// Timing record for one executed (non-memoized) job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// [`Job::label`] of the run.
+    pub label: String,
+    /// Wall-clock time of the run on its worker.
+    pub wall: Duration,
+    /// Instructions simulated (warm-up + measured window).
+    pub instructions: u64,
+}
+
+impl JobRecord {
+    /// Simulated instructions per wall-clock second, in millions.
+    pub fn sim_mips(&self) -> f64 {
+        self.instructions as f64 / self.wall.as_secs_f64().max(1e-9) / 1e6
+    }
+}
+
+/// Aggregate counters of everything an engine has executed so far.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSummary {
+    /// Worker threads the engine runs with.
+    pub workers: usize,
+    /// Jobs requested through [`SweepEngine::run_jobs`] (memoized or not).
+    pub jobs_requested: u64,
+    /// Jobs actually simulated.
+    pub jobs_run: u64,
+    /// Jobs answered from the memo cache (including duplicates within one
+    /// batch, which are simulated once and shared).
+    pub cache_hits: u64,
+    /// Wall-clock time spent inside `run_jobs` (the parallel region).
+    pub wall: Duration,
+    /// Summed per-job simulation time across all workers.
+    pub busy: Duration,
+    /// Total instructions simulated (warm-up + measured, executed jobs
+    /// only).
+    pub instructions: u64,
+}
+
+impl SweepSummary {
+    /// Aggregate simulated MIPS: instructions over the parallel region's
+    /// wall-clock — this is the number that scales with `--jobs`.
+    pub fn sim_mips(&self) -> f64 {
+        self.instructions as f64 / self.wall.as_secs_f64().max(1e-9) / 1e6
+    }
+
+    /// One-line rendering for harness logs.
+    pub fn line(&self) -> String {
+        format!(
+            "{} jobs run, {} cache hits, {:.1} sim-MIPS ({} workers, busy {:.2}s over {:.2}s wall)",
+            self.jobs_run,
+            self.cache_hits,
+            self.sim_mips(),
+            self.workers,
+            self.busy.as_secs_f64(),
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// Worker-pool executor with a per-process memo cache of completed runs.
+pub struct SweepEngine {
+    workers: usize,
+    cache: Mutex<HashMap<String, Arc<SimStats>>>,
+    jobs_requested: AtomicU64,
+    jobs_run: AtomicU64,
+    cache_hits: AtomicU64,
+    wall_nanos: AtomicU64,
+    busy_nanos: AtomicU64,
+    instructions: AtomicU64,
+    job_log: Mutex<Vec<JobRecord>>,
+}
+
+impl std::fmt::Debug for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepEngine")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Worker count from the machine: `available_parallelism`, or 1 if that
+/// is unknowable.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Worker count from the `LOOSELOOPS_JOBS` environment variable, falling
+/// back to [`default_jobs`]. A malformed value is reported on stderr and
+/// ignored rather than silently treated as 1.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("LOOSELOOPS_JOBS") {
+        Err(_) => default_jobs(),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: LOOSELOOPS_JOBS: cannot parse `{v}` as a positive integer; \
+                     using {} workers",
+                    default_jobs()
+                );
+                default_jobs()
+            }
+        },
+    }
+}
+
+impl SweepEngine {
+    /// An engine with `workers` worker threads; `0` means "size from the
+    /// machine" ([`default_jobs`]).
+    pub fn new(workers: usize) -> SweepEngine {
+        SweepEngine {
+            workers: if workers == 0 {
+                default_jobs()
+            } else {
+                workers
+            },
+            cache: Mutex::new(HashMap::new()),
+            jobs_requested: AtomicU64::new(0),
+            jobs_run: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            instructions: AtomicU64::new(0),
+            job_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An engine sized from `LOOSELOOPS_JOBS` / the machine.
+    pub fn from_env() -> SweepEngine {
+        SweepEngine::new(jobs_from_env())
+    }
+
+    /// A strictly serial engine (one worker) — the reference for the
+    /// determinism tests.
+    pub fn serial() -> SweepEngine {
+        SweepEngine::new(1)
+    }
+
+    /// The process-wide shared engine, sized from the environment on first
+    /// use. The budget-compatible figure entry points
+    /// ([`crate::fig4_pipeline_length`] & co.) run on this engine, so
+    /// figures generated in one process share the memo cache.
+    pub fn global() -> &'static SweepEngine {
+        static GLOBAL: OnceLock<SweepEngine> = OnceLock::new();
+        GLOBAL.get_or_init(SweepEngine::from_env)
+    }
+
+    /// The worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `jobs`, returning one result per job in input order.
+    ///
+    /// Jobs already in the memo cache are answered without simulating;
+    /// duplicates within the batch are simulated once. The rest are
+    /// drained from a shared queue by scoped worker threads. Because the
+    /// simulator is deterministic and the jobs are independent, the
+    /// returned statistics are identical whatever the worker count.
+    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Arc<SimStats>> {
+        let t0 = Instant::now();
+        self.jobs_requested
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+
+        // First occurrence of every key not already cached gets simulated.
+        let pending: Vec<usize> = {
+            let cache = self.cache.lock().expect("sweep cache poisoned");
+            let mut scheduled: HashSet<&str> = HashSet::new();
+            keys.iter()
+                .enumerate()
+                .filter(|(_, k)| !cache.contains_key(*k) && scheduled.insert(k.as_str()))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        self.cache_hits
+            .fetch_add((jobs.len() - pending.len()) as u64, Ordering::Relaxed);
+        self.jobs_run
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+
+        if !pending.is_empty() {
+            let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.iter().copied().collect());
+            let done: Mutex<Vec<(usize, Arc<SimStats>)>> =
+                Mutex::new(Vec::with_capacity(pending.len()));
+            let workers = self.workers.min(pending.len()).max(1);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let next = queue.lock().expect("sweep queue poisoned").pop_front();
+                        let Some(i) = next else { break };
+                        let job = &jobs[i];
+                        let t = Instant::now();
+                        let stats = job.run();
+                        let wall = t.elapsed();
+                        let instructions = job.budget.warmup + stats.total_retired();
+                        self.busy_nanos
+                            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+                        self.instructions.fetch_add(instructions, Ordering::Relaxed);
+                        self.job_log
+                            .lock()
+                            .expect("sweep log poisoned")
+                            .push(JobRecord {
+                                label: job.label(),
+                                wall,
+                                instructions,
+                            });
+                        done.lock()
+                            .expect("sweep results poisoned")
+                            .push((i, Arc::new(stats)));
+                    });
+                }
+            });
+            let mut cache = self.cache.lock().expect("sweep cache poisoned");
+            for (i, stats) in done.into_inner().expect("sweep results poisoned") {
+                cache.insert(keys[i].clone(), stats);
+            }
+        }
+
+        self.wall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let cache = self.cache.lock().expect("sweep cache poisoned");
+        keys.iter()
+            .map(|k| Arc::clone(cache.get(k).expect("every requested job was simulated")))
+            .collect()
+    }
+
+    /// Execute the full `configs × workloads` grid at one budget.
+    /// Returns `result[config][workload]`, row-major in input order.
+    pub fn run_grid(
+        &self,
+        configs: &[PipelineConfig],
+        workloads: &[Workload],
+        budget: RunBudget,
+    ) -> Vec<Vec<Arc<SimStats>>> {
+        let jobs: Vec<Job> = configs
+            .iter()
+            .flat_map(|cfg| {
+                workloads
+                    .iter()
+                    .map(move |w| Job::new(cfg.clone(), *w, budget))
+            })
+            .collect();
+        let flat = self.run_jobs(&jobs);
+        flat.chunks(workloads.len().max(1))
+            .map(<[Arc<SimStats>]>::to_vec)
+            .collect()
+    }
+
+    /// Counters since construction (or the last [`SweepEngine::reset_metrics`]).
+    pub fn summary(&self) -> SweepSummary {
+        SweepSummary {
+            workers: self.workers,
+            jobs_requested: self.jobs_requested.load(Ordering::Relaxed),
+            jobs_run: self.jobs_run.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            instructions: self.instructions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain the per-job timing log (completion order, which is
+    /// scheduling-dependent — observability only, never results).
+    pub fn take_job_log(&self) -> Vec<JobRecord> {
+        std::mem::take(&mut *self.job_log.lock().expect("sweep log poisoned"))
+    }
+
+    /// Zero the counters and timing log. The memo cache is kept — metrics
+    /// describe work, the cache describes results.
+    pub fn reset_metrics(&self) {
+        self.jobs_requested.store(0, Ordering::Relaxed);
+        self.jobs_run.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.wall_nanos.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+        self.instructions.store(0, Ordering::Relaxed);
+        self.job_log.lock().expect("sweep log poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_workload::Benchmark;
+
+    fn tiny() -> RunBudget {
+        RunBudget {
+            warmup: 200,
+            measure: 2_000,
+            max_cycles: 1_000_000,
+        }
+    }
+
+    fn job(b: Benchmark) -> Job {
+        Job::new(PipelineConfig::base(), Workload::Single(b), tiny())
+    }
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let a = job(Benchmark::Compress);
+        assert_eq!(a.key(), job(Benchmark::Compress).key());
+        assert_eq!(a.key_hash(), job(Benchmark::Compress).key_hash());
+        assert_ne!(a.key(), job(Benchmark::Swim).key());
+        let mut other_budget = job(Benchmark::Compress);
+        other_budget.budget.measure += 1;
+        assert_ne!(a.key(), other_budget.key());
+        let dra = Job::new(PipelineConfig::dra_for_rf(5), a.workload, a.budget);
+        assert_ne!(a.key(), dra.key());
+    }
+
+    #[test]
+    fn duplicate_jobs_simulate_once() {
+        let engine = SweepEngine::new(4);
+        let jobs = [job(Benchmark::Compress), job(Benchmark::Compress)];
+        let out = engine.run_jobs(&jobs);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].cycles, out[1].cycles);
+        let s = engine.summary();
+        assert_eq!(s.jobs_requested, 2);
+        assert_eq!(s.jobs_run, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_survives_across_batches() {
+        let engine = SweepEngine::new(2);
+        engine.run_jobs(&[job(Benchmark::Compress)]);
+        engine.run_jobs(&[job(Benchmark::Compress)]);
+        let s = engine.summary();
+        assert_eq!((s.jobs_run, s.cache_hits), (1, 1));
+        assert_eq!(engine.take_job_log().len(), 1, "only the miss is timed");
+    }
+
+    #[test]
+    fn grid_matches_individual_runs() {
+        let engine = SweepEngine::new(8);
+        let configs = [
+            PipelineConfig::base(),
+            PipelineConfig::base_with_latencies(7, 7),
+        ];
+        let workloads = [
+            Workload::Single(Benchmark::Compress),
+            Workload::Single(Benchmark::Swim),
+        ];
+        let grid = engine.run_grid(&configs, &workloads, tiny());
+        assert_eq!(grid.len(), 2);
+        for (c, row) in configs.iter().zip(&grid) {
+            assert_eq!(row.len(), 2);
+            for (w, got) in workloads.iter().zip(row) {
+                let reference = w.run(c, tiny());
+                assert_eq!(got.cycles, reference.cycles);
+                assert_eq!(got.total_retired(), reference.total_retired());
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_reset_keeps_cache() {
+        let engine = SweepEngine::new(2);
+        engine.run_jobs(&[job(Benchmark::Compress)]);
+        engine.reset_metrics();
+        assert_eq!(engine.summary().jobs_run, 0);
+        engine.run_jobs(&[job(Benchmark::Compress)]);
+        let s = engine.summary();
+        assert_eq!(
+            (s.jobs_run, s.cache_hits),
+            (0, 1),
+            "cache outlives metric resets"
+        );
+    }
+}

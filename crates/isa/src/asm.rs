@@ -44,7 +44,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err(line: usize, msg: impl Into<String>) -> AsmError {
-    AsmError { line, msg: msg.into() }
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Assemble `source` into a [`Program`] named "asm".
@@ -89,9 +92,10 @@ pub fn assemble_named(name: &str, source: &str) -> Result<Program, AsmError> {
     b.build().map_err(|e| match e {
         BuildError::UndefinedLabel(l) => err(0, format!("undefined label `{l}`")),
         BuildError::DuplicateLabel(l) => err(0, format!("duplicate label `{l}`")),
-        BuildError::DisplacementOverflow { label, disp } => {
-            err(0, format!("branch to `{label}` out of range (displacement {disp})"))
-        }
+        BuildError::DisplacementOverflow { label, disp } => err(
+            0,
+            format!("branch to `{label}` out of range (displacement {disp})"),
+        ),
     })
 }
 
@@ -102,8 +106,11 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn parse_inst(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), AsmError> {
@@ -112,8 +119,11 @@ fn parse_inst(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), Asm
         None => (text, ""),
     };
     let mnemonic = mnemonic.to_ascii_lowercase();
-    let args: Vec<&str> =
-        if args.is_empty() { vec![] } else { args.split(',').map(str::trim).collect() };
+    let args: Vec<&str> = if args.is_empty() {
+        vec![]
+    } else {
+        args.split(',').map(str::trim).collect()
+    };
 
     if mnemonic == ".entry" {
         let [label] = one_arg(&args, line)?;
@@ -126,8 +136,10 @@ fn parse_inst(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), Asm
             return Err(err(line, ".data needs an address and at least one word"));
         }
         let addr = parse_num(args[0], line)? as u64;
-        let words: Result<Vec<u64>, _> =
-            args[1..].iter().map(|a| parse_num(a, line).map(|v| v as u64)).collect();
+        let words: Result<Vec<u64>, _> = args[1..]
+            .iter()
+            .map(|a| parse_num(a, line).map(|v| v as u64))
+            .collect();
         b.data_words(addr, &words?);
         return Ok(());
     }
@@ -201,7 +213,12 @@ fn parse_inst(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), Asm
         // fcvt* are unary: rd, rs1
         if matches!(op, Opcode::FCvtIf | Opcode::FCvtFi) {
             let [rd, rs1] = two_args(&args, line)?;
-            b.push(Inst::op_rr(op, parse_reg(rd, line)?, parse_reg(rs1, line)?, Reg::FZERO));
+            b.push(Inst::op_rr(
+                op,
+                parse_reg(rd, line)?,
+                parse_reg(rs1, line)?,
+                Reg::FZERO,
+            ));
             return Ok(());
         }
         let [rd, rs1, src2] = three_args(&args, line)?;
@@ -291,20 +308,28 @@ fn one_arg<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 1], AsmError> 
 fn two_args<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 2], AsmError> {
     match args {
         [a, b] => Ok([a, b]),
-        _ => Err(err(line, format!("expected 2 operands, got {}", args.len()))),
+        _ => Err(err(
+            line,
+            format!("expected 2 operands, got {}", args.len()),
+        )),
     }
 }
 
 fn three_args<'a>(args: &[&'a str], line: usize) -> Result<[&'a str; 3], AsmError> {
     match args {
         [a, b, c] => Ok([a, b, c]),
-        _ => Err(err(line, format!("expected 3 operands, got {}", args.len()))),
+        _ => Err(err(
+            line,
+            format!("expected 3 operands, got {}", args.len()),
+        )),
     }
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
     let (bank, num) = s.split_at(1.min(s.len()));
-    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register `{s}`")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{s}`")))?;
     if n >= 32 {
         return Err(err(line, format!("register number out of range in `{s}`")));
     }
@@ -339,12 +364,18 @@ fn parse_imm(s: &str, line: usize) -> Result<i32, AsmError> {
 
 /// Parse `disp(base)` memory-operand syntax.
 fn parse_addr(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
-    let open = s.find('(').ok_or_else(|| err(line, format!("expected disp(base), got `{s}`")))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected disp(base), got `{s}`")))?;
     if !s.ends_with(')') {
         return Err(err(line, format!("expected disp(base), got `{s}`")));
     }
     let disp_str = s[..open].trim();
-    let disp = if disp_str.is_empty() { 0 } else { parse_imm(disp_str, line)? };
+    let disp = if disp_str.is_empty() {
+        0
+    } else {
+        parse_imm(disp_str, line)?
+    };
     let base = parse_reg(s[open + 1..s.len() - 1].trim(), line)?;
     Ok((disp, base))
 }
@@ -431,9 +462,12 @@ mod tests {
 
     #[test]
     fn entry_directive_sets_start_pc() {
-        let prog = assemble(".entry main
+        let prog = assemble(
+            ".entry main
 nop
-main: halt").unwrap();
+main: halt",
+        )
+        .unwrap();
         assert_eq!(prog.entry, 1);
         let mut mem = FlatMemory::new();
         let mut st = ArchState::new(&prog);

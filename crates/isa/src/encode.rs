@@ -79,7 +79,8 @@ pub fn decode(word: u64) -> Result<Inst, DecodeError> {
     if reserved != 0 {
         return Err(DecodeError::ReservedBitsSet(word));
     }
-    let op = Opcode::from_u8((word & 0xff) as u8).ok_or(DecodeError::BadOpcode((word & 0xff) as u8))?;
+    let op =
+        Opcode::from_u8((word & 0xff) as u8).ok_or(DecodeError::BadOpcode((word & 0xff) as u8))?;
     let reg_at = |shift: u32| Reg::from_index(((word >> shift) & 0x3f) as u8 % NUM_ARCH_REGS);
     let imm24 = ((word >> 32) & 0x00ff_ffff) as u32;
     // Sign-extend 24 -> 32 bits.
@@ -176,7 +177,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn oversized_immediate_panics() {
-        let _ = encode(Inst::op_ri(Opcode::Add, Reg::int(1), Reg::int(1), Inst::IMM_MAX + 1));
+        let _ = encode(Inst::op_ri(
+            Opcode::Add,
+            Reg::int(1),
+            Reg::int(1),
+            Inst::IMM_MAX + 1,
+        ));
     }
 
     #[test]

@@ -211,9 +211,9 @@ impl Opcode {
 const OPCODE_TABLE: [Opcode; NUM_OPCODES as usize] = {
     use Opcode::*;
     [
-        Add, Sub, Mul, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Seq, FAdd, FSub, FMul, FDiv,
-        FCmpLt, FCmpEq, FCvtIf, FCvtFi, Ldq, Ldl, Stq, Stl, FLdq, FStq, Beq, Bne, Blt, Bge, Ble,
-        Bgt, Br, Jsr, Jmp, Ret, Mb, Halt, Nop,
+        Add, Sub, Mul, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Seq, FAdd, FSub, FMul, FDiv, FCmpLt,
+        FCmpEq, FCvtIf, FCvtFi, Ldq, Ldl, Stq, Stl, FLdq, FStq, Beq, Bne, Blt, Bge, Ble, Bgt, Br,
+        Jsr, Jmp, Ret, Mb, Halt, Nop,
     ]
 };
 
@@ -247,67 +247,151 @@ impl Inst {
 
     /// Register-form operate instruction: `rd = rs1 <op> rs2`.
     pub fn op_rr(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
-        Inst { op, rd, rs1, rs2, imm: 0, uses_imm: false }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+            uses_imm: false,
+        }
     }
 
     /// Immediate-form operate instruction: `rd = rs1 <op> imm`.
     pub fn op_ri(op: Opcode, rd: Reg, rs1: Reg, imm: i32) -> Inst {
-        Inst { op, rd, rs1, rs2: Reg::ZERO, imm, uses_imm: true }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+            uses_imm: true,
+        }
     }
 
     /// Load: `rd = mem[rs1 + disp]`.
     pub fn load(op: Opcode, rd: Reg, base: Reg, disp: i32) -> Inst {
         debug_assert_eq!(op.class(), Class::Load);
-        Inst { op, rd, rs1: base, rs2: Reg::ZERO, imm: disp, uses_imm: false }
+        Inst {
+            op,
+            rd,
+            rs1: base,
+            rs2: Reg::ZERO,
+            imm: disp,
+            uses_imm: false,
+        }
     }
 
     /// Store: `mem[base + disp] = data`.
     pub fn store(op: Opcode, data: Reg, base: Reg, disp: i32) -> Inst {
         debug_assert_eq!(op.class(), Class::Store);
         let zero = if data.is_fp() { Reg::FZERO } else { Reg::ZERO };
-        Inst { op, rd: zero, rs1: base, rs2: data, imm: disp, uses_imm: false }
+        Inst {
+            op,
+            rd: zero,
+            rs1: base,
+            rs2: data,
+            imm: disp,
+            uses_imm: false,
+        }
     }
 
     /// Conditional branch testing `rs1`, with instruction-index displacement
     /// relative to `pc + 1`.
     pub fn branch(op: Opcode, rs1: Reg, disp: i32) -> Inst {
         debug_assert_eq!(op.class(), Class::CondBranch);
-        Inst { op, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: disp, uses_imm: false }
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: disp,
+            uses_imm: false,
+        }
     }
 
     /// Unconditional PC-relative branch.
     pub fn br(disp: i32) -> Inst {
-        Inst { op: Opcode::Br, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: disp, uses_imm: false }
+        Inst {
+            op: Opcode::Br,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: disp,
+            uses_imm: false,
+        }
     }
 
     /// PC-relative call linking into `rd`.
     pub fn jsr(rd: Reg, disp: i32) -> Inst {
-        Inst { op: Opcode::Jsr, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: disp, uses_imm: false }
+        Inst {
+            op: Opcode::Jsr,
+            rd,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: disp,
+            uses_imm: false,
+        }
     }
 
     /// Indirect jump through `target`, linking into `rd` (`r31` for none).
     pub fn jmp(rd: Reg, target: Reg) -> Inst {
-        Inst { op: Opcode::Jmp, rd, rs1: target, rs2: Reg::ZERO, imm: 0, uses_imm: false }
+        Inst {
+            op: Opcode::Jmp,
+            rd,
+            rs1: target,
+            rs2: Reg::ZERO,
+            imm: 0,
+            uses_imm: false,
+        }
     }
 
     /// Return through `target` (return-stack pop hint).
     pub fn ret(target: Reg) -> Inst {
-        Inst { op: Opcode::Ret, rd: Reg::ZERO, rs1: target, rs2: Reg::ZERO, imm: 0, uses_imm: false }
+        Inst {
+            op: Opcode::Ret,
+            rd: Reg::ZERO,
+            rs1: target,
+            rs2: Reg::ZERO,
+            imm: 0,
+            uses_imm: false,
+        }
     }
 
     /// Memory barrier.
     pub fn mb() -> Inst {
-        Inst { op: Opcode::Mb, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0, uses_imm: false }
+        Inst {
+            op: Opcode::Mb,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+            uses_imm: false,
+        }
     }
 
     /// Thread halt.
     pub fn halt() -> Inst {
-        Inst { op: Opcode::Halt, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0, uses_imm: false }
+        Inst {
+            op: Opcode::Halt,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+            uses_imm: false,
+        }
     }
 
     /// No-op.
     pub fn nop() -> Inst {
-        Inst { op: Opcode::Nop, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0, uses_imm: false }
+        Inst {
+            op: Opcode::Nop,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+            uses_imm: false,
+        }
     }
 
     /// The instruction class (shorthand for `self.op.class()`).
@@ -368,28 +452,76 @@ impl Inst {
     pub fn canonical(self) -> Inst {
         use Opcode::*;
         match self.op {
-            FCvtIf | FCvtFi => {
-                Inst { rs2: Reg::FZERO, imm: 0, uses_imm: false, ..self }
-            }
-            Ldq | Ldl | FLdq => Inst { rs2: Reg::ZERO, uses_imm: false, ..self },
+            FCvtIf | FCvtFi => Inst {
+                rs2: Reg::FZERO,
+                imm: 0,
+                uses_imm: false,
+                ..self
+            },
+            Ldq | Ldl | FLdq => Inst {
+                rs2: Reg::ZERO,
+                uses_imm: false,
+                ..self
+            },
             Stq | Stl | FStq => {
-                let zero = if self.rs2.is_fp() { Reg::FZERO } else { Reg::ZERO };
-                Inst { rd: zero, uses_imm: false, ..self }
+                let zero = if self.rs2.is_fp() {
+                    Reg::FZERO
+                } else {
+                    Reg::ZERO
+                };
+                Inst {
+                    rd: zero,
+                    uses_imm: false,
+                    ..self
+                }
             }
-            Beq | Bne | Blt | Bge | Ble | Bgt => {
-                Inst { rd: Reg::ZERO, rs2: Reg::ZERO, uses_imm: false, ..self }
-            }
-            Br => Inst { rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, uses_imm: false, ..self },
-            Jsr => Inst { rs1: Reg::ZERO, rs2: Reg::ZERO, uses_imm: false, ..self },
-            Jmp => Inst { rs2: Reg::ZERO, imm: 0, uses_imm: false, ..self },
-            Ret => Inst { rd: Reg::ZERO, rs2: Reg::ZERO, imm: 0, uses_imm: false, ..self },
-            Mb | Halt | Nop => {
-                Inst { rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0, uses_imm: false, ..self }
-            }
+            Beq | Bne | Blt | Bge | Ble | Bgt => Inst {
+                rd: Reg::ZERO,
+                rs2: Reg::ZERO,
+                uses_imm: false,
+                ..self
+            },
+            Br => Inst {
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                uses_imm: false,
+                ..self
+            },
+            Jsr => Inst {
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                uses_imm: false,
+                ..self
+            },
+            Jmp => Inst {
+                rs2: Reg::ZERO,
+                imm: 0,
+                uses_imm: false,
+                ..self
+            },
+            Ret => Inst {
+                rd: Reg::ZERO,
+                rs2: Reg::ZERO,
+                imm: 0,
+                uses_imm: false,
+                ..self
+            },
+            Mb | Halt | Nop => Inst {
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                imm: 0,
+                uses_imm: false,
+                ..self
+            },
             _ => {
                 // Operate formats: either the immediate or rs2 is dead.
                 if self.uses_imm {
-                    Inst { rs2: Reg::ZERO, ..self }
+                    Inst {
+                        rs2: Reg::ZERO,
+                        ..self
+                    }
                 } else {
                     Inst { imm: 0, ..self }
                 }
@@ -572,7 +704,10 @@ mod tests {
             Inst::store(Opcode::FStq, Reg::fp(2), Reg::int(3), 0).to_string(),
             "fstq f2, 0(r3)"
         );
-        assert_eq!(Inst::branch(Opcode::Bne, Reg::int(9), -3).to_string(), "bne r9, -3");
+        assert_eq!(
+            Inst::branch(Opcode::Bne, Reg::int(9), -3).to_string(),
+            "bne r9, -3"
+        );
         assert_eq!(Inst::halt().to_string(), "halt");
         assert_eq!(Inst::nop().to_string(), "nop");
     }

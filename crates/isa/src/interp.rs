@@ -66,7 +66,10 @@ impl FlatMemory {
     }
 
     fn write_byte(&mut self, addr: u64, val: u8) {
-        let page = self.pages.entry(addr >> 12).or_insert_with(|| Box::new([0u8; 4096]));
+        let page = self
+            .pages
+            .entry(addr >> 12)
+            .or_insert_with(|| Box::new([0u8; 4096]));
         page[(addr & 0xfff) as usize] = val;
     }
 }
@@ -148,7 +151,11 @@ pub struct ArchState {
 impl ArchState {
     /// Fresh state at the program's entry point with all registers zero.
     pub fn new(prog: &Program) -> ArchState {
-        ArchState { regs: [0; NUM_ARCH_REGS as usize], pc: prog.entry, halted: false }
+        ArchState {
+            regs: [0; NUM_ARCH_REGS as usize],
+            pc: prog.entry,
+            halted: false,
+        }
     }
 
     /// Current PC (instruction index).
@@ -213,7 +220,10 @@ impl ArchState {
             self.step(prog, mem)?;
             retired += 1;
         }
-        Ok(RunSummary { retired, halted: self.halted })
+        Ok(RunSummary {
+            retired,
+            halted: self.halted,
+        })
     }
 
     /// The semantics of `inst` at `pc`; shared by `step` and (via re-export)
@@ -221,7 +231,11 @@ impl ArchState {
     pub fn execute(&mut self, inst: Inst, pc: u64, mem: &mut dyn Memory) -> Retired {
         use Opcode::*;
         let s1 = self.read_reg(inst.rs1);
-        let s2 = if inst.uses_imm { inst.imm as i64 as u64 } else { self.read_reg(inst.rs2) };
+        let s2 = if inst.uses_imm {
+            inst.imm as i64 as u64
+        } else {
+            self.read_reg(inst.rs2)
+        };
         let fall = pc + 1;
         let mut wrote = None;
         let mut mem_addr = None;
@@ -236,8 +250,8 @@ impl ArchState {
         };
 
         match inst.op {
-            Add | Sub | Mul | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq | FAdd
-            | FSub | FMul | FDiv | FCmpLt | FCmpEq | FCvtIf | FCvtFi => {
+            Add | Sub | Mul | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq | FAdd | FSub
+            | FMul | FDiv | FCmpLt | FCmpEq | FCvtIf | FCvtFi => {
                 write(self, inst.rd, eval_op(inst.op, s1, s2))
             }
             Ldq | Ldl | FLdq => {
@@ -286,7 +300,14 @@ impl ArchState {
             }
         }
 
-        Retired { pc, inst, wrote, mem_addr, taken, next_pc }
+        Retired {
+            pc,
+            inst,
+            wrote,
+            mem_addr,
+            taken,
+            next_pc,
+        }
     }
 }
 

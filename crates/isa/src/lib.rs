@@ -53,6 +53,8 @@ pub use asm::{assemble, AsmError};
 pub use disasm::{disassemble, disassemble_words};
 pub use encode::{decode, encode, DecodeError};
 pub use inst::{Class, Inst, Opcode};
-pub use interp::{branch_taken, control_target, eval_op, ArchState, ExecError, FlatMemory, Memory, Retired};
+pub use interp::{
+    branch_taken, control_target, eval_op, ArchState, ExecError, FlatMemory, Memory, Retired,
+};
 pub use program::{Program, ProgramBuilder};
 pub use reg::Reg;

@@ -29,7 +29,12 @@ pub struct Program {
 impl Program {
     /// A program from a raw instruction list, entering at index 0.
     pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Program {
-        Program { name: name.into(), insts, entry: 0, init_data: Vec::new() }
+        Program {
+            name: name.into(),
+            insts,
+            entry: 0,
+            init_data: Vec::new(),
+        }
     }
 
     /// Number of instructions in the image.
@@ -71,7 +76,10 @@ impl fmt::Display for BuildError {
             BuildError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             BuildError::DisplacementOverflow { label, disp } => {
-                write!(f, "branch to `{label}` needs displacement {disp}, out of range")
+                write!(
+                    f,
+                    "branch to `{label}` needs displacement {disp}, out of range"
+                )
             }
         }
     }
@@ -112,7 +120,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Create an empty builder for a program called `name`.
     pub fn new(name: impl Into<String>) -> ProgramBuilder {
-        ProgramBuilder { name: name.into(), ..ProgramBuilder::default() }
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
     }
 
     /// Current instruction index (where the next emitted instruction lands).
@@ -174,8 +185,10 @@ impl ProgramBuilder {
             return Err(BuildError::DuplicateLabel(l));
         }
         for (idx, label) in std::mem::take(&mut self.fixups) {
-            let target =
-                *self.labels.get(&label).ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
             let disp = target as i64 - (idx as i64 + 1);
             if disp < Inst::IMM_MIN as i64 || disp > Inst::IMM_MAX as i64 {
                 return Err(BuildError::DisplacementOverflow { label, disp });
@@ -184,10 +197,7 @@ impl ProgramBuilder {
         }
         let entry = match self.entry_label.take() {
             None => 0,
-            Some(l) => *self
-                .labels
-                .get(&l)
-                .ok_or(BuildError::UndefinedLabel(l))?,
+            Some(l) => *self.labels.get(&l).ok_or(BuildError::UndefinedLabel(l))?,
         };
         Ok(Program {
             name: self.name,
@@ -357,7 +367,10 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut b = ProgramBuilder::new("t");
         b.br("nowhere");
-        assert_eq!(b.build().unwrap_err(), BuildError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]
@@ -367,7 +380,10 @@ mod tests {
         b.nop();
         b.label("x");
         b.halt();
-        assert_eq!(b.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]
@@ -400,7 +416,10 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.entry("nowhere");
         b.halt();
-        assert_eq!(b.build().unwrap_err(), BuildError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]

@@ -65,7 +65,13 @@ fn commutative_ops_commute() {
     let mut rng = Rng::seed_from_u64(0x15a4);
     for _ in 0..CASES {
         let (a, b) = (rng.next_u64(), rng.next_u64());
-        for op in [Opcode::Add, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Mul] {
+        for op in [
+            Opcode::Add,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Mul,
+        ] {
             assert_eq!(eval_op(op, a, b), eval_op(op, b, a));
         }
         assert_eq!(eval_op(Opcode::Seq, a, b), eval_op(Opcode::Seq, b, a));
@@ -102,8 +108,7 @@ fn memory_read_back_what_you_wrote() {
     let mut rng = Rng::seed_from_u64(0x15a7);
     for _ in 0..64 {
         let n = rng.gen_range(1usize..20);
-        let writes: Vec<(u64, u64)> =
-            (0..n).map(|_| (rng.next_u64(), rng.next_u64())).collect();
+        let writes: Vec<(u64, u64)> = (0..n).map(|_| (rng.next_u64(), rng.next_u64())).collect();
         let mut m = FlatMemory::new();
         for (addr, val) in &writes {
             m.write(*addr, 8, *val);

@@ -20,8 +20,15 @@ impl BankTracker {
     ///
     /// Panics if `banks` is zero or not a power of two.
     pub fn new(banks: usize, line_bytes: u64) -> BankTracker {
-        assert!(banks > 0 && banks.is_power_of_two(), "bank count must be a power of two");
-        BankTracker { busy_until: vec![0; banks], line_bytes, conflicts: 0 }
+        assert!(
+            banks > 0 && banks.is_power_of_two(),
+            "bank count must be a power of two"
+        );
+        BankTracker {
+            busy_until: vec![0; banks],
+            line_bytes,
+            conflicts: 0,
+        }
     }
 
     /// Which bank serves `addr`.

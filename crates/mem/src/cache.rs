@@ -22,17 +22,32 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's base 64 KiB, 2-way, 64 B-line, 3-cycle data cache.
     pub fn l1d_default() -> CacheConfig {
-        CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, hit_latency: 3 }
+        CacheConfig {
+            size_bytes: 64 << 10,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 3,
+        }
     }
 
     /// 64 KiB, 2-way, 64 B-line, single-cycle instruction cache.
     pub fn l1i_default() -> CacheConfig {
-        CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, hit_latency: 1 }
+        CacheConfig {
+            size_bytes: 64 << 10,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        }
     }
 
     /// 1 MiB, 8-way unified second-level cache, 12-cycle access.
     pub fn l2_default() -> CacheConfig {
-        CacheConfig { size_bytes: 1 << 20, assoc: 8, line_bytes: 64, hit_latency: 12 }
+        CacheConfig {
+            size_bytes: 1 << 20,
+            assoc: 8,
+            line_bytes: 64,
+            hit_latency: 12,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -99,14 +114,25 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
     /// line size, or capacity not divisible by `assoc * line_bytes`).
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0, "bad line size");
+        assert!(
+            cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0,
+            "bad line size"
+        );
         assert!(cfg.assoc > 0, "associativity must be positive");
         assert!(
             cfg.size_bytes.is_multiple_of(cfg.assoc * cfg.line_bytes) && cfg.num_sets() > 0,
             "capacity must be a whole number of sets"
         );
-        assert!(cfg.num_sets().is_power_of_two(), "set count must be a power of two");
-        Cache { lines: vec![Line::default(); cfg.num_sets() * cfg.assoc], cfg, stamp: 0, stats: CacheStats::default() }
+        assert!(
+            cfg.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
+        Cache {
+            lines: vec![Line::default(); cfg.num_sets() * cfg.assoc],
+            cfg,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// This cache's configuration.
@@ -146,7 +172,11 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use } else { 0 })
             .expect("assoc > 0");
-        *victim = Line { tag, valid: true, last_use: stamp };
+        *victim = Line {
+            tag,
+            valid: true,
+            last_use: stamp,
+        };
         false
     }
 
@@ -172,9 +202,15 @@ impl Cache {
             line.last_use = stamp;
             return;
         }
-        let victim =
-            ways.iter_mut().min_by_key(|l| if l.valid { l.last_use } else { 0 }).expect("assoc");
-        *victim = Line { tag, valid: true, last_use: stamp };
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("assoc");
+        *victim = Line {
+            tag,
+            valid: true,
+            last_use: stamp,
+        };
     }
 
     /// Invalidate the line containing `addr`, if resident.
@@ -215,7 +251,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets, 2 ways, 64B lines.
-        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, hit_latency: 3 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 3,
+        })
     }
 
     #[test]
@@ -325,6 +366,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn degenerate_geometry_rejected() {
-        let _ = Cache::new(CacheConfig { size_bytes: 100, assoc: 3, line_bytes: 7, hit_latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            assoc: 3,
+            line_bytes: 7,
+            hit_latency: 1,
+        });
     }
 }

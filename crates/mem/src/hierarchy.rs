@@ -174,7 +174,12 @@ impl MemHierarchy {
             AccessKind::InstFetch => {
                 let (l1, l1_lat) = (&mut self.l1i, self.cfg.l1i.hit_latency);
                 if l1.access(addr) {
-                    return AccessResult { latency: l1_lat, level: HitLevel::L1, tlb_trap: false, bank_wait: 0 };
+                    return AccessResult {
+                        latency: l1_lat,
+                        level: HitLevel::L1,
+                        tlb_trap: false,
+                        bank_wait: 0,
+                    };
                 }
                 if self.l2.access(addr) {
                     return AccessResult {
@@ -220,15 +225,18 @@ impl MemHierarchy {
                         latency += wait;
                         self.mshr_waits += 1;
                         // Retire the slot we are taking over.
-                        if let Some(pos) =
-                            self.mshr_busy.iter().position(|&d| d == earliest)
-                        {
+                        if let Some(pos) = self.mshr_busy.iter().position(|&d| d == earliest) {
                             self.mshr_busy.swap_remove(pos);
                         }
                     }
                     self.mshr_busy.push(now + latency as u64);
                 }
-                AccessResult { latency, level, tlb_trap, bank_wait }
+                AccessResult {
+                    latency,
+                    level,
+                    tlb_trap,
+                    bank_wait,
+                }
             }
         }
     }
@@ -268,13 +276,32 @@ mod tests {
 
     fn small() -> MemHierarchy {
         MemHierarchy::new(HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, hit_latency: 1 },
-            l1d: CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, hit_latency: 3 },
-            l2: CacheConfig { size_bytes: 8192, assoc: 4, line_bytes: 64, hit_latency: 12 },
+            l1i: CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 64,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 8192,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 12,
+            },
             mem_latency: 100,
             l1d_banks: 2,
             mshrs: 8,
-            dtlb: TlbConfig { entries: 4, page_bytes: 4096, miss_policy: TlbMissPolicy::Penalty(20) },
+            dtlb: TlbConfig {
+                entries: 4,
+                page_bytes: 4096,
+                miss_policy: TlbMissPolicy::Penalty(20),
+            },
             prefetch: None,
         })
     }
@@ -295,7 +322,11 @@ mod tests {
             now += 200; // let MSHRs drain
         }
         let (w, wo) = (with.stats(), without.stats());
-        assert!(w.prefetches > 20, "stream must be detected: {}", w.prefetches);
+        assert!(
+            w.prefetches > 20,
+            "stream must be detected: {}",
+            w.prefetches
+        );
         assert!(
             w.l1d.misses < wo.l1d.misses / 2,
             "prefetching must remove most stream misses: {} vs {}",
@@ -374,7 +405,11 @@ mod tests {
     #[test]
     fn tlb_trap_surfaces() {
         let mut m = MemHierarchy::new(HierarchyConfig {
-            dtlb: TlbConfig { entries: 2, page_bytes: 4096, miss_policy: TlbMissPolicy::Trap },
+            dtlb: TlbConfig {
+                entries: 2,
+                page_bytes: 4096,
+                miss_policy: TlbMissPolicy::Trap,
+            },
             ..HierarchyConfig::default()
         });
         let r = m.access(AccessKind::DataRead, 0x9000, 0);

@@ -21,14 +21,14 @@
 
 pub mod bank;
 pub mod cache;
-pub mod prefetch;
 pub mod hierarchy;
+pub mod prefetch;
 pub mod tlb;
 
 pub use bank::BankTracker;
-pub use prefetch::{PrefetchConfig, StreamPrefetcher};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{
     AccessKind, AccessResult, HierarchyConfig, HierarchyStats, HitLevel, MemHierarchy,
 };
+pub use prefetch::{PrefetchConfig, StreamPrefetcher};
 pub use tlb::{Tlb, TlbConfig, TlbMissPolicy, TlbOutcome};

@@ -18,7 +18,10 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> PrefetchConfig {
-        PrefetchConfig { entries: 256, degree: 2 }
+        PrefetchConfig {
+            entries: 256,
+            degree: 2,
+        }
     }
 }
 
@@ -47,9 +50,16 @@ impl StreamPrefetcher {
     ///
     /// Panics if `entries` is not a power of two or `degree` is zero.
     pub fn new(cfg: PrefetchConfig) -> StreamPrefetcher {
-        assert!(cfg.entries.is_power_of_two(), "table must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "table must be a power of two"
+        );
         assert!(cfg.degree > 0, "degree must be positive");
-        StreamPrefetcher { table: vec![StrideEntry::default(); cfg.entries], cfg, issued: 0 }
+        StreamPrefetcher {
+            table: vec![StrideEntry::default(); cfg.entries],
+            cfg,
+            issued: 0,
+        }
     }
 
     /// Observe a demand access by the load at `pc` to `addr`; returns the
@@ -75,7 +85,12 @@ impl StreamPrefetcher {
             }
             e.last_addr = addr;
         } else {
-            *e = StrideEntry { tag: pc, last_addr: addr, stride: 0, confirmed: false };
+            *e = StrideEntry {
+                tag: pc,
+                last_addr: addr,
+                stride: 0,
+                confirmed: false,
+            };
         }
         out
     }
@@ -92,7 +107,10 @@ mod tests {
 
     #[test]
     fn constant_stride_confirms_then_streams() {
-        let mut p = StreamPrefetcher::new(PrefetchConfig { entries: 16, degree: 2 });
+        let mut p = StreamPrefetcher::new(PrefetchConfig {
+            entries: 16,
+            degree: 2,
+        });
         assert!(p.observe(0x10, 1000).is_empty()); // learn addr
         assert!(p.observe(0x10, 1064).is_empty()); // learn stride
         assert!(p.observe(0x10, 1128).is_empty()); // confirm
@@ -103,19 +121,28 @@ mod tests {
 
     #[test]
     fn changing_stride_resets_confirmation() {
-        let mut p = StreamPrefetcher::new(PrefetchConfig { entries: 16, degree: 1 });
+        let mut p = StreamPrefetcher::new(PrefetchConfig {
+            entries: 16,
+            degree: 1,
+        });
         p.observe(0x20, 0);
         p.observe(0x20, 64);
         p.observe(0x20, 128);
         assert!(p.observe(0x20, 512).is_empty(), "stride broke");
-        assert!(p.observe(0x20, 896).is_empty(), "new stride not yet confirmed");
+        assert!(
+            p.observe(0x20, 896).is_empty(),
+            "new stride not yet confirmed"
+        );
         p.observe(0x20, 1280);
         assert!(!p.observe(0x20, 1664).is_empty(), "new stride confirmed");
     }
 
     #[test]
     fn negative_strides_work() {
-        let mut p = StreamPrefetcher::new(PrefetchConfig { entries: 16, degree: 1 });
+        let mut p = StreamPrefetcher::new(PrefetchConfig {
+            entries: 16,
+            degree: 1,
+        });
         p.observe(0x30, 10_000);
         p.observe(0x30, 9_936);
         p.observe(0x30, 9_872);
@@ -125,7 +152,10 @@ mod tests {
 
     #[test]
     fn pc_aliasing_replaces_entries() {
-        let mut p = StreamPrefetcher::new(PrefetchConfig { entries: 16, degree: 1 });
+        let mut p = StreamPrefetcher::new(PrefetchConfig {
+            entries: 16,
+            degree: 1,
+        });
         p.observe(0x1, 0);
         p.observe(0x1, 64);
         p.observe(0x11, 0); // aliases 0x1 in a 16-entry table

@@ -43,7 +43,11 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> TlbConfig {
-        TlbConfig { entries: 64, page_bytes: 8192, miss_policy: TlbMissPolicy::Penalty(30) }
+        TlbConfig {
+            entries: 64,
+            page_bytes: 8192,
+            miss_policy: TlbMissPolicy::Penalty(30),
+        }
     }
 }
 
@@ -66,8 +70,17 @@ impl Tlb {
     /// Panics if `entries` is zero or `page_bytes` is not a power of two.
     pub fn new(cfg: TlbConfig) -> Tlb {
         assert!(cfg.entries > 0, "TLB needs at least one entry");
-        assert!(cfg.page_bytes.is_power_of_two(), "page size must be a power of two");
-        Tlb { cfg, entries: Vec::with_capacity(cfg.entries), stamp: 0, hits: 0, misses: 0 }
+        assert!(
+            cfg.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            cfg,
+            entries: Vec::with_capacity(cfg.entries),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// This TLB's configuration.
@@ -119,7 +132,11 @@ mod tests {
     use super::*;
 
     fn tiny(policy: TlbMissPolicy) -> Tlb {
-        Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, miss_policy: policy })
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_policy: policy,
+        })
     }
 
     #[test]
@@ -146,7 +163,11 @@ mod tests {
     fn trap_policy_fills_so_retry_hits() {
         let mut t = tiny(TlbMissPolicy::Trap);
         assert_eq!(t.access(0x5000), TlbOutcome::MissTrap);
-        assert_eq!(t.access(0x5000), TlbOutcome::Hit, "trap handler filled the entry");
+        assert_eq!(
+            t.access(0x5000),
+            TlbOutcome::Hit,
+            "trap handler filled the entry"
+        );
     }
 
     #[test]

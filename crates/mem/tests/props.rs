@@ -15,7 +15,12 @@ struct RefCache {
 
 impl RefCache {
     fn new(sets: usize, assoc: usize, line: u64) -> RefCache {
-        RefCache { sets: vec![Vec::new(); sets], assoc, line, stamp: 0 }
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            assoc,
+            line,
+            stamp: 0,
+        }
     }
 
     fn access(&mut self, addr: u64) -> bool {
@@ -48,7 +53,12 @@ fn cache_matches_reference_lru() {
     let mut rng = Rng::seed_from_u64(0x3e31);
     for _ in 0..64 {
         // 4 sets x 2 ways x 64B lines = 512 B — tiny, to force evictions.
-        let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, hit_latency: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(cfg.num_sets(), cfg.assoc, cfg.line_bytes as u64);
         let n = rng.gen_range(1usize..400);
@@ -90,8 +100,9 @@ fn bank_grants_are_serialized() {
         let mut banks = BankTracker::new(4, 64);
         let mut grants: Vec<(usize, u64)> = Vec::new(); // (bank, grant cycle)
         let n = rng.gen_range(1usize..100);
-        let mut reqs: Vec<(u64, u64)> =
-            (0..n).map(|_| (rng.gen_range(0u64..16), rng.gen_range(0u64..8))).collect();
+        let mut reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..16), rng.gen_range(0u64..8)))
+            .collect();
         reqs.sort_by_key(|&(_, t)| t);
         for (line, t) in reqs {
             let addr = line * 64;

@@ -41,7 +41,11 @@ impl Machine {
     }
 
     fn violation(&self, kind: InvariantKind, detail: String) -> InvariantViolation {
-        InvariantViolation { cycle: self.cycle, kind, detail }
+        InvariantViolation {
+            cycle: self.cycle,
+            kind,
+            detail,
+        }
     }
 
     /// Physical registers are conserved: every register is free, holds a
@@ -77,7 +81,11 @@ impl Machine {
         if self.iq.len() > self.iq.capacity() {
             return Err(self.violation(
                 InvariantKind::IqConsistency,
-                format!("occupancy {} exceeds capacity {}", self.iq.len(), self.iq.capacity()),
+                format!(
+                    "occupancy {} exceeds capacity {}",
+                    self.iq.len(),
+                    self.iq.capacity()
+                ),
             ));
         }
         if !self.iq.cluster_counts_consistent() {
@@ -165,7 +173,10 @@ impl Machine {
         if in_flight > self.cfg.max_in_flight {
             return Err(self.violation(
                 InvariantKind::InFlightBound,
-                format!("{in_flight} in flight exceeds cap {}", self.cfg.max_in_flight),
+                format!(
+                    "{in_flight} in flight exceeds cap {}",
+                    self.cfg.max_in_flight
+                ),
             ));
         }
         Ok(())
@@ -179,7 +190,9 @@ impl Machine {
         // keep their RPFT bit until reallocation.)
         for th in &self.threads {
             for &id in &th.rob {
-                let Some(di) = self.slab.get(id) else { continue };
+                let Some(di) = self.slab.get(id) else {
+                    continue;
+                };
                 if di.phase == InstPhase::FrontEnd || di.phase == InstPhase::Retired {
                     continue;
                 }
@@ -264,8 +277,7 @@ mod tests {
 
     #[test]
     fn audit_catches_a_leaked_register() {
-        let mut m =
-            Machine::new(PipelineConfig::base(), vec![loop_prog()]).unwrap();
+        let mut m = Machine::new(PipelineConfig::base(), vec![loop_prog()]).unwrap();
         for _ in 0..50 {
             m.step_cycle();
         }
@@ -280,8 +292,7 @@ mod tests {
 
     #[test]
     fn audit_catches_rob_disorder() {
-        let mut m =
-            Machine::new(PipelineConfig::base(), vec![loop_prog()]).unwrap();
+        let mut m = Machine::new(PipelineConfig::base(), vec![loop_prog()]).unwrap();
         while m.threads[0].rob.len() < 2 {
             m.step_cycle();
         }

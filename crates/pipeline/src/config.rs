@@ -82,7 +82,14 @@ pub struct ExecLatencies {
 
 impl Default for ExecLatencies {
     fn default() -> ExecLatencies {
-        ExecLatencies { int_alu: 1, int_mul: 7, fp_add: 4, fp_mul: 4, fp_div: 12, agu: 1 }
+        ExecLatencies {
+            int_alu: 1,
+            int_mul: 7,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 12,
+            agu: 1,
+        }
     }
 }
 
@@ -225,7 +232,11 @@ impl PipelineConfig {
     /// Base machine with explicit DEC-IQ / IQ-EX latencies (the `X_Y`
     /// notation of Figures 4, 5, and 8).
     pub fn base_with_latencies(dec_iq: u32, iq_ex: u32) -> PipelineConfig {
-        PipelineConfig { dec_iq_stages: dec_iq, iq_ex_stages: iq_ex, ..PipelineConfig::default() }
+        PipelineConfig {
+            dec_iq_stages: dec_iq,
+            iq_ex_stages: iq_ex,
+            ..PipelineConfig::default()
+        }
     }
 
     /// Base (monolithic) machine for a given register-file read latency:
@@ -342,7 +353,11 @@ mod tests {
     fn base_matches_paper_numbers() {
         let c = PipelineConfig::base();
         assert_eq!(c.dec_to_ex(), 10);
-        assert_eq!(c.load_loop_delay(), 8, "paper §2.2.2: loop delay is 8 cycles");
+        assert_eq!(
+            c.load_loop_delay(),
+            8,
+            "paper §2.2.2: loop delay is 8 cycles"
+        );
         assert_eq!(c.iq_entries, 128);
         assert_eq!(c.max_in_flight, 256);
         assert_eq!(c.width, 8);

@@ -230,7 +230,10 @@ impl InstSlab {
         match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize] = Some(di);
-                InstId { slot, gen: self.gens[slot as usize] }
+                InstId {
+                    slot,
+                    gen: self.gens[slot as usize],
+                }
             }
             None => {
                 let slot = self.slots.len() as u32;

@@ -34,7 +34,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "invalid configuration: {e}"),
             SimError::ProgramCount { expected, got } => {
-                write!(f, "expected one program per hardware thread ({expected}), got {got}")
+                write!(
+                    f,
+                    "expected one program per hardware thread ({expected}), got {got}"
+                )
             }
             SimError::Deadlock(e) => e.fmt(f),
             SimError::Invariant(e) => e.fmt(f),
@@ -146,26 +149,42 @@ impl fmt::Display for ConfigError {
             ConfigError::NoBranchCheckpoints => {
                 write!(f, "branch_checkpoints must be at least 1 when limited")
             }
-            ConfigError::FpClusters { fp_clusters, clusters } => {
+            ConfigError::FpClusters {
+                fp_clusters,
+                clusters,
+            } => {
                 write!(f, "fp_clusters ({fp_clusters}) must be in 1..={clusters}")
             }
-            ConfigError::MemClusters { mem_clusters, clusters } => {
+            ConfigError::MemClusters {
+                mem_clusters,
+                clusters,
+            } => {
                 write!(f, "mem_clusters ({mem_clusters}) must be in 1..={clusters}")
             }
             ConfigError::IqExTooShort => write!(f, "iq_ex_stages must be at least 1"),
             ConfigError::DecIqTooShort => write!(f, "dec_iq_stages must be at least 1"),
-            ConfigError::TooFewPhysRegs { phys_regs, arch, max_in_flight } => write!(
+            ConfigError::TooFewPhysRegs {
+                phys_regs,
+                arch,
+                max_in_flight,
+            } => write!(
                 f,
                 "phys_regs ({phys_regs}) must cover {arch} architectural mappings plus \
                  {max_in_flight} in flight"
             ),
-            ConfigError::MonolithicRfReadTooLong { iq_ex_stages, rf_read_latency } => write!(
+            ConfigError::MonolithicRfReadTooLong {
+                iq_ex_stages,
+                rf_read_latency,
+            } => write!(
                 f,
                 "monolithic IQ-EX ({iq_ex_stages}) cannot be shorter than the register read \
                  ({rf_read_latency})"
             ),
             ConfigError::EmptyCrc => write!(f, "CRC must have at least one entry"),
-            ConfigError::DraDecIqTooShort { dec_iq_stages, rf_read_latency } => write!(
+            ConfigError::DraDecIqTooShort {
+                dec_iq_stages,
+                rf_read_latency,
+            } => write!(
                 f,
                 "DRA DEC-IQ ({dec_iq_stages}) must fit rename (2) + register read \
                  ({rf_read_latency})"
@@ -279,7 +298,10 @@ impl fmt::Display for PipelineSnapshot {
             self.frontend_stall_until,
         )?;
         let (e, cm, wk) = self.pending_events;
-        writeln!(f, "  pending events: execute {e}, complete {cm}, wakeup {wk}")?;
+        writeln!(
+            f,
+            "  pending events: execute {e}, complete {cm}, wakeup {wk}"
+        )?;
         for (t, th) in self.threads.iter().enumerate() {
             write!(
                 f,
@@ -297,7 +319,11 @@ impl fmt::Display for PipelineSnapshot {
             if th.fetch_suspended {
                 write!(f, " | fetch suspended at pc {}", th.fetch_pc)?;
             } else {
-                write!(f, " | fetch pc {} (stalled until {})", th.fetch_pc, th.fetch_stall_until)?;
+                write!(
+                    f,
+                    " | fetch pc {} (stalled until {})",
+                    th.fetch_pc, th.fetch_stall_until
+                )?;
             }
             if let Some((seq, pc, phase)) = th.oldest {
                 write!(f, " | oldest seq {seq} pc {pc} [{phase}]")?;
@@ -321,7 +347,11 @@ pub struct InvariantViolation {
 
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invariant violated at cycle {}: [{}] {}", self.cycle, self.kind, self.detail)
+        write!(
+            f,
+            "invariant violated at cycle {}: [{}] {}",
+            self.cycle, self.kind, self.detail
+        )
     }
 }
 
@@ -375,8 +405,13 @@ mod tests {
         let e = SimError::Config(ConfigError::ThreadCount { got: 9 });
         assert!(e.to_string().contains("threads must be 1–4, got 9"));
 
-        let e = SimError::ProgramCount { expected: 2, got: 1 };
-        assert!(e.to_string().contains("expected one program per hardware thread (2), got 1"));
+        let e = SimError::ProgramCount {
+            expected: 2,
+            got: 1,
+        };
+        assert!(e
+            .to_string()
+            .contains("expected one program per hardware thread (2), got 1"));
 
         let v = InvariantViolation {
             cycle: 77,

@@ -52,17 +52,30 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// A branch-mispredict storm: flip `rate` of all direction predictions.
     pub fn branch_storm(seed: u64, rate: f64) -> FaultPlan {
-        FaultPlan { seed, branch_flip_rate: rate, ..FaultPlan::default() }
+        FaultPlan {
+            seed,
+            branch_flip_rate: rate,
+            ..FaultPlan::default()
+        }
     }
 
     /// A load-latency-spike storm: delay `rate` of loads by `cycles`.
     pub fn load_storm(seed: u64, rate: f64, cycles: u64) -> FaultPlan {
-        FaultPlan { seed, load_spike_rate: rate, load_spike_cycles: cycles, ..FaultPlan::default() }
+        FaultPlan {
+            seed,
+            load_spike_rate: rate,
+            load_spike_cycles: cycles,
+            ..FaultPlan::default()
+        }
     }
 
     /// A DRA operand-miss storm: force `rate` of operand lookups to miss.
     pub fn operand_storm(seed: u64, rate: f64) -> FaultPlan {
-        FaultPlan { seed, operand_miss_rate: rate, ..FaultPlan::default() }
+        FaultPlan {
+            seed,
+            operand_miss_rate: rate,
+            ..FaultPlan::default()
+        }
     }
 
     /// The same plan restricted to cycles `[start, end)`.
@@ -110,7 +123,12 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Arm a plan.
     pub fn new(plan: FaultPlan) -> FaultInjector {
-        FaultInjector { rng: Rng::seed_from_u64(plan.seed), plan, injected: 0, by_kind: [0; 3] }
+        FaultInjector {
+            rng: Rng::seed_from_u64(plan.seed),
+            plan,
+            injected: 0,
+            by_kind: [0; 3],
+        }
     }
 
     /// The armed plan.

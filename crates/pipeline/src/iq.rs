@@ -174,8 +174,11 @@ impl IssueQueue {
     pub fn sample_occupancy(&mut self) {
         self.samples += 1;
         self.occupancy_sum += self.entries.len() as u64;
-        self.issued_occupancy_sum +=
-            self.entries.iter().filter(|e| !matches!(e.state, IqState::Waiting)).count() as u64;
+        self.issued_occupancy_sum += self
+            .entries
+            .iter()
+            .filter(|e| !matches!(e.state, IqState::Waiting))
+            .count() as u64;
     }
 
     /// (mean occupancy, mean post-issue occupancy, peak) over the sampled
@@ -198,7 +201,10 @@ mod tests {
 
     fn entry(seq: u64, cluster: usize) -> IqEntry {
         IqEntry {
-            id: InstId { slot: seq as u32, gen: 0 },
+            id: InstId {
+                slot: seq as u32,
+                gen: 0,
+            },
             seq,
             thread: 0,
             cluster,

@@ -23,8 +23,14 @@ impl StoreWaitTable {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> StoreWaitTable {
-        assert!(entries.is_power_of_two(), "store-wait table must be a power of two");
-        StoreWaitTable { bits: vec![false; entries], set_events: 0 }
+        assert!(
+            entries.is_power_of_two(),
+            "store-wait table must be a power of two"
+        );
+        StoreWaitTable {
+            bits: vec![false; entries],
+            set_events: 0,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -126,7 +132,10 @@ mod tests {
         assert!(contains((0, 8), (0, 8)));
         assert!(contains((0, 8), (4, 4)));
         assert!(!contains((4, 4), (0, 8)));
-        assert!(!contains((0, 4), (2, 4)), "partial overlap is not containment");
+        assert!(
+            !contains((0, 4), (2, 4)),
+            "partial overlap is not containment"
+        );
 
         let data = 0x1122_3344_5566_7788u64;
         assert_eq!(forward_value((0, 8), data, (0, 8)), data);

@@ -141,23 +141,32 @@ impl Machine {
     pub fn new(cfg: PipelineConfig, programs: Vec<Program>) -> Result<Machine, SimError> {
         cfg.validate()?;
         if programs.len() != cfg.threads {
-            return Err(SimError::ProgramCount { expected: cfg.threads, got: programs.len() });
+            return Err(SimError::ProgramCount {
+                expected: cfg.threads,
+                got: programs.len(),
+            });
         }
 
         let mut freelist = FreeList::new(cfg.phys_regs);
-        let rename: Vec<RenameMap> =
-            (0..cfg.threads).map(|_| RenameMap::new(&mut freelist)).collect();
+        let rename: Vec<RenameMap> = (0..cfg.threads)
+            .map(|_| RenameMap::new(&mut freelist))
+            .collect();
         let mut data_mem = FlatMemory::new();
         for p in &programs {
             data_mem.load_init_data(p);
         }
         let (crcs, itables) = match cfg.scheme {
             RegisterScheme::Monolithic => (Vec::new(), Vec::new()),
-            RegisterScheme::Dra { crc_entries, crc_policy } => (
+            RegisterScheme::Dra {
+                crc_entries,
+                crc_policy,
+            } => (
                 (0..cfg.clusters)
                     .map(|_| ClusterRegCache::with_policy(crc_entries, crc_policy))
                     .collect(),
-                (0..cfg.clusters).map(|_| InsertionTable::new(cfg.phys_regs)).collect(),
+                (0..cfg.clusters)
+                    .map(|_| InsertionTable::new(cfg.phys_regs))
+                    .collect(),
             ),
         };
         let threads = programs
@@ -279,7 +288,10 @@ impl Machine {
     /// Drain the Kanata trace recorded since `enable_trace` (empty string
     /// if tracing was never enabled).
     pub fn take_trace(&mut self) -> String {
-        self.tracer.as_mut().map(PipelineTracer::take).unwrap_or_default()
+        self.tracer
+            .as_mut()
+            .map(PipelineTracer::take)
+            .unwrap_or_default()
     }
 
     /// Record `(thread, Retired)` for every retirement (equivalence tests).
@@ -472,7 +484,9 @@ impl Machine {
             // invariant: first_key_value above proved the map non-empty.
             let (_, list) = self.wakeup_events.pop_first().expect("non-empty");
             for (id, stamp, ready) in list {
-                let Some(di) = self.slab.get(id) else { continue };
+                let Some(di) = self.slab.get(id) else {
+                    continue;
+                };
                 if di.issue_count != stamp {
                     continue;
                 }
@@ -607,7 +621,12 @@ impl Machine {
             _ => unreachable!("not a control class"),
         };
         let di = self.slab.expect_mut(id);
-        di.pred = Some(BranchPrediction { taken, next_pc: next, history, ctx: pred_ctx });
+        di.pred = Some(BranchPrediction {
+            taken,
+            next_pc: next,
+            history,
+            ctx: pred_ctx,
+        });
         di.ras_ckpt = Some(ras_ckpt);
         (next, taken)
     }
@@ -698,8 +717,7 @@ impl Machine {
         }
         let dest = match inst.dest() {
             Some(arch) => {
-                let Some((new, prev)) = self.rename[t].rename_dest(arch, &mut self.freelist)
-                else {
+                let Some((new, prev)) = self.rename[t].rename_dest(arch, &mut self.freelist) else {
                     return false;
                 };
                 self.on_allocate_phys(new);
@@ -930,7 +948,10 @@ impl Machine {
             e.state = IqState::Issued;
         }
         let exec_at = now + y;
-        self.exec_events.entry(exec_at).or_default().push((id, stamp));
+        self.exec_events
+            .entry(exec_at)
+            .or_default()
+            .push((id, stamp));
 
         // Speculative wake-up broadcast: consumers may issue so they reach
         // execute exactly when the (predicted) result forwards.
@@ -966,7 +987,9 @@ impl Machine {
     // --------------------------------------------------------------- execute
 
     fn do_execute(&mut self, now: u64) {
-        let Some(list) = self.exec_events.remove(&now) else { return };
+        let Some(list) = self.exec_events.remove(&now) else {
+            return;
+        };
         // Oldest-first so same-cycle store→load forwarding within a thread
         // resolves in program order.
         let mut list: Vec<(u64, InstId, u32)> = list
@@ -1036,7 +1059,11 @@ impl Machine {
                     // because the producer-not-ready check above already
                     // passed — the value is in the register file, so the
                     // architected miss-recovery path delivers it.
-                    if self.injector.as_mut().is_some_and(|inj| inj.drop_operand(now)) {
+                    if self
+                        .injector
+                        .as_mut()
+                        .is_some_and(|inj| inj.drop_operand(now))
+                    {
                         return Err(ExecAbort::OperandMiss(i));
                     }
                     if let Some(v) = self.fwd.lookup(p, now) {
@@ -1216,11 +1243,13 @@ impl Machine {
         match inst.class() {
             Class::Load => self.execute_load(id, now, s1),
             Class::Store => self.execute_store(id, now, s1, s2),
-            Class::CondBranch | Class::Branch | Class::Jump => {
-                self.execute_control(id, now, s1)
-            }
+            Class::CondBranch | Class::Branch | Class::Jump => self.execute_control(id, now, s1),
             Class::IntAlu | Class::IntMul | Class::FpAdd | Class::FpMul | Class::FpDiv => {
-                let result = if inst.op == Opcode::Nop { 0 } else { eval_op(inst.op, s1, s2) };
+                let result = if inst.op == Opcode::Nop {
+                    0
+                } else {
+                    eval_op(inst.op, s1, s2)
+                };
                 let lat = self.class_latency(inst.class()) as u64;
                 self.finish_exec(id, now, now + lat - 1, Some(result), pc + 1, true);
             }
@@ -1259,7 +1288,10 @@ impl Machine {
                 self.set_ready_at(new, (complete_at + 1).saturating_sub(y));
             }
         }
-        self.complete_events.entry(complete_at.max(now)).or_default().push((id, stamp));
+        self.complete_events
+            .entry(complete_at.max(now))
+            .or_default()
+            .push((id, stamp));
     }
 
     fn execute_load(&mut self, id: InstId, now: u64, base: u64) {
@@ -1283,8 +1315,11 @@ impl Machine {
             match s.mem_addr {
                 Some(sa) if overlaps(sa, (addr, size)) => {
                     if contains(sa, (addr, size)) {
-                        forwarded =
-                            Some(forward_value(sa, s.store_data.expect("store data"), (addr, size)));
+                        forwarded = Some(forward_value(
+                            sa,
+                            s.store_data.expect("store data"),
+                            (addr, size),
+                        ));
                     } else {
                         conflict_pending = true; // partial overlap: wait it out
                     }
@@ -1316,13 +1351,18 @@ impl Machine {
         // treats a spiked hit as a miss (so the delayed wake-up correction
         // reaches consumers); the L1 hit/miss *stats* keep the real cache
         // outcome.
-        let spike = self.injector.as_mut().and_then(|inj| inj.load_spike(now)).unwrap_or(0);
+        let spike = self
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.load_spike(now))
+            .unwrap_or(0);
         let sched_hit = hit && spike == 0;
         let complete_at = now + agu - 1 + access.latency as u64 + spike;
         let value = forwarded.unwrap_or_else(|| self.data_mem.read(addr, size));
 
         self.stats.loads += 1;
-        self.stats.record_load_latency(agu + access.latency as u64 + spike);
+        self.stats
+            .record_load_latency(agu + access.latency as u64 + spike);
         if hit {
             self.stats.load_l1_hits += 1;
         } else {
@@ -1365,7 +1405,10 @@ impl Machine {
             if let Some(e) = self.iq.find_mut(id) {
                 e.state = IqState::Confirmed { free_at };
             }
-            self.complete_events.entry(complete_at).or_default().push((id, stamp));
+            self.complete_events
+                .entry(complete_at)
+                .or_default()
+                .push((id, stamp));
             return;
         }
         if sched_hit {
@@ -1468,7 +1511,14 @@ impl Machine {
         let (taken, target) = match inst.class() {
             Class::CondBranch => {
                 let tk = branch_taken(inst.op, s1);
-                (tk, if tk { (fall as i64 + inst.imm as i64) as u64 } else { fall })
+                (
+                    tk,
+                    if tk {
+                        (fall as i64 + inst.imm as i64) as u64
+                    } else {
+                        fall
+                    },
+                )
             }
             Class::Branch => (true, (fall as i64 + inst.imm as i64) as u64),
             Class::Jump => (true, s1),
@@ -1491,7 +1541,10 @@ impl Machine {
             di.taken = Some(taken);
             // invariant: predict_control stamped a prediction on every
             // control instruction at fetch, before it could reach execute.
-            let p = di.pred.as_ref().expect("control instructions carry predictions");
+            let p = di
+                .pred
+                .as_ref()
+                .expect("control instructions carry predictions");
             (p.next_pc, p.history)
         };
 
@@ -1640,11 +1693,15 @@ impl Machine {
         // invariant: only Complete-phase instructions retire, and every
         // path into Complete (finish_exec, rename of barriers/halts, the
         // Stall-policy load path) sets next_pc first.
-        let next_pc = di.next_pc.expect("complete instructions know their next pc");
+        let next_pc = di
+            .next_pc
+            .expect("complete instructions know their next pc");
         let retired = Retired {
             pc,
             inst,
-            wrote: di.dest.map(|d| (d.arch, di.result.expect("dest implies result"))),
+            wrote: di
+                .dest
+                .map(|d| (d.arch, di.result.expect("dest implies result"))),
             mem_addr: di.mem_addr,
             taken: di.taken.or(match inst.class() {
                 Class::CondBranch => Some(next_pc != pc + 1),
@@ -1671,7 +1728,8 @@ impl Machine {
             Class::CondBranch => {
                 self.stats.branches += 1;
                 let ctx = pred_ctx.expect("conditional branches carry predictions");
-                self.pred.train_ctx(pc, ctx, retired.taken.expect("resolved branch"));
+                self.pred
+                    .train_ctx(pc, ctx, retired.taken.expect("resolved branch"));
             }
             Class::Jump => {
                 self.btb.update(pc, next_pc);
@@ -1695,7 +1753,12 @@ impl Machine {
         // (correct-path) instructions.
         {
             let di = self.slab.expect(id);
-            let a: Vec<u64> = di.srcs.iter().flatten().filter_map(|s| s.avail_cycle).collect();
+            let a: Vec<u64> = di
+                .srcs
+                .iter()
+                .flatten()
+                .filter_map(|s| s.avail_cycle)
+                .collect();
             let gap = match a.as_slice() {
                 [x, y] => x.abs_diff(*y),
                 _ => 0,
@@ -1753,7 +1816,8 @@ impl Machine {
             // releases them.
             self.slab.expect(id).seq <= after_seq
         });
-        th.store_q.retain(|&id| self.slab.expect(id).seq <= after_seq);
+        th.store_q
+            .retain(|&id| self.slab.expect(id).seq <= after_seq);
         if th.mb_stall_seq.is_some_and(|s| s > after_seq) {
             th.mb_stall_seq = None;
         }
@@ -1872,9 +1936,7 @@ mod timing_tests {
             if issued_at.is_none() {
                 if let Some(e) = m.iq.iter().find(|e| e.seq == 1) {
                     if !matches!(e.state, IqState::Waiting) {
-                        issued_at = Some(
-                            m.slab.expect(e.id).issue_cycle.unwrap(),
-                        );
+                        issued_at = Some(m.slab.expect(e.id).issue_cycle.unwrap());
                     }
                 }
             } else if freed_at.is_none() && !held.contains(&1) {

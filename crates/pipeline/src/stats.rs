@@ -247,10 +247,7 @@ impl SimStats {
     /// Total useless work: every killed-after-issue or reissued
     /// instruction.
     pub fn useless_work(&self) -> u64 {
-        self.squashed_after_issue
-            + self.load_replays
-            + self.shadow_replays
-            + self.operand_replays
+        self.squashed_after_issue + self.load_replays + self.shadow_replays + self.operand_replays
     }
 }
 

@@ -44,7 +44,11 @@ fn run_verified(mut cfg: PipelineConfig, src: &str) -> Machine {
     let mut m = Machine::new(cfg, vec![prog]).unwrap();
     m.enable_verification();
     m.run(u64::MAX, 4_000_000).unwrap();
-    assert!(m.is_done(), "program must halt under the storm: cycle={}", m.cycle());
+    assert!(
+        m.is_done(),
+        "program must halt under the storm: cycle={}",
+        m.cycle()
+    );
     m
 }
 
@@ -60,16 +64,25 @@ fn wedged_pipeline_returns_deadlock_error_with_snapshot() {
     let mut m = Machine::new(cfg, vec![prog]).unwrap();
 
     let err = m.run(u64::MAX, 1_000_000).expect_err("pipeline must wedge");
-    let SimError::Deadlock(d) = err else { panic!("expected Deadlock, got: {err}") };
+    let SimError::Deadlock(d) = err else {
+        panic!("expected Deadlock, got: {err}")
+    };
     assert_eq!(d.window, 5_000);
-    assert!(d.cycle >= 5_000 && d.cycle < 1_000_000, "fired at {}", d.cycle);
+    assert!(
+        d.cycle >= 5_000 && d.cycle < 1_000_000,
+        "fired at {}",
+        d.cycle
+    );
     assert!(d.cycle - d.last_retire_cycle >= 5_000);
 
     // The snapshot must describe a genuinely wedged machine.
     assert_eq!(d.snapshot.cycle, d.cycle);
     assert_eq!(d.snapshot.threads.len(), 1);
     assert!(!d.snapshot.threads[0].done);
-    assert!(d.snapshot.in_flight > 0, "a wedge holds instructions in flight");
+    assert!(
+        d.snapshot.in_flight > 0,
+        "a wedge holds instructions in flight"
+    );
     let oldest = d.snapshot.threads[0].oldest.expect("ROB head present");
     assert!(oldest.1 > 0, "oldest instruction has a pc");
 
@@ -100,13 +113,20 @@ fn branch_storm_recovers_and_results_match_isa() {
     // Flip 20% of all conditional-branch direction predictions: a
     // mispredict storm stresses the control-resolution loop's squash path.
     let mut m = run_verified(
-        PipelineConfig { faults: Some(FaultPlan::branch_storm(11, 0.2)), ..PipelineConfig::base() },
+        PipelineConfig {
+            faults: Some(FaultPlan::branch_storm(11, 0.2)),
+            ..PipelineConfig::base()
+        },
         SUM_LOOP,
     );
     assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
     let s = m.stats();
     assert!(s.faults_injected > 0, "storm must fire");
-    assert!(s.faults_by_kind[0] > 0, "branch flips recorded: {:?}", s.faults_by_kind);
+    assert!(
+        s.faults_by_kind[0] > 0,
+        "branch flips recorded: {:?}",
+        s.faults_by_kind
+    );
     assert!(s.audit_checks > 0, "auditor ran every cycle");
     assert!(s.branch_mispredicts > 0);
 }
@@ -125,7 +145,11 @@ fn load_spike_storm_recovers_and_results_match_isa() {
     assert_eq!(m.arch_reg(0, Reg::int(4)), LOAD_LOOP_RESULT);
     let s = m.stats();
     assert!(s.faults_injected > 0);
-    assert!(s.faults_by_kind[1] > 0, "load spikes recorded: {:?}", s.faults_by_kind);
+    assert!(
+        s.faults_by_kind[1] > 0,
+        "load spikes recorded: {:?}",
+        s.faults_by_kind
+    );
 }
 
 #[test]
@@ -143,8 +167,15 @@ fn operand_miss_storm_recovers_and_results_match_isa() {
     assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
     let s = m.stats();
     assert!(s.faults_injected > 0);
-    assert!(s.faults_by_kind[2] > 0, "operand misses recorded: {:?}", s.faults_by_kind);
-    assert!(s.operand_misses > 0, "forced misses flow into the regular miss counter");
+    assert!(
+        s.faults_by_kind[2] > 0,
+        "operand misses recorded: {:?}",
+        s.faults_by_kind
+    );
+    assert!(
+        s.operand_misses > 0,
+        "forced misses flow into the regular miss counter"
+    );
 }
 
 #[test]
@@ -159,7 +190,10 @@ fn ipc_recovers_after_a_windowed_storm() {
     };
     let plan = FaultPlan::branch_storm(17, 0.5).in_window(0, 2_000);
     let mut m = run_verified(
-        PipelineConfig { faults: Some(plan), ..PipelineConfig::base() },
+        PipelineConfig {
+            faults: Some(plan),
+            ..PipelineConfig::base()
+        },
         SUM_LOOP,
     );
     assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
@@ -178,10 +212,17 @@ fn fault_schedules_are_deterministic_per_seed() {
     let run = |seed: u64| {
         let plan = FaultPlan::branch_storm(seed, 0.2);
         let m = run_verified(
-            PipelineConfig { faults: Some(plan), ..PipelineConfig::base() },
+            PipelineConfig {
+                faults: Some(plan),
+                ..PipelineConfig::base()
+            },
             SUM_LOOP,
         );
-        (m.cycle(), m.stats().faults_injected, m.stats().branch_mispredicts)
+        (
+            m.cycle(),
+            m.stats().faults_injected,
+            m.stats().branch_mispredicts,
+        )
     };
     assert_eq!(run(42), run(42), "same seed, same storm, same timing");
 }
@@ -209,6 +250,10 @@ fn combined_storm_on_smt_dra_machine_stays_architecturally_correct() {
     assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
     assert_eq!(m.arch_reg(1, Reg::int(4)), LOAD_LOOP_RESULT);
     let s = m.stats();
-    assert!(s.faults_by_kind.iter().all(|&n| n > 0), "all three kinds fired: {:?}", s.faults_by_kind);
+    assert!(
+        s.faults_by_kind.iter().all(|&n| n > 0),
+        "all three kinds fired: {:?}",
+        s.faults_by_kind
+    );
     assert_eq!(s.faults_injected, s.faults_by_kind.iter().sum::<u64>());
 }

@@ -10,7 +10,11 @@ fn run_to_halt(cfg: PipelineConfig, src: &str) -> Machine {
     let mut m = Machine::new(cfg, vec![prog]).unwrap();
     m.enable_verification();
     m.run(u64::MAX, 200_000).unwrap();
-    assert!(m.is_done(), "program did not halt within budget: cycle={}", m.cycle());
+    assert!(
+        m.is_done(),
+        "program did not halt within budget: cycle={}",
+        m.cycle()
+    );
     m
 }
 
@@ -108,7 +112,10 @@ fn all_load_policies_agree_on_results() {
         LoadSpecPolicy::ReissueShadow,
         LoadSpecPolicy::Refetch,
     ] {
-        let cfg = PipelineConfig { load_policy: policy, ..PipelineConfig::base() };
+        let cfg = PipelineConfig {
+            load_policy: policy,
+            ..PipelineConfig::base()
+        };
         let mut m = run_to_halt(cfg, src);
         assert_eq!(m.arch_reg(0, Reg::int(4)), 100, "policy {policy:?}");
     }
@@ -173,7 +180,11 @@ fn dra_is_used_and_reports_sources() {
     let total: u64 = m.stats().operand_sources.iter().sum();
     assert!(total > 0, "operand sources recorded");
     // In the base machine the RegFile bucket is used; under DRA it must not be.
-    assert_eq!(m.stats().operand_sources[3], 0, "DRA never reads RF on the IQ-EX path");
+    assert_eq!(
+        m.stats().operand_sources[3],
+        0,
+        "DRA never reads RF on the IQ-EX path"
+    );
 }
 
 #[test]
@@ -182,7 +193,11 @@ fn deterministic_across_runs() {
         let prog = asm::assemble(SUM_LOOP).unwrap();
         let mut m = Machine::new(PipelineConfig::base(), vec![prog]).unwrap();
         m.run(u64::MAX, 200_000).unwrap();
-        (m.cycle(), m.stats().total_retired(), m.stats().branch_mispredicts)
+        (
+            m.cycle(),
+            m.stats().total_retired(),
+            m.stats().branch_mispredicts,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -288,7 +303,11 @@ fn icount_shares_fetch_between_threads() {
         "the clean thread should outpace the mispredicting one: {:?}",
         s.retired
     );
-    assert!(s.retired[0] > 2_000, "the noisy thread must not starve: {:?}", s.retired);
+    assert!(
+        s.retired[0] > 2_000,
+        "the noisy thread must not starve: {:?}",
+        s.retired
+    );
 }
 
 #[test]
@@ -315,8 +334,14 @@ fn kanata_trace_accounts_for_every_instruction() {
     assert!(log.starts_with("Kanata\t0004\n"));
     let fetched = log.lines().filter(|l| l.starts_with("I\t")).count();
     let ended = log.lines().filter(|l| l.starts_with("R\t")).count();
-    assert_eq!(fetched, ended, "every traced instruction must retire or flush");
-    let retired = log.lines().filter(|l| l.starts_with("R\t") && l.ends_with("\t0")).count();
+    assert_eq!(
+        fetched, ended,
+        "every traced instruction must retire or flush"
+    );
+    let retired = log
+        .lines()
+        .filter(|l| l.starts_with("R\t") && l.ends_with("\t0"))
+        .count();
     assert_eq!(retired as u64, m.stats().total_retired());
     // Stage lines exist for the whole lifecycle.
     for stage in ["\tF", "\tDc", "\tQ", "\tIs", "\tX", "\tCm"] {
@@ -345,7 +370,11 @@ fn four_thread_smt_is_supported() {
     m.run(u64::MAX, 400_000).unwrap();
     assert!(m.is_done());
     for (t, n) in [(0u64, 40u64), (1, 50), (2, 60), (3, 70)] {
-        assert_eq!(m.arch_reg(t as usize, Reg::int(2)), n * (n + 1) / 2, "thread {t}");
+        assert_eq!(
+            m.arch_reg(t as usize, Reg::int(2)),
+            n * (n + 1) / 2,
+            "thread {t}"
+        );
     }
 }
 

@@ -114,7 +114,10 @@ impl ClusterRegCache {
 
     /// Non-counting lookup.
     pub fn probe(&self, r: PhysReg) -> Option<u64> {
-        self.entries.iter().find(|(reg, _)| *reg == r).map(|&(_, v)| v)
+        self.entries
+            .iter()
+            .find(|(reg, _)| *reg == r)
+            .map(|&(_, v)| v)
     }
 
     /// Iterate resident `(register, value)` pairs in replacement order

@@ -30,7 +30,12 @@ impl ForwardingBuffer {
     /// Panics if `window` is zero.
     pub fn new(window: u64) -> ForwardingBuffer {
         assert!(window > 0, "forwarding window must be positive");
-        ForwardingBuffer { window, entries: HashMap::new(), hits: 0, misses: 0 }
+        ForwardingBuffer {
+            window,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The retention window in cycles.
@@ -86,7 +91,8 @@ impl ForwardingBuffer {
     /// `expiring` cheap). Call once per cycle after `expiring`.
     pub fn evict_expired(&mut self, now: u64) {
         let w = self.window;
-        self.entries.retain(|_, &mut (cycle, _)| now.saturating_sub(cycle) <= w);
+        self.entries
+            .retain(|_, &mut (cycle, _)| now.saturating_sub(cycle) <= w);
     }
 
     /// Invalidate any entry for `r` (physical-register reallocation; a new
@@ -136,7 +142,10 @@ mod tests {
         f.insert(PhysReg(2), 22, 101);
         assert_eq!(f.expiring(109), vec![(PhysReg(1), 11)]);
         assert_eq!(f.expiring(110), vec![(PhysReg(2), 22)]);
-        assert!(f.expiring(111).is_empty(), "only reported at the exact boundary");
+        assert!(
+            f.expiring(111).is_empty(),
+            "only reported at the exact boundary"
+        );
     }
 
     #[test]

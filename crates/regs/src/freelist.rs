@@ -17,8 +17,14 @@ pub struct FreeList {
 impl FreeList {
     /// A free list over `total` physical registers, all initially free.
     pub fn new(total: usize) -> FreeList {
-        assert!(total > 0 && total <= u16::MAX as usize, "bad physical register count");
-        FreeList { free: (0..total as u16).rev().map(PhysReg).collect(), total }
+        assert!(
+            total > 0 && total <= u16::MAX as usize,
+            "bad physical register count"
+        );
+        FreeList {
+            free: (0..total as u16).rev().map(PhysReg).collect(),
+            total,
+        }
     }
 
     /// Allocate a register, or `None` if the pool is exhausted (the pipeline

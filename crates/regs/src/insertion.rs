@@ -32,7 +32,10 @@ pub struct InsertionTable {
 impl InsertionTable {
     /// A table over `total` physical registers, all counters zero.
     pub fn new(total: usize) -> InsertionTable {
-        InsertionTable { counts: vec![0; total], saturations: 0 }
+        InsertionTable {
+            counts: vec![0; total],
+            saturations: 0,
+        }
     }
 
     /// Current count for `r`.

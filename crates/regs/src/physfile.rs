@@ -21,7 +21,12 @@ impl PhysRegFile {
     /// A file of `total` registers, all zero and **ready** (fresh initial
     /// mappings read as architectural zeros).
     pub fn new(total: usize) -> PhysRegFile {
-        PhysRegFile { values: vec![0; total], ready: vec![true; total], writes: 0, reads: 0 }
+        PhysRegFile {
+            values: vec![0; total],
+            ready: vec![true; total],
+            writes: 0,
+            reads: 0,
+        }
     }
 
     /// Number of physical registers.

@@ -27,7 +27,9 @@ impl RenameMap {
     pub fn new(freelist: &mut FreeList) -> RenameMap {
         let mut map = [PhysReg(0); NUM_ARCH_REGS as usize];
         for slot in map.iter_mut() {
-            *slot = freelist.alloc().expect("free list too small for initial mappings");
+            *slot = freelist
+                .alloc()
+                .expect("free list too small for initial mappings");
         }
         RenameMap { map }
     }
@@ -49,7 +51,11 @@ impl RenameMap {
     /// instruction frees at retire — or re-installs on rollback.
     ///
     /// Returns `None` when the free list is empty (rename must stall).
-    pub fn rename_dest(&mut self, arch: Reg, freelist: &mut FreeList) -> Option<(PhysReg, PhysReg)> {
+    pub fn rename_dest(
+        &mut self,
+        arch: Reg,
+        freelist: &mut FreeList,
+    ) -> Option<(PhysReg, PhysReg)> {
         assert!(!arch.is_zero(), "zero registers are not renamed");
         let new = freelist.alloc()?;
         let prev = std::mem::replace(&mut self.map[arch.index()], new);

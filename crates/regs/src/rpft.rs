@@ -18,7 +18,9 @@ impl Rpft {
     /// A table over `total` physical registers, all initially valid (the
     /// initial architectural mappings hold committed zeros).
     pub fn new(total: usize) -> Rpft {
-        Rpft { valid: vec![true; total] }
+        Rpft {
+            valid: vec![true; total],
+        }
     }
 
     /// May `r` be pre-read from the register file right now?

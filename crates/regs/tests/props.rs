@@ -38,7 +38,9 @@ fn rename_rollback_is_exact() {
     for _ in 0..64 {
         let mut fl = FreeList::new(256);
         let mut rm = RenameMap::new(&mut fl);
-        let before: Vec<_> = (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
+        let before: Vec<_> = (0..31)
+            .map(|i| rm.lookup(looseloops_isa::Reg::int(i)))
+            .collect();
         let avail = fl.available();
         let mut undo = Vec::new();
         let n = rng.gen_range(1usize..40);
@@ -50,7 +52,9 @@ fn rename_rollback_is_exact() {
         for (arch, prev) in undo.into_iter().rev() {
             rm.rollback(arch, prev, &mut fl);
         }
-        let after: Vec<_> = (0..31).map(|i| rm.lookup(looseloops_isa::Reg::int(i))).collect();
+        let after: Vec<_> = (0..31)
+            .map(|i| rm.lookup(looseloops_isa::Reg::int(i)))
+            .collect();
         assert_eq!(before, after);
         assert_eq!(fl.available(), avail);
     }
@@ -110,7 +114,13 @@ fn forwarding_window_is_exact() {
         let mut fwd = ForwardingBuffer::new(window);
         let n_ins = rng.gen_range(1usize..60);
         let mut sorted: Vec<(u16, u64, u64)> = (0..n_ins)
-            .map(|_| (rng.gen_range(0u16..8), rng.gen_range(0u64..40), rng.next_u64()))
+            .map(|_| {
+                (
+                    rng.gen_range(0u16..8),
+                    rng.gen_range(0u64..40),
+                    rng.next_u64(),
+                )
+            })
             .collect();
         sorted.sort_by_key(|&(_, cycle, _)| cycle);
         for (reg, cycle, val) in &sorted {

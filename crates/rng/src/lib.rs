@@ -32,7 +32,14 @@ impl Rng {
     /// A generator whose entire stream is a pure function of `seed`.
     pub fn seed_from_u64(seed: u64) -> Rng {
         let mut sm = seed;
-        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Next 64 raw bits.

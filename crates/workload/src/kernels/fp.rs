@@ -35,7 +35,12 @@ pub fn swim(base: u64) -> Program {
     k.load_base(r(1), base);
     // FP constant 3.0 in f28.
     k.b.addi(r(3), r(31), 3);
-    k.b.push(looseloops_isa::Inst::op_rr(looseloops_isa::Opcode::FCvtIf, f(28), r(3), r(31)));
+    k.b.push(looseloops_isa::Inst::op_rr(
+        looseloops_isa::Opcode::FCvtIf,
+        f(28),
+        r(3),
+        r(31),
+    ));
     k.outer_begin();
     // cursor = (iter * 32) mod 32 KiB; each lane gets its own cursor copy
     // (compiled array code spreads address registers — and a single base
@@ -45,11 +50,27 @@ pub fn swim(base: u64) -> Program {
     k.b.andi(r(2), r(2), 0x7fe0);
     k.b.add(r(2), r(2), r(1));
     for lane in 0..LANES {
-        let (a, b, s, t, u) = (f(lane * 5), f(lane * 5 + 1), f(lane * 5 + 2), f(lane * 5 + 3), f(lane * 5 + 4));
+        let (a, b, s, t, u) = (
+            f(lane * 5),
+            f(lane * 5 + 1),
+            f(lane * 5 + 2),
+            f(lane * 5 + 3),
+            f(lane * 5 + 4),
+        );
         let cur = r(10 + lane);
         k.b.addi(cur, r(2), lane as i32 * 8);
-        k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, a, cur, 0));
-        k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, b, cur, ARRAY));
+        k.b.push(looseloops_isa::Inst::load(
+            looseloops_isa::Opcode::FLdq,
+            a,
+            cur,
+            0,
+        ));
+        k.b.push(looseloops_isa::Inst::load(
+            looseloops_isa::Opcode::FLdq,
+            b,
+            cur,
+            ARRAY,
+        ));
         k.b.fadd(s, a, b);
         k.b.fmul(t, s, f(28));
         k.b.fadd(u, t, b);
@@ -80,14 +101,24 @@ pub fn turb3d(base: u64) -> Program {
     k.xorshift(r(8), r(3));
     // Early value: available as soon as the iteration starts.
     k.b.andi(r(4), r(21), 0xff);
-    k.b.push(looseloops_isa::Inst::op_rr(looseloops_isa::Opcode::FCvtIf, f(10), r(4), r(31)));
+    k.b.push(looseloops_isa::Inst::op_rr(
+        looseloops_isa::Opcode::FCvtIf,
+        f(10),
+        r(4),
+        r(31),
+    ));
     // Long chain: four dependent loads + FP ops (tens of cycles).
     k.b.slli(r(2), r(21), 3);
     k.b.andi(r(2), r(2), 0x7ff8);
     k.b.add(r(2), r(2), r(1));
     k.b.fldq(f(0), r(2), 0);
     k.b.fadd(f(1), f(0), f(10));
-    k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, f(2), r(2), ARRAY));
+    k.b.push(looseloops_isa::Inst::load(
+        looseloops_isa::Opcode::FLdq,
+        f(2),
+        r(2),
+        ARRAY,
+    ));
     k.b.fmul(f(3), f(1), f(2));
     k.b.push(looseloops_isa::Inst::load(
         looseloops_isa::Opcode::FLdq,
@@ -130,7 +161,12 @@ pub fn hydro2d(base: u64) -> Program {
     k.b.add(r(2), r(2), r(1));
     k.b.fldq(f(0), r(2), 0);
     // The second stream lives 8 MiB (plus a line of stagger) away.
-    k.b.push(looseloops_isa::Inst::load(looseloops_isa::Opcode::FLdq, f(1), r(2), 0x40_0040));
+    k.b.push(looseloops_isa::Inst::load(
+        looseloops_isa::Opcode::FLdq,
+        f(1),
+        r(2),
+        0x40_0040,
+    ));
     k.b.fadd(f(2), f(0), f(1));
     k.b.fmul(f(3), f(2), f(2));
     k.b.fadd(f(24), f(24), f(3));

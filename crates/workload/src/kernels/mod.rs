@@ -40,7 +40,10 @@ pub(crate) struct Kern {
 
 impl Kern {
     pub fn new(name: &str) -> Kern {
-        Kern { b: ProgramBuilder::new(name), labels: 0 }
+        Kern {
+            b: ProgramBuilder::new(name),
+            labels: 0,
+        }
     }
 
     fn fresh_label(&mut self, stem: &str) -> String {
@@ -51,7 +54,10 @@ impl Kern {
     /// Load a large constant `base` (multiple of 1 MiB, < 2^43) into `rd`.
     pub fn load_base(&mut self, rd: Reg, base: u64) {
         assert_eq!(base % (1 << 20), 0, "base must be MiB-aligned");
-        assert!(base >> 20 <= 0x7f_ffff, "base too large for the immediate path");
+        assert!(
+            base >> 20 <= 0x7f_ffff,
+            "base too large for the immediate path"
+        );
         self.b.addi(rd, Reg::ZERO, (base >> 20) as i32);
         self.b.slli(rd, rd, 20);
     }
@@ -116,7 +122,9 @@ impl Kern {
 
     /// Finish and return the program.
     pub fn build(self) -> Program {
-        self.b.build().expect("kernel labels are internally consistent")
+        self.b
+            .build()
+            .expect("kernel labels are internally consistent")
     }
 }
 
@@ -148,7 +156,10 @@ mod tests {
         let fired = st.read_reg(r(16));
         assert!(iters > 1000);
         let frac = fired as f64 / iters as f64;
-        assert!((0.15..0.35).contains(&frac), "guard fired {frac} of iterations");
+        assert!(
+            (0.15..0.35).contains(&frac),
+            "guard fired {frac} of iterations"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl Benchmark {
     /// All ten benchmarks, in the paper's figure order.
     pub fn all() -> [Benchmark; 10] {
         use Benchmark::*;
-        [Compress, Gcc, Go, M88ksim, Apsi, Hydro2d, Mgrid, Su2cor, Swim, Turb3d]
+        [
+            Compress, Gcc, Go, M88ksim, Apsi, Hydro2d, Mgrid, Su2cor, Swim, Turb3d,
+        ]
     }
 
     /// The paper's benchmark name (as printed in its figures).
@@ -64,7 +66,9 @@ impl Benchmark {
     pub fn description(self) -> &'static str {
         use Benchmark::*;
         match self {
-            Compress => "hash-table loop: random data-dependent branches, 48 KiB hot table + cold pokes",
+            Compress => {
+                "hash-table loop: random data-dependent branches, 48 KiB hot table + cold pokes"
+            }
             Gcc => "pointer chasing (48 KiB ring) + unpredictable branches + cold pokes",
             Go => "branch after branch on random data; the most branch-limited code",
             M88ksim => "well-predicted periodic branches, ALU-heavy, L1-resident",
@@ -108,7 +112,11 @@ impl Benchmark {
     /// The paper's three multi-threaded workloads.
     pub fn pairs() -> [SmtPair; 3] {
         use Benchmark::*;
-        [SmtPair(M88ksim, Compress), SmtPair(Go, Su2cor), SmtPair(Apsi, Swim)]
+        [
+            SmtPair(M88ksim, Compress),
+            SmtPair(Go, Su2cor),
+            SmtPair(Apsi, Swim),
+        ]
     }
 }
 
@@ -130,7 +138,10 @@ impl SmtPair {
 
     /// The two programs, placed in disjoint address regions.
     pub fn programs(&self) -> Vec<Program> {
-        vec![self.0.program_at(THREAD0_BASE), self.1.program_at(THREAD1_BASE)]
+        vec![
+            self.0.program_at(THREAD0_BASE),
+            self.1.program_at(THREAD1_BASE),
+        ]
     }
 }
 

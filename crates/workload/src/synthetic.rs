@@ -179,17 +179,30 @@ mod tests {
 
     #[test]
     fn fp_heavy_runs() {
-        runs(SyntheticParams { fp: true, chain: 12, loads: 4, ..SyntheticParams::default() });
+        runs(SyntheticParams {
+            fp: true,
+            chain: 12,
+            loads: 4,
+            ..SyntheticParams::default()
+        });
     }
 
     #[test]
     fn branch_storm_runs() {
-        runs(SyntheticParams { branches: 6, taken_bits: 1, ..SyntheticParams::default() });
+        runs(SyntheticParams {
+            branches: 6,
+            taken_bits: 1,
+            ..SyntheticParams::default()
+        });
     }
 
     #[test]
     fn big_footprint_runs() {
-        runs(SyntheticParams { footprint: 8 << 20, loads: 4, ..SyntheticParams::default() });
+        runs(SyntheticParams {
+            footprint: 8 << 20,
+            loads: 4,
+            ..SyntheticParams::default()
+        });
     }
 
     #[test]
@@ -201,13 +214,19 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = synthetic(SyntheticParams::default());
-        let b = synthetic(SyntheticParams { seed: 2, ..SyntheticParams::default() });
+        let b = synthetic(SyntheticParams {
+            seed: 2,
+            ..SyntheticParams::default()
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     #[should_panic]
     fn bad_footprint_rejected() {
-        let _ = synthetic(SyntheticParams { footprint: 1000, ..SyntheticParams::default() });
+        let _ = synthetic(SyntheticParams {
+            footprint: 1000,
+            ..SyntheticParams::default()
+        });
     }
 }

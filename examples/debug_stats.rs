@@ -9,7 +9,11 @@ fn main() {
         .into_iter()
         .find(|b| b.name() == name)
         .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let budget = RunBudget { warmup: 20_000, measure: 100_000, max_cycles: 50_000_000 };
+    let budget = RunBudget {
+        warmup: 20_000,
+        measure: 100_000,
+        max_cycles: 50_000_000,
+    };
     for (label, cfg) in [
         ("base 5_5 rf3".to_string(), PipelineConfig::base_for_rf(3)),
         ("dra  5_3 rf3".to_string(), PipelineConfig::dra_for_rf(3)),
@@ -48,7 +52,12 @@ fn main() {
         );
         println!(
             "iq: mean={:.1} post_issue={:.1} peak={} traps: mem={} tlb={} line_pred={:?}",
-            s.iq_occupancy_mean, s.iq_post_issue_mean, s.iq_peak, s.mem_order_traps, s.tlb_traps, s.line_pred
+            s.iq_occupancy_mean,
+            s.iq_post_issue_mean,
+            s.iq_peak,
+            s.mem_order_traps,
+            s.tlb_traps,
+            s.line_pred
         );
         println!("mem: {:?}", s.mem);
         println!(

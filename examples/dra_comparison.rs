@@ -14,8 +14,15 @@ fn main() {
         .into_iter()
         .find(|b| b.name() == name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}` (try swim, apsi, go, …)"));
-    let measure: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(100_000);
-    let budget = RunBudget { warmup: measure / 2, measure, max_cycles: 100_000_000 };
+    let measure: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let budget = RunBudget {
+        warmup: measure / 2,
+        measure,
+        max_cycles: 100_000_000,
+    };
 
     println!("workload: {bench}\n");
     println!(

@@ -10,7 +10,9 @@ use looseloops_repro::core::{Machine, PipelineConfig};
 use looseloops_repro::isa::asm;
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "trace.kanata".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.kanata".into());
     let prog = asm::assemble(
         "
         .data 0x10000, 3, 1, 4, 1, 5, 9, 2, 6

@@ -7,13 +7,18 @@
 //! cargo run --release --example smt_throughput [instructions]
 //! ```
 
-use looseloops_repro::core::{
-    run_benchmark, run_pair, Benchmark, PipelineConfig, RunBudget,
-};
+use looseloops_repro::core::{run_benchmark, run_pair, Benchmark, PipelineConfig, RunBudget};
 
 fn main() {
-    let measure: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
-    let budget = RunBudget { warmup: measure / 2, measure, max_cycles: 100_000_000 };
+    let measure: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let budget = RunBudget {
+        warmup: measure / 2,
+        measure,
+        max_cycles: 100_000_000,
+    };
     let single = PipelineConfig::base();
     let smt = PipelineConfig::base().smt(2);
 

@@ -3,11 +3,15 @@
 //! These tests pin the workload suite — if a kernel drifts out of its
 //! envelope, the figures stop meaning what EXPERIMENTS.md says they mean.
 
-use looseloops_repro::core::{run_benchmark, Benchmark, PipelineConfig, RunBudget};
 use looseloops_repro::core::SimStats;
+use looseloops_repro::core::{run_benchmark, Benchmark, PipelineConfig, RunBudget};
 
 fn measure(b: Benchmark) -> SimStats {
-    let budget = RunBudget { warmup: 30_000, measure: 60_000, max_cycles: 50_000_000 };
+    let budget = RunBudget {
+        warmup: 30_000,
+        measure: 60_000,
+        max_cycles: 50_000_000,
+    };
     run_benchmark(&PipelineConfig::base(), b, budget)
 }
 
@@ -69,7 +73,11 @@ fn swim_and_turb3d_exercise_the_load_loop() {
             "{b}: L1 miss rate {:.3} outside the L2-resident-stream envelope",
             s.load_miss_rate()
         );
-        assert!(s.load_replays > 50, "{b}: the load loop must fire ({} replays)", s.load_replays);
+        assert!(
+            s.load_replays > 50,
+            "{b}: the load loop must fire ({} replays)",
+            s.load_replays
+        );
     }
 }
 
@@ -85,11 +93,19 @@ fn turb3d_takes_tlb_traps() {
 #[test]
 fn apsi_is_chain_bound_with_dra_misses() {
     let s = measure(Benchmark::Apsi);
-    assert!(s.ipc() < 1.2, "apsi must be low-ILP, got ipc {:.2}", s.ipc());
+    assert!(
+        s.ipc() < 1.2,
+        "apsi must be low-ILP, got ipc {:.2}",
+        s.ipc()
+    );
     let dra = run_benchmark(
         &PipelineConfig::dra_for_rf(5),
         Benchmark::Apsi,
-        RunBudget { warmup: 30_000, measure: 60_000, max_cycles: 50_000_000 },
+        RunBudget {
+            warmup: 30_000,
+            measure: 60_000,
+            max_cycles: 50_000_000,
+        },
     );
     assert!(
         (0.004..0.04).contains(&dra.operand_miss_rate()),
@@ -113,7 +129,11 @@ fn su2cor_queues_wide_fp_work() {
 fn memory_bound_codes_ignore_pipe_length() {
     // The defining property the paper uses for hydro2d/mgrid: main-memory
     // latency dwarfs the loop delays.
-    let budget = RunBudget { warmup: 20_000, measure: 40_000, max_cycles: 50_000_000 };
+    let budget = RunBudget {
+        warmup: 20_000,
+        measure: 40_000,
+        max_cycles: 50_000_000,
+    };
     for b in [Benchmark::Hydro2d, Benchmark::Mgrid] {
         let short = run_benchmark(&PipelineConfig::base_with_latencies(3, 3), b, budget).ipc();
         let long = run_benchmark(&PipelineConfig::base_with_latencies(9, 9), b, budget).ipc();

@@ -6,12 +6,22 @@ use looseloops_repro::core::{run_benchmark, Benchmark, PipelineConfig, RunBudget
 use looseloops_repro::workload::Benchmark as B;
 
 fn budget() -> RunBudget {
-    RunBudget { warmup: 1_000, measure: 8_000, max_cycles: 2_000_000 }
+    RunBudget {
+        warmup: 1_000,
+        measure: 8_000,
+        max_cycles: 2_000_000,
+    }
 }
 
 fn fingerprint(cfg: &PipelineConfig, b: Benchmark) -> (u64, u64, u64, u64, [u64; 5]) {
     let s = run_benchmark(cfg, b, budget());
-    (s.cycles, s.total_retired(), s.branch_mispredicts, s.load_replays, s.operand_sources)
+    (
+        s.cycles,
+        s.total_retired(),
+        s.branch_mispredicts,
+        s.load_replays,
+        s.operand_sources,
+    )
 }
 
 #[test]

@@ -28,7 +28,9 @@ fn arb_params(rng: &mut Rng) -> SyntheticParams {
     let loads = rng.gen_range(0u32..4);
     let stores = rng.gen_range(0u32..2);
     let chain = rng.gen_range(0u32..8);
-    let body_len = rng.gen_range(4u32..24).max(branches + loads + stores + chain + 1);
+    let body_len = rng
+        .gen_range(4u32..24)
+        .max(branches + loads + stores + chain + 1);
     SyntheticParams {
         seed: rng.gen_range(1u64..10_000),
         body_len,
@@ -62,7 +64,11 @@ fn base_machine_matches_interpreter() {
 fn dra_machine_matches_interpreter() {
     let mut rng = Rng::seed_from_u64(0xe92);
     for _ in 0..12 {
-        run_verified(audited(PipelineConfig::dra_for_rf(5)), arb_params(&mut rng), 4_000);
+        run_verified(
+            audited(PipelineConfig::dra_for_rf(5)),
+            arb_params(&mut rng),
+            4_000,
+        );
     }
 }
 
@@ -76,7 +82,10 @@ fn every_load_policy_matches_interpreter() {
         LoadSpecPolicy::Refetch,
     ] {
         for _ in 0..3 {
-            let cfg = PipelineConfig { load_policy: policy, ..PipelineConfig::base() };
+            let cfg = PipelineConfig {
+                load_policy: policy,
+                ..PipelineConfig::base()
+            };
             run_verified(audited(cfg), arb_params(&mut rng), 3_000);
         }
     }
@@ -117,7 +126,10 @@ fn smt_pairs_are_verified() {
             .expect("valid config");
         m.enable_verification();
         m.run(8_000, 4_000_000).expect("no deadlock");
-        assert!(m.stats().retired.iter().all(|&r| r > 0), "{pair} starved a thread");
+        assert!(
+            m.stats().retired.iter().all(|&r| r > 0),
+            "{pair} starved a thread"
+        );
     }
 }
 
@@ -127,8 +139,14 @@ fn smt_pairs_are_verified() {
 fn smt_synthetic_matches_interpreter() {
     let mut rng = Rng::seed_from_u64(0xe95);
     for _ in 0..6 {
-        let pa = synthetic(SyntheticParams { base: 16 << 20, ..arb_params(&mut rng) });
-        let pb = synthetic(SyntheticParams { base: 144 << 20, ..arb_params(&mut rng) });
+        let pa = synthetic(SyntheticParams {
+            base: 16 << 20,
+            ..arb_params(&mut rng)
+        });
+        let pb = synthetic(SyntheticParams {
+            base: 144 << 20,
+            ..arb_params(&mut rng)
+        });
         let mut m = Machine::new(audited(PipelineConfig::base().smt(2)), vec![pa, pb])
             .expect("valid config");
         m.enable_verification();

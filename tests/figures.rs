@@ -8,15 +8,30 @@ use looseloops_repro::core::{
 };
 
 fn tiny() -> RunBudget {
-    RunBudget { warmup: 500, measure: 3_000, max_cycles: 2_000_000 }
+    RunBudget {
+        warmup: 500,
+        measure: 3_000,
+        max_cycles: 2_000_000,
+    }
 }
 
 fn check_speedup_figure(f: &FigureResult, series: usize, baseline_row: usize) {
     assert_eq!(f.series.len(), series, "{}", f.id);
     for s in &f.series {
-        assert_eq!(s.values.len(), f.columns.len(), "{}: ragged series {}", f.id, s.label);
+        assert_eq!(
+            s.values.len(),
+            f.columns.len(),
+            "{}: ragged series {}",
+            f.id,
+            s.label
+        );
         for v in &s.values {
-            assert!(v.is_finite() && *v > 0.0, "{}: non-positive speedup in {}", f.id, s.label);
+            assert!(
+                v.is_finite() && *v > 0.0,
+                "{}: non-positive speedup in {}",
+                f.id,
+                s.label
+            );
         }
     }
     for v in &f.series[baseline_row].values {
@@ -63,7 +78,10 @@ fn fig8_smoke() {
         assert!(s.label.contains("DRA"));
         assert_eq!(s.values.len(), ws.len());
         for v in &s.values {
-            assert!(v.is_finite() && *v > 0.3 && *v < 3.0, "implausible speedup {v}");
+            assert!(
+                v.is_finite() && *v > 0.3 && *v < 3.0,
+                "implausible speedup {v}"
+            );
         }
     }
 }
@@ -75,10 +93,16 @@ fn fig9_smoke() {
     assert_eq!(f.series.len(), 5);
     for col in 0..ws.len() {
         let total: f64 = f.series.iter().map(|s| s.values[col]).sum();
-        assert!((total - 1.0).abs() < 1e-9, "fractions must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "fractions must sum to 1, got {total}"
+        );
     }
     let rf = f.series.iter().find(|s| s.label == "regfile").unwrap();
-    assert!(rf.values.iter().all(|v| *v == 0.0), "DRA never reads RF on the IQ-EX path");
+    assert!(
+        rf.values.iter().all(|v| *v == 0.0),
+        "DRA never reads RF on the IQ-EX path"
+    );
 }
 
 #[test]

@@ -10,14 +10,21 @@ use looseloops_repro::mem::TlbMissPolicy;
 use looseloops_repro::workload::{synthetic, SyntheticParams};
 
 fn small() -> RunBudget {
-    RunBudget { warmup: 2_000, measure: 15_000, max_cycles: 4_000_000 }
+    RunBudget {
+        warmup: 2_000,
+        measure: 15_000,
+        max_cycles: 4_000_000,
+    }
 }
 
 #[test]
 fn branch_resolution_loop_fires_on_branchy_code() {
     let s = run_benchmark(&PipelineConfig::base(), Benchmark::Go, small());
     assert!(s.branches > 1_000, "go is branch-dominated");
-    assert!(s.branch_mispredict_rate() > 0.05, "go's branches are data-dependent");
+    assert!(
+        s.branch_mispredict_rate() > 0.05,
+        "go's branches are data-dependent"
+    );
     assert!(s.branch_squashes > 100);
     assert!(s.squashed > 1_000, "wrong-path work must be squashed");
 }
@@ -27,12 +34,18 @@ fn load_resolution_loop_fires_on_missy_code() {
     let s = run_benchmark(&PipelineConfig::base(), Benchmark::Swim, small());
     assert!(s.loads > 2_000);
     assert!(s.load_miss_rate() > 0.02, "swim streams past L1");
-    assert!(s.load_replays > 0, "missed loads replay their issued dependents");
+    assert!(
+        s.load_replays > 0,
+        "missed loads replay their issued dependents"
+    );
 }
 
 #[test]
 fn stall_policy_never_replays() {
-    let cfg = PipelineConfig { load_policy: LoadSpecPolicy::Stall, ..PipelineConfig::base() };
+    let cfg = PipelineConfig {
+        load_policy: LoadSpecPolicy::Stall,
+        ..PipelineConfig::base()
+    };
     let s = run_benchmark(&cfg, Benchmark::Swim, small());
     assert_eq!(s.load_replays, 0);
     assert_eq!(s.shadow_replays, 0);
@@ -41,8 +54,10 @@ fn stall_policy_never_replays() {
 #[test]
 fn shadow_policy_replays_more_than_tree() {
     let tree = run_benchmark(&PipelineConfig::base(), Benchmark::Swim, small());
-    let cfg =
-        PipelineConfig { load_policy: LoadSpecPolicy::ReissueShadow, ..PipelineConfig::base() };
+    let cfg = PipelineConfig {
+        load_policy: LoadSpecPolicy::ReissueShadow,
+        ..PipelineConfig::base()
+    };
     let shadow = run_benchmark(&cfg, Benchmark::Swim, small());
     assert!(
         shadow.load_replays + shadow.shadow_replays > tree.load_replays,
@@ -57,7 +72,10 @@ fn operand_resolution_loop_exists_only_under_dra() {
     let base = run_benchmark(&PipelineConfig::base_for_rf(5), Benchmark::Apsi, small());
     assert_eq!(base.operand_misses, 0);
     let dra = run_benchmark(&PipelineConfig::dra_for_rf(5), Benchmark::Apsi, small());
-    assert!(dra.operand_misses > 0, "apsi is the DRA's pathological case");
+    assert!(
+        dra.operand_misses > 0,
+        "apsi is the DRA's pathological case"
+    );
     assert!(dra.operand_miss_rate() > 0.001);
     assert!(dra.operand_replays > 0);
 }
@@ -114,7 +132,10 @@ fn memory_order_violation_trains_the_store_wait_table() {
     m.enable_verification();
     m.run(u64::MAX, 2_000_000).unwrap();
     assert!(m.is_done());
-    assert!(m.stats().mem_order_traps > 0, "the race must trap at least once");
+    assert!(
+        m.stats().mem_order_traps > 0,
+        "the race must trap at least once"
+    );
     // The store-wait table keeps re-trapping bounded: far fewer traps than
     // iterations.
     assert!(
@@ -131,7 +152,11 @@ fn loop_inventory_matches_machine_shape() {
         let has_op = loops.iter().any(|l| l.name == "operand resolution");
         assert_eq!(has_op, matches!(cfg.scheme, RegisterScheme::Dra { .. }));
         // Tight loops are exactly next-line prediction and forwarding.
-        let tight: Vec<_> = loops.iter().filter(|l| l.is_tight()).map(|l| l.name).collect();
+        let tight: Vec<_> = loops
+            .iter()
+            .filter(|l| l.is_tight())
+            .map(|l| l.name)
+            .collect();
         assert_eq!(tight, ["next line prediction", "forwarding"]);
     }
 }
@@ -157,8 +182,15 @@ fn smt_beats_the_worse_member_under_mispredict_pressure() {
 
 #[test]
 fn synthetic_branch_knob_controls_mispredicts() {
-    let base = SyntheticParams { branches: 0, ..SyntheticParams::default() };
-    let branchy = SyntheticParams { branches: 6, taken_bits: 1, ..SyntheticParams::default() };
+    let base = SyntheticParams {
+        branches: 0,
+        ..SyntheticParams::default()
+    };
+    let branchy = SyntheticParams {
+        branches: 6,
+        taken_bits: 1,
+        ..SyntheticParams::default()
+    };
     let cfg = PipelineConfig::base();
     let run = |p| {
         let prog = synthetic(p);
@@ -190,5 +222,9 @@ fn memory_barrier_drains_the_pipe() {
     assert!(m.is_done());
     assert_eq!(m.stats().mem_barriers, 200);
     // Each barrier costs roughly a pipeline drain; IPC collapses.
-    assert!(m.stats().ipc() < 1.0, "barriers must hurt: ipc={}", m.stats().ipc());
+    assert!(
+        m.stats().ipc() < 1.0,
+        "barriers must hurt: ipc={}",
+        m.stats().ipc()
+    );
 }

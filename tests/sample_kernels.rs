@@ -31,5 +31,8 @@ fn fib_computes_fib_30() {
 #[test]
 fn memcpy_checksum_matches_source() {
     let mut m = run_sample("memcpy.s");
-    assert_eq!(m.arch_reg(0, Reg::int(5)), 0xdead + 0xbeef + 0xcafe + 0xf00d);
+    assert_eq!(
+        m.arch_reg(0, Reg::int(5)),
+        0xdead + 0xbeef + 0xcafe + 0xf00d
+    );
 }

@@ -1,0 +1,95 @@
+//! The sweep engine only reorders independent deterministic simulations,
+//! so a parallel sweep must be *byte-identical* to the serial path, and
+//! repeated figures must come from the memo cache instead of re-running.
+
+use looseloops_repro::core::{
+    ablation_dra_design_on, fig4_pipeline_length_on, RunBudget, SweepEngine, Workload,
+};
+
+fn tiny() -> RunBudget {
+    RunBudget {
+        warmup: 500,
+        measure: 3_000,
+        max_cycles: 2_000_000,
+    }
+}
+
+#[test]
+fn fig4_parallel_is_byte_identical_to_serial() {
+    let serial = SweepEngine::new(1);
+    let parallel = SweepEngine::new(8);
+    let ws = Workload::smoke_set();
+    let a = fig4_pipeline_length_on(&serial, &ws, tiny());
+    let b = fig4_pipeline_length_on(&parallel, &ws, tiny());
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "--jobs 8 must reproduce --jobs 1 exactly"
+    );
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(serial.summary().jobs_run, parallel.summary().jobs_run);
+    assert_eq!(parallel.workers(), 8);
+}
+
+#[test]
+fn dra_ablation_parallel_is_byte_identical_to_serial() {
+    let serial = SweepEngine::new(1);
+    let parallel = SweepEngine::new(8);
+    let ws = Workload::smoke_set();
+    let a = ablation_dra_design_on(&serial, &ws, tiny());
+    let b = ablation_dra_design_on(&parallel, &ws, tiny());
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "--jobs 8 must reproduce --jobs 1 exactly"
+    );
+}
+
+#[test]
+fn repeated_figures_hit_the_cache() {
+    let sweep = SweepEngine::new(4);
+    let ws = Workload::smoke_set();
+    let first = fig4_pipeline_length_on(&sweep, &ws, tiny());
+    let after_first = sweep.summary();
+    assert!(after_first.jobs_run > 0);
+    assert_eq!(
+        after_first.cache_hits, 0,
+        "a cold engine has nothing to hit"
+    );
+
+    let second = fig4_pipeline_length_on(&sweep, &ws, tiny());
+    let after_second = sweep.summary();
+    assert_eq!(
+        after_second.jobs_run, after_first.jobs_run,
+        "regenerating a figure must not simulate anything new"
+    );
+    assert_eq!(
+        after_second.cache_hits, after_first.jobs_run,
+        "every job of the repeat must be a cache hit"
+    );
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "memoized results must be identical"
+    );
+}
+
+#[test]
+fn overlapping_figures_share_runs() {
+    // Figure 4's 5_5 machine at rf=3 is the same machine Figure 8's rf=3
+    // base column uses (base_with_latencies(5, 5) == base_for_rf(3)), so
+    // running fig4 first must make part of fig8 free.
+    use looseloops_repro::core::fig8_dra_speedup_on;
+    let sweep = SweepEngine::new(4);
+    let ws = Workload::smoke_set();
+    fig4_pipeline_length_on(&sweep, &ws, tiny());
+    let before = sweep.summary();
+    fig8_dra_speedup_on(&sweep, &ws, tiny());
+    let after = sweep.summary();
+    assert!(
+        after.cache_hits > before.cache_hits,
+        "fig8 must reuse fig4's base-machine runs (hits {} -> {})",
+        before.cache_hits,
+        after.cache_hits
+    );
+}

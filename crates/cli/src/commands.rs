@@ -4,9 +4,10 @@ use crate::args::{ArgError, Args};
 use crate::config::{budget_from_args, config_from_args, BUDGET_FLAGS, CONFIG_FLAGS};
 use looseloops::{
     ablation_dra_design_on, ablation_fwd_window_on, ablation_iq_size_on, ablation_load_policies_on,
-    ablation_predictors_on, ablation_prefetch_on, fig4_pipeline_length_on, fig5_fixed_total_on,
-    fig6_operand_gap_cdf_on, fig8_dra_speedup_on, fig9_operand_sources_on, loop_inventory,
-    FigureResult, Machine, RunBudget, SimStats, SweepEngine, Workload,
+    ablation_predictors_on, ablation_prefetch_on, cpi_stack_report_on, fig4_pipeline_length_on,
+    fig5_fixed_total_on, fig6_operand_gap_cdf_on, fig8_dra_speedup_on, fig9_operand_sources_on,
+    figure_cpi_stacks_on, loop_inventory, FigureResult, Machine, RunBudget, SimStats, SweepEngine,
+    Workload,
 };
 use looseloops_workload::Benchmark;
 
@@ -208,9 +209,36 @@ fn generate_figure(
     })
 }
 
+/// Parse `--workloads a,b,c` (default: the full paper set).
+fn workloads_from_args(args: &Args) -> Result<Vec<Workload>, ArgError> {
+    match args.get("workloads") {
+        None => Ok(Workload::paper_set()),
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                Workload::paper_set()
+                    .into_iter()
+                    .find(|w| w.name() == n)
+                    .ok_or_else(|| ArgError(format!("unknown workload `{n}`")))
+            })
+            .collect(),
+    }
+}
+
+/// Build a sweep engine from `--jobs N` (0 or absent: `LOOSELOOPS_JOBS` /
+/// the machine).
+fn sweep_from_args(args: &Args) -> Result<SweepEngine, ArgError> {
+    let jobs: usize = args.get_or("jobs", 0)?;
+    Ok(if jobs == 0 {
+        SweepEngine::from_env()
+    } else {
+        SweepEngine::new(jobs)
+    })
+}
+
 /// `looseloops figure`
 pub fn figure(args: &Args) -> Result<(), ArgError> {
-    let allowed = config_flag_set(&["smoke", "json-out", "workloads", "jobs"]);
+    let allowed = config_flag_set(&["smoke", "json-out", "workloads", "jobs", "stacks"]);
     args.reject_unknown(&allowed)?;
     let id = args
         .positional()
@@ -230,26 +258,13 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
             max_cycles: 2_000_000,
         };
     }
-    let workloads: Vec<Workload> = match args.get("workloads") {
-        None => Workload::paper_set(),
-        Some(list) => list
-            .split(',')
-            .map(|n| {
-                Workload::paper_set()
-                    .into_iter()
-                    .find(|w| w.name() == n)
-                    .ok_or_else(|| ArgError(format!("unknown workload `{n}`")))
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    // --jobs N overrides LOOSELOOPS_JOBS; 0 (or neither) sizes from the
-    // machine.
-    let jobs: usize = args.get_or("jobs", 0)?;
-    let sweep = if jobs == 0 {
-        SweepEngine::from_env()
-    } else {
-        SweepEngine::new(jobs)
-    };
+    let workloads = workloads_from_args(args)?;
+    let sweep = sweep_from_args(args)?;
+    // With --stacks, each figure's per-loop CPI stacks are appended after
+    // the figure itself — the points are the figure's own memoized jobs,
+    // so no extra simulation happens and without the flag the output is
+    // byte-identical to before.
+    let stacks = args.has("stacks");
 
     if id == "all" {
         if args.get("json-out").is_some() {
@@ -260,6 +275,11 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
         for fid in FIGURE_IDS {
             let fig = generate_figure(fid, &sweep, &workloads, budget)?;
             print!("{fig}");
+            if stacks {
+                if let Some(rep) = figure_cpi_stacks_on(&sweep, &fig.id, &workloads, budget) {
+                    print!("{rep}");
+                }
+            }
         }
         eprintln!("[sweep] {}", sweep.summary().line());
         return Ok(());
@@ -267,6 +287,11 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
 
     let fig = generate_figure(&id, &sweep, &workloads, budget)?;
     print!("{fig}");
+    if stacks {
+        if let Some(rep) = figure_cpi_stacks_on(&sweep, &fig.id, &workloads, budget) {
+            print!("{rep}");
+        }
+    }
     eprintln!("[sweep] {}", sweep.summary().line());
     if let Some(path) = args.get("json-out") {
         std::fs::write(path, fig.to_json())
@@ -276,8 +301,11 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `looseloops loops`
+/// `looseloops loops` (and `looseloops loops attribute`)
 pub fn loops(args: &Args) -> Result<(), ArgError> {
+    if args.positional().first().map(String::as_str) == Some("attribute") {
+        return loops_attribute(args);
+    }
     let allowed = config_flag_set(&[]);
     args.reject_unknown(&allowed)?;
     let cfg = config_from_args(args)?;
@@ -288,6 +316,49 @@ pub fn loops(args: &Args) -> Result<(), ArgError> {
     for l in loop_inventory(&cfg) {
         println!("  {l}");
     }
+    Ok(())
+}
+
+/// `looseloops loops attribute` — run the configured machine over the
+/// workloads and print its per-loop CPI stack: where every lost retire
+/// slot went, one column per loop-cost component, components summing to
+/// the measured CPI.
+fn loops_attribute(args: &Args) -> Result<(), ArgError> {
+    let allowed = config_flag_set(&["workloads", "jobs"]);
+    args.reject_unknown(&allowed)?;
+    let cfg = config_from_args(args)?;
+    let budget = budget_from_args(args)?;
+    let workloads = workloads_from_args(args)?;
+    let sweep = sweep_from_args(args)?;
+    let label = format!(
+        "{}:{}_{}",
+        if cfg.scheme.is_dra() { "dra" } else { "base" },
+        cfg.dec_iq_stages,
+        cfg.iq_ex_stages
+    );
+    let configs = [(label, cfg.clone())];
+    let rep = cpi_stack_report_on(
+        &sweep,
+        "loops-attribute",
+        "Per-loop CPI attribution (components sum to CPI)",
+        &configs,
+        &workloads,
+        budget,
+    );
+    print!("{rep}");
+    println!("loops charged:");
+    for l in loop_inventory(&cfg) {
+        if let Some(c) = l.cpi_component() {
+            println!("  {:<18} <- {l}", c.name());
+        }
+    }
+    println!(
+        "conservation: every cycle's {} retire slots are either used by a retiring \
+         instruction or charged to exactly one component (enforced by the invariant \
+         auditor under --audit)",
+        cfg.width
+    );
+    eprintln!("[sweep] {}", sweep.summary().line());
     Ok(())
 }
 

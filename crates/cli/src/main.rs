@@ -40,8 +40,15 @@ COMMANDS:
              iq-size|prefetch|predictor|all  (`all` shares one run cache)
              --warmup N  --measure N  --smoke  --json-out FILE
              --jobs N  (sweep workers; default LOOSELOOPS_JOBS or all cores)
+             --stacks  (append each figure's per-loop CPI stacks; reuses
+             the figure's own memoized runs)
     loops    Print the micro-architectural loop inventory for a config
              (same config flags as `run`)
+    loops attribute
+             Per-loop CPI stacks for a config over workloads: each lost
+             retire slot charged to the loop that caused it, components
+             summing to the measured CPI
+             --workloads a,b,c  --jobs N  (plus config/budget flags)
     asm      Assemble a .s file; --run simulates it, --disasm round-trips
     kernel   Inspect a benchmark proxy (NAME [--disasm])
     list     List benchmarks, SMT pairs, and figures

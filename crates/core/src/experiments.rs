@@ -12,12 +12,12 @@
 //! while `figN_on(engine, workloads, budget)` runs on a caller-owned
 //! engine — tests use this to pin the worker count.
 
-use crate::report::{FigureResult, Series};
-use crate::simulator::{run_pair, run_programs, RunBudget};
+use crate::report::{CpiStackReport, CpiStackRow, FigureResult, Series};
+use crate::simulator::{try_run_pair, try_run_programs, RunBudget};
 use crate::sweep::{Job, SweepEngine};
 use looseloops_branch;
 use looseloops_mem;
-use looseloops_pipeline::{LoadSpecPolicy, PipelineConfig, SimStats};
+use looseloops_pipeline::{LoadSpecPolicy, PipelineConfig, SimError, SimStats};
 use looseloops_regs;
 use looseloops_workload::{Benchmark, SmtPair};
 
@@ -60,15 +60,26 @@ impl Workload {
     }
 
     /// Run this workload under `cfg` (thread count is adjusted to fit).
-    pub fn run(&self, cfg: &PipelineConfig, budget: RunBudget) -> SimStats {
+    ///
+    /// # Errors
+    ///
+    /// Everything the `try_run_*` drivers can report: an invalid
+    /// configuration, a deadlock, or (with `cfg.audit`) an invariant
+    /// violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown [`Workload::Micro`] name (a programming error,
+    /// not a simulation outcome).
+    pub fn try_run(&self, cfg: &PipelineConfig, budget: RunBudget) -> Result<SimStats, SimError> {
         match self {
             Workload::Single(b) => {
                 let cfg = cfg.clone().smt(1);
-                run_programs(&cfg, vec![b.program()], budget)
+                try_run_programs(&cfg, vec![b.program()], budget)
             }
             Workload::Pair(p) => {
                 let cfg = cfg.clone().smt(2);
-                run_pair(&cfg, *p, budget)
+                try_run_pair(&cfg, *p, budget)
             }
             Workload::Micro(m) => {
                 let prog = match *m {
@@ -76,9 +87,18 @@ impl Workload {
                     other => panic!("unknown microbenchmark {other}"),
                 };
                 let cfg = cfg.clone().smt(1);
-                run_programs(&cfg, vec![prog], budget)
+                try_run_programs(&cfg, vec![prog], budget)
             }
         }
+    }
+
+    /// [`Workload::try_run`] for infallible contexts (benches, examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`] or an unknown micro name.
+    pub fn run(&self, cfg: &PipelineConfig, budget: RunBudget) -> SimStats {
+        self.try_run(cfg, budget).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -121,6 +141,20 @@ fn speedup_figure(
     }
 }
 
+/// The labeled machine grid of Figure 4: DEC→EX swept from 6 to 18
+/// cycles. Shared between the figure generator and its CPI-stack view.
+fn fig4_configs() -> Vec<(String, PipelineConfig)> {
+    [(3, 3), (5, 5), (7, 7), (9, 9)]
+        .into_iter()
+        .map(|(x, y)| {
+            (
+                format!("{x}_{y}"),
+                PipelineConfig::base_with_latencies(x, y),
+            )
+        })
+        .collect()
+}
+
 /// **Figure 4** — performance vs pipeline length. DEC→EX is swept from 6
 /// to 18 cycles (configs 3_3, 5_5, 7_7, 9_9); results are speedups
 /// relative to the 6-cycle machine.
@@ -134,15 +168,7 @@ pub fn fig4_pipeline_length_on(
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs: Vec<(String, PipelineConfig)> = [(3, 3), (5, 5), (7, 7), (9, 9)]
-        .into_iter()
-        .map(|(x, y)| {
-            (
-                format!("{x}_{y}"),
-                PipelineConfig::base_with_latencies(x, y),
-            )
-        })
-        .collect();
+    let configs = fig4_configs();
     speedup_figure(
         sweep,
         "fig4",
@@ -163,13 +189,10 @@ pub fn fig5_fixed_total(workloads: &[Workload], budget: RunBudget) -> FigureResu
     fig5_fixed_total_on(SweepEngine::global(), workloads, budget)
 }
 
-/// [`fig5_fixed_total`] on a caller-owned engine.
-pub fn fig5_fixed_total_on(
-    sweep: &SweepEngine,
-    workloads: &[Workload],
-    budget: RunBudget,
-) -> FigureResult {
-    let configs: Vec<(String, PipelineConfig)> = [(3, 9), (5, 7), (7, 5), (9, 3)]
+/// The labeled machine grid of Figure 5: fixed 12-cycle DEC→EX, varying
+/// the DEC-IQ / IQ-EX split.
+fn fig5_configs() -> Vec<(String, PipelineConfig)> {
+    [(3, 9), (5, 7), (7, 5), (9, 3)]
         .into_iter()
         .map(|(x, y)| {
             (
@@ -177,7 +200,16 @@ pub fn fig5_fixed_total_on(
                 PipelineConfig::base_with_latencies(x, y),
             )
         })
-        .collect();
+        .collect()
+}
+
+/// [`fig5_fixed_total`] on a caller-owned engine.
+pub fn fig5_fixed_total_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let configs = fig5_configs();
     speedup_figure(
         sweep,
         "fig5",
@@ -230,6 +262,28 @@ pub fn fig8_dra_speedup(workloads: &[Workload], budget: RunBudget) -> FigureResu
 }
 
 /// [`fig8_dra_speedup`] on a caller-owned engine.
+/// The labeled machine grid of Figure 8: base and DRA per register-file
+/// latency, rows 2k base / 2k+1 the matched DRA.
+fn fig8_configs() -> Vec<(String, PipelineConfig)> {
+    [3u32, 5, 7]
+        .into_iter()
+        .flat_map(|rf| {
+            let base = PipelineConfig::base_for_rf(rf);
+            let dra = PipelineConfig::dra_for_rf(rf);
+            [
+                (
+                    format!("base:{}_{} (rf{rf})", base.dec_iq_stages, base.iq_ex_stages),
+                    base,
+                ),
+                (
+                    format!("dra:{}_{} (rf{rf})", dra.dec_iq_stages, dra.iq_ex_stages),
+                    dra,
+                ),
+            ]
+        })
+        .collect()
+}
+
 pub fn fig8_dra_speedup_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
@@ -238,15 +292,7 @@ pub fn fig8_dra_speedup_on(
     let rfs = [3u32, 5, 7];
     // One grid of all six machines (base and DRA per register-file
     // latency): rows 2k are base, rows 2k+1 the matched DRA.
-    let configs: Vec<PipelineConfig> = rfs
-        .iter()
-        .flat_map(|&rf| {
-            [
-                PipelineConfig::base_for_rf(rf),
-                PipelineConfig::dra_for_rf(rf),
-            ]
-        })
-        .collect();
+    let configs: Vec<PipelineConfig> = fig8_configs().into_iter().map(|(_, c)| c).collect();
     let grid = sweep.run_grid(&configs, workloads, budget);
     let mut series = Vec::new();
     for k in 0..rfs.len() {
@@ -324,29 +370,33 @@ pub fn ablation_load_policies(workloads: &[Workload], budget: RunBudget) -> Figu
 }
 
 /// [`ablation_load_policies`] on a caller-owned engine.
+/// The labeled machines of the load-policy ablation.
+fn load_policy_configs() -> Vec<(String, PipelineConfig)> {
+    [
+        ("reissue-tree", LoadSpecPolicy::ReissueTree),
+        ("reissue-shadow", LoadSpecPolicy::ReissueShadow),
+        ("stall", LoadSpecPolicy::Stall),
+        ("refetch", LoadSpecPolicy::Refetch),
+    ]
+    .into_iter()
+    .map(|(name, p)| {
+        (
+            name.to_string(),
+            PipelineConfig {
+                load_policy: p,
+                ..PipelineConfig::base()
+            },
+        )
+    })
+    .collect()
+}
+
 pub fn ablation_load_policies_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let policies = [
-        ("reissue-tree", LoadSpecPolicy::ReissueTree),
-        ("reissue-shadow", LoadSpecPolicy::ReissueShadow),
-        ("stall", LoadSpecPolicy::Stall),
-        ("refetch", LoadSpecPolicy::Refetch),
-    ];
-    let configs: Vec<(String, PipelineConfig)> = policies
-        .into_iter()
-        .map(|(name, p)| {
-            (
-                name.to_string(),
-                PipelineConfig {
-                    load_policy: p,
-                    ..PipelineConfig::base()
-                },
-            )
-        })
-        .collect();
+    let configs = load_policy_configs();
     // Append the pointer-chase microbenchmark: the workload where the
     // load-resolution-loop policy is the entire story.
     let mut workloads: Vec<Workload> = workloads.to_vec();
@@ -375,11 +425,8 @@ pub fn ablation_dra_design(workloads: &[Workload], budget: RunBudget) -> FigureR
 }
 
 /// [`ablation_dra_design`] on a caller-owned engine.
-pub fn ablation_dra_design_on(
-    sweep: &SweepEngine,
-    workloads: &[Workload],
-    budget: RunBudget,
-) -> FigureResult {
+/// The labeled machines of the DRA-design ablation.
+fn dra_design_configs() -> Vec<(String, PipelineConfig)> {
     use looseloops_regs::CrcPolicy;
     let dra = |entries: usize, policy: CrcPolicy, cleanup: bool| {
         let mut cfg = PipelineConfig::dra_for_rf(5);
@@ -390,7 +437,7 @@ pub fn ablation_dra_design_on(
         cfg.dra_ideal_squash_cleanup = cleanup;
         cfg
     };
-    let configs = vec![
+    vec![
         (
             "fifo-16 (paper)".to_string(),
             dra(16, CrcPolicy::Fifo, false),
@@ -399,7 +446,15 @@ pub fn ablation_dra_design_on(
         ("fifo-8".to_string(), dra(8, CrcPolicy::Fifo, false)),
         ("fifo-32".to_string(), dra(32, CrcPolicy::Fifo, false)),
         ("ideal-cleanup".to_string(), dra(16, CrcPolicy::Fifo, true)),
-    ];
+    ]
+}
+
+pub fn ablation_dra_design_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let configs = dra_design_configs();
     speedup_figure(
         sweep,
         "ablation-dra-design",
@@ -421,12 +476,9 @@ pub fn ablation_fwd_window(workloads: &[Workload], budget: RunBudget) -> FigureR
 }
 
 /// [`ablation_fwd_window`] on a caller-owned engine.
-pub fn ablation_fwd_window_on(
-    sweep: &SweepEngine,
-    workloads: &[Workload],
-    budget: RunBudget,
-) -> FigureResult {
-    let configs: Vec<(String, PipelineConfig)> = [9u64, 5, 13, 17]
+/// The labeled machines of the forwarding-window ablation.
+fn fwd_window_configs() -> Vec<(String, PipelineConfig)> {
+    [9u64, 5, 13, 17]
         .into_iter()
         .map(|w| {
             (
@@ -437,7 +489,15 @@ pub fn ablation_fwd_window_on(
                 },
             )
         })
-        .collect();
+        .collect()
+}
+
+pub fn ablation_fwd_window_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let configs = fwd_window_configs();
     speedup_figure(
         sweep,
         "ablation-fwd-window",
@@ -458,12 +518,9 @@ pub fn ablation_iq_size(workloads: &[Workload], budget: RunBudget) -> FigureResu
 }
 
 /// [`ablation_iq_size`] on a caller-owned engine.
-pub fn ablation_iq_size_on(
-    sweep: &SweepEngine,
-    workloads: &[Workload],
-    budget: RunBudget,
-) -> FigureResult {
-    let configs: Vec<(String, PipelineConfig)> = [128usize, 64, 32, 256]
+/// The labeled machines of the IQ-capacity ablation.
+fn iq_size_configs() -> Vec<(String, PipelineConfig)> {
+    [128usize, 64, 32, 256]
         .into_iter()
         .map(|n| {
             (
@@ -474,7 +531,15 @@ pub fn ablation_iq_size_on(
                 },
             )
         })
-        .collect();
+        .collect()
+}
+
+pub fn ablation_iq_size_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let configs = iq_size_configs();
     speedup_figure(
         sweep,
         "ablation-iq-size",
@@ -495,18 +560,14 @@ pub fn ablation_prefetch(workloads: &[Workload], budget: RunBudget) -> FigureRes
     ablation_prefetch_on(SweepEngine::global(), workloads, budget)
 }
 
-/// [`ablation_prefetch`] on a caller-owned engine.
-pub fn ablation_prefetch_on(
-    sweep: &SweepEngine,
-    workloads: &[Workload],
-    budget: RunBudget,
-) -> FigureResult {
+/// The labeled machines of the prefetcher ablation.
+fn prefetch_configs() -> Vec<(String, PipelineConfig)> {
     use looseloops_mem::PrefetchConfig;
     let with_pf = |mut cfg: PipelineConfig| {
         cfg.mem.prefetch = Some(PrefetchConfig::default());
         cfg
     };
-    let configs = vec![
+    vec![
         ("base".to_string(), PipelineConfig::base_for_rf(5)),
         (
             "base+prefetch".to_string(),
@@ -517,7 +578,16 @@ pub fn ablation_prefetch_on(
             "dra+prefetch".to_string(),
             with_pf(PipelineConfig::dra_for_rf(5)),
         ),
-    ];
+    ]
+}
+
+/// [`ablation_prefetch`] on a caller-owned engine.
+pub fn ablation_prefetch_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let configs = prefetch_configs();
     speedup_figure(
         sweep,
         "ablation-prefetch",
@@ -537,14 +607,10 @@ pub fn ablation_predictors(workloads: &[Workload], budget: RunBudget) -> FigureR
     ablation_predictors_on(SweepEngine::global(), workloads, budget)
 }
 
-/// [`ablation_predictors`] on a caller-owned engine.
-pub fn ablation_predictors_on(
-    sweep: &SweepEngine,
-    workloads: &[Workload],
-    budget: RunBudget,
-) -> FigureResult {
+/// The labeled machines of the predictor ablation.
+fn predictor_configs() -> Vec<(String, PipelineConfig)> {
     use looseloops_branch::PredictorKind;
-    let configs: Vec<(String, PipelineConfig)> = [
+    [
         ("tournament", PredictorKind::Tournament),
         ("gshare", PredictorKind::Gshare),
         ("local", PredictorKind::Local),
@@ -561,7 +627,16 @@ pub fn ablation_predictors_on(
             },
         )
     })
-    .collect();
+    .collect()
+}
+
+/// [`ablation_predictors`] on a caller-owned engine.
+pub fn ablation_predictors_on(
+    sweep: &SweepEngine,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> FigureResult {
+    let configs = predictor_configs();
     speedup_figure(
         sweep,
         "ablation-predictor",
@@ -572,6 +647,75 @@ pub fn ablation_predictors_on(
         &configs,
         0,
     )
+}
+
+/// Per-loop CPI stacks for a labeled config grid × workload set: one row
+/// per (config, workload) point, columns in [`CpiComponent::ALL`]
+/// (re-exported as `looseloops_pipeline::CpiComponent`) order. Every point
+/// is a memoized [`SweepEngine`] job, so generating the stacks for a
+/// figure that already ran is pure cache hits.
+pub fn cpi_stack_report_on(
+    sweep: &SweepEngine,
+    id: &str,
+    title: &str,
+    configs: &[(String, PipelineConfig)],
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> CpiStackReport {
+    let grid_configs: Vec<PipelineConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
+    let grid = sweep.run_grid(&grid_configs, workloads, budget);
+    let mut rep = CpiStackReport::new(id, title);
+    for ((label, _), row) in configs.iter().zip(&grid) {
+        for (w, stats) in workloads.iter().zip(row) {
+            rep.rows.push(CpiStackRow::from_stats(
+                format!("{label}/{}", w.name()),
+                stats,
+            ));
+        }
+    }
+    rep
+}
+
+/// The CPI-stack companion of a figure generator: the same machine grid
+/// and workload set the figure ran (Figure 6 pins turb3d on the base
+/// machine; the load-policy ablation appends the chase microbenchmark,
+/// exactly as its generator does), so on a warm cache no new simulation
+/// happens. Returns `None` for an unknown figure id.
+pub fn figure_cpi_stacks_on(
+    sweep: &SweepEngine,
+    id: &str,
+    workloads: &[Workload],
+    budget: RunBudget,
+) -> Option<CpiStackReport> {
+    let mut workloads = workloads.to_vec();
+    let configs = match id {
+        "fig4" => fig4_configs(),
+        "fig5" => fig5_configs(),
+        "fig6" => {
+            workloads = vec![Workload::Single(Benchmark::Turb3d)];
+            vec![("base".to_string(), PipelineConfig::base())]
+        }
+        "fig8" => fig8_configs(),
+        "fig9" => vec![("dra:7_3 (rf5)".to_string(), PipelineConfig::dra_for_rf(5))],
+        "ablation-load-policy" => {
+            workloads.push(Workload::Micro("chase"));
+            load_policy_configs()
+        }
+        "ablation-dra-design" => dra_design_configs(),
+        "ablation-fwd-window" => fwd_window_configs(),
+        "ablation-iq-size" => iq_size_configs(),
+        "ablation-prefetch" => prefetch_configs(),
+        "ablation-predictor" => predictor_configs(),
+        _ => return None,
+    };
+    Some(cpi_stack_report_on(
+        sweep,
+        &format!("{id}-stacks"),
+        &format!("Per-loop CPI stacks behind {id}"),
+        &configs,
+        &workloads,
+        budget,
+    ))
 }
 
 #[cfg(test)]

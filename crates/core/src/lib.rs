@@ -47,13 +47,14 @@ pub use experiments::{
     ablation_dra_design, ablation_dra_design_on, ablation_fwd_window, ablation_fwd_window_on,
     ablation_iq_size, ablation_iq_size_on, ablation_load_policies, ablation_load_policies_on,
     ablation_predictors, ablation_predictors_on, ablation_prefetch, ablation_prefetch_on,
-    fig4_pipeline_length, fig4_pipeline_length_on, fig5_fixed_total, fig5_fixed_total_on,
-    fig6_operand_gap_cdf, fig6_operand_gap_cdf_on, fig8_dra_speedup, fig8_dra_speedup_on,
-    fig9_operand_sources, fig9_operand_sources_on, Workload,
+    cpi_stack_report_on, fig4_pipeline_length, fig4_pipeline_length_on, fig5_fixed_total,
+    fig5_fixed_total_on, fig6_operand_gap_cdf, fig6_operand_gap_cdf_on, fig8_dra_speedup,
+    fig8_dra_speedup_on, fig9_operand_sources, fig9_operand_sources_on, figure_cpi_stacks_on,
+    Workload,
 };
-pub use loops::{loop_inventory, LoopInfo, LoopKind, Management, Stage};
+pub use loops::{loop_for_component, loop_inventory, LoopInfo, LoopKind, Management, Stage};
 pub use machines::{alpha21264_like, pentium4_like};
-pub use report::{FigureResult, Series};
+pub use report::{CpiStackReport, CpiStackRow, FigureResult, Series};
 pub use simulator::{
     run_benchmark, run_pair, run_programs, try_run_benchmark, try_run_pair, try_run_programs,
     RunBudget,
@@ -69,7 +70,8 @@ pub use looseloops_regs as regs;
 pub use looseloops_workload as workload;
 
 pub use looseloops_pipeline::{
-    ConfigError, DeadlockError, FaultKind, FaultPlan, InvariantKind, InvariantViolation,
-    LoadSpecPolicy, Machine, PipelineConfig, PipelineSnapshot, RegisterScheme, SimError, SimStats,
+    ConfigError, CpiComponent, DeadlockError, FaultKind, FaultPlan, InvariantKind,
+    InvariantViolation, LoadSpecPolicy, LoopCostStack, Machine, PipelineConfig, PipelineSnapshot,
+    RegisterScheme, SimError, SimStats,
 };
 pub use looseloops_workload::{Benchmark, SmtPair};

@@ -15,7 +15,7 @@
 //! [`PipelineConfig`], so experiments can reason about (and print) the
 //! machine's loops without running it.
 
-use looseloops_pipeline::{PipelineConfig, RegisterScheme};
+use looseloops_pipeline::{CpiComponent, PipelineConfig, RegisterScheme};
 use std::fmt;
 
 /// Pipeline stages, in machine order.
@@ -112,6 +112,22 @@ impl LoopInfo {
     pub fn has_recovery_stage(&self) -> bool {
         self.recovery != self.initiation
     }
+
+    /// The CPI-stack component this loop's lost retire slots are charged
+    /// to ([`SimStats::loop_cost`](looseloops_pipeline::SimStats)); `None`
+    /// for tight loops, which resolve within the cycle and cost nothing.
+    pub fn cpi_component(&self) -> Option<CpiComponent> {
+        CpiComponent::ALL
+            .into_iter()
+            .find(|c| c.loop_name() == Some(self.name))
+    }
+}
+
+/// The loop in `loops` that component `c` charges, if the component maps
+/// to a loop at all (base/frontend/memory-latency cost is structural).
+pub fn loop_for_component(loops: &[LoopInfo], c: CpiComponent) -> Option<&LoopInfo> {
+    let name = c.loop_name()?;
+    loops.iter().find(|l| l.name == name)
 }
 
 impl fmt::Display for LoopInfo {
@@ -268,6 +284,39 @@ mod tests {
             delay(&a, "load resolution") - delay(&b, "load resolution"),
             6
         );
+    }
+
+    #[test]
+    fn every_loose_loop_maps_to_a_cpi_component() {
+        use looseloops_pipeline::CpiComponent;
+        // DRA config has the full inventory, operand loop included.
+        let loops = loop_inventory(&PipelineConfig::dra_for_rf(5));
+        for l in &loops {
+            if l.is_tight() {
+                assert_eq!(
+                    l.cpi_component(),
+                    None,
+                    "tight loop `{}` costs nothing",
+                    l.name
+                );
+            } else {
+                let c = l
+                    .cpi_component()
+                    .unwrap_or_else(|| panic!("loose loop `{}` has no CPI component", l.name));
+                assert_eq!(c.loop_name(), Some(l.name));
+                assert_eq!(
+                    loop_for_component(&loops, c).map(|li| li.name),
+                    Some(l.name),
+                    "round trip through loop_for_component"
+                );
+            }
+        }
+        // Structural components map to no loop.
+        assert!(loop_for_component(&loops, CpiComponent::Base).is_none());
+        assert!(loop_for_component(&loops, CpiComponent::Frontend).is_none());
+        // The operand loop only exists under the DRA.
+        let base_loops = loop_inventory(&PipelineConfig::base());
+        assert!(loop_for_component(&base_loops, CpiComponent::OperandResolution).is_none());
     }
 
     #[test]

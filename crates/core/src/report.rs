@@ -1,5 +1,6 @@
 //! Result containers and table rendering for the figure harnesses.
 
+use looseloops_pipeline::{CpiComponent, SimStats};
 use std::fmt;
 
 /// One data series (a line/bar group in a paper figure).
@@ -94,10 +95,121 @@ fn csv_field(s: &str) -> String {
     s.replace(',', ";").replace(['\r', '\n'], " ")
 }
 
+/// One machine/workload point of a CPI-stack report: the measured CPI and
+/// its decomposition into per-loop components (in [`CpiComponent::ALL`]
+/// order). The components sum to `cpi` by construction — see
+/// [`LoopCostStack::cpi_components`](looseloops_pipeline::LoopCostStack).
+#[derive(Debug, Clone)]
+pub struct CpiStackRow {
+    /// Row label ("3_3/compute", …).
+    pub label: String,
+    /// Measured cycles per retired instruction.
+    pub cpi: f64,
+    /// CPI attributed to each component, [`CpiComponent::ALL`] order.
+    pub components: Vec<f64>,
+}
+
+impl CpiStackRow {
+    /// Build a row from a finished run's loop-cost stack.
+    pub fn from_stats(label: impl Into<String>, stats: &SimStats) -> CpiStackRow {
+        CpiStackRow {
+            label: label.into(),
+            cpi: stats.loop_cost.cpi(),
+            components: stats.loop_cost.cpi_components().to_vec(),
+        }
+    }
+}
+
+/// A per-loop CPI-stack table: one row per machine/workload point, one
+/// column per [`CpiComponent`]. Rendered alongside (never inside) the
+/// figure's [`FigureResult`], so figure output is unchanged when stacks
+/// are not requested.
+#[derive(Debug, Clone)]
+pub struct CpiStackReport {
+    /// Identifier ("fig4-stacks", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Component column headers, [`CpiComponent::ALL`] order.
+    pub components: Vec<String>,
+    /// The rows.
+    pub rows: Vec<CpiStackRow>,
+}
+
+impl CpiStackReport {
+    /// A report with the standard component columns and no rows yet.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> CpiStackReport {
+        CpiStackReport {
+            id: id.into(),
+            title: title.into(),
+            components: CpiComponent::ALL.iter().map(|c| c.name().into()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Render as an aligned text table with a trailing `cpi` column (the
+    /// sum of the component columns, up to float rounding).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = self.components.iter().map(String::len).max().unwrap_or(8);
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("{:>label_w$}", ""));
+        for c in &self.components {
+            out.push_str(&format!(" {c:>col_w$}"));
+        }
+        out.push_str(&format!(" {:>col_w$}\n", "cpi"));
+        for r in &self.rows {
+            out.push_str(&format!("{:>label_w$}", r.label));
+            for v in &r.components {
+                out.push_str(&format!(" {v:>col_w$.4}"));
+            }
+            out.push_str(&format!(" {:>col_w$.4}\n", r.cpi));
+        }
+        out
+    }
+
+    /// Render as CSV (one row per point, components then total CPI).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("point");
+        for c in &self.components {
+            out.push(',');
+            out.push_str(&csv_field(c));
+        }
+        out.push_str(",cpi\n");
+        for r in &self.rows {
+            out.push_str(&csv_field(&r.label));
+            for v in &r.components {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push_str(&format!(",{}\n", r.cpi));
+        }
+        out
+    }
+
+    /// Serialize to JSON (for archiving bench output).
+    pub fn to_json(&self) -> String {
+        json::render_stack(self)
+    }
+}
+
+impl fmt::Display for CpiStackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
 // Tiny hand-rolled JSON writer: the structures are flat and fully known,
 // so a dependency is not warranted.
 mod json {
-    use super::FigureResult;
+    use super::{CpiStackReport, FigureResult};
 
     /// Escape `s` as a JSON string literal (RFC 8259), quotes included.
     /// Every string in the output — id, title, columns, labels, the paper
@@ -158,6 +270,45 @@ mod json {
             "  \"paper_expectation\": {}\n",
             string(&fig.paper_expectation)
         ));
+        s.push('}');
+        s
+    }
+
+    fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    pub fn render_stack(rep: &CpiStackReport) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"id\": {},\n", string(&rep.id)));
+        s.push_str(&format!("  \"title\": {},\n", string(&rep.title)));
+        s.push_str(&format!(
+            "  \"components\": [{}],\n",
+            rep.components
+                .iter()
+                .map(|c| string(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in rep.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"label\": {}, \"cpi\": {}, \"components\": [{}] }}{}\n",
+                string(&r.label),
+                number(r.cpi),
+                r.components
+                    .iter()
+                    .map(|&v| number(v))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 == rep.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n");
         s.push('}');
         s
     }
@@ -260,5 +411,64 @@ mod tests {
         assert_eq!(super::json::string("café π"), "\"café π\"");
         assert_eq!(super::json::string("\u{1}"), "\"\\u0001\"");
         assert_eq!(super::json::string("a\tb"), "\"a\\tb\"");
+    }
+
+    fn sample_stack() -> CpiStackReport {
+        let mut rep = CpiStackReport::new("figX-stacks", "sample stacks");
+        rep.rows.push(CpiStackRow {
+            label: "3_3/compute".into(),
+            cpi: 0.75,
+            components: vec![0.5, 0.125, 0.125, 0.0, 0.0, 0.0, 0.0, 0.0],
+        });
+        rep
+    }
+
+    #[test]
+    fn stack_report_has_standard_columns_and_renders() {
+        let rep = sample_stack();
+        assert_eq!(rep.components.len(), 8);
+        assert_eq!(rep.components[0], "base");
+        assert_eq!(rep.components[1], "branch-resolution");
+        let t = rep.to_table();
+        assert!(t.contains("figX-stacks"));
+        assert!(t.contains("3_3/compute"));
+        assert!(t.contains("0.5000"));
+        assert!(t.contains(" cpi"));
+    }
+
+    #[test]
+    fn stack_csv_is_rectangular() {
+        let c = sample_stack().to_csv();
+        let mut lines = c.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("point,base,branch-resolution,"));
+        assert!(header.ends_with(",cpi"));
+        let fields = header.matches(',').count();
+        for line in c.lines() {
+            assert_eq!(line.matches(',').count(), fields, "ragged row: {line}");
+        }
+    }
+
+    #[test]
+    fn stack_json_is_well_formed_enough() {
+        let j = sample_stack().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\": \"figX-stacks\""));
+        assert!(j.contains("\"cpi\": 0.75"));
+        assert!(j.contains("\"components\": [\"base\""));
+    }
+
+    #[test]
+    fn stack_row_from_stats_sums_to_cpi() {
+        use looseloops_pipeline::CpiComponent;
+        let mut stats = SimStats::new(1);
+        for _ in 0..10 {
+            stats.loop_cost.charge(8, 6, CpiComponent::BranchResolution);
+        }
+        stats.loop_cost.charge(8, 8, CpiComponent::Base);
+        let row = CpiStackRow::from_stats("p", &stats);
+        let sum: f64 = row.components.iter().sum();
+        assert!((sum - row.cpi).abs() < 1e-12, "{sum} vs {}", row.cpi);
+        assert_eq!(row.components.len(), 8);
     }
 }

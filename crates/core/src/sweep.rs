@@ -20,11 +20,15 @@
 
 use crate::experiments::Workload;
 use crate::simulator::RunBudget;
-use looseloops_pipeline::{PipelineConfig, SimStats};
+use looseloops_pipeline::{LoopCostStack, PipelineConfig, SimError, SimStats};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// What one executed sweep job yields: the run's statistics or the
+/// [`SimError`] that stopped it.
+type JobResult = Result<Arc<SimStats>, SimError>;
 
 /// One point of a sweep: a machine configuration, a workload, a budget.
 #[derive(Debug, Clone)]
@@ -71,13 +75,16 @@ impl Job {
         fnv1a64(self.key().as_bytes())
     }
 
-    /// Short human label: workload name plus key digest.
+    /// Short human label: workload name plus the full key digest. (An
+    /// earlier version truncated the FNV digest to 32 bits, which made
+    /// distinct jobs collide in logs at sweep sizes the birthday bound
+    /// reaches easily; the label now carries all 64 bits.)
     pub fn label(&self) -> String {
-        format!("{}#{:08x}", self.workload.name(), self.key_hash() as u32)
+        format!("{}#{:016x}", self.workload.name(), self.key_hash())
     }
 
-    fn run(&self) -> SimStats {
-        self.workload.run(&self.config, self.budget)
+    fn try_run(&self) -> Result<SimStats, SimError> {
+        self.workload.try_run(&self.config, self.budget)
     }
 }
 
@@ -111,6 +118,9 @@ pub struct SweepSummary {
     /// Jobs answered from the memo cache (including duplicates within one
     /// batch, which are simulated once and shared).
     pub cache_hits: u64,
+    /// Executed jobs that ended in a [`SimError`] (reported per job by
+    /// [`SweepEngine::try_run_jobs`]; never cached, so a retry re-runs).
+    pub jobs_failed: u64,
     /// Wall-clock time spent inside `run_jobs` (the parallel region).
     pub wall: Duration,
     /// Summed per-job simulation time across all workers.
@@ -118,6 +128,9 @@ pub struct SweepSummary {
     /// Total instructions simulated (warm-up + measured, executed jobs
     /// only).
     pub instructions: u64,
+    /// Per-loop CPI stack merged over every successfully executed job —
+    /// the engine-wide view of where retire slots went.
+    pub stack: LoopCostStack,
 }
 
 impl SweepSummary {
@@ -127,10 +140,16 @@ impl SweepSummary {
         self.instructions as f64 / self.wall.as_secs_f64().max(1e-9) / 1e6
     }
 
-    /// One-line rendering for harness logs.
+    /// One-line rendering for harness logs. Failures appear only when
+    /// there are any, so clean runs read exactly as before.
     pub fn line(&self) -> String {
+        let failed = if self.jobs_failed > 0 {
+            format!(", {} FAILED", self.jobs_failed)
+        } else {
+            String::new()
+        };
         format!(
-            "{} jobs run, {} cache hits, {:.1} sim-MIPS ({} workers, busy {:.2}s over {:.2}s wall)",
+            "{} jobs run, {} cache hits{failed}, {:.1} sim-MIPS ({} workers, busy {:.2}s over {:.2}s wall)",
             self.jobs_run,
             self.cache_hits,
             self.sim_mips(),
@@ -148,10 +167,12 @@ pub struct SweepEngine {
     jobs_requested: AtomicU64,
     jobs_run: AtomicU64,
     cache_hits: AtomicU64,
+    jobs_failed: AtomicU64,
     wall_nanos: AtomicU64,
     busy_nanos: AtomicU64,
     instructions: AtomicU64,
     job_log: Mutex<Vec<JobRecord>>,
+    stack: Mutex<LoopCostStack>,
 }
 
 impl std::fmt::Debug for SweepEngine {
@@ -204,10 +225,12 @@ impl SweepEngine {
             jobs_requested: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             instructions: AtomicU64::new(0),
             job_log: Mutex::new(Vec::new()),
+            stack: Mutex::new(LoopCostStack::default()),
         }
     }
 
@@ -236,14 +259,18 @@ impl SweepEngine {
         self.workers
     }
 
-    /// Execute `jobs`, returning one result per job in input order.
+    /// Execute `jobs`, returning one result per job in input order; a job
+    /// that ends in a [`SimError`] yields its own `Err` without tearing
+    /// down the batch — every other job still completes.
     ///
     /// Jobs already in the memo cache are answered without simulating;
-    /// duplicates within the batch are simulated once. The rest are
-    /// drained from a shared queue by scoped worker threads. Because the
-    /// simulator is deterministic and the jobs are independent, the
-    /// returned statistics are identical whatever the worker count.
-    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Arc<SimStats>> {
+    /// duplicates within the batch are simulated once (duplicates of a
+    /// *failed* job all receive the same error). Successes are cached;
+    /// failures are not, so a later request retries. The rest are drained
+    /// from a shared queue by scoped worker threads. Because the simulator
+    /// is deterministic and the jobs are independent, the returned
+    /// statistics are identical whatever the worker count.
+    pub fn try_run_jobs(&self, jobs: &[Job]) -> Vec<JobResult> {
         let t0 = Instant::now();
         self.jobs_requested
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
@@ -264,9 +291,12 @@ impl SweepEngine {
         self.jobs_run
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
 
+        // Key → error for this batch's failures (failures are never
+        // cached, so the map is batch-local).
+        let mut failed: HashMap<&str, SimError> = HashMap::new();
         if !pending.is_empty() {
             let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.iter().copied().collect());
-            let done: Mutex<Vec<(usize, Arc<SimStats>)>> =
+            let done: Mutex<Vec<(usize, JobResult)>> =
                 Mutex::new(Vec::with_capacity(pending.len()));
             let workers = self.workers.min(pending.len()).max(1);
             std::thread::scope(|s| {
@@ -276,29 +306,44 @@ impl SweepEngine {
                         let Some(i) = next else { break };
                         let job = &jobs[i];
                         let t = Instant::now();
-                        let stats = job.run();
+                        let result = job.try_run();
                         let wall = t.elapsed();
-                        let instructions = job.budget.warmup + stats.total_retired();
                         self.busy_nanos
                             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
-                        self.instructions.fetch_add(instructions, Ordering::Relaxed);
-                        self.job_log
-                            .lock()
-                            .expect("sweep log poisoned")
-                            .push(JobRecord {
-                                label: job.label(),
-                                wall,
-                                instructions,
-                            });
+                        if let Ok(stats) = &result {
+                            let instructions = job.budget.warmup + stats.total_retired();
+                            self.instructions.fetch_add(instructions, Ordering::Relaxed);
+                            self.stack
+                                .lock()
+                                .expect("sweep stack poisoned")
+                                .merge(&stats.loop_cost);
+                            self.job_log
+                                .lock()
+                                .expect("sweep log poisoned")
+                                .push(JobRecord {
+                                    label: job.label(),
+                                    wall,
+                                    instructions,
+                                });
+                        } else {
+                            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                        }
                         done.lock()
                             .expect("sweep results poisoned")
-                            .push((i, Arc::new(stats)));
+                            .push((i, result.map(Arc::new)));
                     });
                 }
             });
             let mut cache = self.cache.lock().expect("sweep cache poisoned");
-            for (i, stats) in done.into_inner().expect("sweep results poisoned") {
-                cache.insert(keys[i].clone(), stats);
+            for (i, result) in done.into_inner().expect("sweep results poisoned") {
+                match result {
+                    Ok(stats) => {
+                        cache.insert(keys[i].clone(), stats);
+                    }
+                    Err(e) => {
+                        failed.insert(keys[i].as_str(), e);
+                    }
+                }
             }
         }
 
@@ -306,8 +351,41 @@ impl SweepEngine {
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let cache = self.cache.lock().expect("sweep cache poisoned");
         keys.iter()
-            .map(|k| Arc::clone(cache.get(k).expect("every requested job was simulated")))
+            .map(|k| match cache.get(k) {
+                Some(stats) => Ok(Arc::clone(stats)),
+                None => Err(failed
+                    .get(k.as_str())
+                    .expect("every requested job was simulated or failed")
+                    .clone()),
+            })
             .collect()
+    }
+
+    /// [`SweepEngine::try_run_jobs`] for infallible contexts (the figure
+    /// generators, whose configurations are known-valid).
+    ///
+    /// # Panics
+    ///
+    /// After the whole batch has drained, panics listing every failed
+    /// job's label and error — a bad config cannot silently discard the
+    /// results of the jobs that did complete.
+    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Arc<SimStats>> {
+        let results = self.try_run_jobs(jobs);
+        let mut failures: Vec<String> = Vec::new();
+        let mut out = Vec::with_capacity(results.len());
+        for (job, result) in jobs.iter().zip(results) {
+            match result {
+                Ok(stats) => out.push(stats),
+                Err(e) => failures.push(format!("{}: {e}", job.label())),
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{} sweep job(s) failed:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        );
+        out
     }
 
     /// Execute the full `configs × workloads` grid at one budget.
@@ -339,9 +417,11 @@ impl SweepEngine {
             jobs_requested: self.jobs_requested.load(Ordering::Relaxed),
             jobs_run: self.jobs_run.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             instructions: self.instructions.load(Ordering::Relaxed),
+            stack: *self.stack.lock().expect("sweep stack poisoned"),
         }
     }
 
@@ -357,10 +437,12 @@ impl SweepEngine {
         self.jobs_requested.store(0, Ordering::Relaxed);
         self.jobs_run.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.jobs_failed.store(0, Ordering::Relaxed);
         self.wall_nanos.store(0, Ordering::Relaxed);
         self.busy_nanos.store(0, Ordering::Relaxed);
         self.instructions.store(0, Ordering::Relaxed);
         self.job_log.lock().expect("sweep log poisoned").clear();
+        *self.stack.lock().expect("sweep stack poisoned") = LoopCostStack::default();
     }
 }
 
@@ -453,5 +535,73 @@ mod tests {
             (0, 1),
             "cache outlives metric resets"
         );
+    }
+
+    #[test]
+    fn label_carries_the_full_64_bit_digest() {
+        let j = job(Benchmark::Compress);
+        assert_eq!(j.label(), format!("compress#{:016x}", j.key_hash()));
+        let digest = j.label().split('#').nth(1).unwrap().to_string();
+        assert_eq!(digest.len(), 16, "no 32-bit truncation: {digest}");
+    }
+
+    fn broken_job() -> Job {
+        let cfg = PipelineConfig {
+            clusters: 0,
+            ..PipelineConfig::base()
+        };
+        Job::new(cfg, Workload::Single(Benchmark::Compress), tiny())
+    }
+
+    #[test]
+    fn a_failing_job_does_not_sink_the_batch() {
+        let engine = SweepEngine::new(4);
+        let jobs = [
+            job(Benchmark::Compress),
+            broken_job(),
+            job(Benchmark::Swim),
+            broken_job(), // duplicate failure: same error, simulated once
+        ];
+        let out = engine.try_run_jobs(&jobs);
+        assert!(out[0].is_ok() && out[2].is_ok(), "good jobs complete");
+        assert!(out[1].is_err() && out[3].is_err(), "bad jobs report errors");
+        assert_eq!(
+            out[1].as_ref().unwrap_err(),
+            out[3].as_ref().unwrap_err(),
+            "duplicates share the error"
+        );
+        let s = engine.summary();
+        assert_eq!(s.jobs_failed, 1, "one execution failed");
+        // Failures are not cached: a retry re-runs (and fails again).
+        let again = engine.try_run_jobs(&[broken_job()]);
+        assert!(again[0].is_err());
+        assert_eq!(engine.summary().jobs_failed, 2);
+        assert!(engine.summary().line().contains("FAILED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep job(s) failed")]
+    fn run_jobs_panics_with_labeled_failures_after_draining() {
+        let engine = SweepEngine::new(2);
+        engine.run_jobs(&[job(Benchmark::Compress), broken_job()]);
+    }
+
+    #[test]
+    fn summary_stack_merges_executed_jobs() {
+        let engine = SweepEngine::new(2);
+        let jobs = [job(Benchmark::Compress), job(Benchmark::Swim)];
+        let out = engine.run_jobs(&jobs);
+        let s = engine.summary();
+        assert!(s.stack.conserves(), "merged stack conserves slots");
+        assert_eq!(
+            s.stack.cycles,
+            out.iter().map(|st| st.cycles).sum::<u64>(),
+            "stack covers every executed cycle"
+        );
+        // Cache hits add nothing: the stack tracks work, not requests.
+        engine.run_jobs(&jobs);
+        assert_eq!(engine.summary().stack.cycles, s.stack.cycles);
+        engine.reset_metrics();
+        assert_eq!(engine.summary().stack, LoopCostStack::default());
     }
 }

@@ -33,6 +33,7 @@ impl Machine {
         self.audit_iq()?;
         self.audit_rob()?;
         self.audit_in_flight()?;
+        self.audit_loop_cost()?;
         if let RegisterScheme::Dra { .. } = self.cfg.scheme {
             self.audit_dra()?;
         }
@@ -182,6 +183,46 @@ impl Machine {
         Ok(())
     }
 
+    /// The per-loop CPI stack conserves retire slots: every slot of every
+    /// accounted cycle is either used by a retired instruction or charged
+    /// to exactly one loss component, and the stack's cycle/retire tallies
+    /// agree with the main counters.
+    fn audit_loop_cost(&self) -> Result<(), InvariantViolation> {
+        let st = &self.stats.loop_cost;
+        if st.cycles != self.stats.cycles {
+            return Err(self.violation(
+                InvariantKind::LoopCostConservation,
+                format!(
+                    "stack accounted {} cycles but the machine simulated {}",
+                    st.cycles, self.stats.cycles
+                ),
+            ));
+        }
+        if st.used != self.stats.total_retired() {
+            return Err(self.violation(
+                InvariantKind::LoopCostConservation,
+                format!(
+                    "stack used {} slots but {} instructions retired",
+                    st.used,
+                    self.stats.total_retired()
+                ),
+            ));
+        }
+        if !st.conserves() {
+            return Err(self.violation(
+                InvariantKind::LoopCostConservation,
+                format!(
+                    "used {} + lost {} != width {} x cycles {} (leaked retire slots)",
+                    st.used,
+                    st.total_lost(),
+                    st.width,
+                    st.cycles
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// DRA-only consistency between the RPFT, the CRCs, and the insertion
     /// tables.
     fn audit_dra(&self) -> Result<(), InvariantViolation> {
@@ -288,6 +329,21 @@ mod tests {
         assert_eq!(err.kind, crate::error::InvariantKind::FreelistConservation);
         m.freelist.release(leaked);
         assert!(m.audit().is_ok(), "restored state audits clean again");
+    }
+
+    #[test]
+    fn audit_catches_leaked_retire_slots() {
+        let mut m = Machine::new(PipelineConfig::base(), vec![loop_prog()]).unwrap();
+        for _ in 0..50 {
+            m.step_cycle();
+        }
+        assert!(m.audit().is_ok());
+        // Charge a phantom lost slot behind the accounting's back.
+        m.stats.loop_cost.lost[0] += 1;
+        let err = m.audit().expect_err("slot leak must fail");
+        assert_eq!(err.kind, crate::error::InvariantKind::LoopCostConservation);
+        m.stats.loop_cost.lost[0] -= 1;
+        assert!(m.audit().is_ok(), "restored accounting audits clean again");
     }
 
     #[test]

@@ -148,6 +148,10 @@ pub struct DynInst {
     /// Load mis-speculation shadow: this instruction must replay because an
     /// operand was not present at execute.
     pub needs_replay: bool,
+    /// CPI-stack cause of the (latest) replay, for loss attribution while
+    /// the instruction waits to reissue: load-resolution for producer/
+    /// shadow replays, operand-resolution for DRA operand misses.
+    pub replay_component: Option<crate::stats::CpiComponent>,
     /// dTLB miss trap pending (serviced at retire).
     pub tlb_trap: bool,
     /// This conditional branch holds a recovery checkpoint (released at
@@ -183,6 +187,7 @@ impl DynInst {
             next_pc: None,
             issue_count: 0,
             needs_replay: false,
+            replay_component: None,
             tlb_trap: false,
             holds_checkpoint: false,
             load_l1_hit: None,

@@ -378,6 +378,10 @@ pub enum InvariantKind {
     CrcConsistency,
     /// An insertion table counts consumers for an already-readable register.
     InsertionTableConsistency,
+    /// The per-loop CPI stack leaked retire slots: used + lost slots do not
+    /// equal width × cycles, or the stack disagrees with the retire/cycle
+    /// counters.
+    LoopCostConservation,
 }
 
 impl fmt::Display for InvariantKind {
@@ -391,6 +395,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::RpftConsistency => "rpft-consistency",
             InvariantKind::CrcConsistency => "crc-consistency",
             InvariantKind::InsertionTableConsistency => "insertion-table-consistency",
+            InvariantKind::LoopCostConservation => "loop-cost-conservation",
         };
         f.write_str(name)
     }

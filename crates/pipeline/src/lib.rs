@@ -58,5 +58,5 @@ pub use faults::{FaultInjector, FaultKind, FaultPlan};
 pub use iq::{IqEntry, IqState, IssueQueue};
 pub use lsq::StoreWaitTable;
 pub use machine::Machine;
-pub use stats::SimStats;
+pub use stats::{CpiComponent, LoopCostStack, SimStats};
 pub use trace::PipelineTracer;

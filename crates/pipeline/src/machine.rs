@@ -17,7 +17,7 @@ use crate::error::{DeadlockError, PipelineSnapshot, SimError, ThreadSnapshot};
 use crate::faults::FaultInjector;
 use crate::iq::{IqEntry, IqState, IssueQueue};
 use crate::lsq::{contains, forward_value, overlaps, StoreWaitTable};
-use crate::stats::SimStats;
+use crate::stats::{CpiComponent, SimStats};
 use crate::trace::PipelineTracer;
 use looseloops_branch::{
     build_predictor, Btb, DirectionPredictor, LinePredictor, ReturnAddressStack,
@@ -58,6 +58,11 @@ pub(crate) struct ThreadState {
     pub(crate) unresolved_branches: usize,
     /// The thread retired its `halt`.
     pub(crate) done: bool,
+    /// CPI-stack attribution for the pipeline refill in progress: the
+    /// squash (or barrier) cause plus the global `seq` at the event. Empty
+    /// or front-end-phase retire slots charge here until an instruction
+    /// younger than the marker retires (refill delivered).
+    pub(crate) refill_cause: Option<(u64, CpiComponent)>,
     /// Verification oracle (enabled by [`Machine::enable_verification`]).
     pub(crate) oracle: Option<(ArchState, FlatMemory)>,
 }
@@ -184,6 +189,7 @@ impl Machine {
                 mb_stall_seq: None,
                 unresolved_branches: 0,
                 done: false,
+                refill_cause: None,
                 oracle: None,
             })
             .collect();
@@ -428,7 +434,10 @@ impl Machine {
     /// Advance exactly one cycle.
     pub fn step_cycle(&mut self) {
         let now = self.cycle;
-        self.do_retire(now);
+        let retired = self.do_retire(now);
+        // Attribution reads the machine exactly as retire left it, before
+        // later (earlier-in-pipe) stages mutate phases for the next cycle.
+        self.attribute_cycle(now, retired);
         self.do_complete(now);
         // Write-back runs before execute: a value leaving the forwarding
         // buffer this cycle is already in the register file / CRCs when
@@ -1115,6 +1124,10 @@ impl Machine {
         let di = self.slab.expect_mut(id);
         di.phase = InstPhase::InIq;
         di.needs_replay = true;
+        di.replay_component = Some(match cause {
+            ReplayCause::Producer | ReplayCause::Shadow => CpiComponent::LoadResolution,
+            ReplayCause::OperandMiss => CpiComponent::OperandResolution,
+        });
         // Withdraw the speculative wake-up this issue broadcast: the
         // result is NOT coming on the predicted schedule. Consumers go
         // back to waiting until the replayed issue re-broadcasts;
@@ -1453,7 +1466,13 @@ impl Machine {
             let di = self.slab.expect(load);
             (di.thread, di.seq, di.pc)
         };
-        self.squash_after(t, seq, pc + 1, redirect_at + 1);
+        self.squash_after(
+            t,
+            seq,
+            pc + 1,
+            redirect_at + 1,
+            CpiComponent::LoadResolution,
+        );
     }
 
     fn execute_store(&mut self, id: InstId, now: u64, base: u64, data: u64) {
@@ -1498,7 +1517,7 @@ impl Machine {
             self.store_wait.mark(lpc);
             // Recovery stage is fetch (paper Figure 2, memory trap loop):
             // squash from the violating load inclusive and refetch it.
-            self.squash_after(t, lseq - 1, lpc, now + 1);
+            self.squash_after(t, lseq - 1, lpc, now + 1, CpiComponent::MemoryTrap);
         }
     }
 
@@ -1581,7 +1600,7 @@ impl Machine {
                 }
             }
             // Branch-resolution feedback delay: one cycle.
-            self.squash_after(t, seq, target, now + 1);
+            self.squash_after(t, seq, target, now + 1, CpiComponent::BranchResolution);
         }
     }
 
@@ -1649,7 +1668,7 @@ impl Machine {
 
     // ---------------------------------------------------------------- retire
 
-    fn do_retire(&mut self, now: u64) {
+    fn do_retire(&mut self, now: u64) -> u64 {
         let mut budget = self.cfg.width;
         let nthreads = self.threads.len();
         let mut blocked = vec![false; nthreads];
@@ -1683,6 +1702,80 @@ impl Machine {
             if !progress {
                 break;
             }
+        }
+        (self.cfg.width - budget) as u64
+    }
+
+    /// Charge this cycle's retire slots to the per-loop CPI stack:
+    /// `retired` slots used, the rest lost to a single classified cause.
+    fn attribute_cycle(&mut self, now: u64, retired: u64) {
+        let width = self.cfg.width as u64;
+        let cause = if retired < width {
+            self.classify_lost_cycle(now)
+        } else {
+            CpiComponent::Base
+        };
+        self.stats.loop_cost.charge(width, retired, cause);
+    }
+
+    /// Why retire could not fill its slots this cycle. Inspects the oldest
+    /// un-retired instruction across live threads (the commit bottleneck)
+    /// and the thread's refill state after a squash.
+    fn classify_lost_cycle(&self, now: u64) -> CpiComponent {
+        // Oldest ROB head across not-done threads: the instruction the
+        // retire stage is actually waiting on.
+        let mut oldest: Option<(u64, usize, InstId)> = None;
+        for (t, th) in self.threads.iter().enumerate() {
+            if th.done {
+                continue;
+            }
+            if let Some(&id) = th.rob.front() {
+                let seq = self.slab.expect(id).seq;
+                if oldest.is_none_or(|(s, _, _)| seq < s) {
+                    oldest = Some((seq, t, id));
+                }
+            }
+        }
+        let Some((_, t, id)) = oldest else {
+            // Every live ROB is empty: the pipe is refilling. Charge the
+            // squash/barrier that caused it when known, else the DRA
+            // operand-recovery stall, else the front end.
+            for th in &self.threads {
+                if !th.done {
+                    if let Some((_, c)) = th.refill_cause {
+                        return c;
+                    }
+                }
+            }
+            if self.threads.iter().all(|th| th.done) {
+                return CpiComponent::Base; // end-of-program drain
+            }
+            if now < self.frontend_stall_until {
+                return CpiComponent::OperandResolution;
+            }
+            return CpiComponent::Frontend;
+        };
+        let di = self.slab.expect(id);
+        match di.phase {
+            // Renamed but still in DEC-IQ transit: the window is refilling.
+            InstPhase::FrontEnd => self.threads[t]
+                .refill_cause
+                .map(|(_, c)| c)
+                .unwrap_or(CpiComponent::Frontend),
+            InstPhase::InIq | InstPhase::Issued => {
+                // A head load waiting on a confirmed L1 miss is memory
+                // latency, not a loose loop.
+                if di.inst.class() == Class::Load && di.load_l1_hit == Some(false) {
+                    return CpiComponent::MemoryLatency;
+                }
+                if let Some(c) = di.replay_component {
+                    return c;
+                }
+                CpiComponent::Base
+            }
+            // A Complete head means the width budget ran out mid-group or
+            // another thread consumed the slots: steady-state cost.
+            InstPhase::Complete | InstPhase::Retired => CpiComponent::Base,
         }
     }
 
@@ -1736,12 +1829,23 @@ impl Machine {
             }
             _ => {}
         }
+        // Refill accounting: an instruction younger than the pending
+        // squash/barrier marker retiring means the refill has delivered.
+        if self.threads[t]
+            .refill_cause
+            .is_some_and(|(marker, _)| seq > marker)
+        {
+            self.threads[t].refill_cause = None;
+        }
         match inst.class() {
             Class::MemBar => {
                 self.stats.mem_barriers += 1;
                 if self.threads[t].mb_stall_seq == Some(seq) {
                     self.threads[t].mb_stall_seq = None;
                 }
+                // The rename stall behind the barrier drains the window;
+                // charge the bubble until post-barrier work retires.
+                self.threads[t].refill_cause = Some((seq, CpiComponent::MemoryBarrier));
             }
             Class::Halt => {
                 self.threads[t].done = true;
@@ -1791,7 +1895,7 @@ impl Machine {
         // Post-retire traps: dTLB miss (recovery from the top of the pipe).
         if tlb_trap && !self.threads[t].done {
             self.stats.tlb_traps += 1;
-            self.squash_after(t, seq, next_pc, now + 1);
+            self.squash_after(t, seq, next_pc, now + 1, CpiComponent::MemoryTrap);
         }
     }
 
@@ -1799,7 +1903,16 @@ impl Machine {
 
     /// Kill every instruction of `thread` younger than `after_seq`, roll
     /// back rename state, and redirect fetch to `new_pc` at `redirect_at`.
-    fn squash_after(&mut self, thread: usize, after_seq: u64, new_pc: u64, redirect_at: u64) {
+    /// The refill bubble that follows is charged to `cause` in the
+    /// per-loop CPI stack until post-squash work retires.
+    fn squash_after(
+        &mut self,
+        thread: usize,
+        after_seq: u64,
+        new_pc: u64,
+        redirect_at: u64,
+        cause: CpiComponent,
+    ) {
         // Front-end queues: not yet renamed (decode_q) — just drop.
         let th = &mut self.threads[thread];
         let mut dropped: Vec<InstId> = Vec::new();
@@ -1892,6 +2005,9 @@ impl Machine {
         th.fetch_pc = new_pc;
         th.fetch_suspended = false;
         th.fetch_stall_until = th.fetch_stall_until.max(redirect_at);
+        // Everything fetched after this point carries seq > self.seq; until
+        // one of those retires, lost retire slots belong to this squash.
+        th.refill_cause = Some((self.seq, cause));
     }
 }
 

@@ -8,8 +8,196 @@
 use looseloops_mem::HierarchyStats;
 
 /// Maximum tracked operand-availability gap; larger gaps land in the last
-/// bucket (Figure 6 plots 0..=60).
+/// bucket. The histogram covers 0..=127 so Figure 6 can plot any prefix
+/// (the paper shows 0..=60) without clamping distorting the tail.
 pub const GAP_BUCKETS: usize = 128;
+
+/// A cause a lost retire slot is charged to in the per-loop CPI stack.
+///
+/// Each cause after [`CpiComponent::Base`] corresponds to one of the loose
+/// loops in the paper's taxonomy (`loop_inventory` in the core crate) or to
+/// a structural limit the loops run against. Every cycle in which retire
+/// commits fewer than `width` instructions charges its `width - retired`
+/// lost slots to exactly **one** cause, so the stack conserves slots by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiComponent {
+    /// Steady-state/base execution: issue-limited, dependence-limited, or
+    /// end-of-program drain — nothing attributable to a loose loop.
+    Base,
+    /// Branch-resolution loop: mispredict squash plus pipeline refill.
+    BranchResolution,
+    /// Load-resolution loop: replays and confirm waits behind loads that
+    /// issued consumers speculatively (including Refetch-policy squashes).
+    LoadResolution,
+    /// DRA operand-resolution loop: operand misses and their recovery.
+    OperandResolution,
+    /// Memory-trap loop: memory-order violation and dTLB traps.
+    MemoryTrap,
+    /// Memory-barrier stall: rename held while a barrier drains.
+    MemoryBarrier,
+    /// Front end: I-cache misses, line-predictor bubbles, fetch refill not
+    /// attributable to a specific loop squash.
+    Frontend,
+    /// Memory-hierarchy latency: head load waiting on a cache miss.
+    MemoryLatency,
+}
+
+impl CpiComponent {
+    /// Number of components in the stack.
+    pub const COUNT: usize = 8;
+
+    /// All components in canonical (storage) order.
+    pub const ALL: [CpiComponent; CpiComponent::COUNT] = [
+        CpiComponent::Base,
+        CpiComponent::BranchResolution,
+        CpiComponent::LoadResolution,
+        CpiComponent::OperandResolution,
+        CpiComponent::MemoryTrap,
+        CpiComponent::MemoryBarrier,
+        CpiComponent::Frontend,
+        CpiComponent::MemoryLatency,
+    ];
+
+    /// Storage index in [`LoopCostStack::lost`].
+    pub fn index(self) -> usize {
+        match self {
+            CpiComponent::Base => 0,
+            CpiComponent::BranchResolution => 1,
+            CpiComponent::LoadResolution => 2,
+            CpiComponent::OperandResolution => 3,
+            CpiComponent::MemoryTrap => 4,
+            CpiComponent::MemoryBarrier => 5,
+            CpiComponent::Frontend => 6,
+            CpiComponent::MemoryLatency => 7,
+        }
+    }
+
+    /// Stable kebab-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiComponent::Base => "base",
+            CpiComponent::BranchResolution => "branch-resolution",
+            CpiComponent::LoadResolution => "load-resolution",
+            CpiComponent::OperandResolution => "operand-resolution",
+            CpiComponent::MemoryTrap => "memory-trap",
+            CpiComponent::MemoryBarrier => "memory-barrier",
+            CpiComponent::Frontend => "frontend",
+            CpiComponent::MemoryLatency => "memory-latency",
+        }
+    }
+
+    /// The `loop_inventory` loop this component charges, if it maps to one.
+    /// `Base`, `Frontend`, and `MemoryLatency` are structural, not loops.
+    pub fn loop_name(self) -> Option<&'static str> {
+        match self {
+            CpiComponent::BranchResolution => Some("branch resolution"),
+            CpiComponent::LoadResolution => Some("load resolution"),
+            CpiComponent::OperandResolution => Some("operand resolution"),
+            CpiComponent::MemoryTrap => Some("memory trap"),
+            CpiComponent::MemoryBarrier => Some("memory barrier"),
+            CpiComponent::Base | CpiComponent::Frontend | CpiComponent::MemoryLatency => None,
+        }
+    }
+}
+
+/// Per-loop cycle accounting: every retire-slot of every cycle is either
+/// used by a committed instruction or charged, whole-cycle at a time, to
+/// one [`CpiComponent`].
+///
+/// Conservation holds in integers by construction:
+/// `used + lost.sum() == width * cycles`, and the normalized view in
+/// [`LoopCostStack::cpi_components`] sums exactly to the measured CPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopCostStack {
+    /// Retire slots per cycle (commit width); 0 until the first charge.
+    pub width: u64,
+    /// Cycles accounted.
+    pub cycles: u64,
+    /// Slots filled by retired instructions.
+    pub used: u64,
+    /// Lost slots per component, indexed by [`CpiComponent::index`].
+    pub lost: [u64; CpiComponent::COUNT],
+}
+
+impl LoopCostStack {
+    /// Account one cycle: `retired` slots used, the remaining
+    /// `width - retired` charged to `cause`.
+    pub fn charge(&mut self, width: u64, retired: u64, cause: CpiComponent) {
+        debug_assert!(retired <= width);
+        debug_assert!(self.width == 0 || self.width == width);
+        self.width = width;
+        self.cycles += 1;
+        self.used += retired;
+        self.lost[cause.index()] += width - retired;
+    }
+
+    /// Lost slots charged to one component.
+    pub fn component(&self, c: CpiComponent) -> u64 {
+        self.lost[c.index()]
+    }
+
+    /// Total lost slots across all components.
+    pub fn total_lost(&self) -> u64 {
+        self.lost.iter().sum()
+    }
+
+    /// Total retire slots offered: `width * cycles`.
+    pub fn total_slots(&self) -> u64 {
+        self.width * self.cycles
+    }
+
+    /// Integer conservation: used + lost slots exactly fill all slots.
+    pub fn conserves(&self) -> bool {
+        self.used + self.total_lost() == self.total_slots()
+    }
+
+    /// Fraction of retire slots lost, in [0, 1].
+    pub fn lost_fraction(&self) -> f64 {
+        if self.total_slots() == 0 {
+            0.0
+        } else {
+            self.total_lost() as f64 / self.total_slots() as f64
+        }
+    }
+
+    /// Measured cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.used == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.used as f64
+        }
+    }
+
+    /// The CPI stack: per-component cycles-per-instruction, in
+    /// [`CpiComponent::ALL`] order. The base component absorbs the used
+    /// slots, so the entries sum exactly to [`LoopCostStack::cpi`].
+    pub fn cpi_components(&self) -> [f64; CpiComponent::COUNT] {
+        let mut out = [0.0; CpiComponent::COUNT];
+        if self.used == 0 || self.width == 0 {
+            return out;
+        }
+        let denom = (self.width * self.used) as f64;
+        for (o, &l) in out.iter_mut().zip(&self.lost) {
+            *o = l as f64 / denom;
+        }
+        out[CpiComponent::Base.index()] += self.used as f64 / denom;
+        out
+    }
+
+    /// Accumulate another stack into this one (sweep aggregation). Merging
+    /// stacks of different widths keeps the raw slot counts additive but
+    /// makes the slot total approximate; same-width merges stay exact.
+    pub fn merge(&mut self, other: &LoopCostStack) {
+        self.width = self.width.max(other.width);
+        self.cycles += other.cycles;
+        self.used += other.used;
+        for (a, b) in self.lost.iter_mut().zip(&other.lost) {
+            *a += b;
+        }
+    }
+}
 
 /// Counters for one simulation run.
 #[derive(Debug, Clone)]
@@ -103,6 +291,8 @@ pub struct SimStats {
     pub faults_by_kind: [u64; 3],
     /// Per-cycle invariant-auditor passes completed.
     pub audit_checks: u64,
+    /// Per-loop CPI-stack accounting of every retire slot.
+    pub loop_cost: LoopCostStack,
 }
 
 impl SimStats {
@@ -143,6 +333,7 @@ impl SimStats {
             faults_injected: 0,
             faults_by_kind: [0; 3],
             audit_checks: 0,
+            loop_cost: LoopCostStack::default(),
         }
     }
 
@@ -203,14 +394,17 @@ impl SimStats {
         self.load_latency_hist[b] += 1;
     }
 
-    /// The latency at or below which fraction `p` (0..=1) of loads
-    /// completed; `None` when no loads were recorded.
+    /// The latency at or below which fraction `p` of loads completed;
+    /// `None` when no loads were recorded. `p` is clamped to [0, 1] (NaN
+    /// counts as 0), and `p = 0.0` means the fastest observed load — never
+    /// an empty bucket.
     pub fn load_latency_percentile(&self, p: f64) -> Option<u64> {
         let total: u64 = self.load_latency_hist.iter().sum();
         if total == 0 {
             return None;
         }
-        let target = (total as f64 * p).ceil() as u64;
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let target = ((total as f64 * p).ceil() as u64).max(1);
         let mut acc = 0;
         for (lat, &count) in self.load_latency_hist.iter().enumerate() {
             acc += count;
@@ -308,8 +502,67 @@ mod tests {
         assert_eq!(s.load_latency_percentile(0.5), Some(4));
         assert_eq!(s.load_latency_percentile(0.9), Some(4));
         assert_eq!(s.load_latency_percentile(0.95), Some(135));
+        // p = 0.0 must report the fastest *observed* latency, not an empty
+        // bucket 0; out-of-range p clamps instead of over/under-shooting.
+        assert_eq!(s.load_latency_percentile(0.0), Some(4));
+        assert_eq!(s.load_latency_percentile(-3.0), Some(4));
+        assert_eq!(s.load_latency_percentile(1.0), Some(135));
+        assert_eq!(s.load_latency_percentile(7.5), Some(135));
+        assert_eq!(s.load_latency_percentile(f64::NAN), Some(4));
         s.record_load_latency(10_000); // clamps
         assert_eq!(*s.load_latency_hist.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn loop_cost_stack_conserves_and_normalizes() {
+        let mut st = LoopCostStack::default();
+        // 4 cycles at width 8: full, half lost to branches, empty on a
+        // frontend bubble, 3/8 lost to memory latency.
+        st.charge(8, 8, CpiComponent::Base);
+        st.charge(8, 4, CpiComponent::BranchResolution);
+        st.charge(8, 0, CpiComponent::Frontend);
+        st.charge(8, 5, CpiComponent::MemoryLatency);
+        assert_eq!(st.cycles, 4);
+        assert_eq!(st.used, 17);
+        assert_eq!(st.total_lost(), 15);
+        assert!(st.conserves());
+        assert_eq!(st.component(CpiComponent::BranchResolution), 4);
+        assert_eq!(st.component(CpiComponent::Frontend), 8);
+        assert_eq!(st.component(CpiComponent::MemoryLatency), 3);
+        let comps = st.cpi_components();
+        let sum: f64 = comps.iter().sum();
+        assert!(
+            (sum - st.cpi()).abs() < 1e-12,
+            "stack must sum to measured CPI: {sum} vs {}",
+            st.cpi()
+        );
+        assert!((st.lost_fraction() - 15.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_cost_stack_merge_is_additive() {
+        let mut a = LoopCostStack::default();
+        a.charge(8, 8, CpiComponent::Base);
+        a.charge(8, 2, CpiComponent::LoadResolution);
+        let mut b = LoopCostStack::default();
+        b.charge(8, 0, CpiComponent::OperandResolution);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.cycles, 3);
+        assert_eq!(m.used, 10);
+        assert_eq!(m.component(CpiComponent::LoadResolution), 6);
+        assert_eq!(m.component(CpiComponent::OperandResolution), 8);
+        assert!(m.conserves());
+    }
+
+    #[test]
+    fn cpi_component_names_are_unique_and_ordered() {
+        for (i, c) in CpiComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let names: std::collections::HashSet<&str> =
+            CpiComponent::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), CpiComponent::COUNT);
     }
 
     #[test]

@@ -91,9 +91,21 @@ impl PipelineTracer {
         }
     }
 
-    /// Drain the accumulated log.
+    /// Drain the accumulated log, closing it as a self-contained Kanata
+    /// file: still-live rows are flushed as squashed (a viewer treats an
+    /// `I` record with no matching `R` as corrupt), and the row/retire-id/
+    /// cycle counters reset so a subsequent trace starts fresh instead of
+    /// emitting colliding row ids.
     pub fn take(&mut self) -> String {
+        let mut live: Vec<(u64, InstId)> = self.rows.iter().map(|(&id, &row)| (row, id)).collect();
+        live.sort_unstable_by_key(|&(row, _)| row);
+        for (_, id) in live {
+            self.flush(self.last_cycle, id);
+        }
         self.rows.clear();
+        self.next_row = 0;
+        self.retire_id = 0;
+        self.last_cycle = 0;
         self.started = false;
         std::mem::take(&mut self.buf)
     }
@@ -154,6 +166,44 @@ mod tests {
         t.stage(1, id(9), "X"); // never fetched
         t.retire(2, id(9));
         assert_eq!(t.live_rows(), 1);
+    }
+
+    #[test]
+    fn take_closes_live_rows_and_resets_counters() {
+        let mut t = PipelineTracer::new();
+        t.fetch(0, id(0), 1, 0, "addi r1, r31, 1");
+        t.retire(3, id(0));
+        t.fetch(4, id(1), 2, 0, "subi r1, r1, 1"); // still live at take()
+        t.fetch(4, id(2), 3, 0, "bne r1, -2"); // also live
+        let first = t.take();
+        // Live rows were flushed as squashed, not dropped.
+        assert_eq!(t.live_rows(), 0);
+        assert!(
+            first.contains("R\t1\t1\t1"),
+            "row 1 closed squashed: {first}"
+        );
+        assert!(
+            first.contains("R\t2\t2\t1"),
+            "row 2 closed squashed: {first}"
+        );
+
+        // A second trace from the same tracer starts a fresh file: its own
+        // header, rows renumbered from 0, retire ids from 0.
+        t.fetch(9, id(3), 10, 0, "halt");
+        t.retire(11, id(3));
+        let second = t.take();
+        assert!(
+            second.starts_with("Kanata\t0004\nC=\t9\n"),
+            "fresh header and epoch: {second}"
+        );
+        assert!(
+            second.contains("I\t0\t10\t0"),
+            "rows restart at 0: {second}"
+        );
+        assert!(
+            second.contains("R\t0\t0\t0"),
+            "retire ids restart: {second}"
+        );
     }
 
     #[test]

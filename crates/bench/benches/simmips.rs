@@ -1,0 +1,132 @@
+//! Sim-MIPS regression harness: times the fig4 and fig8 reference sweeps
+//! on a single-worker engine at a fixed budget and records wall time,
+//! instructions, and simulated MIPS as JSON.
+//!
+//! The checked-in baseline lives at the repo root as `BENCH_pr4.json`;
+//! the CI smoke job re-runs this bench and fails on a >20% sim-MIPS
+//! regression (see `scripts/check_simmips.py`). Budgets are fixed so
+//! the comparison is apples-to-apples, but the usual `LOOSELOOPS_WARMUP`
+//! / `LOOSELOOPS_MEASURE` overrides still work for quick local runs —
+//! the budget is recorded in the JSON and the checker refuses to compare
+//! mismatched budgets.
+//!
+//! Output path: `LOOSELOOPS_BENCH_OUT` if set, else `BENCH_pr4.json` at
+//! the workspace root (i.e. running the bench with no overrides
+//! regenerates the baseline).
+
+use looseloops::{
+    fig4_pipeline_length_on, fig8_dra_speedup_on, FigureResult, RunBudget, SweepEngine, Workload,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Fixed reference budget for the regression gate (smaller than
+/// `RunBudget::bench` so the CI smoke job stays fast, large enough that
+/// per-run setup cost does not dominate).
+fn reference_budget() -> RunBudget {
+    let mut b = RunBudget {
+        warmup: 20_000,
+        measure: 100_000,
+        max_cycles: 20_000_000,
+    };
+    let parse = |name: &str| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    };
+    if let Some(v) = parse("LOOSELOOPS_WARMUP") {
+        b.warmup = v;
+    }
+    if let Some(v) = parse("LOOSELOOPS_MEASURE") {
+        b.measure = v;
+    }
+    b
+}
+
+struct Entry {
+    figure: &'static str,
+    jobs: u64,
+    instructions: u64,
+    wall_s: f64,
+    sim_mips: f64,
+}
+
+/// Run one figure generator on a fresh single-worker engine and record
+/// the sweep's wall time and sim-MIPS.
+fn measure(
+    figure: &'static str,
+    budget: RunBudget,
+    gen: impl FnOnce(&SweepEngine, RunBudget) -> FigureResult,
+) -> Entry {
+    let sweep = SweepEngine::new(1);
+    let t0 = Instant::now();
+    let fig = gen(&sweep, budget);
+    let wall = t0.elapsed();
+    let s = sweep.summary();
+    eprintln!(
+        "[simmips] {figure}: {} series, {}",
+        fig.series.len(),
+        s.line()
+    );
+    Entry {
+        figure,
+        jobs: s.jobs_run,
+        instructions: s.instructions,
+        wall_s: wall.as_secs_f64(),
+        sim_mips: s.instructions as f64 / s.wall.as_secs_f64().max(1e-9) / 1e6,
+    }
+}
+
+fn to_json(budget: RunBudget, entries: &[Entry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"budget\": {{\"warmup\": {}, \"measure\": {}, \"max_cycles\": {}}},\n",
+        budget.warmup, budget.measure, budget.max_cycles
+    ));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"figure\": \"{}\", \"jobs\": {}, \"instructions\": {}, \"wall_s\": {:.4}, \"sim_mips\": {:.3}}}{}\n",
+            e.figure,
+            e.jobs,
+            e.instructions,
+            e.wall_s,
+            e.sim_mips,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let budget = reference_budget();
+    eprintln!(
+        "[simmips] reference sweeps, warmup={} measure={} instructions per run, 1 worker",
+        budget.warmup, budget.measure
+    );
+    let workloads = Workload::paper_set();
+    let entries = [
+        measure("fig4", budget, |s, b| {
+            fig4_pipeline_length_on(s, &workloads, b)
+        }),
+        measure("fig8", budget, |s, b| fig8_dra_speedup_on(s, &workloads, b)),
+    ];
+    let json = to_json(budget, &entries);
+    let path = std::env::var("LOOSELOOPS_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_pr4.json")
+        });
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[simmips] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[simmips] cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

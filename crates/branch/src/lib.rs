@@ -29,7 +29,7 @@ pub use direction::{
     LocalPredictor, PredictorKind, TournamentPredictor,
 };
 pub use line::LinePredictor;
-pub use ras::ReturnAddressStack;
+pub use ras::{RasCheckpoint, ReturnAddressStack};
 
 /// Build a boxed direction predictor of the given kind with default sizing.
 pub fn build_predictor(kind: PredictorKind) -> Box<dyn DirectionPredictor> {

@@ -62,6 +62,66 @@ impl ReturnAddressStack {
     pub fn restore(&mut self, snap: &ReturnAddressStack) {
         self.clone_from(snap);
     }
+
+    /// Fixed-footprint snapshot of the live entries only (topmost first).
+    /// Stacks up to [`RAS_INLINE`] deep copy into an inline array — no
+    /// heap traffic on the fetch path, where a checkpoint is taken for
+    /// every control instruction.
+    pub fn checkpoint_fixed(&self) -> RasCheckpoint {
+        let mask = self.slots.len() - 1;
+        let mut ck = RasCheckpoint {
+            inline: [0; RAS_INLINE],
+            spill: Vec::new(),
+            depth: self.depth,
+        };
+        for i in 0..self.depth {
+            let v = self.slots[self.top.wrapping_sub(i) & mask];
+            if i < RAS_INLINE {
+                ck.inline[i] = v;
+            } else {
+                ck.spill.push(v);
+            }
+        }
+        ck
+    }
+
+    /// Restore a snapshot taken with
+    /// [`ReturnAddressStack::checkpoint_fixed`] on a stack of the same
+    /// capacity. Slots beyond the snapshot depth are unobservable (pops
+    /// stop at depth, pushes overwrite), so only live entries are written.
+    pub fn restore_fixed(&mut self, ck: &RasCheckpoint) {
+        let mask = self.slots.len() - 1;
+        debug_assert!(ck.depth <= self.slots.len(), "same-capacity snapshot");
+        self.depth = ck.depth;
+        self.top = ck.depth & mask;
+        for i in 0..ck.depth {
+            self.slots[self.top.wrapping_sub(i) & mask] = ck.entry(i);
+        }
+    }
+}
+
+/// Entries a [`RasCheckpoint`] stores inline; deeper stacks spill to the
+/// heap.
+pub const RAS_INLINE: usize = 32;
+
+/// Fixed-footprint RAS snapshot: live entries, topmost first (see
+/// [`ReturnAddressStack::checkpoint_fixed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RasCheckpoint {
+    inline: [u64; RAS_INLINE],
+    spill: Vec<u64>,
+    depth: usize,
+}
+
+impl RasCheckpoint {
+    /// The `i`-th entry from the top of the checkpointed stack.
+    fn entry(&self, i: usize) -> u64 {
+        if i < RAS_INLINE {
+            self.inline[i]
+        } else {
+            self.spill[i - RAS_INLINE]
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +149,50 @@ mod tests {
         assert_eq!(r.depth(), 2);
         assert_eq!(r.pop(), Some(3));
         assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn fixed_checkpoint_matches_clone_checkpoint() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(10);
+        r.push(20);
+        r.push(30);
+        let snap = r.checkpoint_fixed();
+        r.pop();
+        r.push(99);
+        r.push(98);
+        r.restore_fixed(&snap);
+        assert_eq!(r.pop(), Some(30));
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+        assert_eq!(r.pop(), None);
+        // Restore survives a full wrap after the snapshot.
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        let snap = r.checkpoint_fixed();
+        r.push(2);
+        r.push(3);
+        r.restore_fixed(&snap);
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn fixed_checkpoint_spills_past_inline_capacity() {
+        let cap = 2 * RAS_INLINE;
+        let mut r = ReturnAddressStack::new(cap);
+        for i in 0..(RAS_INLINE + 8) as u64 {
+            r.push(i);
+        }
+        let snap = r.checkpoint_fixed();
+        for _ in 0..5 {
+            r.pop();
+        }
+        r.restore_fixed(&snap);
+        for i in (0..(RAS_INLINE + 8) as u64).rev() {
+            assert_eq!(r.pop(), Some(i));
+        }
         assert_eq!(r.pop(), None);
     }
 

@@ -95,6 +95,14 @@ impl Machine {
                 "per-cluster tallies disagree with the entries".into(),
             ));
         }
+        if !self.iq.waiting_lists_consistent() {
+            return Err(self.violation(
+                InvariantKind::IqConsistency,
+                "per-cluster ready lists disagree with the slot arena \
+                 (missing/stale entry or age order broken)"
+                    .into(),
+            ));
+        }
         for e in self.iq.iter() {
             if matches!(e.state, IqState::Confirmed { .. }) {
                 continue;

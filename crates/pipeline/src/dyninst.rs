@@ -124,7 +124,10 @@ pub struct DynInst {
     pub pred: Option<BranchPrediction>,
     /// Return-address-stack checkpoint taken at fetch (control
     /// instructions only), restored on mis-speculation recovery.
-    pub ras_ckpt: Option<looseloops_branch::ReturnAddressStack>,
+    pub ras_ckpt: Option<looseloops_branch::RasCheckpoint>,
+    /// IQ arena slot while resident (set at insert; may go stale after a
+    /// squash — the IQ validates it against `id` before acting on it).
+    pub iq_slot: u32,
     /// Cycle fetched.
     pub fetch_cycle: u64,
     /// Cycle renamed (start of DEC-IQ).
@@ -176,6 +179,7 @@ impl DynInst {
             cluster: 0,
             pred: None,
             ras_ckpt: None,
+            iq_slot: u32::MAX,
             fetch_cycle,
             rename_cycle: 0,
             insert_cycle: None,

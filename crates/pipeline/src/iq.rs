@@ -5,8 +5,29 @@
 //! confirms they will not replay; the confirmation takes `iq_ex_stages +
 //! confirm_feedback` cycles (the load-resolution loop delay) plus an extra
 //! cycle to clear the entry — the IQ-pressure effect of paper §2.2.2.
+//!
+//! # Organization
+//!
+//! Entries live in a fixed slot arena with a free-list, so an entry's slot
+//! number is stable for its whole IQ residency and the machine can reach
+//! it in O(1) through the `iq_slot` hint stored on the dynamic
+//! instruction. Two side structures keep the per-cycle scans off the
+//! arena:
+//!
+//! - per-cluster *waiting lists* (slot indices, age-sorted by `seq`) — the
+//!   issue stage walks only waiting entries, oldest first, instead of
+//!   rescanning every slot;
+//! - a FIFO *release queue* of confirmed entries — confirmation delay is a
+//!   machine constant, so `free_at` values are confirmed in nondecreasing
+//!   order and releasing due entries only inspects the queue front.
+//!
+//! Squashes clear slots in place; stale release-queue records are
+//! recognized (and skipped) by the entry's unique `seq`. Steady-state
+//! operation allocates nothing: the arena, free-list, waiting lists and
+//! release queue all retain their high-water capacity.
 
 use crate::dyninst::InstId;
+use std::collections::VecDeque;
 
 /// Wait-state of one IQ entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,9 +61,20 @@ pub struct IqEntry {
 /// The unified, clustered instruction queue.
 #[derive(Debug)]
 pub struct IssueQueue {
-    entries: Vec<IqEntry>,
-    capacity: usize,
+    /// Slot arena; `None` slots are on the free-list.
+    slots: Vec<Option<IqEntry>>,
+    /// Reusable slot indices (LIFO).
+    free: Vec<u32>,
+    /// Per-cluster waiting entries as slot indices, `seq`-ascending.
+    waiting: Vec<Vec<u32>>,
+    /// Confirmed entries in confirmation order: `(free_at, slot, seq)`.
+    /// `free_at` is nondecreasing (constant confirmation delay).
+    release_q: VecDeque<(u64, u32, u64)>,
     per_cluster: Vec<u32>,
+    /// Live entries.
+    len: usize,
+    /// Live entries not in `Waiting` state (issued + confirmed).
+    not_waiting: usize,
     // Statistics.
     occupancy_sum: u64,
     issued_occupancy_sum: u64,
@@ -54,9 +86,14 @@ impl IssueQueue {
     /// An empty IQ with `capacity` slots serving `clusters` clusters.
     pub fn new(capacity: usize, clusters: usize) -> IssueQueue {
         IssueQueue {
-            entries: Vec::with_capacity(capacity),
-            capacity,
+            slots: vec![None; capacity],
+            // Reversed so slot 0 is handed out first.
+            free: (0..capacity as u32).rev().collect(),
+            waiting: vec![Vec::new(); clusters],
+            release_q: VecDeque::new(),
             per_cluster: vec![0; clusters],
+            len: 0,
+            not_waiting: 0,
             occupancy_sum: 0,
             issued_occupancy_sum: 0,
             samples: 0,
@@ -66,34 +103,39 @@ impl IssueQueue {
 
     /// Entries currently slotted to `cluster` (for least-loaded slotting at
     /// decode).
+    #[inline]
     pub fn cluster_len(&self, cluster: usize) -> u32 {
         self.per_cluster[cluster]
     }
 
     /// Slots in use (waiting + issued + not-yet-cleared confirmed entries).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no entries are held.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Free slots available for insertion.
+    #[inline]
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.entries.len()
+        self.slots.len() - self.len
     }
 
     /// Total slots.
+    #[inline]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Occupancy by wait-state: (waiting, issued, confirmed).
     pub fn state_breakdown(&self) -> (usize, usize, usize) {
         let mut b = (0, 0, 0);
-        for e in &self.entries {
+        for e in self.iter() {
             match e.state {
                 IqState::Waiting => b.0 += 1,
                 IqState::Issued => b.1 += 1,
@@ -106,7 +148,7 @@ impl IssueQueue {
     /// True when the per-cluster tallies match the entries (auditor check).
     pub fn cluster_counts_consistent(&self) -> bool {
         let mut counts = vec![0u32; self.per_cluster.len()];
-        for e in &self.entries {
+        for e in self.iter() {
             match counts.get_mut(e.cluster) {
                 Some(c) => *c += 1,
                 None => return false,
@@ -115,70 +157,207 @@ impl IssueQueue {
         counts == self.per_cluster
     }
 
-    /// Insert an instruction; returns `false` (and does nothing) when full.
-    pub fn insert(&mut self, entry: IqEntry) -> bool {
-        if self.entries.len() >= self.capacity {
-            return false;
+    /// True when every waiting list holds exactly the `Waiting` entries of
+    /// its cluster, age-sorted (auditor check).
+    pub fn waiting_lists_consistent(&self) -> bool {
+        let mut listed = 0;
+        for (cluster, list) in self.waiting.iter().enumerate() {
+            let mut prev = None;
+            for &slot in list {
+                let Some(e) = self.slots.get(slot as usize).and_then(Option::as_ref) else {
+                    return false;
+                };
+                if e.cluster != cluster || e.state != IqState::Waiting {
+                    return false;
+                }
+                if prev.is_some_and(|p| p >= e.seq) {
+                    return false;
+                }
+                prev = Some(e.seq);
+                listed += 1;
+            }
         }
+        listed == self.len - self.not_waiting
+    }
+
+    /// Insert an instruction; returns its slot, or `None` (and does
+    /// nothing) when full. The caller stores the slot on the dynamic
+    /// instruction (`iq_slot`) for O(1) state transitions.
+    pub fn insert(&mut self, entry: IqEntry) -> Option<u32> {
+        debug_assert_eq!(entry.state, IqState::Waiting, "insertions start waiting");
+        let slot = self.free.pop()?;
         self.per_cluster[entry.cluster] += 1;
-        self.entries.push(entry);
-        self.peak = self.peak.max(self.entries.len());
-        true
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+        self.waiting_insert(entry.cluster, slot, entry.seq);
+        self.slots[slot as usize] = Some(entry);
+        Some(slot)
     }
 
-    /// Iterate all entries.
+    /// Age-ordered insertion into a cluster's waiting list.
+    fn waiting_insert(&mut self, cluster: usize, slot: u32, seq: u64) {
+        let slots = &self.slots;
+        let list = &mut self.waiting[cluster];
+        let pos = list.partition_point(|&s| {
+            // invariant: waiting lists reference live slots only.
+            slots[s as usize].as_ref().expect("live waiting slot").seq < seq
+        });
+        list.insert(pos, slot);
+    }
+
+    /// Remove `slot` (holding `seq`) from a cluster's waiting list.
+    fn waiting_remove(&mut self, cluster: usize, slot: u32, seq: u64) {
+        let slots = &self.slots;
+        let list = &mut self.waiting[cluster];
+        let pos = list
+            .partition_point(|&s| slots[s as usize].as_ref().expect("live waiting slot").seq < seq);
+        debug_assert!(
+            pos < list.len() && list[pos] == slot,
+            "waiting list holds the entry"
+        );
+        list.remove(pos);
+    }
+
+    /// Waiting entries of `cluster` (age-ascending walk for select).
+    #[inline]
+    pub fn waiting_len(&self, cluster: usize) -> usize {
+        self.waiting[cluster].len()
+    }
+
+    /// The `i`-th oldest waiting entry of `cluster`.
+    #[inline]
+    pub fn waiting_entry(&self, cluster: usize, i: usize) -> &IqEntry {
+        let slot = self.waiting[cluster][i];
+        // invariant: waiting lists reference live slots only.
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("live waiting slot")
+    }
+
+    /// Entry at `slot` if it is live and holds `id` (the `iq_slot` hint on
+    /// a dynamic instruction may be stale after a squash).
+    fn entry_at(&mut self, slot: u32, id: InstId) -> Option<&mut IqEntry> {
+        self.slots
+            .get_mut(slot as usize)?
+            .as_mut()
+            .filter(|e| e.id == id)
+    }
+
+    /// Waiting → Issued (select); drops the entry from its waiting list.
+    pub fn mark_issued(&mut self, slot: u32, id: InstId) {
+        let Some(e) = self.entry_at(slot, id) else {
+            return;
+        };
+        debug_assert_eq!(e.state, IqState::Waiting, "issue selects waiting entries");
+        if e.state != IqState::Waiting {
+            return;
+        }
+        e.state = IqState::Issued;
+        let (cluster, seq) = (e.cluster, e.seq);
+        self.not_waiting += 1;
+        self.waiting_remove(cluster, slot, seq);
+    }
+
+    /// Issued → Waiting (replay); the entry rejoins its waiting list in
+    /// age order.
+    pub fn mark_waiting(&mut self, slot: u32, id: InstId) {
+        let Some(e) = self.entry_at(slot, id) else {
+            return;
+        };
+        if e.state != IqState::Issued {
+            debug_assert!(
+                matches!(e.state, IqState::Waiting),
+                "replay only rewinds issued entries"
+            );
+            return;
+        }
+        e.state = IqState::Waiting;
+        let (cluster, seq) = (e.cluster, e.seq);
+        self.not_waiting -= 1;
+        self.waiting_insert(cluster, slot, seq);
+    }
+
+    /// Issued → Confirmed (execute will not replay); the slot frees at
+    /// `free_at`. Confirmation delay is a machine constant, so calls see
+    /// nondecreasing `free_at` — the release queue stays sorted.
+    pub fn mark_confirmed(&mut self, slot: u32, id: InstId, free_at: u64) {
+        let Some(e) = self.entry_at(slot, id) else {
+            return;
+        };
+        debug_assert_eq!(e.state, IqState::Issued, "only issued entries confirm");
+        if !matches!(e.state, IqState::Issued) {
+            return;
+        }
+        e.state = IqState::Confirmed { free_at };
+        let seq = e.seq;
+        debug_assert!(
+            self.release_q.back().is_none_or(|&(f, _, _)| f <= free_at),
+            "confirmation delay is constant, so free_at must be nondecreasing"
+        );
+        self.release_q.push_back((free_at, slot, seq));
+    }
+
+    /// Iterate all live entries (slot order).
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.entries.iter()
-    }
-
-    /// Mutable iteration (the scheduler updates states in place).
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut IqEntry> {
-        self.entries.iter_mut()
-    }
-
-    /// Find the entry for `id`.
-    pub fn find_mut(&mut self, id: InstId) -> Option<&mut IqEntry> {
-        self.entries.iter_mut().find(|e| e.id == id)
+        self.slots.iter().flatten()
     }
 
     /// Release confirmed entries whose `free_at` has arrived.
     pub fn release_confirmed(&mut self, now: u64) {
-        let per_cluster = &mut self.per_cluster;
-        self.entries.retain(|e| {
-            let release = matches!(e.state, IqState::Confirmed { free_at } if free_at <= now);
-            if release {
-                per_cluster[e.cluster] -= 1;
+        while let Some(&(free_at, slot, seq)) = self.release_q.front() {
+            if free_at > now {
+                break;
             }
-            !release
-        });
+            self.release_q.pop_front();
+            // A squash may have cleared the slot (and may have refilled it
+            // with a younger entry): the unique `seq` disambiguates.
+            let live = self.slots[slot as usize]
+                .as_ref()
+                .is_some_and(|e| e.seq == seq && matches!(e.state, IqState::Confirmed { .. }));
+            if !live {
+                continue;
+            }
+            // invariant: `live` above proved the slot occupied.
+            let e = self.slots[slot as usize].take().expect("live slot");
+            self.per_cluster[e.cluster] -= 1;
+            self.len -= 1;
+            self.not_waiting -= 1;
+            self.free.push(slot);
+        }
     }
 
-    /// Remove entries selected by `kill` (squash). Returns the removed
-    /// entries (for useless-work accounting).
-    pub fn squash(&mut self, mut kill: impl FnMut(&IqEntry) -> bool) -> Vec<IqEntry> {
-        let mut removed = Vec::new();
-        let per_cluster = &mut self.per_cluster;
-        self.entries.retain(|e| {
-            if kill(e) {
-                per_cluster[e.cluster] -= 1;
-                removed.push(*e);
-                false
-            } else {
-                true
+    /// Remove entries selected by `kill` (squash). Returns how many were
+    /// removed (for useless-work accounting).
+    pub fn squash(&mut self, mut kill: impl FnMut(&IqEntry) -> bool) -> usize {
+        let mut removed = 0;
+        for slot in 0..self.slots.len() as u32 {
+            let Some(e) = self.slots[slot as usize] else {
+                continue;
+            };
+            if !kill(&e) {
+                continue;
             }
-        });
+            if e.state == IqState::Waiting {
+                self.waiting_remove(e.cluster, slot, e.seq);
+            } else {
+                self.not_waiting -= 1;
+            }
+            // Stale release-queue records are skipped by their seq check.
+            self.slots[slot as usize] = None;
+            self.per_cluster[e.cluster] -= 1;
+            self.len -= 1;
+            self.free.push(slot);
+            removed += 1;
+        }
         removed
     }
 
     /// Record one cycle's occupancy statistics.
+    #[inline]
     pub fn sample_occupancy(&mut self) {
         self.samples += 1;
-        self.occupancy_sum += self.entries.len() as u64;
-        self.issued_occupancy_sum += self
-            .entries
-            .iter()
-            .filter(|e| !matches!(e.state, IqState::Waiting))
-            .count() as u64;
+        self.occupancy_sum += self.len as u64;
+        self.issued_occupancy_sum += self.not_waiting as u64;
     }
 
     /// (mean occupancy, mean post-issue occupancy, peak) over the sampled
@@ -212,25 +391,36 @@ mod tests {
         }
     }
 
+    /// Insert and return the (slot, id) pair for follow-up transitions.
+    fn put(q: &mut IssueQueue, seq: u64, cluster: usize) -> (u32, InstId) {
+        let e = entry(seq, cluster);
+        let slot = q.insert(e).expect("capacity");
+        (slot, e.id)
+    }
+
     #[test]
     fn capacity_is_enforced() {
         let mut q = IssueQueue::new(2, 4);
-        assert!(q.insert(entry(1, 0)));
-        assert!(q.insert(entry(2, 1)));
-        assert!(!q.insert(entry(3, 2)), "full IQ rejects insertion");
+        assert!(q.insert(entry(1, 0)).is_some());
+        assert!(q.insert(entry(2, 1)).is_some());
+        assert!(q.insert(entry(3, 2)).is_none(), "full IQ rejects insertion");
         assert_eq!(q.len(), 2);
         assert_eq!(q.free_slots(), 0);
+        assert!(q.cluster_counts_consistent());
+        assert!(q.waiting_lists_consistent());
     }
 
     #[test]
     fn confirmed_entries_release_on_time() {
         let mut q = IssueQueue::new(4, 4);
-        q.insert(entry(1, 0));
-        q.find_mut(InstId { slot: 1, gen: 0 }).unwrap().state = IqState::Confirmed { free_at: 10 };
+        let (slot, id) = put(&mut q, 1, 0);
+        q.mark_issued(slot, id);
+        q.mark_confirmed(slot, id, 10);
         q.release_confirmed(9);
         assert_eq!(q.len(), 1, "not yet");
         q.release_confirmed(10);
         assert_eq!(q.len(), 0);
+        assert_eq!(q.free_slots(), 4);
     }
 
     #[test]
@@ -240,20 +430,67 @@ mod tests {
             q.insert(entry(s, 0));
         }
         let killed = q.squash(|e| e.seq > 3);
-        assert_eq!(killed.len(), 2);
+        assert_eq!(killed, 2);
         assert_eq!(q.len(), 3);
+        assert!(q.cluster_counts_consistent());
+        assert!(q.waiting_lists_consistent());
     }
 
     #[test]
     fn occupancy_sampling() {
         let mut q = IssueQueue::new(8, 4);
-        q.insert(entry(1, 0));
-        q.insert(entry(2, 0));
-        q.find_mut(InstId { slot: 2, gen: 0 }).unwrap().state = IqState::Issued;
+        put(&mut q, 1, 0);
+        let (slot, id) = put(&mut q, 2, 0);
+        q.mark_issued(slot, id);
         q.sample_occupancy();
         let (mean, issued_mean, peak) = q.occupancy_stats();
         assert_eq!(mean, 2.0);
         assert_eq!(issued_mean, 1.0);
         assert_eq!(peak, 2);
+    }
+
+    #[test]
+    fn waiting_lists_stay_age_sorted_across_replay() {
+        let mut q = IssueQueue::new(8, 2);
+        // Out-of-order insertion (SMT threads interleave seqs).
+        let (s3, id3) = put(&mut q, 3, 1);
+        let (s1, _id1) = put(&mut q, 1, 1);
+        let (_s5, _id5) = put(&mut q, 5, 1);
+        assert_eq!(
+            (0..q.waiting_len(1))
+                .map(|i| q.waiting_entry(1, i).seq)
+                .collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
+        // Issue the oldest two, replay one: it rejoins in age order.
+        q.mark_issued(s1, entry(1, 1).id);
+        q.mark_issued(s3, id3);
+        q.mark_waiting(s3, id3);
+        assert_eq!(
+            (0..q.waiting_len(1))
+                .map(|i| q.waiting_entry(1, i).seq)
+                .collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+        assert!(q.waiting_lists_consistent());
+    }
+
+    #[test]
+    fn stale_release_records_are_skipped_after_squash_and_reuse() {
+        let mut q = IssueQueue::new(1, 1);
+        let (slot, id) = put(&mut q, 1, 0);
+        q.mark_issued(slot, id);
+        q.mark_confirmed(slot, id, 5);
+        // Squash before the release cycle; the record for seq 1 is stale.
+        assert_eq!(q.squash(|e| e.seq == 1), 1);
+        // The slot is reused by a younger entry before cycle 5.
+        let (slot2, id2) = put(&mut q, 2, 0);
+        assert_eq!(slot2, slot, "single-slot IQ reuses the slot");
+        q.release_confirmed(5);
+        assert_eq!(q.len(), 1, "the younger entry survives the stale record");
+        q.mark_issued(slot2, id2);
+        q.mark_confirmed(slot2, id2, 9);
+        q.release_confirmed(9);
+        assert_eq!(q.len(), 0);
     }
 }

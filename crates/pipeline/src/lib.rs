@@ -47,6 +47,7 @@ pub mod lsq;
 pub mod machine;
 pub mod stats;
 pub mod trace;
+pub(crate) mod wheel;
 
 pub use config::{ExecLatencies, LoadSpecPolicy, PipelineConfig, RegisterScheme};
 pub use dyninst::{DynInst, InstId, InstPhase, OperandSource};

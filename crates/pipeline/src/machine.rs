@@ -19,6 +19,7 @@ use crate::iq::{IqEntry, IqState, IssueQueue};
 use crate::lsq::{contains, forward_value, overlaps, StoreWaitTable};
 use crate::stats::{CpiComponent, SimStats};
 use crate::trace::PipelineTracer;
+use crate::wheel::{Due, TimingWheel};
 use looseloops_branch::{
     build_predictor, Btb, DirectionPredictor, LinePredictor, ReturnAddressStack,
 };
@@ -30,7 +31,43 @@ use looseloops_regs::{
     ClusterRegCache, ForwardingBuffer, FreeList, InsertionTable, PhysReg, PhysRegFile, RenameMap,
     Rpft,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Bucket count for the event wheels. Most delays are bounded by small
+/// config latencies (issue-to-execute transit, ALU/cache latencies); even
+/// a memory miss with a TLB walk stays well inside 256 cycles, so the
+/// overflow heap only sees fault-injected latency spikes and pathological
+/// configurations.
+const WHEEL_HORIZON: u64 = 256;
+
+/// Reusable per-stage working buffers. Every stage that needs a scratch
+/// list takes the buffer out (`std::mem::take`), uses it, and puts it
+/// back, so after warm-up `step_cycle` runs without heap allocation: the
+/// buffers keep their high-water capacity across cycles.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Per-thread "cannot make further progress this cycle" flags, shared
+    /// by the rename / insert / retire round-robin loops.
+    blocked: Vec<bool>,
+    /// do_issue: per-cluster oldest-ready selection.
+    picks: Vec<Option<(u64, InstId)>>,
+    /// Events drained from `exec_events` this cycle.
+    exec_due: Vec<Due<(InstId, u32)>>,
+    /// do_execute: still-valid events ordered by age (`seq`).
+    exec_list: Vec<(u64, InstId, u32)>,
+    /// Events drained from `complete_events` this cycle.
+    complete_due: Vec<Due<(InstId, u32)>>,
+    /// do_complete: still-valid completions ordered by age.
+    due: Vec<(u64, InstId, u32, u64)>,
+    /// Events drained from `wakeup_events` this cycle.
+    wakeup_due: Vec<Due<(InstId, u32, u64)>>,
+    /// Load-shadow kill / trap recovery victims.
+    to_replay: Vec<InstId>,
+    /// squash_after: not-yet-renamed front-end victims.
+    dropped: Vec<InstId>,
+    /// do_writeback: values leaving the forwarding buffer this cycle.
+    expiring: Vec<(PhysReg, u64)>,
+}
 
 /// Per-thread front-end and program-order state. Fields are crate-visible
 /// for the invariant auditor (`audit.rs`).
@@ -113,13 +150,13 @@ pub struct Machine {
     pub(crate) btb: Btb,
     pub(crate) line_pred: LinePredictor,
     pub(crate) store_wait: StoreWaitTable,
-    // Event queues: cycle -> [(inst, issue-stamp)].
-    pub(crate) exec_events: BTreeMap<u64, Vec<(InstId, u32)>>,
-    pub(crate) complete_events: BTreeMap<u64, Vec<(InstId, u32)>>,
+    // Event wheels: cycle -> [(inst, issue-stamp)] in insertion order.
+    pub(crate) exec_events: TimingWheel<(InstId, u32)>,
+    pub(crate) complete_events: TimingWheel<(InstId, u32)>,
     /// Delayed wake-up corrections: the IQ learns a load missed only after
     /// the load-resolution loop's feedback delay. (cycle -> [(inst, stamp,
     /// corrected ready_at)]).
-    pub(crate) wakeup_events: BTreeMap<u64, Vec<(InstId, u32, u64)>>,
+    pub(crate) wakeup_events: TimingWheel<(InstId, u32, u64)>,
     pub(crate) frontend_stall_until: u64,
     /// Per-cluster count of slotted instructions still in DEC-IQ transit
     /// (the IQ itself tracks inserted ones). Slotting balances on the sum,
@@ -133,6 +170,8 @@ pub struct Machine {
     pub(crate) tracer: Option<PipelineTracer>,
     /// Armed fault injector (from `cfg.faults`), if any.
     pub(crate) injector: Option<FaultInjector>,
+    /// Reusable per-stage working buffers (see [`Scratch`]).
+    pub(crate) scratch: Scratch,
 }
 
 impl Machine {
@@ -197,7 +236,7 @@ impl Machine {
         Ok(Machine {
             iq: IssueQueue::new(cfg.iq_entries, cfg.clusters),
             physfile: PhysRegFile::new(cfg.phys_regs),
-            fwd: ForwardingBuffer::new(cfg.fwd_window),
+            fwd: ForwardingBuffer::with_regs(cfg.fwd_window, cfg.phys_regs),
             rpft: Rpft::new(cfg.phys_regs),
             ready_at: vec![0; cfg.phys_regs],
             avail_cycle: vec![0; cfg.phys_regs],
@@ -217,9 +256,10 @@ impl Machine {
             cycle: 0,
             seq: 0,
             slab: InstSlab::new(),
-            exec_events: BTreeMap::new(),
-            complete_events: BTreeMap::new(),
-            wakeup_events: BTreeMap::new(),
+            exec_events: TimingWheel::new(WHEEL_HORIZON),
+            complete_events: TimingWheel::new(WHEEL_HORIZON),
+            wakeup_events: TimingWheel::new(WHEEL_HORIZON),
+            scratch: Scratch::default(),
             frontend_stall_until: 0,
             cluster_pressure: vec![0; cfg.clusters],
             retire_capture: None,
@@ -244,6 +284,7 @@ impl Machine {
     }
 
     /// Current cycle.
+    #[inline]
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
@@ -305,9 +346,14 @@ impl Machine {
         self.retire_capture = Some(Vec::new());
     }
 
-    /// Drain and return the captured retire stream.
+    /// Drain and return the captured retire stream. Capture stays enabled;
+    /// the drained buffer's allocation is handed to the caller and the
+    /// capture restarts empty.
     pub fn take_retires(&mut self) -> Vec<(usize, Retired)> {
-        self.retire_capture.replace(Vec::new()).unwrap_or_default()
+        self.retire_capture
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Number of dynamic instructions currently tracked (fetched, not yet
@@ -398,9 +444,9 @@ impl Machine {
             max_in_flight: self.cfg.max_in_flight,
             frontend_stall_until: self.frontend_stall_until,
             pending_events: (
-                self.exec_events.values().map(Vec::len).sum(),
-                self.complete_events.values().map(Vec::len).sum(),
-                self.wakeup_events.values().map(Vec::len).sum(),
+                self.exec_events.len(),
+                self.complete_events.len(),
+                self.wakeup_events.len(),
             ),
             threads: self
                 .threads
@@ -486,25 +532,22 @@ impl Machine {
     /// Process due wake-up corrections (the delayed miss notifications of
     /// the load-resolution loop).
     fn do_wakeups(&mut self, now: u64) {
-        while let Some((&cyc, _)) = self.wakeup_events.first_key_value() {
-            if cyc > now {
-                break;
+        let mut list = std::mem::take(&mut self.scratch.wakeup_due);
+        self.wakeup_events.drain_due(now, &mut list);
+        for e in &list {
+            let (id, stamp, ready) = e.payload;
+            let Some(di) = self.slab.get(id) else {
+                continue;
+            };
+            if di.issue_count != stamp {
+                continue;
             }
-            // invariant: first_key_value above proved the map non-empty.
-            let (_, list) = self.wakeup_events.pop_first().expect("non-empty");
-            for (id, stamp, ready) in list {
-                let Some(di) = self.slab.get(id) else {
-                    continue;
-                };
-                if di.issue_count != stamp {
-                    continue;
-                }
-                if let Some(DestRename { new, .. }) = di.dest {
-                    let v = ready.min(self.ready_at[new.index()]);
-                    self.set_ready_at(new, v);
-                }
+            if let Some(DestRename { new, .. }) = di.dest {
+                let v = ready.min(self.ready_at[new.index()]);
+                self.set_ready_at(new, v);
             }
         }
+        self.scratch.wakeup_due = list;
     }
 
     // ----------------------------------------------------------------- fetch
@@ -591,7 +634,7 @@ impl Machine {
     /// redirects-away-from-fall-through).
     fn predict_control(&mut self, t: usize, id: InstId, pc: u64, inst: Inst) -> (u64, bool) {
         let history = self.pred.snapshot_history();
-        let ras_ckpt = self.threads[t].ras.checkpoint();
+        let ras_ckpt = self.threads[t].ras.checkpoint_fixed();
         let mut pred_ctx = 0u64;
         let fall = pc + 1;
         let (next, taken) = match inst.class() {
@@ -655,7 +698,9 @@ impl Machine {
         let mut budget = self.cfg.width;
         // Round-robin across threads, in per-thread program order.
         let nthreads = self.threads.len();
-        let mut blocked = vec![false; nthreads];
+        let mut blocked = std::mem::take(&mut self.scratch.blocked);
+        blocked.clear();
+        blocked.resize(nthreads, false);
         #[allow(clippy::needless_range_loop)] // t also indexes self.threads
         'outer: while budget > 0 {
             let mut progress = false;
@@ -695,6 +740,7 @@ impl Machine {
                 break;
             }
         }
+        self.scratch.blocked = blocked;
     }
 
     fn total_in_flight(&self) -> usize {
@@ -842,7 +888,9 @@ impl Machine {
             return;
         }
         let nthreads = self.threads.len();
-        let mut blocked = vec![false; nthreads];
+        let mut blocked = std::mem::take(&mut self.scratch.blocked);
+        blocked.clear();
+        blocked.resize(nthreads, false);
         #[allow(clippy::needless_range_loop)] // t also indexes self.threads
         loop {
             let mut progress = false;
@@ -866,8 +914,8 @@ impl Machine {
                     cluster: di.cluster,
                     state: IqState::Waiting,
                 };
-                let inserted = self.iq.insert(entry);
-                debug_assert!(inserted);
+                let slot = self.iq.insert(entry);
+                debug_assert!(slot.is_some());
                 self.cluster_pressure[di.cluster] -= 1;
                 if let Some(tr) = &mut self.tracer {
                     tr.stage(now, id, "Q");
@@ -875,6 +923,9 @@ impl Machine {
                 let di = self.slab.expect_mut(id);
                 di.phase = InstPhase::InIq;
                 di.insert_cycle = Some(now);
+                if let Some(slot) = slot {
+                    di.iq_slot = slot;
+                }
                 self.threads[t].transit_q.pop_front();
                 progress = true;
             }
@@ -882,6 +933,7 @@ impl Machine {
                 break;
             }
         }
+        self.scratch.blocked = blocked;
     }
 
     // ----------------------------------------------------------------- issue
@@ -920,25 +972,27 @@ impl Machine {
     }
 
     fn do_issue(&mut self, now: u64) {
-        // One selection per cluster: oldest ready waiting entry.
-        let mut picks: Vec<Option<(u64, InstId)>> = vec![None; self.cfg.clusters];
-        for e in self.iq.iter() {
-            if !matches!(e.state, IqState::Waiting) {
-                continue;
-            }
-            if let Some((seq, _)) = picks[e.cluster] {
-                if e.seq >= seq {
-                    continue;
+        // One selection per cluster: oldest ready waiting entry. The IQ's
+        // per-cluster waiting lists are age-sorted, so the first ready
+        // entry of each list is the cluster's pick.
+        let mut picks = std::mem::take(&mut self.scratch.picks);
+        picks.clear();
+        picks.resize(self.cfg.clusters, None);
+        for (cluster, pick) in picks.iter_mut().enumerate() {
+            for i in 0..self.iq.waiting_len(cluster) {
+                let e = self.iq.waiting_entry(cluster, i);
+                if self.entry_ready(e, now) {
+                    *pick = Some((e.seq, e.id));
+                    break;
                 }
             }
-            if self.entry_ready(e, now) {
-                picks[e.cluster] = Some((e.seq, e.id));
+        }
+        for &pick in &picks {
+            if let Some((_, id)) = pick {
+                self.issue_one(id, now);
             }
         }
-        for pick in picks.into_iter().flatten() {
-            let (_, id) = pick;
-            self.issue_one(id, now);
-        }
+        self.scratch.picks = picks;
     }
 
     fn issue_one(&mut self, id: InstId, now: u64) {
@@ -953,14 +1007,10 @@ impl Machine {
         let stamp = di.issue_count;
         let class = di.inst.class();
         let dest = di.dest;
-        if let Some(e) = self.iq.find_mut(id) {
-            e.state = IqState::Issued;
-        }
+        let slot = di.iq_slot;
+        self.iq.mark_issued(slot, id);
         let exec_at = now + y;
-        self.exec_events
-            .entry(exec_at)
-            .or_default()
-            .push((id, stamp));
+        self.exec_events.schedule(exec_at, (id, stamp));
 
         // Speculative wake-up broadcast: consumers may issue so they reach
         // execute exactly when the (predicted) result forwards.
@@ -996,21 +1046,21 @@ impl Machine {
     // --------------------------------------------------------------- execute
 
     fn do_execute(&mut self, now: u64) {
-        let Some(list) = self.exec_events.remove(&now) else {
-            return;
-        };
+        let mut due = std::mem::take(&mut self.scratch.exec_due);
+        self.exec_events.drain_due(now, &mut due);
         // Oldest-first so same-cycle store→load forwarding within a thread
         // resolves in program order.
-        let mut list: Vec<(u64, InstId, u32)> = list
-            .into_iter()
-            .filter_map(|(id, stamp)| {
-                let di = self.slab.get(id)?;
-                (di.issue_count == stamp && di.phase == InstPhase::Issued)
-                    .then_some((di.seq, id, stamp))
-            })
-            .collect();
+        let mut list = std::mem::take(&mut self.scratch.exec_list);
+        list.clear();
+        list.extend(due.drain(..).filter_map(|e| {
+            let (id, stamp) = e.payload;
+            let di = self.slab.get(id)?;
+            (di.issue_count == stamp && di.phase == InstPhase::Issued)
+                .then_some((di.seq, id, stamp))
+        }));
+        self.scratch.exec_due = due;
         list.sort_unstable_by_key(|&(seq, _, _)| seq);
-        for (_, id, stamp) in list {
+        for &(_, id, stamp) in &list {
             // An older instruction in this very batch may have squashed or
             // replayed this one (branch recovery, memory trap, shadow
             // kill): re-validate before executing.
@@ -1022,6 +1072,7 @@ impl Machine {
                 self.execute_one(id, now);
             }
         }
+        self.scratch.exec_list = list;
     }
 
     /// Gathered operand values, or the reason execution must abort.
@@ -1138,9 +1189,8 @@ impl Machine {
                 self.set_ready_at(new, u64::MAX);
             }
         }
-        if let Some(e) = self.iq.find_mut(id) {
-            e.state = IqState::Waiting;
-        }
+        let slot = self.slab.expect(id).iq_slot;
+        self.iq.mark_waiting(slot, id);
         match cause {
             // Producer-not-ready chains are rooted at mis-speculated loads
             // (deterministic-latency producers never disappoint their
@@ -1286,9 +1336,8 @@ impl Machine {
         broadcast: bool,
     ) {
         let free_at = now + self.cfg.confirm_feedback as u64 + self.cfg.iq_clear_extra as u64;
-        if let Some(e) = self.iq.find_mut(id) {
-            e.state = IqState::Confirmed { free_at };
-        }
+        let slot = self.slab.expect(id).iq_slot;
+        self.iq.mark_confirmed(slot, id, free_at);
         let y = self.cfg.iq_ex_stages as u64;
         let di = self.slab.expect_mut(id);
         di.result = result;
@@ -1302,9 +1351,7 @@ impl Machine {
             }
         }
         self.complete_events
-            .entry(complete_at.max(now))
-            .or_default()
-            .push((id, stamp));
+            .schedule(complete_at.max(now), (id, stamp));
     }
 
     fn execute_load(&mut self, id: InstId, now: u64, base: u64) {
@@ -1415,13 +1462,9 @@ impl Machine {
             di.next_pc = Some(pc + 1);
             di.result = Some(value);
             let free_at = now + self.cfg.confirm_feedback as u64 + self.cfg.iq_clear_extra as u64;
-            if let Some(e) = self.iq.find_mut(id) {
-                e.state = IqState::Confirmed { free_at };
-            }
-            self.complete_events
-                .entry(complete_at)
-                .or_default()
-                .push((id, stamp));
+            let slot = self.slab.expect(id).iq_slot;
+            self.iq.mark_confirmed(slot, id, free_at);
+            self.complete_events.schedule(complete_at, (id, stamp));
             return;
         }
         if sched_hit {
@@ -1433,10 +1476,10 @@ impl Machine {
             self.finish_exec(id, now, complete_at, Some(value), pc + 1, false);
             let stamp = self.slab.expect(id).issue_count;
             let corrected = (complete_at + 1).saturating_sub(y);
-            self.wakeup_events
-                .entry(known_at + self.cfg.confirm_feedback as u64)
-                .or_default()
-                .push((id, stamp, corrected));
+            self.wakeup_events.schedule(
+                known_at + self.cfg.confirm_feedback as u64,
+                (id, stamp, corrected),
+            );
         }
     }
 
@@ -1444,19 +1487,19 @@ impl Machine {
     /// of the thread (in the load shadow), dependent or not.
     fn kill_load_shadow(&mut self, load: InstId, t: usize) {
         let load_seq = self.slab.expect(load).seq;
-        let mut to_replay = Vec::new();
-        for e in self.iq.iter() {
-            if e.thread == t
+        let mut to_replay = std::mem::take(&mut self.scratch.to_replay);
+        to_replay.clear();
+        to_replay.extend(self.iq.iter().filter_map(|e| {
+            (e.thread == t
                 && e.seq > load_seq
                 && matches!(e.state, IqState::Issued)
-                && e.id != load
-            {
-                to_replay.push(e.id);
-            }
-        }
-        for id in to_replay {
+                && e.id != load)
+                .then_some(e.id)
+        }));
+        for &id in &to_replay {
             self.replay(id, ReplayCause::Shadow);
         }
+        self.scratch.to_replay = to_replay;
     }
 
     /// Refetch recovery for a load miss: squash everything after the load
@@ -1589,7 +1632,7 @@ impl Machine {
             let seq = self.slab.expect(id).seq;
             let ras = self.slab.expect_mut(id).ras_ckpt.take();
             if let Some(ras) = ras {
-                self.threads[t].ras.restore(&ras);
+                self.threads[t].ras.restore_fixed(&ras);
                 // Redo this instruction's own RAS effect.
                 match inst.op {
                     Opcode::Jsr => self.threads[t].ras.push(fall),
@@ -1610,24 +1653,20 @@ impl Machine {
         // Drain every due bucket. Results scheduled "for this cycle" during
         // a later stage of the previous iteration (single-cycle ops
         // complete in their execute cycle) are picked up here, one
-        // simulator iteration later, stamped with their true cycle.
-        let mut due: Vec<(u64, InstId, u32, u64)> = Vec::new();
-        while let Some((&cyc, _)) = self.complete_events.first_key_value() {
-            if cyc > now {
-                break;
-            }
-            // invariant: first_key_value above proved the map non-empty.
-            let (cyc, list) = self.complete_events.pop_first().expect("non-empty");
-            for (id, stamp) in list {
-                if let Some(di) = self.slab.get(id) {
-                    if di.issue_count == stamp {
-                        due.push((di.seq, id, stamp, cyc));
-                    }
-                }
-            }
-        }
+        // simulator iteration later, stamped with their true cycle (the
+        // wheel preserves each event's requested cycle).
+        let mut drained = std::mem::take(&mut self.scratch.complete_due);
+        self.complete_events.drain_due(now, &mut drained);
+        let mut due = std::mem::take(&mut self.scratch.due);
+        due.clear();
+        due.extend(drained.drain(..).filter_map(|e| {
+            let (id, stamp) = e.payload;
+            let di = self.slab.get(id)?;
+            (di.issue_count == stamp).then_some((di.seq, id, stamp, e.cycle))
+        }));
+        self.scratch.complete_due = drained;
         due.sort_unstable_by_key(|&(seq, _, _, _)| seq);
-        for (_, id, _, cyc) in due {
+        for &(_, id, _, cyc) in &due {
             if let Some(tr) = &mut self.tracer {
                 tr.stage(now, id, "Cm");
             }
@@ -1644,6 +1683,7 @@ impl Machine {
                 self.set_ready_at(new, nv);
             }
         }
+        self.scratch.due = due;
     }
 
     // ------------------------------------------------------------- writeback
@@ -1653,7 +1693,9 @@ impl Machine {
     /// cluster register caches whose insertion tables show outstanding
     /// consumers.
     fn do_writeback(&mut self, now: u64) {
-        for (p, v) in self.fwd.expiring(now) {
+        let mut expiring = std::mem::take(&mut self.scratch.expiring);
+        self.fwd.expiring_into(now, &mut expiring);
+        for &(p, v) in &expiring {
             self.rpft.on_writeback(p);
             if self.cfg.scheme.is_dra() {
                 for c in 0..self.cfg.clusters {
@@ -1663,6 +1705,7 @@ impl Machine {
                 }
             }
         }
+        self.scratch.expiring = expiring;
         self.fwd.evict_expired(now);
     }
 
@@ -1671,7 +1714,9 @@ impl Machine {
     fn do_retire(&mut self, now: u64) -> u64 {
         let mut budget = self.cfg.width;
         let nthreads = self.threads.len();
-        let mut blocked = vec![false; nthreads];
+        let mut blocked = std::mem::take(&mut self.scratch.blocked);
+        blocked.clear();
+        blocked.resize(nthreads, false);
         #[allow(clippy::needless_range_loop)] // t also indexes self.threads
         'outer: loop {
             let mut progress = false;
@@ -1703,6 +1748,7 @@ impl Machine {
                 break;
             }
         }
+        self.scratch.blocked = blocked;
         (self.cfg.width - budget) as u64
     }
 
@@ -1857,16 +1903,15 @@ impl Machine {
         // (correct-path) instructions.
         {
             let di = self.slab.expect(id);
-            let a: Vec<u64> = di
-                .srcs
-                .iter()
-                .flatten()
-                .filter_map(|s| s.avail_cycle)
-                .collect();
-            let gap = match a.as_slice() {
-                [x, y] => x.abs_diff(*y),
-                _ => 0,
-            };
+            let mut a = [0u64; 2];
+            let mut n = 0;
+            for s in di.srcs.iter().flatten() {
+                if let Some(c) = s.avail_cycle {
+                    a[n & 1] = c;
+                    n += 1;
+                }
+            }
+            let gap = if n == 2 { a[0].abs_diff(a[1]) } else { 0 };
             self.stats.record_gap(gap);
         }
 
@@ -1914,8 +1959,9 @@ impl Machine {
         cause: CpiComponent,
     ) {
         // Front-end queues: not yet renamed (decode_q) — just drop.
+        let mut dropped = std::mem::take(&mut self.scratch.dropped);
+        dropped.clear();
         let th = &mut self.threads[thread];
-        let mut dropped: Vec<InstId> = Vec::new();
         while let Some(&(_, id)) = th.decode_q.back() {
             if self.slab.expect(id).seq > after_seq {
                 th.decode_q.pop_back();
@@ -1960,14 +2006,13 @@ impl Machine {
             // counters polluted by wrong-path consumers).
             if self.cfg.scheme.is_dra() && self.cfg.dra_ideal_squash_cleanup {
                 let cluster = di.cluster;
-                let pend: Vec<_> = di
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .filter(|s| s.itable_pending)
-                    .map(|s| s.phys)
-                    .collect();
-                for p in pend {
+                let mut pend = [None; 2];
+                for (i, s) in di.srcs.iter().flatten().enumerate() {
+                    if s.itable_pending {
+                        pend[i & 1] = Some(s.phys);
+                    }
+                }
+                for p in pend.into_iter().flatten() {
                     self.itables[cluster].decrement(p);
                 }
             }
@@ -1992,13 +2037,14 @@ impl Machine {
             self.threads[thread].rob.pop_back();
             self.slab.release(id);
         }
-        for id in dropped {
+        for &id in &dropped {
             self.stats.squashed += 1;
             if let Some(tr) = &mut self.tracer {
                 tr.flush(self.cycle, id);
             }
             self.slab.release(id);
         }
+        self.scratch.dropped = dropped;
 
         // Fetch redirect.
         let th = &mut self.threads[thread];

@@ -18,14 +18,22 @@
 //! | `Cm` | complete, waiting to retire |
 
 use crate::dyninst::InstId;
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Incremental Kanata log builder.
+///
+/// Row bookkeeping is a dense vector indexed by the [`InstId`] slot (the
+/// slab reuses low slot numbers, so this stays as small as the in-flight
+/// window): no hashing on the per-stage hot path and no steady-state
+/// allocation once the vector reaches the machine's in-flight high-water
+/// mark. Each cell remembers the generation it was claimed by, so stale
+/// handles from reused slots are ignored exactly as the old map was keyed.
 #[derive(Debug, Default)]
 pub struct PipelineTracer {
     buf: String,
-    rows: HashMap<InstId, u64>,
+    /// `slot → (generation, kanata row)` for live rows.
+    rows: Vec<Option<(u32, u64)>>,
+    live: usize,
     next_row: u64,
     retire_id: u64,
     last_cycle: u64,
@@ -52,12 +60,40 @@ impl PipelineTracer {
         }
     }
 
+    /// Row for a live `id`, if any.
+    #[inline]
+    fn row_of(&self, id: InstId) -> Option<u64> {
+        match self.rows.get(id.slot as usize) {
+            Some(&Some((gen, row))) if gen == id.gen => Some(row),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the row for a live `id`, if any.
+    #[inline]
+    fn take_row(&mut self, id: InstId) -> Option<u64> {
+        match self.rows.get_mut(id.slot as usize) {
+            Some(cell @ &mut Some((gen, _))) if gen == id.gen => {
+                let (_, row) = cell.take().expect("matched Some");
+                self.live -= 1;
+                Some(row)
+            }
+            _ => None,
+        }
+    }
+
     /// A new dynamic instruction was fetched.
     pub fn fetch(&mut self, cycle: u64, id: InstId, seq: u64, thread: usize, text: &str) {
         self.advance(cycle);
         let row = self.next_row;
         self.next_row += 1;
-        self.rows.insert(id, row);
+        let slot = id.slot as usize;
+        if self.rows.len() <= slot {
+            self.rows.resize(slot + 1, None);
+        }
+        if self.rows[slot].replace((id.gen, row)).is_none() {
+            self.live += 1;
+        }
         let _ = writeln!(self.buf, "I\t{row}\t{seq}\t{thread}");
         let _ = writeln!(self.buf, "L\t{row}\t0\t{text}");
         let _ = writeln!(self.buf, "S\t{row}\t0\tF");
@@ -65,7 +101,7 @@ impl PipelineTracer {
 
     /// The instruction entered a stage.
     pub fn stage(&mut self, cycle: u64, id: InstId, stage: &str) {
-        if let Some(&row) = self.rows.get(&id) {
+        if let Some(row) = self.row_of(id) {
             self.advance(cycle);
             let _ = writeln!(self.buf, "S\t{row}\t0\t{stage}");
         }
@@ -73,7 +109,7 @@ impl PipelineTracer {
 
     /// The instruction retired.
     pub fn retire(&mut self, cycle: u64, id: InstId) {
-        if let Some(row) = self.rows.remove(&id) {
+        if let Some(row) = self.take_row(id) {
             self.advance(cycle);
             let rid = self.retire_id;
             self.retire_id += 1;
@@ -83,7 +119,7 @@ impl PipelineTracer {
 
     /// The instruction was squashed.
     pub fn flush(&mut self, cycle: u64, id: InstId) {
-        if let Some(row) = self.rows.remove(&id) {
+        if let Some(row) = self.take_row(id) {
             self.advance(cycle);
             let rid = self.retire_id;
             self.retire_id += 1;
@@ -97,12 +133,28 @@ impl PipelineTracer {
     /// cycle counters reset so a subsequent trace starts fresh instead of
     /// emitting colliding row ids.
     pub fn take(&mut self) -> String {
-        let mut live: Vec<(u64, InstId)> = self.rows.iter().map(|(&id, &row)| (row, id)).collect();
+        let mut live: Vec<(u64, InstId)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, cell)| {
+                cell.map(|(gen, row)| {
+                    (
+                        row,
+                        InstId {
+                            slot: slot as u32,
+                            gen,
+                        },
+                    )
+                })
+            })
+            .collect();
         live.sort_unstable_by_key(|&(row, _)| row);
         for (_, id) in live {
             self.flush(self.last_cycle, id);
         }
         self.rows.clear();
+        self.live = 0;
         self.next_row = 0;
         self.retire_id = 0;
         self.last_cycle = 0;
@@ -112,7 +164,7 @@ impl PipelineTracer {
 
     /// Number of live (fetched, not yet retired/flushed) rows.
     pub fn live_rows(&self) -> usize {
-        self.rows.len()
+        self.live
     }
 }
 
@@ -204,6 +256,44 @@ mod tests {
             second.contains("R\t0\t0\t0"),
             "retire ids restart: {second}"
         );
+    }
+
+    /// Golden log: the slot-indexed row table must emit byte-for-byte what
+    /// the original `HashMap<InstId, row>` implementation produced,
+    /// including slot reuse across generations and a stale-handle ignore.
+    #[test]
+    fn take_output_matches_hashmap_era_golden_log() {
+        let mut t = PipelineTracer::new();
+        t.fetch(10, id(0), 1, 0, "addi r1, r31, 1");
+        t.fetch(10, id(1), 2, 1, "ld r2, 0(r1)");
+        t.stage(12, id(0), "Dc");
+        t.stage(12, id(1), "Dc");
+        t.flush(13, id(1)); // squashed; slot 1 is reused below
+        t.stage(14, InstId { slot: 1, gen: 0 }, "X"); // stale handle: ignored
+        t.fetch(14, InstId { slot: 1, gen: 1 }, 3, 1, "bne r1, -2");
+        t.retire(15, id(0));
+        let log = t.take();
+        let expected = "Kanata\t0004\n\
+                        C=\t10\n\
+                        I\t0\t1\t0\n\
+                        L\t0\t0\taddi r1, r31, 1\n\
+                        S\t0\t0\tF\n\
+                        I\t1\t2\t1\n\
+                        L\t1\t0\tld r2, 0(r1)\n\
+                        S\t1\t0\tF\n\
+                        C\t2\n\
+                        S\t0\t0\tDc\n\
+                        S\t1\t0\tDc\n\
+                        C\t1\n\
+                        R\t1\t0\t1\n\
+                        C\t1\n\
+                        I\t2\t3\t1\n\
+                        L\t2\t0\tbne r1, -2\n\
+                        S\t2\t0\tF\n\
+                        C\t1\n\
+                        R\t0\t1\t0\n\
+                        R\t2\t2\t1\n";
+        assert_eq!(log, expected);
     }
 
     #[test]

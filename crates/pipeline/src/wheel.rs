@@ -1,0 +1,277 @@
+//! Fixed-size timing wheel for cycle-indexed event queues.
+//!
+//! The cycle engine schedules three kinds of future work (begin-execute,
+//! complete, delayed wake-up corrections). All delays are bounded by
+//! configuration latencies, so a calendar-queue ring of pre-sized buckets
+//! indexed by `cycle % horizon` serves nearly every event from memory it
+//! already owns; the rare event past the horizon (a TLB walk stacked on a
+//! memory miss, a fault-injected latency spike) parks in a small overflow
+//! heap until its cycle comes due. After warm-up, scheduling and draining
+//! allocate nothing: bucket `Vec`s and the drain buffer keep their
+//! capacity, and the heap only grows while a new high-water mark of
+//! overflowed events is in flight.
+//!
+//! # Determinism contract
+//!
+//! The wheel replaces `BTreeMap<u64, Vec<T>>` queues drained with
+//! `pop_first`, which yields events grouped by ascending cycle and, within
+//! a cycle, in insertion order. [`TimingWheel::drain_due`] reproduces that
+//! order exactly: every event carries its requested cycle and a wheel-wide
+//! insertion sequence, and the drained batch is sorted by `(cycle, seq)`.
+//! The requested cycle is preserved even when an event is scheduled for a
+//! cycle that has already been drained (the engine schedules completions
+//! "for this cycle" from later pipeline stages); such events are slotted
+//! into the next drainable bucket but still sort — and stamp — by their
+//! requested cycle, exactly as a `BTreeMap` key would.
+
+use std::collections::BinaryHeap;
+
+/// One scheduled event: the cycle it was requested for, the wheel-wide
+/// insertion sequence used for deterministic tie-breaking, and the
+/// caller's payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Due<T> {
+    pub cycle: u64,
+    pub seq: u64,
+    pub payload: T,
+}
+
+/// Overflow-heap entry ordered by `(cycle, seq)` only (min-heap via
+/// `Reverse` at the use site). `seq` is unique per wheel, so the order is
+/// total without comparing payloads.
+#[derive(Debug)]
+struct Parked<T> {
+    cycle: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Parked<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.cycle, self.seq) == (other.cycle, other.seq)
+    }
+}
+impl<T> Eq for Parked<T> {}
+impl<T> PartialOrd for Parked<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Parked<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so that `BinaryHeap` (a max-heap) pops the smallest
+        // `(cycle, seq)` first.
+        (other.cycle, other.seq).cmp(&(self.cycle, self.seq))
+    }
+}
+
+/// Calendar-queue event wheel: a ring of `horizon` buckets plus an
+/// overflow heap for events at least `horizon` cycles out.
+#[derive(Debug)]
+pub(crate) struct TimingWheel<T> {
+    /// `buckets[c % horizon]` holds events drainable at cycle `c` for the
+    /// current wheel revolution.
+    buckets: Vec<Vec<Due<T>>>,
+    /// Events whose slot cycle was `>= cursor + horizon` when scheduled.
+    overflow: BinaryHeap<Parked<T>>,
+    /// First cycle not yet drained. Buckets cover
+    /// `cursor .. cursor + horizon`.
+    cursor: u64,
+    /// Wheel-wide insertion sequence (the `BTreeMap + Vec::push` order).
+    next_seq: u64,
+    /// Live event count across buckets and overflow.
+    len: usize,
+}
+
+impl<T> TimingWheel<T> {
+    /// `horizon` buckets; events scheduled less than `horizon` cycles
+    /// ahead of the drain cursor go straight to their bucket.
+    pub fn new(horizon: u64) -> TimingWheel<T> {
+        assert!(horizon >= 1, "timing wheel needs at least one bucket");
+        let mut buckets = Vec::new();
+        buckets.resize_with(horizon as usize, Vec::new);
+        TimingWheel {
+            buckets,
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    fn horizon(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Schedule `payload` for `cycle`. A cycle at or past
+    /// `cursor + horizon` parks in the overflow heap; a cycle already
+    /// behind the cursor lands in the next drainable bucket while keeping
+    /// its requested cycle for ordering and stamping.
+    pub fn schedule(&mut self, cycle: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let slot_cycle = cycle.max(self.cursor);
+        if slot_cycle >= self.cursor + self.horizon() {
+            self.overflow.push(Parked {
+                cycle,
+                seq,
+                payload,
+            });
+        } else {
+            let idx = (slot_cycle % self.horizon()) as usize;
+            self.buckets[idx].push(Due {
+                cycle,
+                seq,
+                payload,
+            });
+        }
+    }
+
+    /// Drain every event due at or before `now` into `out` (cleared
+    /// first), sorted by `(cycle, seq)` — the exact order a
+    /// `BTreeMap<u64, Vec<T>>` drained with `pop_first` would yield.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Due<T>>) {
+        out.clear();
+        while self.cursor <= now {
+            let idx = (self.cursor % self.horizon()) as usize;
+            out.append(&mut self.buckets[idx]);
+            while self.overflow.peek().is_some_and(|p| p.cycle <= self.cursor) {
+                // invariant: peek above proved the heap non-empty.
+                let p = self.overflow.pop().expect("non-empty");
+                out.push(Due {
+                    cycle: p.cycle,
+                    seq: p.seq,
+                    payload: p.payload,
+                });
+            }
+            self.cursor += 1;
+        }
+        self.len -= out.len();
+        out.sort_unstable_by_key(|e| (e.cycle, e.seq));
+    }
+
+    /// Live events (buckets + overflow).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_rng::Rng;
+    use std::collections::BTreeMap;
+
+    /// Drain the reference model the way the machine drained its
+    /// `BTreeMap` queues: pop ascending keys `<= now`, preserving push
+    /// order within a key.
+    fn drain_btree(model: &mut BTreeMap<u64, Vec<u32>>, now: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((&cyc, _)) = model.first_key_value() {
+            if cyc > now {
+                break;
+            }
+            let (cyc, list) = model.pop_first().expect("non-empty");
+            out.extend(list.into_iter().map(|p| (cyc, p)));
+        }
+        out
+    }
+
+    fn drain_wheel(wheel: &mut TimingWheel<u32>, now: u64) -> Vec<(u64, u32)> {
+        let mut buf = Vec::new();
+        wheel.drain_due(now, &mut buf);
+        buf.into_iter().map(|e| (e.cycle, e.payload)).collect()
+    }
+
+    #[test]
+    fn matches_btreemap_order_under_random_schedules() {
+        let mut rng = Rng::seed_from_u64(0x5eed_4e11);
+        for horizon in [1u64, 2, 7, 64] {
+            let mut wheel = TimingWheel::new(horizon);
+            let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+            let mut payload = 0u32;
+            // The engine drains once per cycle, strictly advancing.
+            for now in 0..2_000u64 {
+                // Mirror one engine iteration: drain first, then schedule.
+                assert_eq!(drain_wheel(&mut wheel, now), drain_btree(&mut model, now));
+                assert_eq!(
+                    wheel.len(),
+                    model.values().map(Vec::len).sum::<usize>(),
+                    "len out of sync at cycle {now}"
+                );
+                // A burst of schedules at mixed horizons. `ahead == 0`
+                // exercises the engine's "for this cycle" completions:
+                // `now` was drained above, so the event lands behind the
+                // wheel cursor but must still sort (and stamp) by its
+                // requested cycle, like a BTreeMap key.
+                for _ in 0..(rng.next_u64() % 4) {
+                    let cycle = now + rng.next_u64() % (3 * horizon + 40);
+                    wheel.schedule(cycle, payload);
+                    model.entry(cycle).or_default().push(payload);
+                    payload += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_boundary_events_round_trip() {
+        let h = 16;
+        let mut wheel = TimingWheel::new(h);
+        // Exactly the last in-horizon bucket vs the first overflow cycle.
+        wheel.schedule(h - 1, 1);
+        wheel.schedule(h, 2);
+        assert_eq!(wheel.len(), 2);
+        assert_eq!(drain_wheel(&mut wheel, h - 1), vec![(h - 1, 1)]);
+        assert_eq!(drain_wheel(&mut wheel, h), vec![(h, 2)]);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn overflow_refills_across_revolutions() {
+        let h = 8;
+        let mut wheel = TimingWheel::new(h);
+        // Far-future events spanning several wheel revolutions, scheduled
+        // out of cycle order.
+        for &(cycle, payload) in &[(70u64, 7u32), (23, 2), (51, 5), (23, 3), (9, 1)] {
+            wheel.schedule(cycle, payload);
+        }
+        let mut got = Vec::new();
+        for now in 0..=80 {
+            got.extend(drain_wheel(&mut wheel, now));
+        }
+        assert_eq!(got, vec![(9, 1), (23, 2), (23, 3), (51, 5), (70, 7)]);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn past_due_schedule_sorts_by_requested_cycle() {
+        let mut wheel = TimingWheel::new(8);
+        assert!(drain_wheel(&mut wheel, 10).is_empty());
+        // Scheduled "for cycle 10" after cycle 10 drained, alongside a
+        // later-seq event actually due at 11: the requested cycle must
+        // dominate the tie-break, as a BTreeMap key would.
+        wheel.schedule(11, 20);
+        wheel.schedule(10, 10);
+        assert_eq!(drain_wheel(&mut wheel, 11), vec![(10, 10), (11, 20)]);
+    }
+
+    #[test]
+    fn survives_watchdog_sized_idle_windows() {
+        // The forward-progress watchdog tolerates 50k cycles with no
+        // retirement; the wheel must deliver an event parked that far out
+        // (and keep empty revolutions cheap and allocation-stable).
+        let h = 256;
+        let mut wheel = TimingWheel::new(h);
+        wheel.schedule(50_000, 1);
+        wheel.schedule(50_000 + h, 2);
+        let mut got = Vec::new();
+        for now in 0..=(50_000 + h) {
+            got.extend(drain_wheel(&mut wheel, now));
+        }
+        assert_eq!(got, vec![(50_000, 1), (50_000 + h, 2)]);
+        assert_eq!(wheel.len(), 0);
+    }
+}

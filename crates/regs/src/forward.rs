@@ -8,31 +8,73 @@
 //! loose loop into a tight loop.
 
 use crate::PhysReg;
-use std::collections::HashMap;
+
+/// `cycles` sentinel for "no live entry".
+const EMPTY: u64 = u64::MAX;
 
 /// Sliding-window result store: `(physical register → value)` for results
 /// produced in the last `window` cycles.
+///
+/// Layout is chosen for the simulator's per-cycle hot paths: lookups index
+/// dense per-preg arrays (rename guarantees one live producer per preg, so
+/// this is an exact CAM model), and the write-back traffic for a cycle is
+/// kept in a small ring of per-cycle buckets so [`expiring_into`] touches
+/// only the results actually leaving the buffer instead of scanning every
+/// resident entry. Eviction is a watermark, not a sweep: entries older than
+/// the last [`evict_expired`] call stop matching without being visited.
+///
+/// [`expiring_into`]: ForwardingBuffer::expiring_into
+/// [`evict_expired`]: ForwardingBuffer::evict_expired
 #[derive(Debug, Clone)]
 pub struct ForwardingBuffer {
     window: u64,
-    // preg -> (produced_cycle, value). One producer can be live per preg at
-    // a time (rename guarantees it), so a map is an exact CAM model.
-    entries: HashMap<PhysReg, (u64, u64)>,
+    /// Produced cycle per preg (`EMPTY` = no entry). Grown on demand.
+    cycles: Vec<u64>,
+    /// Value per preg; valid only where `cycles` is live.
+    values: Vec<u64>,
+    /// Entries produced before this cycle are evicted (never match).
+    watermark: u64,
+    /// Per-cycle write-back buckets: pregs whose producer wrote in the
+    /// tagged cycle. A bucket may hold stale pregs (re-inserted or
+    /// invalidated since); readers re-validate against `cycles`.
+    buckets: Vec<Vec<PhysReg>>,
+    /// The cycle each bucket currently holds (`EMPTY` = untouched).
+    bucket_cycle: Vec<u64>,
     hits: u64,
     misses: u64,
 }
 
 impl ForwardingBuffer {
     /// A buffer retaining results for `window` cycles (the paper uses 9).
+    /// Per-preg storage grows on demand; use
+    /// [`ForwardingBuffer::with_regs`] to pre-size it.
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
     pub fn new(window: u64) -> ForwardingBuffer {
+        ForwardingBuffer::with_regs(window, 0)
+    }
+
+    /// A buffer retaining results for `window` cycles, pre-sized for
+    /// `nregs` physical registers so steady-state operation never
+    /// allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_regs(window: u64, nregs: usize) -> ForwardingBuffer {
         assert!(window > 0, "forwarding window must be positive");
+        // A result is visible for `window` cycles and reported once more as
+        // it expires, so distinct live cycles never collide in the ring.
+        let ring = (window + 2) as usize;
         ForwardingBuffer {
             window,
-            entries: HashMap::new(),
+            cycles: vec![EMPTY; nregs],
+            values: vec![0; nregs],
+            watermark: 0,
+            buckets: vec![Vec::new(); ring],
+            bucket_cycle: vec![EMPTY; ring],
             hits: 0,
             misses: 0,
         }
@@ -43,68 +85,120 @@ impl ForwardingBuffer {
         self.window
     }
 
+    #[inline]
+    fn ensure_reg(&mut self, r: PhysReg) {
+        let need = r.index() + 1;
+        if self.cycles.len() < need {
+            self.cycles.resize(need, EMPTY);
+            self.values.resize(need, 0);
+        }
+    }
+
     /// Record a result produced at `cycle`.
     pub fn insert(&mut self, r: PhysReg, value: u64, cycle: u64) {
-        self.entries.insert(r, (cycle, value));
+        self.ensure_reg(r);
+        let idx = (cycle % self.buckets.len() as u64) as usize;
+        if self.bucket_cycle[idx] != cycle {
+            self.bucket_cycle[idx] = cycle;
+            self.buckets[idx].clear();
+        }
+        // Same-preg same-cycle re-insert only updates the value.
+        if self.cycles[r.index()] != cycle {
+            self.buckets[idx].push(r);
+        }
+        self.cycles[r.index()] = cycle;
+        self.values[r.index()] = value;
+    }
+
+    #[inline]
+    fn live_value(&self, r: PhysReg, now: u64) -> Option<u64> {
+        let cycle = *self.cycles.get(r.index())?;
+        if cycle != EMPTY && cycle >= self.watermark && now >= cycle && now - cycle < self.window {
+            Some(self.values[r.index()])
+        } else {
+            None
+        }
     }
 
     /// Look up `r` at `now`: a hit if its producer wrote within the window
     /// (strictly fewer than `window` cycles ago, counting the producing
     /// cycle itself).
+    #[inline]
     pub fn lookup(&mut self, r: PhysReg, now: u64) -> Option<u64> {
-        match self.entries.get(&r) {
-            Some(&(cycle, value)) if now >= cycle && now - cycle < self.window => {
-                self.hits += 1;
-                Some(value)
-            }
-            _ => {
-                self.misses += 1;
-                None
-            }
+        let v = self.live_value(r, now);
+        match v {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
         }
+        v
     }
 
     /// Non-counting lookup for diagnostics and the insertion-table protocol
     /// (checking whether a value is *about to leave* the buffer).
+    #[inline]
     pub fn probe(&self, r: PhysReg, now: u64) -> Option<u64> {
-        match self.entries.get(&r) {
-            Some(&(cycle, value)) if now >= cycle && now - cycle < self.window => Some(value),
-            _ => None,
-        }
+        self.live_value(r, now)
     }
 
     /// Values whose retention expires exactly at `now` — i.e. results
     /// written back to the register file this cycle. The DRA snoops this
     /// write-back traffic to fill the cluster register caches.
     pub fn expiring(&self, now: u64) -> Vec<(PhysReg, u64)> {
-        let mut v: Vec<(PhysReg, u64)> = self
-            .entries
-            .iter()
-            .filter(|(_, &(cycle, _))| now.saturating_sub(cycle) == self.window)
-            .map(|(&r, &(_, value))| (r, value))
-            .collect();
-        v.sort_by_key(|(r, _)| *r);
+        let mut v = Vec::new();
+        self.expiring_into(now, &mut v);
         v
     }
 
-    /// Drop entries older than the window (housekeeping; also keeps
-    /// `expiring` cheap). Call once per cycle after `expiring`.
+    /// [`ForwardingBuffer::expiring`] into a caller-owned buffer (cleared
+    /// first), so the per-cycle write-back snoop allocates nothing.
+    pub fn expiring_into(&self, now: u64, out: &mut Vec<(PhysReg, u64)>) {
+        out.clear();
+        let Some(c) = now.checked_sub(self.window) else {
+            return;
+        };
+        if c < self.watermark {
+            return;
+        }
+        let idx = (c % self.buckets.len() as u64) as usize;
+        if self.bucket_cycle[idx] != c {
+            return;
+        }
+        for &r in &self.buckets[idx] {
+            // Skip pregs re-inserted or invalidated since the bucket push.
+            if self.cycles[r.index()] == c {
+                out.push((r, self.values[r.index()]));
+            }
+        }
+        out.sort_unstable_by_key(|(r, _)| *r);
+        out.dedup_by_key(|(r, _)| *r);
+    }
+
+    /// Drop entries older than the window (housekeeping). Call once per
+    /// cycle after `expiring`. O(1): advances the eviction watermark; stale
+    /// entries stop matching without being visited.
+    #[inline]
     pub fn evict_expired(&mut self, now: u64) {
-        let w = self.window;
-        self.entries
-            .retain(|_, &mut (cycle, _)| now.saturating_sub(cycle) <= w);
+        let floor = now.saturating_sub(self.window);
+        self.watermark = self.watermark.max(floor);
     }
 
     /// Invalidate any entry for `r` (physical-register reallocation; a new
     /// consumer must never see the previous incarnation's value).
+    #[inline]
     pub fn invalidate(&mut self, r: PhysReg) {
-        self.entries.remove(&r);
+        if let Some(c) = self.cycles.get_mut(r.index()) {
+            *c = EMPTY;
+        }
     }
 
     /// Clear everything (full squash of a thread does **not** require this —
     /// values remain architecturally correct — but tests use it).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.cycles.fill(EMPTY);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.bucket_cycle.fill(EMPTY);
     }
 
     /// (hits, misses) among counted lookups.
@@ -146,6 +240,30 @@ mod tests {
             f.expiring(111).is_empty(),
             "only reported at the exact boundary"
         );
+    }
+
+    #[test]
+    fn expiring_skips_refreshed_and_invalidated_entries() {
+        let mut f = ForwardingBuffer::new(9);
+        f.insert(PhysReg(1), 11, 100);
+        f.insert(PhysReg(2), 22, 100);
+        f.insert(PhysReg(3), 33, 100);
+        f.insert(PhysReg(1), 12, 104); // refreshed: expires later
+        f.invalidate(PhysReg(2)); // reallocated: never written back
+        assert_eq!(f.expiring(109), vec![(PhysReg(3), 33)]);
+        assert_eq!(f.expiring(113), vec![(PhysReg(1), 12)]);
+    }
+
+    #[test]
+    fn expiring_into_reuses_buffer_without_allocating() {
+        let mut f = ForwardingBuffer::with_regs(9, 8);
+        f.insert(PhysReg(5), 55, 40);
+        let mut out = Vec::with_capacity(4);
+        out.push((PhysReg(0), 999)); // must be cleared
+        f.expiring_into(49, &mut out);
+        assert_eq!(out, vec![(PhysReg(5), 55)]);
+        f.expiring_into(50, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

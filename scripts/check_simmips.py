@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare a sim-MIPS measurement against the checked-in baseline.
+
+Usage:
+    check_simmips.py BASELINE.json CURRENT.json [--tolerance 0.20]
+
+Both files are produced by `cargo bench -p looseloops-bench --bench
+simmips`. The check is one-sided: only slowdowns fail. A figure is a
+regression when
+
+    current.sim_mips < baseline.sim_mips * (1 - tolerance)
+
+The budgets of the two runs must match exactly — comparing sim-MIPS
+across different warm-up/measure budgets is meaningless, so a mismatch is
+an error rather than a pass.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("budget", "entries"):
+        if key not in doc:
+            sys.exit(f"error: {path}: missing {key!r} (not a simmips report?)")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown before failing (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base["budget"] != cur["budget"]:
+        sys.exit(
+            "error: budget mismatch — baseline "
+            f"{base['budget']} vs current {cur['budget']}; "
+            "sim-MIPS is only comparable at identical budgets"
+        )
+
+    base_by_fig = {e["figure"]: e for e in base["entries"]}
+    failures = []
+    for e in cur["entries"]:
+        fig = e["figure"]
+        if fig not in base_by_fig:
+            print(f"note: {fig}: no baseline entry, skipping")
+            continue
+        b = base_by_fig[fig]
+        if e["instructions"] != b["instructions"]:
+            sys.exit(
+                f"error: {fig}: instruction count changed "
+                f"({b['instructions']} -> {e['instructions']}); the workload "
+                "itself differs, refresh the baseline deliberately"
+            )
+        floor = b["sim_mips"] * (1.0 - args.tolerance)
+        verdict = "OK" if e["sim_mips"] >= floor else "REGRESSION"
+        print(
+            f"{fig}: baseline {b['sim_mips']:.3f} sim-MIPS, "
+            f"current {e['sim_mips']:.3f} (floor {floor:.3f}) -> {verdict}"
+        )
+        if verdict != "OK":
+            failures.append(fig)
+
+    missing = sorted(set(base_by_fig) - {e["figure"] for e in cur["entries"]})
+    if missing:
+        sys.exit(f"error: current run is missing baseline figures: {missing}")
+
+    if failures:
+        sys.exit(f"sim-MIPS regression in: {', '.join(failures)}")
+    print("sim-MIPS within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -438,3 +438,102 @@ pub fn list(_args: &Args) -> Result<(), ArgError> {
     println!("figures: fig4 fig5 fig6 fig8 fig9 load-policy dra-design predictor");
     Ok(())
 }
+
+/// `looseloops fuzz`
+pub fn fuzz(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[
+        "seeds",
+        "start",
+        "jobs",
+        "budget",
+        "profile",
+        "replay",
+        "write-corpus",
+        "no-shrink",
+    ])?;
+
+    // Replay mode: re-run every checked-in reproducer and fail on any
+    // divergence.
+    if let Some(dir) = args.get("replay") {
+        let entries = looseloops_fuzz::corpus::load_dir(std::path::Path::new(dir))
+            .map_err(|e| ArgError(format!("corpus: {e}")))?;
+        let mut failed = 0;
+        for entry in &entries {
+            let out = looseloops_fuzz::run_case(&entry.case);
+            match out.finding {
+                None => println!(
+                    "ok   {:<40} ({} retired, recorded: {})",
+                    entry.name, out.retired, entry.recorded_finding
+                ),
+                Some(f) => {
+                    println!("FAIL {:<40} {f}", entry.name);
+                    failed += 1;
+                }
+            }
+        }
+        println!(
+            "replayed {} corpus entr(ies), {failed} failure(s)",
+            entries.len()
+        );
+        if failed > 0 {
+            return Err(ArgError(format!("{failed} corpus entr(ies) diverged")));
+        }
+        return Ok(());
+    }
+
+    let jobs: usize = args.get_or("jobs", 0)?;
+    let profile = match args.get("profile") {
+        None => None,
+        Some(name) => Some(looseloops_fuzz::GenProfile::from_name(name).ok_or_else(|| {
+            ArgError(format!(
+                "unknown profile `{name}` (try: {})",
+                looseloops_fuzz::GenProfile::all()
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?),
+    };
+    let opts = looseloops_fuzz::CampaignOpts {
+        start: args.get_or("start", 0u64)?,
+        seeds: args.get_or("seeds", 100u64)?,
+        jobs: if jobs == 0 {
+            looseloops::jobs_from_env()
+        } else {
+            jobs
+        },
+        profile,
+        shrink: !args.has("no-shrink"),
+        budget: args
+            .get("budget")
+            .map(|b| {
+                b.parse::<u64>()
+                    .map_err(|_| ArgError(format!("bad --budget `{b}`")))
+            })
+            .transpose()?,
+    };
+    let report = looseloops_fuzz::run_campaign(&opts);
+    print!("{report}");
+
+    if let Some(dir) = args.get("write-corpus") {
+        let dir = std::path::Path::new(dir);
+        for fail in &report.failures {
+            if let Some((case, finding)) = &fail.shrunk {
+                let name = format!("fuzz-seed-{:04x}", fail.seed);
+                let path = looseloops_fuzz::save_entry(dir, &name, case, finding)
+                    .map_err(|e| ArgError(format!("corpus: {e}")))?;
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "{} differential failure(s) in {} case(s)",
+            report.failures.len(),
+            report.cases
+        )))
+    }
+}

@@ -49,6 +49,13 @@ COMMANDS:
              retire slot charged to the loop that caused it, components
              summing to the measured CPI
              --workloads a,b,c  --jobs N  (plus config/budget flags)
+    fuzz     Differential fuzzing: generated programs run through both the
+             timing pipeline and the ISA oracle; any divergence in retire
+             streams, final state or memory is a failure (shrunk by default)
+             --seeds N  --start N  --jobs N  --budget CYCLES
+             --profile branch|memory|chain|barrier|frontend|fp|mixed
+             --no-shrink  --write-corpus DIR
+             --replay DIR  (re-run checked-in reproducers, fail on drift)
     asm      Assemble a .s file; --run simulates it, --disasm round-trips
     kernel   Inspect a benchmark proxy (NAME [--disasm])
     list     List benchmarks, SMT pairs, and figures
@@ -81,6 +88,12 @@ fn main() -> ExitCode {
         "watchdog",
         "inject",
         "inject-seed",
+        "seeds",
+        "start",
+        "budget",
+        "profile",
+        "replay",
+        "write-corpus",
     ]
     .to_vec();
     let args = match Args::parse(rest, &value_flags) {
@@ -95,6 +108,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&args),
         "figure" => commands::figure(&args),
         "loops" => commands::loops(&args),
+        "fuzz" => commands::fuzz(&args),
         "asm" => commands::asm(&args),
         "kernel" => commands::kernel(&args),
         "list" => commands::list(&args),

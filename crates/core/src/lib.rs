@@ -59,7 +59,9 @@ pub use simulator::{
     run_benchmark, run_pair, run_programs, try_run_benchmark, try_run_pair, try_run_programs,
     RunBudget,
 };
-pub use sweep::{default_jobs, jobs_from_env, Job, JobRecord, SweepEngine, SweepSummary};
+pub use sweep::{
+    default_jobs, jobs_from_env, parallel_map, Job, JobRecord, SweepEngine, SweepSummary,
+};
 
 // Substrate re-exports.
 pub use looseloops_branch as branch;

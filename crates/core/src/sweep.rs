@@ -191,6 +191,53 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Run `f(i)` for every `i in 0..n` on a pool of `workers` scoped
+/// threads and return the results in index order.
+///
+/// This is the sweep engine's worker pool factored out for any embarrassingly
+/// parallel indexed computation (the differential fuzzer maps seed indices
+/// through it). The pool is the same hand-rolled shared-queue design —
+/// the workspace is dependency-free, so no rayon. Because results are
+/// reassembled by index, the output is identical whatever the worker
+/// count; only wall-clock changes.
+///
+/// `workers` is clamped to `1..=n`; `n == 0` returns an empty vector
+/// without spawning. A panic in `f` propagates out of the scope and
+/// aborts the map.
+pub fn parallel_map<R, F>(workers: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let next = queue
+                    .lock()
+                    .expect("parallel_map queue poisoned")
+                    .pop_front();
+                let Some(i) = next else { break };
+                let r = f(i);
+                done.lock()
+                    .expect("parallel_map results poisoned")
+                    .push((i, r));
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("parallel_map results poisoned");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Worker count from the `LOOSELOOPS_JOBS` environment variable, falling
 /// back to [`default_jobs`]. A malformed value is reported on stderr and
 /// ignored rather than silently treated as 1.
@@ -295,47 +342,35 @@ impl SweepEngine {
         // cached, so the map is batch-local).
         let mut failed: HashMap<&str, SimError> = HashMap::new();
         if !pending.is_empty() {
-            let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.iter().copied().collect());
-            let done: Mutex<Vec<(usize, JobResult)>> =
-                Mutex::new(Vec::with_capacity(pending.len()));
-            let workers = self.workers.min(pending.len()).max(1);
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let next = queue.lock().expect("sweep queue poisoned").pop_front();
-                        let Some(i) = next else { break };
-                        let job = &jobs[i];
-                        let t = Instant::now();
-                        let result = job.try_run();
-                        let wall = t.elapsed();
-                        self.busy_nanos
-                            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
-                        if let Ok(stats) = &result {
-                            let instructions = job.budget.warmup + stats.total_retired();
-                            self.instructions.fetch_add(instructions, Ordering::Relaxed);
-                            self.stack
-                                .lock()
-                                .expect("sweep stack poisoned")
-                                .merge(&stats.loop_cost);
-                            self.job_log
-                                .lock()
-                                .expect("sweep log poisoned")
-                                .push(JobRecord {
-                                    label: job.label(),
-                                    wall,
-                                    instructions,
-                                });
-                        } else {
-                            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        done.lock()
-                            .expect("sweep results poisoned")
-                            .push((i, result.map(Arc::new)));
-                    });
+            let results = parallel_map(self.workers, pending.len(), |k| {
+                let job = &jobs[pending[k]];
+                let t = Instant::now();
+                let result = job.try_run();
+                let wall = t.elapsed();
+                self.busy_nanos
+                    .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+                if let Ok(stats) = &result {
+                    let instructions = job.budget.warmup + stats.total_retired();
+                    self.instructions.fetch_add(instructions, Ordering::Relaxed);
+                    self.stack
+                        .lock()
+                        .expect("sweep stack poisoned")
+                        .merge(&stats.loop_cost);
+                    self.job_log
+                        .lock()
+                        .expect("sweep log poisoned")
+                        .push(JobRecord {
+                            label: job.label(),
+                            wall,
+                            instructions,
+                        });
+                } else {
+                    self.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 }
+                result.map(Arc::new)
             });
             let mut cache = self.cache.lock().expect("sweep cache poisoned");
-            for (i, result) in done.into_inner().expect("sweep results poisoned") {
+            for (&i, result) in pending.iter().zip(results) {
                 match result {
                     Ok(stats) => {
                         cache.insert(keys[i].clone(), stats);
@@ -461,6 +496,16 @@ mod tests {
 
     fn job(b: Benchmark) -> Job {
         Job::new(PipelineConfig::base(), Workload::Single(b), tiny())
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let square = |i: usize| i * i;
+        let reference: Vec<usize> = (0..97).map(square).collect();
+        for workers in [0, 1, 3, 8, 200] {
+            assert_eq!(parallel_map(workers, 97, square), reference);
+        }
+        assert!(parallel_map(4, 0, square).is_empty());
     }
 
     #[test]

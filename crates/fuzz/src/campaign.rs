@@ -1,0 +1,153 @@
+//! Campaign driver: sweep a seed range across a worker pool, shrink what
+//! fails, and report.
+//!
+//! Determinism contract: a campaign's findings depend only on
+//! `(start, seeds, profile)` — never on `jobs`. Cases are independent by
+//! construction (each derives everything from its own seed) and the pool
+//! reassembles results by index ([`looseloops::parallel_map`]), so
+//! `--jobs 1` and `--jobs 8` produce byte-identical reports.
+
+use crate::case::{run_case, CaseOutcome, Finding, FuzzCase};
+use crate::gen::GenProfile;
+use crate::shrink::shrink;
+use std::fmt;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// First seed.
+    pub start: u64,
+    /// Number of consecutive seeds.
+    pub seeds: u64,
+    /// Worker threads (affects wall clock only, never results).
+    pub jobs: usize,
+    /// Restrict generation to one profile; `None` mixes all of them.
+    pub profile: Option<GenProfile>,
+    /// Minimize failures before reporting.
+    pub shrink: bool,
+    /// Override each case's timing-simulation cycle budget.
+    pub budget: Option<u64>,
+}
+
+/// One failing seed, optionally minimized.
+#[derive(Debug, Clone)]
+pub struct CampaignFailure {
+    /// The seed that failed.
+    pub seed: u64,
+    /// The finding from the full-size case.
+    pub finding: Finding,
+    /// The minimized case and its finding, when shrinking was requested
+    /// and succeeded.
+    pub shrunk: Option<(FuzzCase, Finding)>,
+}
+
+/// Aggregate results of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Instructions retired by the timing machine across all cases.
+    pub retired: u64,
+    /// Cycles simulated across all cases.
+    pub cycles: u64,
+    /// Every failing seed, in seed order.
+    pub failures: Vec<CampaignFailure>,
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzz: {} cases, {} retired, {} cycles, {} failure(s)",
+            self.cases,
+            self.retired,
+            self.cycles,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  seed {:#x}: {}", fail.seed, fail.finding)?;
+            if let Some((case, finding)) = &fail.shrunk {
+                writeln!(
+                    f,
+                    "    shrunk to {} instruction(s), {} thread(s): {}",
+                    case.programs.iter().map(|p| p.insts.len()).sum::<usize>(),
+                    case.programs.len(),
+                    finding
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run a campaign. Findings are deterministic in `(start, seeds, profile)`
+/// regardless of `jobs`; shrinking runs serially afterwards (failures are
+/// rare and shrink budgets bounded).
+pub fn run_campaign(opts: &CampaignOpts) -> CampaignReport {
+    let mk = |seed| {
+        let mut case = FuzzCase::from_seed(seed, opts.profile);
+        if let Some(budget) = opts.budget {
+            case.max_cycles = budget;
+        }
+        case
+    };
+    let outcomes = looseloops::parallel_map(opts.jobs, opts.seeds as usize, |i| {
+        let seed = opts.start + i as u64;
+        (seed, run_case(&mk(seed)))
+    });
+    let mut report = CampaignReport {
+        cases: opts.seeds,
+        retired: 0,
+        cycles: 0,
+        failures: Vec::new(),
+    };
+    for (seed, outcome) in outcomes {
+        let CaseOutcome {
+            finding,
+            retired,
+            cycles,
+        } = outcome;
+        report.retired += retired;
+        report.cycles += cycles;
+        if let Some(finding) = finding {
+            let shrunk = if opts.shrink {
+                shrink(&mk(seed)).map(|s| (s.case, s.finding))
+            } else {
+                None
+            };
+            report.failures.push(CampaignFailure {
+                seed,
+                finding,
+                shrunk,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_are_deterministic_across_job_counts() {
+        let mk = |jobs| CampaignOpts {
+            start: 100,
+            seeds: 6,
+            jobs,
+            profile: None,
+            shrink: false,
+            budget: None,
+        };
+        let a = run_campaign(&mk(1));
+        let b = run_campaign(&mk(4));
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.retired, b.retired);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.failures.len(), b.failures.len());
+        for (fa, fb) in a.failures.iter().zip(&b.failures) {
+            assert_eq!(fa.seed, fb.seed);
+            assert_eq!(fa.finding.detail, fb.finding.detail);
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Structure-aware program generator.
+//!
+//! Emits random — but always *valid and terminating* — [`Program`]s through
+//! [`ProgramBuilder`]. The generator is structured rather than byte-level:
+//! it composes bounded nested loops, forward branch nests, aliased
+//! load/store traffic against a small seeded table, long register
+//! dependence chains, memory barriers, and non-recursive subroutine calls,
+//! so every generated program stresses one of the paper's
+//! micro-architectural loops while still halting by construction.
+//!
+//! Determinism: the whole program is a pure function of `(seed, profile,
+//! thread)` through `looseloops_rng`, so any failing case replays exactly.
+//!
+//! # Register discipline
+//!
+//! | registers        | role                                        |
+//! |------------------|---------------------------------------------|
+//! | `r1`             | memory base pointer (per-thread, disjoint)  |
+//! | `r4`–`r7`        | condition / address / PRNG scratch          |
+//! | `r8`             | xorshift64 data-PRNG state (never zero)     |
+//! | `r9`             | integer dependence chain                    |
+//! | `r10`–`r14`      | loop counters (one per nesting level)       |
+//! | `r16`–`r23`      | integer accumulators                        |
+//! | `r26`            | subroutine link register                    |
+//! | `f8`             | fp dependence chain                         |
+//! | `f16`–`f23`      | fp accumulators                             |
+//!
+//! Loop counters are never written by block bodies, every loop strictly
+//! counts a positive constant down to zero, and subroutines neither recurse
+//! nor touch counters or the link register — together these guarantee
+//! termination within a dynamic budget the generator tracks.
+
+use looseloops_isa::{Inst, Opcode, Program, ProgramBuilder, Reg};
+use looseloops_rng::Rng;
+use std::fmt;
+
+/// Size of the per-thread data table, in 64-bit words.
+const TABLE_WORDS: u64 = 64;
+
+/// Which micro-architectural loop a generated program leans on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenProfile {
+    /// Deep forward-branch nests and data-dependent directions: the branch
+    /// resolution loop.
+    BranchHeavy,
+    /// Aliased loads and stores against one small table: the load
+    /// resolution loop and store-queue forwarding.
+    MemoryAlias,
+    /// Long serial register chains: the operand resolution loop (DRA) and
+    /// the forwarding window.
+    DependenceChain,
+    /// Frequent memory barriers between memory bursts: the memory-barrier
+    /// loop.
+    Barriers,
+    /// Subroutine calls and branchy straight-line code: the fetch/predict
+    /// front end (BTB, RAS, line predictor).
+    Frontend,
+    /// Floating-point heavy bodies: the FP clusters and long-latency units.
+    FpMix,
+    /// Everything with uniform weights.
+    Mixed,
+}
+
+impl GenProfile {
+    /// All profiles, in a stable order (the campaign cycles through them).
+    pub fn all() -> [GenProfile; 7] {
+        [
+            GenProfile::BranchHeavy,
+            GenProfile::MemoryAlias,
+            GenProfile::DependenceChain,
+            GenProfile::Barriers,
+            GenProfile::Frontend,
+            GenProfile::FpMix,
+            GenProfile::Mixed,
+        ]
+    }
+
+    /// Stable CLI/corpus name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GenProfile::BranchHeavy => "branch",
+            GenProfile::MemoryAlias => "memory",
+            GenProfile::DependenceChain => "chain",
+            GenProfile::Barriers => "barrier",
+            GenProfile::Frontend => "frontend",
+            GenProfile::FpMix => "fp",
+            GenProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a [`GenProfile::name`].
+    pub fn from_name(s: &str) -> Option<GenProfile> {
+        GenProfile::all().into_iter().find(|p| p.name() == s)
+    }
+
+    /// Block-kind weights: `[operate, chain, mem, loop, branch, barrier,
+    /// call, fp]`.
+    fn weights(self) -> [u32; 8] {
+        match self {
+            GenProfile::BranchHeavy => [2, 1, 1, 3, 8, 0, 1, 0],
+            GenProfile::MemoryAlias => [2, 1, 8, 2, 1, 1, 0, 1],
+            GenProfile::DependenceChain => [2, 8, 1, 2, 1, 0, 0, 1],
+            GenProfile::Barriers => [2, 1, 4, 2, 1, 6, 0, 0],
+            GenProfile::Frontend => [3, 1, 1, 2, 4, 0, 6, 0],
+            GenProfile::FpMix => [2, 2, 2, 2, 1, 0, 0, 8],
+            GenProfile::Mixed => [3, 3, 3, 3, 3, 1, 1, 3],
+        }
+    }
+}
+
+impl fmt::Display for GenProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const INT_ACCS: [u8; 8] = [16, 17, 18, 19, 20, 21, 22, 23];
+const FP_ACCS: [u8; 8] = [16, 17, 18, 19, 20, 21, 22, 23];
+
+/// Per-thread data base: disjoint 1 MiB-strided regions, all reachable by
+/// a single `addi` (the immediate field is ±2^23).
+pub fn thread_base(thread: usize) -> u64 {
+    0x10_000 + (thread as u64) * 0x100_000
+}
+
+struct Gen {
+    rng: Rng,
+    b: ProgramBuilder,
+    weights: [u32; 8],
+    /// Monotonic label counter (labels are unique by construction).
+    labels: u64,
+    /// Loop nesting depth (bounds counters to r10..r14).
+    depth: u32,
+    /// Product of enclosing loop trip counts; bounds the dynamic budget.
+    trip_product: u64,
+    /// Static instructions emitted so far.
+    emitted: u64,
+    /// Subroutines to append after `halt`: (label, body seed).
+    subs: Vec<(String, u64)>,
+}
+
+impl Gen {
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!("{stem}_{}", self.labels)
+    }
+
+    fn int_acc(&mut self) -> Reg {
+        Reg::int(*self.rng.choose(&INT_ACCS).unwrap())
+    }
+
+    fn fp_acc(&mut self) -> Reg {
+        Reg::fp(*self.rng.choose(&FP_ACCS).unwrap())
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.b.push(inst);
+        self.emitted += 1;
+    }
+
+    /// Advance the r8 data PRNG (xorshift64; nonzero stays nonzero).
+    fn prng_step(&mut self) {
+        let (r7, r8) = (Reg::int(7), Reg::int(8));
+        self.emit(Inst::op_ri(Opcode::Sll, r7, r8, 13));
+        self.emit(Inst::op_rr(Opcode::Xor, r8, r8, r7));
+        self.emit(Inst::op_ri(Opcode::Srl, r7, r8, 7));
+        self.emit(Inst::op_rr(Opcode::Xor, r8, r8, r7));
+        self.emit(Inst::op_ri(Opcode::Sll, r7, r8, 17));
+        self.emit(Inst::op_rr(Opcode::Xor, r8, r8, r7));
+    }
+
+    /// A short burst of integer operate instructions over the accumulators.
+    fn operate_burst(&mut self) {
+        for _ in 0..self.rng.gen_range(2u32..6) {
+            let rd = self.int_acc();
+            let rs1 = self.int_acc();
+            let rs2 = self.int_acc();
+            let inst = match self.rng.gen_range(0u32..6) {
+                0 => Inst::op_rr(Opcode::Add, rd, rs1, rs2),
+                1 => Inst::op_rr(Opcode::Sub, rd, rs1, Reg::int(8)),
+                2 => Inst::op_rr(Opcode::Xor, rd, rs1, rs2),
+                3 => Inst::op_rr(Opcode::Mul, rd, rs1, rs2),
+                4 => Inst::op_ri(Opcode::Add, rd, rs1, self.rng.gen_range(-64i32..64)),
+                _ => Inst::op_ri(Opcode::Sll, rd, rs1, self.rng.gen_range(1i32..8)),
+            };
+            self.emit(inst);
+        }
+    }
+
+    /// A serial dependence chain through r9 (every op reads the last).
+    fn chain(&mut self) {
+        let r9 = Reg::int(9);
+        for _ in 0..self.rng.gen_range(4u32..14) {
+            let acc = self.int_acc();
+            let inst = match self.rng.gen_range(0u32..4) {
+                0 => Inst::op_rr(Opcode::Add, r9, r9, acc),
+                1 => Inst::op_rr(Opcode::Xor, r9, r9, Reg::int(8)),
+                2 => Inst::op_rr(Opcode::Mul, r9, r9, acc),
+                _ => Inst::op_ri(Opcode::Add, r9, r9, 1),
+            };
+            self.emit(inst);
+        }
+        // Fold the chain into an accumulator so it stays live.
+        let acc = self.int_acc();
+        self.emit(Inst::op_rr(Opcode::Add, acc, acc, r9));
+    }
+
+    /// Aliased loads/stores against the thread's table. Addresses come
+    /// either straight off `r1` (static aliasing, exercises store-queue
+    /// forwarding) or through an r8-derived masked index (dynamic aliasing,
+    /// exercises memory-dependence prediction).
+    fn mem_block(&mut self) {
+        let (r1, r5) = (Reg::int(1), Reg::int(5));
+        for _ in 0..self.rng.gen_range(2u32..6) {
+            let base = if self.rng.gen_bool(0.5) {
+                // r5 = r1 + (r8 & 0xf8): 8-aligned, within the table.
+                self.emit(Inst::op_ri(Opcode::And, r5, Reg::int(8), 0xf8));
+                self.emit(Inst::op_rr(Opcode::Add, r5, r1, r5));
+                r5
+            } else {
+                r1
+            };
+            let disp = self.rng.gen_range(0i32..31) * 8;
+            match self.rng.gen_range(0u32..4) {
+                0 => {
+                    let acc = self.int_acc();
+                    self.emit(Inst::load(Opcode::Ldq, acc, base, disp));
+                }
+                1 => {
+                    let v = self.int_acc();
+                    self.emit(Inst::store(Opcode::Stq, v, base, disp));
+                }
+                2 => {
+                    // Store-then-load of the same slot: forwarding path.
+                    let v = self.int_acc();
+                    let acc = self.int_acc();
+                    self.emit(Inst::store(Opcode::Stq, v, base, disp));
+                    self.emit(Inst::load(Opcode::Ldq, acc, base, disp));
+                }
+                _ => {
+                    let facc = self.fp_acc();
+                    self.emit(Inst::load(Opcode::FLdq, facc, base, disp));
+                }
+            }
+        }
+    }
+
+    /// FP burst over the fp accumulators, with occasional conversions that
+    /// couple the banks.
+    fn fp_block(&mut self) {
+        for _ in 0..self.rng.gen_range(2u32..6) {
+            let fd = self.fp_acc();
+            let fs1 = self.fp_acc();
+            let fs2 = self.fp_acc();
+            match self.rng.gen_range(0u32..6) {
+                0 => self.emit(Inst::op_rr(Opcode::FAdd, fd, fs1, fs2)),
+                1 => self.emit(Inst::op_rr(Opcode::FSub, fd, fs1, Reg::fp(8))),
+                2 => self.emit(Inst::op_rr(Opcode::FMul, fd, fs1, fs2)),
+                3 => self.emit(Inst::op_rr(Opcode::FDiv, fd, fs1, fs2)),
+                4 => {
+                    // Cross-bank round trip: int → fp → int.
+                    let rs = self.int_acc();
+                    let rd = self.int_acc();
+                    self.emit(Inst::op_rr(Opcode::FCvtIf, fd, rs, Reg::FZERO));
+                    self.emit(Inst::op_rr(Opcode::FCvtFi, rd, fs1, Reg::FZERO));
+                }
+                _ => self.emit(Inst::op_rr(Opcode::FCmpLt, fd, fs1, fs2)),
+            }
+        }
+        // Keep the fp chain register moving.
+        let f8 = Reg::fp(8);
+        let facc = self.fp_acc();
+        self.emit(Inst::op_rr(Opcode::FAdd, f8, f8, facc));
+    }
+
+    /// Forward branch nest with a data-dependent direction:
+    /// `if (r8 & mask) { then } else { else }`.
+    fn branch_nest(&mut self, budget: u32) {
+        let r4 = Reg::int(4);
+        let l_else = self.fresh_label("else");
+        let l_end = self.fresh_label("end");
+        let mask = 1 << self.rng.gen_range(0u32..3);
+        self.emit(Inst::op_ri(Opcode::And, r4, Reg::int(8), mask));
+        let op = if self.rng.gen_bool(0.5) {
+            Opcode::Beq
+        } else {
+            Opcode::Bne
+        };
+        self.b
+            .push_to_label(Inst::branch(op, r4, 0), l_else.clone());
+        self.emitted += 1;
+        self.blocks(budget, 1);
+        self.b.push_to_label(Inst::br(0), l_end.clone());
+        self.emitted += 1;
+        self.b.label(l_else);
+        self.blocks(budget, 1);
+        self.b.label(l_end);
+    }
+
+    /// Bounded counted loop: counter strictly decrements to zero.
+    fn counted_loop(&mut self, budget: u32) {
+        let iters = self.rng.gen_range(2i32..6);
+        // Depth caps at 5 (counters r10..r14) and the dynamic budget caps
+        // the trip product; at either cap, degrade to a straight block.
+        if self.depth >= 5 || self.trip_product * iters as u64 > 4_000 {
+            self.blocks(budget, 2);
+            return;
+        }
+        let ctr = Reg::int(10 + self.depth as u8);
+        let top = self.fresh_label("top");
+        self.emit(Inst::op_ri(Opcode::Add, ctr, Reg::ZERO, iters));
+        self.b.label(top.clone());
+        self.depth += 1;
+        self.trip_product *= iters as u64;
+        self.blocks(budget, 2);
+        self.trip_product /= iters as u64;
+        self.depth -= 1;
+        self.emit(Inst::op_ri(Opcode::Sub, ctr, ctr, 1));
+        self.b.push_to_label(Inst::branch(Opcode::Bne, ctr, 0), top);
+        self.emitted += 1;
+    }
+
+    /// Call a (possibly shared) leaf subroutine through r26.
+    fn call(&mut self) {
+        let label = if self.subs.is_empty() || (self.subs.len() < 3 && self.rng.gen_bool(0.5)) {
+            let l = self.fresh_label("sub");
+            let body_seed = self.rng.next_u64();
+            self.subs.push((l.clone(), body_seed));
+            l
+        } else {
+            self.rng.choose(&self.subs).unwrap().0.clone()
+        };
+        self.b.push_to_label(Inst::jsr(Reg::int(26), 0), label);
+        self.emitted += 1;
+    }
+
+    /// Emit up to `count` blocks chosen by the profile weights. `budget`
+    /// decays with nesting so nests stay bounded.
+    fn blocks(&mut self, budget: u32, count: u32) {
+        if budget == 0 || self.emitted > 200 {
+            // Leaf: keep control flow joinable with a tiny burst.
+            self.operate_burst();
+            return;
+        }
+        for _ in 0..count {
+            let total: u32 = self.weights.iter().sum();
+            let mut pick = self.rng.gen_range(0..total);
+            let mut kind = 0;
+            for (k, w) in self.weights.iter().enumerate() {
+                if pick < *w {
+                    kind = k;
+                    break;
+                }
+                pick -= w;
+            }
+            match kind {
+                0 => self.operate_burst(),
+                1 => self.chain(),
+                2 => self.mem_block(),
+                3 => self.counted_loop(budget - 1),
+                4 => self.branch_nest(budget - 1),
+                5 => {
+                    self.emit(Inst::mb());
+                    self.mem_block();
+                }
+                6 => self.call(),
+                _ => self.fp_block(),
+            }
+            if self.rng.gen_bool(0.4) {
+                self.prng_step();
+            }
+        }
+    }
+}
+
+/// Generate the program for `(seed, profile)` on hardware thread `thread`
+/// (threads get disjoint memory regions, so SMT runs stay oracle-exact).
+pub fn generate(seed: u64, profile: GenProfile, thread: usize) -> Program {
+    let rng = Rng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let base = thread_base(thread);
+    let mut g = Gen {
+        rng,
+        b: ProgramBuilder::new(format!("fuzz-{seed:#x}-{}-t{thread}", profile.name())),
+        weights: profile.weights(),
+        labels: 0,
+        depth: 0,
+        trip_product: 1,
+        emitted: 0,
+        subs: Vec::new(),
+    };
+
+    // Seeded table so loads observe deterministic non-zero data.
+    let words: Vec<u64> = (0..TABLE_WORDS)
+        .map(|i| {
+            seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(i * 0x9e37)
+                | 1
+        })
+        .collect();
+    g.b.data_words(base, &words);
+
+    // Prologue: base pointer, PRNG state, chain seeds, accumulators.
+    let r1 = Reg::int(1);
+    g.emit(Inst::op_ri(Opcode::Add, r1, Reg::ZERO, base as i32));
+    let r8_init = (g.rng.next_u64() & 0x3f_ffff) as i32 | 1;
+    g.emit(Inst::op_ri(Opcode::Add, Reg::int(8), Reg::ZERO, r8_init));
+    g.emit(Inst::op_ri(Opcode::Add, Reg::int(9), Reg::ZERO, 7));
+    for (i, &a) in INT_ACCS.iter().enumerate() {
+        g.emit(Inst::op_ri(
+            Opcode::Add,
+            Reg::int(a),
+            Reg::ZERO,
+            (i as i32 + 1) * 3,
+        ));
+    }
+    // FP bank: real f64 values converted from the freshly set int accs,
+    // plus one fp load to seed the chain register.
+    for &a in &FP_ACCS {
+        g.emit(Inst::op_rr(
+            Opcode::FCvtIf,
+            Reg::fp(a),
+            Reg::int(a),
+            Reg::FZERO,
+        ));
+    }
+    g.emit(Inst::load(Opcode::FLdq, Reg::fp(8), r1, 0));
+
+    // Body.
+    let top_blocks = g.rng.gen_range(3u32..7);
+    g.blocks(3, top_blocks);
+
+    // Epilogue: fold everything into r16 so the whole dataflow graph is
+    // architecturally live at the halt.
+    for &a in &INT_ACCS[1..] {
+        g.emit(Inst::op_rr(
+            Opcode::Add,
+            Reg::int(16),
+            Reg::int(16),
+            Reg::int(a),
+        ));
+    }
+    g.emit(Inst::store(Opcode::Stq, Reg::int(16), r1, 0));
+    g.emit(Inst::halt());
+
+    // Leaf subroutines (after the halt; reachable only via jsr).
+    let subs = std::mem::take(&mut g.subs);
+    for (label, body_seed) in subs {
+        g.b.label(label);
+        g.rng = Rng::seed_from_u64(body_seed);
+        g.operate_burst();
+        g.emit(Inst::ret(Reg::int(26)));
+    }
+
+    g.b.build()
+        .expect("generator emits structurally valid programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_isa::{ArchState, FlatMemory};
+
+    #[test]
+    fn generated_programs_build_and_halt_in_the_oracle() {
+        for seed in 0..40u64 {
+            for profile in GenProfile::all() {
+                let prog = generate(seed, profile, 0);
+                assert!(!prog.is_empty());
+                let mut mem = FlatMemory::with_program(&prog);
+                let mut st = ArchState::new(&prog);
+                let summary = st
+                    .run(&prog, &mut mem, 1_000_000)
+                    .unwrap_or_else(|e| panic!("seed {seed} {profile}: {e}"));
+                assert!(
+                    summary.halted,
+                    "seed {seed} {profile}: did not halt in 1M steps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 7, 0xdead] {
+            let a = generate(seed, GenProfile::Mixed, 0);
+            let b = generate(seed, GenProfile::Mixed, 0);
+            assert_eq!(a.insts, b.insts);
+            assert_eq!(a.init_data, b.init_data);
+        }
+    }
+
+    #[test]
+    fn threads_use_disjoint_memory_regions() {
+        assert_ne!(thread_base(0), thread_base(1));
+        let p0 = generate(3, GenProfile::MemoryAlias, 0);
+        let p1 = generate(3, GenProfile::MemoryAlias, 1);
+        // Different bases mean the data images never overlap.
+        let (a0, _) = p0.init_data[0].clone();
+        let (a1, b1) = p1.init_data[0].clone();
+        assert!(a0 + 8 * TABLE_WORDS <= a1 || a1 + b1.len() as u64 <= a0);
+    }
+
+    #[test]
+    fn profiles_produce_distinct_programs() {
+        let a = generate(5, GenProfile::BranchHeavy, 0);
+        let b = generate(5, GenProfile::MemoryAlias, 0);
+        assert_ne!(a.insts, b.insts);
+    }
+}

@@ -1,0 +1,236 @@
+//! Delta-debugging for failing fuzz cases.
+//!
+//! Shrinking runs in two phases:
+//!
+//! 1. **Configuration simplification** — mutate the failing case's config
+//!    one knob at a time (drop the fault storm, drop the second thread,
+//!    fall back to the default predictor and load policy) and keep each
+//!    mutation only if the case still fails. Knobs are mutated on the
+//!    *current* config, never replaced wholesale, so orthogonal settings
+//!    (including any compiled-in chaos flags) survive.
+//! 2. **Instruction ddmin** — greedy chunk-halving removal over the
+//!    program's instruction list. Removing instructions shifts every
+//!    PC-relative displacement, so each candidate rebuilds branch/call
+//!    immediates against the new indices and is discarded outright if a
+//!    kept control op targeted a removed instruction.
+//!
+//! A candidate counts as "still failing" only if the differential run
+//! produces a finding that is *not* [`FindingKind::OracleError`]: a
+//! shrink step that merely breaks the program (so the functional oracle
+//! itself faults) has destroyed the evidence, not reduced it.
+
+use crate::case::{run_case, Finding, FindingKind, FuzzCase};
+use looseloops::branch::PredictorKind;
+use looseloops_isa::{Class, Inst, Program};
+use looseloops_pipeline::LoadSpecPolicy;
+
+/// Cap on differential runs per shrink; keeps worst-case shrinks bounded.
+const MAX_ATTEMPTS: u64 = 2_000;
+
+/// A minimized failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The reduced case (still failing).
+    pub case: FuzzCase,
+    /// The finding the reduced case produces.
+    pub finding: Finding,
+    /// Differential runs spent shrinking.
+    pub attempts: u64,
+}
+
+struct Shrinker {
+    attempts: u64,
+}
+
+impl Shrinker {
+    /// Re-run a candidate; `Some(finding)` iff it still fails usefully.
+    fn still_fails(&mut self, case: &FuzzCase) -> Option<Finding> {
+        if self.attempts >= MAX_ATTEMPTS {
+            return None;
+        }
+        self.attempts += 1;
+        match run_case(case).finding {
+            Some(f) if f.kind != FindingKind::OracleError => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Minimize a failing case. Returns `None` if the case does not actually
+/// fail (or fails only as an oracle error).
+pub fn shrink(case: &FuzzCase) -> Option<Shrunk> {
+    let mut sh = Shrinker { attempts: 0 };
+    let mut cur = case.clone();
+    let mut finding = sh.still_fails(&cur)?;
+
+    // Phase 1: configuration simplification, one knob at a time. For SMT
+    // cases, try keeping each thread's program alone on a single-thread
+    // machine — the divergence may live in either program.
+    {
+        let mut cand = cur.clone();
+        cand.config.faults = None;
+        if let Some(f) = sh.still_fails(&cand) {
+            cur = cand;
+            finding = f;
+        }
+    }
+    for keep in 0..cur.programs.len() {
+        if cur.programs.len() == 1 {
+            break;
+        }
+        let mut cand = cur.clone();
+        cand.config.threads = 1;
+        cand.programs = vec![cand.programs[keep].clone()];
+        if let Some(f) = sh.still_fails(&cand) {
+            cur = cand;
+            finding = f;
+            break;
+        }
+    }
+    for knob in [
+        (|c: &mut FuzzCase| c.config.predictor = PredictorKind::Tournament) as fn(&mut FuzzCase),
+        |c| c.config.load_policy = LoadSpecPolicy::ReissueTree,
+    ] {
+        let mut cand = cur.clone();
+        knob(&mut cand);
+        if let Some(f) = sh.still_fails(&cand) {
+            cur = cand;
+            finding = f;
+        }
+    }
+
+    // Phase 2: instruction ddmin, per program (usually just one left).
+    for t in 0..cur.programs.len() {
+        let mut insts = cur.programs[t].insts.clone();
+        let mut chunk = (insts.len() / 2).max(1);
+        'outer: while chunk >= 1 && sh.attempts < MAX_ATTEMPTS {
+            let mut start = 0;
+            while start < insts.len() {
+                let end = (start + chunk).min(insts.len());
+                if let Some(reduced) = remove_range(&cur.programs[t], &insts, start, end) {
+                    let mut cand = cur.clone();
+                    cand.programs[t] = reduced;
+                    if let Some(f) = sh.still_fails(&cand) {
+                        insts = cand.programs[t].insts.clone();
+                        cur = cand;
+                        finding = f;
+                        chunk = (insts.len() / 2).max(1);
+                        continue 'outer;
+                    }
+                }
+                start = end;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+
+    Some(Shrunk {
+        case: cur,
+        finding,
+        attempts: sh.attempts,
+    })
+}
+
+/// Rebuild `base`'s program with instructions `[start, end)` removed,
+/// remapping every PC-relative displacement. Returns `None` when the
+/// candidate is structurally invalid: the entry instruction was removed,
+/// nothing remains, or a surviving branch/call targeted a removed (or now
+/// out-of-range) instruction.
+fn remove_range(base: &Program, insts: &[Inst], start: usize, end: usize) -> Option<Program> {
+    let n = insts.len();
+    if end - start >= n {
+        return None;
+    }
+    // Old index -> new index for kept instructions.
+    let mut map = vec![usize::MAX; n];
+    let mut kept = Vec::with_capacity(n - (end - start));
+    for (old, inst) in insts.iter().enumerate() {
+        if old < start || old >= end {
+            map[old] = kept.len();
+            kept.push(*inst);
+        }
+    }
+    let entry = base.entry as usize;
+    if entry >= n || map[entry] == usize::MAX {
+        return None;
+    }
+    for (old, inst) in insts.iter().enumerate() {
+        if map[old] == usize::MAX {
+            continue;
+        }
+        if matches!(inst.class(), Class::CondBranch | Class::Branch) {
+            let target = old as i64 + 1 + inst.imm as i64;
+            if target < 0 || target >= n as i64 || map[target as usize] == usize::MAX {
+                return None;
+            }
+            let new_imm = map[target as usize] as i64 - (map[old] as i64 + 1);
+            kept[map[old]].imm = new_imm as i32;
+        }
+    }
+    Some(Program {
+        name: base.name.clone(),
+        insts: kept,
+        entry: map[entry] as u64,
+        init_data: base.init_data.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looseloops_isa::{Inst, Reg};
+
+    fn straight_line() -> Program {
+        // 0: addi r4, r31, 1
+        // 1: addi r5, r31, 2
+        // 2: bne  r4, +1  (skip 3)
+        // 3: addi r6, r31, 3   <- branch target region
+        // 4: halt
+        Program {
+            name: "t".into(),
+            insts: vec![
+                Inst::op_ri(looseloops_isa::Opcode::Add, Reg::int(4), Reg::int(31), 1),
+                Inst::op_ri(looseloops_isa::Opcode::Add, Reg::int(5), Reg::int(31), 2),
+                Inst::branch(looseloops_isa::Opcode::Bne, Reg::int(4), 1),
+                Inst::op_ri(looseloops_isa::Opcode::Add, Reg::int(6), Reg::int(31), 3),
+                Inst::halt(),
+            ],
+            entry: 0,
+            init_data: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn removal_remaps_branch_displacements() {
+        let p = straight_line();
+        // Remove instruction 1: the branch at old index 2 moves to 1, its
+        // target (old 4... wait, target = 2 + 1 + 1 = 4) moves to 3.
+        let r = remove_range(&p, &p.insts, 1, 2).expect("valid removal");
+        assert_eq!(r.insts.len(), 4);
+        // Branch now at index 1; target halt now at index 3 => imm = 1.
+        assert_eq!(r.insts[1].imm, 1);
+    }
+
+    #[test]
+    fn removing_a_branch_target_invalidates_the_candidate() {
+        let p = straight_line();
+        // Old branch target is index 4 (the halt). Removing it must fail.
+        assert!(remove_range(&p, &p.insts, 4, 5).is_none());
+    }
+
+    #[test]
+    fn removing_the_entry_invalidates_the_candidate() {
+        let mut p = straight_line();
+        p.entry = 0;
+        assert!(remove_range(&p, &p.insts, 0, 1).is_none());
+    }
+
+    #[test]
+    fn removing_everything_is_rejected() {
+        let p = straight_line();
+        assert!(remove_range(&p, &p.insts, 0, p.insts.len()).is_none());
+    }
+}

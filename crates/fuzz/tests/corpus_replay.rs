@@ -1,0 +1,123 @@
+//! Tier-1 regression gate: every shrunk reproducer checked into
+//! `fuzz/corpus/` must replay clean — the timing machine must match the
+//! ISA oracle on these programs and configurations forever.
+//!
+//! The checked-in entries were caught by the differential campaign
+//! against the `chaos` feature's injected branch-recovery defect and then
+//! minimized; replayed on the healthy pipeline they pin down exactly the
+//! behaviours that once diverged. The `regenerate_corpus` writer below
+//! (`--ignored`) rebuilds them from scratch.
+
+use looseloops_fuzz::{corpus, run_case, shrink, FuzzCase};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus must load");
+    assert!(
+        entries.len() >= 5,
+        "corpus must hold at least 5 regression programs, found {}",
+        entries.len()
+    );
+    for entry in entries {
+        let out = run_case(&entry.case);
+        assert!(
+            out.finding.is_none(),
+            "corpus entry `{}` (recorded: {}) diverges again: {}",
+            entry.name,
+            entry.recorded_finding,
+            out.finding.unwrap()
+        );
+        assert!(
+            out.retired > 0,
+            "corpus entry `{}` retired nothing",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn a_stale_format_version_fails_loudly() {
+    let dir = corpus_dir();
+    let entries = corpus::load_dir(&dir).expect("corpus must load");
+    assert!(!entries.is_empty());
+    // Rewrite one entry's banner to a future version in a temp dir: the
+    // loader must refuse the whole directory, not skip the file.
+    let tmp = std::env::temp_dir().join("looseloops-fuzz-stale-corpus");
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let mut names = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ll"))
+        .collect::<Vec<_>>();
+    names.sort();
+    let text = std::fs::read_to_string(&names[0]).unwrap();
+    std::fs::write(
+        tmp.join("stale.ll"),
+        text.replace("corpus v1", "corpus v999"),
+    )
+    .unwrap();
+    let err = corpus::load_dir(&tmp).expect_err("stale banner must be a hard error");
+    assert!(
+        matches!(err, corpus::CorpusError::BadBanner { .. }),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Rebuild `fuzz/corpus/` from scratch: run the campaign against the
+/// injected `chaos` defect, shrink every catch, keep the first six, and
+/// verify each one replays clean with the defect off before writing it.
+///
+/// Run with:
+/// `cargo test -p looseloops-fuzz --test corpus_replay -- --ignored regenerate_corpus`
+#[test]
+#[ignore = "writer tool: regenerates the checked-in corpus"]
+fn regenerate_corpus() {
+    const WANT: usize = 6;
+    let dir = corpus_dir();
+    let mut written = 0;
+    for seed in 0..500u64 {
+        let mut case = FuzzCase::from_seed(seed, None);
+        case.config.chaos_branch_recovery_off_by_one = true;
+        if run_case(&case).finding.is_none() {
+            continue;
+        }
+        let Some(shrunk) = shrink(&case) else {
+            continue;
+        };
+        // The corpus stores the healthy config (the chaos knob is not
+        // serialized); the entry is only useful if it passes without the
+        // defect and the program is genuinely small.
+        let mut healed = shrunk.case.clone();
+        healed.config.chaos_branch_recovery_off_by_one = false;
+        if run_case(&healed).finding.is_some() {
+            continue;
+        }
+        let name = format!("chaos-branch-recovery-seed-{seed:04}");
+        let path = corpus::save_entry(&dir, &name, &shrunk.case, &shrunk.finding)
+            .expect("write corpus entry");
+        println!(
+            "wrote {} ({} insts, {}): {}",
+            path.display(),
+            shrunk
+                .case
+                .programs
+                .iter()
+                .map(|p| p.insts.len())
+                .sum::<usize>(),
+            shrunk.case.label(),
+            shrunk.finding
+        );
+        written += 1;
+        if written >= WANT {
+            break;
+        }
+    }
+    assert!(written >= WANT, "only caught {written} seeds out of 500");
+}

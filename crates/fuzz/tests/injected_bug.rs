@@ -1,0 +1,72 @@
+//! Acceptance test for the whole fuzz loop: compile in a seeded pipeline
+//! defect (the `chaos` feature's off-by-one in branch-recovery squash
+//! redirect), prove the differential campaign catches it quickly, and
+//! prove the shrinker reduces the catch to a tiny reproducer.
+//!
+//! The `chaos` feature only compiles the knob in; it still defaults to
+//! off, so the same binary first demonstrates the healthy pipeline passes
+//! the identical seeds.
+
+use looseloops_fuzz::{run_case, shrink, FindingKind, FuzzCase};
+
+/// The injected bug must be caught within this many seeds (acceptance
+/// criterion: 200).
+const SEED_BUDGET: u64 = 200;
+
+fn chaos_case(seed: u64) -> FuzzCase {
+    let mut case = FuzzCase::from_seed(seed, None);
+    case.config.chaos_branch_recovery_off_by_one = true;
+    case
+}
+
+#[test]
+fn injected_branch_recovery_bug_is_caught_and_shrinks_small() {
+    let mut caught = None;
+    for seed in 0..SEED_BUDGET {
+        let case = chaos_case(seed);
+        let out = run_case(&case);
+        if let Some(finding) = out.finding {
+            assert_ne!(
+                finding.kind,
+                FindingKind::OracleError,
+                "generator bug, not a pipeline catch: {finding}"
+            );
+            caught = Some((seed, case, finding));
+            break;
+        }
+    }
+    let (seed, case, finding) =
+        caught.expect("off-by-one branch-recovery bug must be caught within 200 seeds");
+    println!("caught at seed {seed}: {finding}");
+
+    // The same seed with the chaos knob off must pass: the divergence is
+    // the injected defect, not generator or harness noise.
+    let healthy = FuzzCase::from_seed(seed, None);
+    assert!(
+        run_case(&healthy).finding.is_none(),
+        "seed {seed} must pass without the injected defect"
+    );
+
+    // Shrink: the reproducer must come out at <= 10 instructions.
+    let shrunk = shrink(&case).expect("failing case must shrink");
+    let insts: usize = shrunk.case.programs.iter().map(|p| p.insts.len()).sum();
+    println!(
+        "shrunk to {insts} instruction(s) in {} attempts: {}",
+        shrunk.attempts, shrunk.finding
+    );
+    assert!(
+        insts <= 10,
+        "reproducer must shrink to <= 10 instructions, got {insts}"
+    );
+    // The shrunk case still carries the chaos knob and still fails...
+    assert!(shrunk.case.config.chaos_branch_recovery_off_by_one);
+    assert!(run_case(&shrunk.case).finding.is_some());
+    // ...and turning the knob off heals it, so the reproducer isolates
+    // exactly the injected defect.
+    let mut healed = shrunk.case.clone();
+    healed.config.chaos_branch_recovery_off_by_one = false;
+    assert!(
+        run_case(&healed).finding.is_none(),
+        "shrunk reproducer must pass once the defect is disabled"
+    );
+}

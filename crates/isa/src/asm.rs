@@ -17,7 +17,7 @@
 //! ```
 
 use crate::inst::{Inst, Opcode};
-use crate::program::{BuildError, Program, ProgramBuilder};
+use crate::program::{Program, ProgramBuilder, ProgramError};
 use crate::reg::Reg;
 use std::error::Error;
 use std::fmt;
@@ -90,11 +90,19 @@ pub fn assemble_named(name: &str, source: &str) -> Result<Program, AsmError> {
         parse_inst(&mut b, rest, lineno)?;
     }
     b.build().map_err(|e| match e {
-        BuildError::UndefinedLabel(l) => err(0, format!("undefined label `{l}`")),
-        BuildError::DuplicateLabel(l) => err(0, format!("duplicate label `{l}`")),
-        BuildError::DisplacementOverflow { label, disp } => err(
+        ProgramError::UndefinedLabel(l) => err(0, format!("undefined label `{l}`")),
+        ProgramError::DuplicateLabel(l) => err(0, format!("duplicate label `{l}`")),
+        ProgramError::DisplacementOverflow { label, disp } => err(
             0,
             format!("branch to `{label}` out of range (displacement {disp})"),
+        ),
+        ProgramError::Empty => err(0, "no instructions in source".to_string()),
+        ProgramError::TrailingBranch(op) => err(
+            0,
+            format!(
+                "program ends in conditional branch `{}` (fall-through runs off the image)",
+                op.mnemonic()
+            ),
         ),
     })
 }
@@ -346,12 +354,15 @@ fn parse_num(s: &str, line: usize) -> Result<i64, AsmError> {
         None => (false, s.strip_prefix('+').unwrap_or(s)),
     };
     let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16)
+        // Hex literals are bit patterns: accept the full u64 range so
+        // 64-bit `.data` words round-trip through the disassembler
+        // (immediates are still range-checked by `parse_imm`).
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
     } else {
         body.parse::<i64>()
     }
     .map_err(|_| err(line, format!("bad number `{s}`")))?;
-    Ok(if neg { -v } else { v })
+    Ok(if neg { v.wrapping_neg() } else { v })
 }
 
 fn parse_imm(s: &str, line: usize) -> Result<i32, AsmError> {
@@ -520,5 +531,22 @@ main: halt",
         let prog = assemble("addi r1, r31, 0x10\naddi r2, r31, -0x10\nhalt").unwrap();
         assert_eq!(prog.insts[0].imm, 16);
         assert_eq!(prog.insts[1].imm, -16);
+    }
+
+    #[test]
+    fn data_words_cover_the_full_u64_range() {
+        // The disassembler emits data words as raw u64 hex; values above
+        // i64::MAX must assemble back (found by the differential fuzzer's
+        // corpus round-trip).
+        let prog = assemble(".data 0x100, 0xdfa3bb67dc8d2eaf, 0xffffffffffffffff\nhalt").unwrap();
+        let (addr, bytes) = &prog.init_data[0];
+        assert_eq!(*addr, 0x100);
+        assert_eq!(&bytes[..8], &0xdfa3_bb67_dc8d_2eafu64.to_le_bytes());
+        assert_eq!(&bytes[8..], &u64::MAX.to_le_bytes());
+        // But instruction immediates stay range-checked.
+        assert!(assemble("addi r1, r31, 0xdfa3bb67dc8d2eaf")
+            .unwrap_err()
+            .msg
+            .contains("24-bit"));
     }
 }

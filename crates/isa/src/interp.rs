@@ -58,6 +58,42 @@ impl FlatMemory {
         self.pages.len()
     }
 
+    /// Compare two memories byte for byte, treating untouched pages as
+    /// zero-filled. For each page whose contents differ, the first
+    /// differing byte is reported; a page touched on only one side whose
+    /// contents still compare equal (all zeros) is reported as a
+    /// touched-set divergence instead.
+    pub fn diff(&self, other: &FlatMemory) -> Vec<StateDivergence> {
+        const ZERO_PAGE: [u8; 4096] = [0; 4096];
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let mut out = Vec::new();
+        for page in pages {
+            let a = self.pages.get(&page).map_or(&ZERO_PAGE[..], |p| &p[..]);
+            let b = other.pages.get(&page).map_or(&ZERO_PAGE[..], |p| &p[..]);
+            if let Some(off) = (0..4096).find(|&i| a[i] != b[i]) {
+                out.push(StateDivergence::Memory {
+                    addr: (page << 12) + off as u64,
+                    left: a[off],
+                    right: b[off],
+                });
+            } else if self.pages.contains_key(&page) != other.pages.contains_key(&page) {
+                out.push(StateDivergence::PageTouched {
+                    page,
+                    left: self.pages.contains_key(&page),
+                    right: other.pages.contains_key(&page),
+                });
+            }
+        }
+        out
+    }
+
     fn read_byte(&mut self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> 12)) {
             Some(p) => p[(addr & 0xfff) as usize],
@@ -140,6 +176,78 @@ pub struct RunSummary {
     pub halted: bool,
 }
 
+/// One observed difference between two architectural states or two data
+/// memories — the unit of comparison for the differential tests (see
+/// [`ArchState::diff`] and [`FlatMemory::diff`]). `left`/`right` follow the
+/// call: `a.diff(&b)` reports `a`'s value as `left`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateDivergence {
+    /// An architectural register holds different values.
+    Register {
+        /// The diverging register.
+        reg: Reg,
+        /// Value on the left-hand state.
+        left: u64,
+        /// Value on the right-hand state.
+        right: u64,
+    },
+    /// The program counters differ.
+    Pc {
+        /// Left-hand PC.
+        left: u64,
+        /// Right-hand PC.
+        right: u64,
+    },
+    /// One state has halted and the other has not.
+    Halted {
+        /// Left-hand halt flag.
+        left: bool,
+        /// Right-hand halt flag.
+        right: bool,
+    },
+    /// A 4 KiB page was touched on one side only (contents still equal,
+    /// i.e. all zeros).
+    PageTouched {
+        /// Page number (byte address `page << 12`).
+        page: u64,
+        /// Whether the left-hand memory touched the page.
+        left: bool,
+        /// Whether the right-hand memory touched the page.
+        right: bool,
+    },
+    /// First differing byte of a page whose contents diverge.
+    Memory {
+        /// Byte address of the first difference within the page.
+        addr: u64,
+        /// Byte on the left-hand memory.
+        left: u8,
+        /// Byte on the right-hand memory.
+        right: u8,
+    },
+}
+
+impl fmt::Display for StateDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StateDivergence::Register { reg, left, right } => {
+                write!(f, "register {reg}: {left:#x} != {right:#x}")
+            }
+            StateDivergence::Pc { left, right } => write!(f, "pc: {left} != {right}"),
+            StateDivergence::Halted { left, right } => {
+                write!(f, "halted: {left} != {right}")
+            }
+            StateDivergence::PageTouched { page, left, right } => write!(
+                f,
+                "page {page:#x} (addr {:#x}): touched {left} != {right}",
+                page << 12
+            ),
+            StateDivergence::Memory { addr, left, right } => {
+                write!(f, "mem[{addr:#x}]: {left:#04x} != {right:#04x}")
+            }
+        }
+    }
+}
+
 /// Architectural register + PC state of one thread.
 #[derive(Debug, Clone)]
 pub struct ArchState {
@@ -183,6 +291,46 @@ impl ArchState {
         if !r.is_zero() {
             self.regs[r.index()] = val;
         }
+    }
+
+    /// Overwrite the PC — for reconstructing a snapshot of an externally
+    /// tracked architectural state (the timing model's retired rename map).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Overwrite the halt flag (snapshot reconstruction, like [`set_pc`]).
+    ///
+    /// [`set_pc`]: ArchState::set_pc
+    pub fn set_halted(&mut self, halted: bool) {
+        self.halted = halted;
+    }
+
+    /// Every difference between two architectural states: registers
+    /// (zero registers always compare equal), PC, and halt flag. Empty
+    /// means the states are architecturally identical.
+    pub fn diff(&self, other: &ArchState) -> Vec<StateDivergence> {
+        let mut out = Vec::new();
+        for idx in 0..NUM_ARCH_REGS {
+            let reg = Reg::from_index(idx);
+            let (left, right) = (self.read_reg(reg), other.read_reg(reg));
+            if left != right {
+                out.push(StateDivergence::Register { reg, left, right });
+            }
+        }
+        if self.pc != other.pc {
+            out.push(StateDivergence::Pc {
+                left: self.pc,
+                right: other.pc,
+            });
+        }
+        if self.halted != other.halted {
+            out.push(StateDivergence::Halted {
+                left: self.halted,
+                right: other.halted,
+            });
+        }
+        out
     }
 
     /// Execute one instruction.
@@ -528,6 +676,106 @@ mod tests {
         m.write(0x1ffc, 8, u64::MAX);
         assert_eq!(m.read(0x1ffc, 8), u64::MAX);
         assert_eq!(m.pages_touched(), 2);
+    }
+
+    #[test]
+    fn identical_states_have_no_divergences() {
+        let prog = Program::new("p", vec![Inst::nop()]);
+        let a = ArchState::new(&prog);
+        let b = a.clone();
+        assert!(a.diff(&b).is_empty());
+        assert!(FlatMemory::new().diff(&FlatMemory::new()).is_empty());
+    }
+
+    #[test]
+    fn state_diff_reports_registers_pc_and_halt() {
+        let prog = Program::new("p", vec![Inst::nop()]);
+        let mut a = ArchState::new(&prog);
+        let mut b = ArchState::new(&prog);
+        a.write_reg(Reg::int(5), 7);
+        b.write_reg(Reg::fp(2), 9);
+        b.set_pc(3);
+        b.set_halted(true);
+        // Zero-register writes are discarded, so they never diverge.
+        a.write_reg(Reg::ZERO, 1);
+        let d = a.diff(&b);
+        assert_eq!(
+            d,
+            vec![
+                StateDivergence::Register {
+                    reg: Reg::int(5),
+                    left: 7,
+                    right: 0
+                },
+                StateDivergence::Register {
+                    reg: Reg::fp(2),
+                    left: 0,
+                    right: 9
+                },
+                StateDivergence::Pc { left: 0, right: 3 },
+                StateDivergence::Halted {
+                    left: false,
+                    right: true
+                },
+            ]
+        );
+        // diff is anti-symmetric in left/right.
+        assert_eq!(b.diff(&a).len(), d.len());
+    }
+
+    #[test]
+    fn memory_diff_finds_first_differing_byte_per_page() {
+        let mut a = FlatMemory::new();
+        let mut b = FlatMemory::new();
+        a.write(0x1000, 8, 0x1122334455667788);
+        b.write(0x1000, 8, 0x1122334455667789);
+        a.write(0x5008, 4, 1); // page only a touches, nonzero
+        let d = a.diff(&b);
+        assert_eq!(
+            d,
+            vec![
+                StateDivergence::Memory {
+                    addr: 0x1000,
+                    left: 0x88,
+                    right: 0x89
+                },
+                StateDivergence::Memory {
+                    addr: 0x5008,
+                    left: 1,
+                    right: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_diff_reports_zero_page_touch_asymmetry() {
+        let mut a = FlatMemory::new();
+        a.write(0x2000, 8, 0); // touched, but still all zeros
+        assert_eq!(
+            a.diff(&FlatMemory::new()),
+            vec![StateDivergence::PageTouched {
+                page: 2,
+                left: true,
+                right: false
+            }]
+        );
+    }
+
+    #[test]
+    fn divergences_display_readably() {
+        let d = StateDivergence::Register {
+            reg: Reg::int(5),
+            left: 7,
+            right: 0,
+        };
+        assert_eq!(d.to_string(), "register r5: 0x7 != 0x0");
+        let m = StateDivergence::Memory {
+            addr: 0x1000,
+            left: 0x88,
+            right: 0x89,
+        };
+        assert_eq!(m.to_string(), "mem[0x1000]: 0x88 != 0x89");
     }
 
     #[test]

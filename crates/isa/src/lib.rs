@@ -55,6 +55,7 @@ pub use encode::{decode, encode, DecodeError};
 pub use inst::{Class, Inst, Opcode};
 pub use interp::{
     branch_taken, control_target, eval_op, ArchState, ExecError, FlatMemory, Memory, Retired,
+    RunSummary, StateDivergence,
 };
-pub use program::{Program, ProgramBuilder};
+pub use program::{Program, ProgramBuilder, ProgramError};
 pub use reg::Reg;

@@ -7,7 +7,7 @@
 //! and is what the workload generators use to emit kernels.
 
 use crate::encode::INST_BYTES;
-use crate::inst::{Inst, Opcode};
+use crate::inst::{Class, Inst, Opcode};
 use crate::reg::Reg;
 use std::collections::HashMap;
 use std::error::Error;
@@ -61,31 +61,46 @@ impl Program {
 
 /// Errors produced when a [`ProgramBuilder`] is finalized.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BuildError {
+pub enum ProgramError {
     /// A branch referenced a label that was never defined.
     UndefinedLabel(String),
     /// The same label was defined twice.
     DuplicateLabel(String),
     /// A resolved displacement does not fit the 24-bit immediate field.
     DisplacementOverflow { label: String, disp: i64 },
+    /// The builder holds no instructions — an empty image has no valid PC.
+    Empty,
+    /// The image ends in a conditional branch, whose not-taken path falls
+    /// off the image. (Trailing `halt`, `ret`, or backward `br` are legal:
+    /// they never fall through.)
+    TrailingBranch(Opcode),
 }
 
-impl fmt::Display for BuildError {
+/// Former name of [`ProgramError`], kept for existing callers.
+pub type BuildError = ProgramError;
+
+impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
-            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
-            BuildError::DisplacementOverflow { label, disp } => {
+            ProgramError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            ProgramError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            ProgramError::DisplacementOverflow { label, disp } => {
                 write!(
                     f,
                     "branch to `{label}` needs displacement {disp}, out of range"
                 )
             }
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::TrailingBranch(op) => write!(
+                f,
+                "program ends in conditional branch `{}` whose fall-through runs off the image",
+                op.mnemonic()
+            ),
         }
     }
 }
 
-impl Error for BuildError {}
+impl Error for ProgramError {}
 
 /// Incremental, label-aware program constructor.
 ///
@@ -178,26 +193,33 @@ impl ProgramBuilder {
     ///
     /// # Errors
     ///
-    /// Fails if a label is missing, duplicated, or a displacement overflows
-    /// the immediate field.
-    pub fn build(mut self) -> Result<Program, BuildError> {
+    /// Fails if the program is empty, a label is missing or duplicated, a
+    /// displacement overflows the immediate field, or the last instruction
+    /// is a conditional branch (its fall-through would run off the image).
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        let Some(last) = self.insts.last().copied() else {
+            return Err(ProgramError::Empty);
+        };
+        if last.class() == Class::CondBranch {
+            return Err(ProgramError::TrailingBranch(last.op));
+        }
         if let Some(l) = self.duplicate.take() {
-            return Err(BuildError::DuplicateLabel(l));
+            return Err(ProgramError::DuplicateLabel(l));
         }
         for (idx, label) in std::mem::take(&mut self.fixups) {
             let target = *self
                 .labels
                 .get(&label)
-                .ok_or_else(|| BuildError::UndefinedLabel(label.clone()))?;
+                .ok_or_else(|| ProgramError::UndefinedLabel(label.clone()))?;
             let disp = target as i64 - (idx as i64 + 1);
             if disp < Inst::IMM_MIN as i64 || disp > Inst::IMM_MAX as i64 {
-                return Err(BuildError::DisplacementOverflow { label, disp });
+                return Err(ProgramError::DisplacementOverflow { label, disp });
             }
             self.insts[idx].imm = disp as i32;
         }
         let entry = match self.entry_label.take() {
             None => 0,
-            Some(l) => *self.labels.get(&l).ok_or(BuildError::UndefinedLabel(l))?,
+            Some(l) => *self.labels.get(&l).ok_or(ProgramError::UndefinedLabel(l))?,
         };
         Ok(Program {
             name: self.name,
@@ -384,6 +406,44 @@ mod tests {
             b.build().unwrap_err(),
             BuildError::DuplicateLabel("x".into())
         );
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(
+            ProgramBuilder::new("t").build().unwrap_err(),
+            ProgramError::Empty
+        );
+        // Labels and data alone don't make a program.
+        let mut b = ProgramBuilder::new("t");
+        b.label("x");
+        b.data_words(0x1000, &[1]);
+        assert_eq!(b.build().unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn trailing_conditional_branch_is_an_error() {
+        for op in [Opcode::Beq, Opcode::Bne, Opcode::Bgt] {
+            let mut b = ProgramBuilder::new("t");
+            b.label("top");
+            b.nop();
+            b.push_to_label(Inst::branch(op, Reg::int(1), 0), "top");
+            assert_eq!(b.build().unwrap_err(), ProgramError::TrailingBranch(op));
+        }
+    }
+
+    #[test]
+    fn trailing_unconditional_control_is_legal() {
+        // `ret`, backward `br`, and `halt` cannot fall through, so a
+        // program may end with them.
+        let mut b = ProgramBuilder::new("ret");
+        b.nop();
+        b.ret(Reg::int(26));
+        assert!(b.build().is_ok());
+        let mut b = ProgramBuilder::new("br");
+        b.label("spin");
+        b.br("spin");
+        assert!(b.build().is_ok());
     }
 
     #[test]

@@ -175,6 +175,12 @@ pub struct PipelineConfig {
     pub watchdog_window: u64,
     /// Fault-injection schedule (`None` = no injection).
     pub faults: Option<FaultPlan>,
+    /// Seeded defect (`chaos` build feature only, default off): corrupt
+    /// every branch-recovery squash redirect by +1 instruction. Exists so
+    /// the differential fuzzer can prove it catches real pipeline bugs;
+    /// unlike `faults`, this perturbs *architectural* behavior.
+    #[cfg(feature = "chaos")]
+    pub chaos_branch_recovery_off_by_one: bool,
 }
 
 impl Default for PipelineConfig {
@@ -219,6 +225,8 @@ impl Default for PipelineConfig {
             audit: false,
             watchdog_window: 50_000,
             faults: None,
+            #[cfg(feature = "chaos")]
+            chaos_branch_recovery_off_by_one: false,
         }
     }
 }

@@ -111,6 +111,47 @@ pub enum FaultKind {
     OperandMiss = 2,
 }
 
+/// Post-run accounting of a fault schedule: how many injection
+/// opportunities each class saw while armed, and how many actually fired.
+/// The storm tests assert on this so an injection path that silently stops
+/// calling the injector (scheduled stays 0) or drops hits on the floor
+/// (fired diverges from the machine's fault stats) cannot pass unnoticed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Injection opportunities per [`FaultKind`] index while the class was
+    /// armed (rate > 0), including opportunities outside the plan's window.
+    pub scheduled: [u64; 3],
+    /// Faults per [`FaultKind`] index that actually fired.
+    pub fired: [u64; 3],
+}
+
+impl FaultSummary {
+    /// Total opportunities across all classes.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled.iter().sum()
+    }
+
+    /// Total fired faults across all classes.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+impl std::fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "branch-flip {}/{}, load-spike {}/{}, operand-miss {}/{} (fired/scheduled)",
+            self.fired[0],
+            self.scheduled[0],
+            self.fired[1],
+            self.scheduled[1],
+            self.fired[2],
+            self.scheduled[2],
+        )
+    }
+}
+
 /// Runtime state of a [`FaultPlan`]: the schedule RNG plus counters.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
@@ -118,6 +159,7 @@ pub struct FaultInjector {
     rng: Rng,
     injected: u64,
     by_kind: [u64; 3],
+    scheduled: [u64; 3],
 }
 
 impl FaultInjector {
@@ -128,6 +170,7 @@ impl FaultInjector {
             plan,
             injected: 0,
             by_kind: [0; 3],
+            scheduled: [0; 3],
         }
     }
 
@@ -146,6 +189,14 @@ impl FaultInjector {
         self.by_kind
     }
 
+    /// Scheduled-vs-fired accounting so far (see [`FaultSummary`]).
+    pub fn summary(&self) -> FaultSummary {
+        FaultSummary {
+            scheduled: self.scheduled,
+            fired: self.by_kind,
+        }
+    }
+
     fn active(&self, now: u64) -> bool {
         match self.plan.window {
             Some((start, end)) => (start..end).contains(&now),
@@ -154,12 +205,19 @@ impl FaultInjector {
     }
 
     fn fire(&mut self, now: u64, rate: f64, kind: FaultKind) -> bool {
-        if rate <= 0.0 || !self.active(now) {
+        if rate <= 0.0 {
             return false;
         }
-        // Always draw when the fault class is armed, active or not in this
-        // window — the schedule must not depend on machine timing beyond
-        // the sequence of injection *opportunities*.
+        // Every call with the class armed is a scheduled opportunity, even
+        // outside the window — `summary()` must expose gated-off draws, not
+        // hide them.
+        self.scheduled[kind as usize] += 1;
+        if !self.active(now) {
+            return false;
+        }
+        // The RNG is only consumed inside the window, so a windowed plan
+        // fires the same schedule regardless of how long the machine runs
+        // before `start`.
         let hit = self.rng.gen_bool(rate);
         if hit {
             self.injected += 1;
@@ -227,6 +285,32 @@ mod tests {
             }
         }
         assert_eq!(inj.by_kind()[FaultKind::LoadSpike as usize], 10);
+    }
+
+    #[test]
+    fn summary_counts_scheduled_and_fired() {
+        let mut inj = FaultInjector::new(FaultPlan::branch_storm(7, 0.5).in_window(10, 20));
+        for c in 0..30 {
+            let _ = inj.flip_branch(c);
+            let _ = inj.load_spike(c); // unarmed: never scheduled
+        }
+        let s = inj.summary();
+        assert_eq!(
+            s.scheduled[FaultKind::BranchFlip as usize],
+            30,
+            "every armed opportunity is scheduled, window or not"
+        );
+        assert_eq!(s.scheduled[FaultKind::LoadSpike as usize], 0);
+        assert_eq!(s.fired, inj.by_kind());
+        assert!(s.total_fired() <= 10, "only in-window draws can fire");
+        assert!(s.total_fired() >= 1, "a 50% storm fires within 10 draws");
+        assert_eq!(
+            s.to_string(),
+            format!(
+                "branch-flip {}/30, load-spike 0/0, operand-miss 0/0 (fired/scheduled)",
+                s.fired[0]
+            )
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use error::{
     ConfigError, DeadlockError, InvariantKind, InvariantViolation, PipelineSnapshot, SimError,
     ThreadSnapshot,
 };
-pub use faults::{FaultInjector, FaultKind, FaultPlan};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSummary};
 pub use iq::{IqEntry, IqState, IssueQueue};
 pub use lsq::StoreWaitTable;
 pub use machine::Machine;

@@ -75,6 +75,10 @@ pub(crate) struct Scratch {
 pub(crate) struct ThreadState {
     pub(crate) program: Program,
     pub(crate) fetch_pc: u64,
+    /// PC of the next instruction in architectural (retired) order —
+    /// `entry` until the first retirement, then the last retired
+    /// instruction's `next_pc`.
+    pub(crate) arch_pc: u64,
     /// Fetch suspended: a `halt` was fetched, or the PC ran off the image
     /// on a wrong path. Cleared by squash redirects.
     pub(crate) fetch_suspended: bool,
@@ -217,6 +221,7 @@ impl Machine {
             .into_iter()
             .map(|program| ThreadState {
                 fetch_pc: program.entry,
+                arch_pc: program.entry,
                 program,
                 fetch_suspended: false,
                 fetch_stall_until: 0,
@@ -308,6 +313,30 @@ impl Machine {
         }
         let p = self.rename[thread].lookup(r);
         self.physfile.read(p)
+    }
+
+    /// Snapshot of `thread`'s full architectural state — all 64 registers
+    /// (via [`Machine::arch_reg`]), the PC of the next unretired
+    /// instruction, and the halt flag — as an interpreter [`ArchState`],
+    /// so it can be [`ArchState::diff`]ed against the functional model's.
+    /// Like `arch_reg`, only meaningful once the pipeline has drained.
+    pub fn arch_state(&mut self, thread: usize) -> ArchState {
+        let mut st = ArchState::new(&self.threads[thread].program);
+        for idx in 0..looseloops_isa::reg::NUM_ARCH_REGS {
+            let r = looseloops_isa::Reg::from_index(idx);
+            let v = self.arch_reg(thread, r);
+            st.write_reg(r, v);
+        }
+        st.set_pc(self.threads[thread].arch_pc);
+        st.set_halted(self.threads[thread].done);
+        st
+    }
+
+    /// Scheduled-vs-fired fault accounting (`None` when `cfg.faults` is
+    /// unset). Storm tests assert on this so injections cannot be dropped
+    /// silently.
+    pub fn fault_summary(&self) -> Option<crate::faults::FaultSummary> {
+        self.injector.as_ref().map(FaultInjector::summary)
     }
 
     /// Check every retired instruction against the functional interpreter.
@@ -1643,7 +1672,17 @@ impl Machine {
                 }
             }
             // Branch-resolution feedback delay: one cycle.
-            self.squash_after(t, seq, target, now + 1, CpiComponent::BranchResolution);
+            #[allow(unused_mut)]
+            let mut redirect = target;
+            #[cfg(feature = "chaos")]
+            if self.cfg.chaos_branch_recovery_off_by_one && inst.class() == Class::CondBranch {
+                // Seeded defect for the differential fuzzer: the recovery
+                // redirect (not the architectural next_pc) lands one
+                // instruction late, so post-recovery retirement diverges
+                // from the oracle.
+                redirect = redirect.wrapping_add(1);
+            }
+            self.squash_after(t, seq, redirect, now + 1, CpiComponent::BranchResolution);
         }
     }
 
@@ -1929,6 +1968,7 @@ impl Machine {
         if let Some(log) = &mut self.retire_capture {
             log.push((t, retired));
         }
+        self.threads[t].arch_pc = next_pc;
 
         if let Some(tr) = &mut self.tracer {
             tr.retire(now, id);

@@ -2,7 +2,7 @@
 //! per-cycle invariant auditor, and fault-injection storms with full
 //! architectural verification against the ISA interpreter.
 
-use looseloops_isa::{asm, Reg};
+use looseloops_isa::{asm, ArchState, FlatMemory, Reg};
 use looseloops_pipeline::{FaultPlan, Machine, PipelineConfig, SimError};
 
 /// 200-iteration accumulation loop: r2 ends at 1 + 2 + … + 200 = 20100.
@@ -50,6 +50,45 @@ fn run_verified(mut cfg: PipelineConfig, src: &str) -> Machine {
         m.cycle()
     );
     m
+}
+
+/// Final-state check through the public diff API: run the interpreter on
+/// `src` to halt and require the machine's drained architectural state
+/// (all 64 registers, PC, halt flag — and, when `check_mem`, every byte of
+/// data memory) to diff empty against it. Returns the oracle state so
+/// callers can pin expected constants against the *reference* model.
+fn assert_state_matches_oracle(
+    m: &mut Machine,
+    src: &str,
+    thread: usize,
+    check_mem: bool,
+) -> ArchState {
+    let prog = asm::assemble(src).unwrap();
+    let mut mem = FlatMemory::with_program(&prog);
+    let mut oracle = ArchState::new(&prog);
+    let summary = oracle.run(&prog, &mut mem, 10_000_000).unwrap();
+    assert!(summary.halted, "oracle run must halt");
+    let d = oracle.diff(&m.arch_state(thread));
+    assert!(
+        d.is_empty(),
+        "thread {thread} final state diverged from the oracle:\n{}",
+        d.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    if check_mem {
+        let md = mem.diff(m.data_mem());
+        assert!(
+            md.is_empty(),
+            "data memory diverged from the oracle:\n{}",
+            md.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    oracle
 }
 
 #[test]
@@ -119,8 +158,9 @@ fn branch_storm_recovers_and_results_match_isa() {
         },
         SUM_LOOP,
     );
-    assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
-    let s = m.stats();
+    let oracle = assert_state_matches_oracle(&mut m, SUM_LOOP, 0, true);
+    assert_eq!(oracle.read_reg(Reg::int(2)), SUM_LOOP_RESULT);
+    let s = m.stats().clone();
     assert!(s.faults_injected > 0, "storm must fire");
     assert!(
         s.faults_by_kind[0] > 0,
@@ -129,6 +169,16 @@ fn branch_storm_recovers_and_results_match_isa() {
     );
     assert!(s.audit_checks > 0, "auditor ran every cycle");
     assert!(s.branch_mispredicts > 0);
+    // Scheduled-vs-fired audit: every armed opportunity was presented to
+    // the injector and every hit it reported reached the machine's stats —
+    // a silently dropped injection fails here.
+    let sum = m.fault_summary().expect("plan armed");
+    assert_eq!(sum.fired, s.faults_by_kind, "fired faults all took effect");
+    assert_eq!(sum.total_fired(), s.faults_injected);
+    assert!(
+        sum.scheduled[0] >= sum.fired[0] && sum.fired[0] > 0,
+        "summary: {sum}"
+    );
 }
 
 #[test]
@@ -142,14 +192,18 @@ fn load_spike_storm_recovers_and_results_match_isa() {
         },
         LOAD_LOOP,
     );
-    assert_eq!(m.arch_reg(0, Reg::int(4)), LOAD_LOOP_RESULT);
-    let s = m.stats();
+    let oracle = assert_state_matches_oracle(&mut m, LOAD_LOOP, 0, true);
+    assert_eq!(oracle.read_reg(Reg::int(4)), LOAD_LOOP_RESULT);
+    let s = m.stats().clone();
     assert!(s.faults_injected > 0);
     assert!(
         s.faults_by_kind[1] > 0,
         "load spikes recorded: {:?}",
         s.faults_by_kind
     );
+    let sum = m.fault_summary().expect("plan armed");
+    assert_eq!(sum.fired, s.faults_by_kind);
+    assert!(sum.scheduled[1] >= sum.fired[1], "summary: {sum}");
 }
 
 #[test]
@@ -164,8 +218,9 @@ fn operand_miss_storm_recovers_and_results_match_isa() {
         },
         SUM_LOOP,
     );
-    assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
-    let s = m.stats();
+    let oracle = assert_state_matches_oracle(&mut m, SUM_LOOP, 0, true);
+    assert_eq!(oracle.read_reg(Reg::int(2)), SUM_LOOP_RESULT);
+    let s = m.stats().clone();
     assert!(s.faults_injected > 0);
     assert!(
         s.faults_by_kind[2] > 0,
@@ -176,6 +231,9 @@ fn operand_miss_storm_recovers_and_results_match_isa() {
         s.operand_misses > 0,
         "forced misses flow into the regular miss counter"
     );
+    let sum = m.fault_summary().expect("plan armed");
+    assert_eq!(sum.fired, s.faults_by_kind);
+    assert!(sum.scheduled[2] >= sum.fired[2], "summary: {sum}");
 }
 
 #[test]
@@ -203,8 +261,15 @@ fn ipc_recovers_after_a_windowed_storm() {
         stormed < baseline + 3 * 2_000,
         "post-storm IPC must recover: baseline={baseline} stormed={stormed}"
     );
-    // All injection happened inside the window.
+    // All injection happened inside the window: the summary must show
+    // opportunities scheduled after cycle 2000 that never fired.
     assert!(m.stats().faults_injected > 0);
+    let sum = m.fault_summary().expect("plan armed");
+    assert!(
+        sum.scheduled[0] > sum.fired[0],
+        "post-window opportunities must be scheduled but not fired: {sum}"
+    );
+    assert_eq!(sum.total_fired(), m.stats().faults_injected);
 }
 
 #[test]
@@ -247,13 +312,24 @@ fn combined_storm_on_smt_dra_machine_stays_architecturally_correct() {
     m.enable_verification();
     m.run(u64::MAX, 8_000_000).unwrap();
     assert!(m.is_done());
-    assert_eq!(m.arch_reg(0, Reg::int(2)), SUM_LOOP_RESULT);
-    assert_eq!(m.arch_reg(1, Reg::int(4)), LOAD_LOOP_RESULT);
-    let s = m.stats();
+    // Per-thread register/PC/halt state must diff empty against the oracle
+    // (memory is shared between threads under SMT, so skip the byte diff).
+    let o0 = assert_state_matches_oracle(&mut m, SUM_LOOP, 0, false);
+    let o1 = assert_state_matches_oracle(&mut m, LOAD_LOOP, 1, false);
+    assert_eq!(o0.read_reg(Reg::int(2)), SUM_LOOP_RESULT);
+    assert_eq!(o1.read_reg(Reg::int(4)), LOAD_LOOP_RESULT);
+    let s = m.stats().clone();
     assert!(
         s.faults_by_kind.iter().all(|&n| n > 0),
         "all three kinds fired: {:?}",
         s.faults_by_kind
     );
     assert_eq!(s.faults_injected, s.faults_by_kind.iter().sum::<u64>());
+    let sum = m.fault_summary().expect("plan armed");
+    assert_eq!(sum.fired, s.faults_by_kind);
+    assert!(sum
+        .scheduled
+        .iter()
+        .zip(sum.fired.iter())
+        .all(|(s, f)| s >= f));
 }

@@ -1,0 +1,14 @@
+; looseloops-fuzz corpus v1
+; name: chaos-branch-recovery-seed-0002
+; finding: retire divergence
+; config: scheme=base rf=3 dec=6 ex=5 policy=tree predictor=tournament threads=1
+; faults: none
+; max-cycles: 2000000
+; oracle-steps: 1000000
+.data 0x110000, 0x4a8be9229ed9ba3b, 0x4a8be9229eda5871, 0x4a8be9229edaf6a9, 0x4a8be9229edb94df, 0x4a8be9229edc3317, 0x4a8be9229edcd14d, 0x4a8be9229edd6f85, 0x4a8be9229ede0dbb, 0x4a8be9229edeabf3, 0x4a8be9229edf4a29, 0x4a8be9229edfe861, 0x4a8be9229ee08697, 0x4a8be9229ee124cf, 0x4a8be9229ee1c305, 0x4a8be9229ee2613d, 0x4a8be9229ee2ff73, 0x4a8be9229ee39dab, 0x4a8be9229ee43be1, 0x4a8be9229ee4da19, 0x4a8be9229ee5784f, 0x4a8be9229ee61687, 0x4a8be9229ee6b4bd, 0x4a8be9229ee752f5, 0x4a8be9229ee7f12b, 0x4a8be9229ee88f63, 0x4a8be9229ee92d99, 0x4a8be9229ee9cbd1, 0x4a8be9229eea6a07, 0x4a8be9229eeb083f, 0x4a8be9229eeba675, 0x4a8be9229eec44ad, 0x4a8be9229eece2e3, 0x4a8be9229eed811b, 0x4a8be9229eee1f51, 0x4a8be9229eeebd89, 0x4a8be9229eef5bbf, 0x4a8be9229eeff9f7, 0x4a8be9229ef0982d, 0x4a8be9229ef13665, 0x4a8be9229ef1d49b, 0x4a8be9229ef272d3, 0x4a8be9229ef31109, 0x4a8be9229ef3af41, 0x4a8be9229ef44d77, 0x4a8be9229ef4ebaf, 0x4a8be9229ef589e5, 0x4a8be9229ef6281d, 0x4a8be9229ef6c653, 0x4a8be9229ef7648b, 0x4a8be9229ef802c1, 0x4a8be9229ef8a0f9, 0x4a8be9229ef93f2f, 0x4a8be9229ef9dd67, 0x4a8be9229efa7b9d, 0x4a8be9229efb19d5, 0x4a8be9229efbb80b, 0x4a8be9229efc5643, 0x4a8be9229efcf479, 0x4a8be9229efd92b1, 0x4a8be9229efe30e7, 0x4a8be9229efecf1f, 0x4a8be9229eff6d55, 0x4a8be9229f000b8d, 0x4a8be9229f00a9c3
+    addi r1, r31, 1114112
+    addi r10, r31, 5
+    mb
+    subi r10, r10, 1
+    bne r10, -3
+    halt

@@ -1,0 +1,16 @@
+; looseloops-fuzz corpus v1
+; name: chaos-branch-recovery-seed-0006
+; finding: retire divergence
+; config: scheme=dra rf=5 dec=7 ex=3 policy=tree predictor=tournament threads=1
+; faults: none
+; max-cycles: 2000000
+; oracle-steps: 1000000
+.data 0x10000, 0xdfa3bb67dc8d2eaf, 0xdfa3bb67dc8dcce5, 0xdfa3bb67dc8e6b1d, 0xdfa3bb67dc8f0953, 0xdfa3bb67dc8fa78b, 0xdfa3bb67dc9045c1, 0xdfa3bb67dc90e3f9, 0xdfa3bb67dc91822f, 0xdfa3bb67dc922067, 0xdfa3bb67dc92be9d, 0xdfa3bb67dc935cd5, 0xdfa3bb67dc93fb0b, 0xdfa3bb67dc949943, 0xdfa3bb67dc953779, 0xdfa3bb67dc95d5b1, 0xdfa3bb67dc9673e7, 0xdfa3bb67dc97121f, 0xdfa3bb67dc97b055, 0xdfa3bb67dc984e8d, 0xdfa3bb67dc98ecc3, 0xdfa3bb67dc998afb, 0xdfa3bb67dc9a2931, 0xdfa3bb67dc9ac769, 0xdfa3bb67dc9b659f, 0xdfa3bb67dc9c03d7, 0xdfa3bb67dc9ca20d, 0xdfa3bb67dc9d4045, 0xdfa3bb67dc9dde7b, 0xdfa3bb67dc9e7cb3, 0xdfa3bb67dc9f1ae9, 0xdfa3bb67dc9fb921, 0xdfa3bb67dca05757, 0xdfa3bb67dca0f58f, 0xdfa3bb67dca193c5, 0xdfa3bb67dca231fd, 0xdfa3bb67dca2d033, 0xdfa3bb67dca36e6b, 0xdfa3bb67dca40ca1, 0xdfa3bb67dca4aad9, 0xdfa3bb67dca5490f, 0xdfa3bb67dca5e747, 0xdfa3bb67dca6857d, 0xdfa3bb67dca723b5, 0xdfa3bb67dca7c1eb, 0xdfa3bb67dca86023, 0xdfa3bb67dca8fe59, 0xdfa3bb67dca99c91, 0xdfa3bb67dcaa3ac7, 0xdfa3bb67dcaad8ff, 0xdfa3bb67dcab7735, 0xdfa3bb67dcac156d, 0xdfa3bb67dcacb3a3, 0xdfa3bb67dcad51db, 0xdfa3bb67dcadf011, 0xdfa3bb67dcae8e49, 0xdfa3bb67dcaf2c7f, 0xdfa3bb67dcafcab7, 0xdfa3bb67dcb068ed, 0xdfa3bb67dcb10725, 0xdfa3bb67dcb1a55b, 0xdfa3bb67dcb24393, 0xdfa3bb67dcb2e1c9, 0xdfa3bb67dcb38001, 0xdfa3bb67dcb41e37
+    addi r1, r31, 65536
+    addi r10, r31, 2
+    jsr r26, +3
+    subi r10, r10, 1
+    bne r10, -3
+    halt
+    add r19, r18, r23
+    ret r26

@@ -1,0 +1,14 @@
+; looseloops-fuzz corpus v1
+; name: chaos-branch-recovery-seed-0007
+; finding: retire divergence
+; config: scheme=base rf=3 dec=5 ex=5 policy=tree predictor=tournament threads=1
+; faults: none
+; max-cycles: 2000000
+; oracle-steps: 1000000
+.data 0x110000, 0x4e9aff92bfa0bcb, 0x4e9aff92bfaaa03, 0x4e9aff92bfb4839, 0x4e9aff92bfbe671, 0x4e9aff92bfc84a7, 0x4e9aff92bfd22df, 0x4e9aff92bfdc115, 0x4e9aff92bfe5f4d, 0x4e9aff92bfefd83, 0x4e9aff92bff9bbb, 0x4e9aff92c0039f1, 0x4e9aff92c00d829, 0x4e9aff92c01765f, 0x4e9aff92c021497, 0x4e9aff92c02b2cd, 0x4e9aff92c035105, 0x4e9aff92c03ef3b, 0x4e9aff92c048d73, 0x4e9aff92c052ba9, 0x4e9aff92c05c9e1, 0x4e9aff92c066817, 0x4e9aff92c07064f, 0x4e9aff92c07a485, 0x4e9aff92c0842bd, 0x4e9aff92c08e0f3, 0x4e9aff92c097f2b, 0x4e9aff92c0a1d61, 0x4e9aff92c0abb99, 0x4e9aff92c0b59cf, 0x4e9aff92c0bf807, 0x4e9aff92c0c963d, 0x4e9aff92c0d3475, 0x4e9aff92c0dd2ab, 0x4e9aff92c0e70e3, 0x4e9aff92c0f0f19, 0x4e9aff92c0fad51, 0x4e9aff92c104b87, 0x4e9aff92c10e9bf, 0x4e9aff92c1187f5, 0x4e9aff92c12262d, 0x4e9aff92c12c463, 0x4e9aff92c13629b, 0x4e9aff92c1400d1, 0x4e9aff92c149f09, 0x4e9aff92c153d3f, 0x4e9aff92c15db77, 0x4e9aff92c1679ad, 0x4e9aff92c1717e5, 0x4e9aff92c17b61b, 0x4e9aff92c185453, 0x4e9aff92c18f289, 0x4e9aff92c1990c1, 0x4e9aff92c1a2ef7, 0x4e9aff92c1acd2f, 0x4e9aff92c1b6b65, 0x4e9aff92c1c099d, 0x4e9aff92c1ca7d3, 0x4e9aff92c1d460b, 0x4e9aff92c1de441, 0x4e9aff92c1e8279, 0x4e9aff92c1f20af, 0x4e9aff92c1fbee7, 0x4e9aff92c205d1d, 0x4e9aff92c20fb55
+    addi r1, r31, 1114112
+    beq r4, +1
+    br +1
+    mb
+    slli r7, r8, 13
+    halt

@@ -1,0 +1,15 @@
+; looseloops-fuzz corpus v1
+; name: chaos-branch-recovery-seed-0009
+; finding: retire divergence
+; config: scheme=base rf=7 dec=7 ex=9 policy=tree predictor=tournament threads=1
+; faults: none
+; max-cycles: 2000000
+; oracle-steps: 1000000
+.data 0x10000, 0x4f75991bcad3c605, 0x4f75991bcad4643d, 0x4f75991bcad50273, 0x4f75991bcad5a0ab, 0x4f75991bcad63ee1, 0x4f75991bcad6dd19, 0x4f75991bcad77b4f, 0x4f75991bcad81987, 0x4f75991bcad8b7bd, 0x4f75991bcad955f5, 0x4f75991bcad9f42b, 0x4f75991bcada9263, 0x4f75991bcadb3099, 0x4f75991bcadbced1, 0x4f75991bcadc6d07, 0x4f75991bcadd0b3f, 0x4f75991bcadda975, 0x4f75991bcade47ad, 0x4f75991bcadee5e3, 0x4f75991bcadf841b, 0x4f75991bcae02251, 0x4f75991bcae0c089, 0x4f75991bcae15ebf, 0x4f75991bcae1fcf7, 0x4f75991bcae29b2d, 0x4f75991bcae33965, 0x4f75991bcae3d79b, 0x4f75991bcae475d3, 0x4f75991bcae51409, 0x4f75991bcae5b241, 0x4f75991bcae65077, 0x4f75991bcae6eeaf, 0x4f75991bcae78ce5, 0x4f75991bcae82b1d, 0x4f75991bcae8c953, 0x4f75991bcae9678b, 0x4f75991bcaea05c1, 0x4f75991bcaeaa3f9, 0x4f75991bcaeb422f, 0x4f75991bcaebe067, 0x4f75991bcaec7e9d, 0x4f75991bcaed1cd5, 0x4f75991bcaedbb0b, 0x4f75991bcaee5943, 0x4f75991bcaeef779, 0x4f75991bcaef95b1, 0x4f75991bcaf033e7, 0x4f75991bcaf0d21f, 0x4f75991bcaf17055, 0x4f75991bcaf20e8d, 0x4f75991bcaf2acc3, 0x4f75991bcaf34afb, 0x4f75991bcaf3e931, 0x4f75991bcaf48769, 0x4f75991bcaf5259f, 0x4f75991bcaf5c3d7, 0x4f75991bcaf6620d, 0x4f75991bcaf70045, 0x4f75991bcaf79e7b, 0x4f75991bcaf83cb3, 0x4f75991bcaf8dae9, 0x4f75991bcaf97921, 0x4f75991bcafa1757, 0x4f75991bcafab58f
+    addi r1, r31, 65536
+    addi r8, r31, 1679457
+    andi r4, r8, 1
+    bne r4, +1
+    mul r18, r19, r18
+    addi r18, r18, -33
+    halt

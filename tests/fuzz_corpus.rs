@@ -1,0 +1,32 @@
+//! Tier-1 replay of the shrunk-reproducer corpus from the top-level
+//! package, so a plain `cargo test` in the repo root exercises it even
+//! without `--workspace`.
+//!
+//! `crates/fuzz/tests/corpus_replay.rs` is the authoritative suite (it
+//! also checks the stale-banner path and hosts the `--ignored`
+//! regeneration writer); this test pins the same guarantee — every
+//! checked-in entry replays clean against the healthy pipeline — into
+//! the root package's test set.
+
+use std::path::Path;
+
+#[test]
+fn checked_in_corpus_replays_clean_from_the_root_package() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus");
+    let entries = looseloops_fuzz::load_dir(&dir).expect("corpus must load");
+    assert!(
+        entries.len() >= 5,
+        "corpus must hold at least 5 regression programs, found {}",
+        entries.len()
+    );
+    for entry in entries {
+        let out = looseloops_fuzz::run_case(&entry.case);
+        assert!(
+            out.finding.is_none(),
+            "corpus entry `{}` (recorded: {}) diverges again: {}",
+            entry.name,
+            entry.recorded_finding,
+            out.finding.unwrap()
+        );
+    }
+}

@@ -15,7 +15,8 @@
 //! regenerates the baseline).
 
 use looseloops::{
-    fig4_pipeline_length_on, fig8_dra_speedup_on, FigureResult, RunBudget, SweepEngine, Workload,
+    capture_checkpoint, fig4_pipeline_length_on, fig8_dra_speedup_on, Benchmark, FigureResult,
+    PipelineConfig, RunBudget, SweepEngine, Workload,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -77,6 +78,35 @@ fn measure(
     }
 }
 
+/// Time the functional fast-forward interpreter (with cache/TLB/
+/// predictor warming) on the compress proxy. Its sim-MIPS is what makes
+/// checkpointed warm-up and interval sampling pay off, so the checker
+/// gates the *ratio* of this entry to the detailed sweeps' sim-MIPS
+/// (`check_simmips.py --min-ff-ratio`).
+fn measure_functional_ff() -> Entry {
+    const INSTRUCTIONS: u64 = 2_000_000;
+    let cfg = PipelineConfig::base();
+    let workload = Workload::Single(Benchmark::Compress);
+    let wcfg = workload.config_for(&cfg);
+    let t0 = Instant::now();
+    let ckpt =
+        capture_checkpoint(&wcfg, workload.programs(), INSTRUCTIONS).expect("functional warm-up");
+    let wall = t0.elapsed();
+    assert_eq!(ckpt.instructions, INSTRUCTIONS, "compress must not halt");
+    let entry = Entry {
+        figure: "functional-ff",
+        jobs: 1,
+        instructions: INSTRUCTIONS,
+        wall_s: wall.as_secs_f64(),
+        sim_mips: INSTRUCTIONS as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+    };
+    eprintln!(
+        "[simmips] functional-ff: {INSTRUCTIONS} instructions in {:.3}s ({:.1} sim-MIPS)",
+        entry.wall_s, entry.sim_mips
+    );
+    entry
+}
+
 fn to_json(budget: RunBudget, entries: &[Entry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -112,6 +142,7 @@ fn main() {
             fig4_pipeline_length_on(s, &workloads, b)
         }),
         measure("fig8", budget, |s, b| fig8_dra_speedup_on(s, &workloads, b)),
+        measure_functional_ff(),
     ];
     let json = to_json(budget, &entries);
     let path = std::env::var("LOOSELOOPS_BENCH_OUT")

@@ -61,6 +61,27 @@ impl Btb {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Snapshot the target array for a checkpoint (tag `u64::MAX` marks an
+    /// empty slot). Statistics are not included.
+    pub fn export_state(&self) -> Vec<(u64, u64)> {
+        self.entries.clone()
+    }
+
+    /// Restore a snapshot from [`Btb::export_state`]. Rejects snapshots
+    /// whose slot count does not match this BTB's size.
+    pub fn import_state(&mut self, entries: &[(u64, u64)]) -> Result<(), String> {
+        if entries.len() != self.entries.len() {
+            return Err(format!(
+                "snapshot has {} slots, BTB has {}",
+                entries.len(),
+                self.entries.len()
+            ));
+        }
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

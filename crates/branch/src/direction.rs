@@ -83,6 +83,27 @@ pub trait DirectionPredictor {
     /// outcome. (Global history repair is the pipeline's job via
     /// [`DirectionPredictor::restore_history`].)
     fn repair(&mut self, _pc: u64, _ctx: u64, _taken: bool) {}
+
+    /// Snapshot the full predictor state (tables and histories) as a flat
+    /// word vector for a checkpoint. The layout is predictor-specific but
+    /// stable; stateless predictors return an empty vector.
+    fn export_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`DirectionPredictor::export_state`] from
+    /// a predictor of the same kind and geometry. The default accepts only
+    /// the empty (stateless) snapshot.
+    fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "stateless predictor given {} words of state",
+                words.len()
+            ))
+        }
+    }
 }
 
 /// 2-bit saturating counter helper.
@@ -113,6 +134,31 @@ impl Counter2 {
             self.0 = self.0.saturating_sub(1);
         }
     }
+
+    /// Rebuild a counter from a snapshot value; out-of-range values are
+    /// rejected rather than clamped so corrupt checkpoints surface.
+    pub fn from_value(v: u64) -> Result<Counter2, String> {
+        if v <= 3 {
+            Ok(Counter2(v as u8))
+        } else {
+            Err(format!("counter value {v} out of range 0..=3"))
+        }
+    }
+}
+
+/// Shared helper: restore a `Counter2` table slice from snapshot words.
+fn import_counters(dst: &mut [Counter2], words: &[u64]) -> Result<(), String> {
+    if words.len() != dst.len() {
+        return Err(format!(
+            "snapshot has {} counters, table has {}",
+            words.len(),
+            dst.len()
+        ));
+    }
+    for (d, &w) in dst.iter_mut().zip(words) {
+        *d = Counter2::from_value(w)?;
+    }
+    Ok(())
 }
 
 /// Static always-taken predictor.
@@ -161,6 +207,15 @@ impl DirectionPredictor for BimodalPredictor {
     fn update(&mut self, pc: u64, taken: bool) {
         let i = self.index(pc);
         self.table[i].train(taken);
+    }
+
+    // Layout: [counters...].
+    fn export_state(&self) -> Vec<u64> {
+        self.table.iter().map(|c| u64::from(c.value())).collect()
+    }
+
+    fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
+        import_counters(&mut self.table, words)
     }
 }
 
@@ -235,6 +290,23 @@ impl DirectionPredictor for GsharePredictor {
         let mask = (1u64 << self.hist_bits) - 1;
         let i = ((pc ^ (ctx & mask)) as usize) & (self.table.len() - 1);
         self.table[i].train(taken);
+    }
+
+    // Layout: [history, counters...].
+    fn export_state(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(1 + self.table.len());
+        words.push(self.history);
+        words.extend(self.table.iter().map(|c| u64::from(c.value())));
+        words
+    }
+
+    fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let (&history, counters) = words
+            .split_first()
+            .ok_or_else(|| "empty gshare snapshot".to_string())?;
+        import_counters(&mut self.table, counters)?;
+        self.history = history;
+        Ok(())
     }
 }
 
@@ -329,6 +401,35 @@ impl DirectionPredictor for LocalPredictor {
     fn train_only(&mut self, pc: u64, taken: bool) {
         let hist = self.histories[self.index(pc)];
         self.train_pattern(hist, taken);
+    }
+
+    // Layout: [histories..., pattern counters...].
+    fn export_state(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.histories.len() + self.pattern.len());
+        words.extend(self.histories.iter().map(|&h| u64::from(h)));
+        words.extend(self.pattern.iter().map(|&c| u64::from(c)));
+        words
+    }
+
+    fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let want = self.histories.len() + self.pattern.len();
+        if words.len() != want {
+            return Err(format!(
+                "local snapshot has {} words, geometry needs {want}",
+                words.len()
+            ));
+        }
+        let (hists, pats) = words.split_at(self.histories.len());
+        for (d, &w) in self.histories.iter_mut().zip(hists) {
+            *d = u16::try_from(w).map_err(|_| format!("local history {w} out of range"))?;
+        }
+        for (d, &w) in self.pattern.iter_mut().zip(pats) {
+            if w > 7 {
+                return Err(format!("pattern counter {w} out of range 0..=7"));
+            }
+            *d = w as u8;
+        }
+        Ok(())
     }
 }
 
@@ -465,6 +566,35 @@ impl DirectionPredictor for TournamentPredictor {
     fn repair(&mut self, pc: u64, ctx: u64, taken: bool) {
         self.local.repair(pc, ctx & 0xffff, taken);
     }
+
+    // Layout: [history, global..., choice..., local state...].
+    fn export_state(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(1 + 2 * self.global.len());
+        words.push(self.history);
+        words.extend(self.global.iter().map(|c| u64::from(c.value())));
+        words.extend(self.choice.iter().map(|c| u64::from(c.value())));
+        words.extend(self.local.export_state());
+        words
+    }
+
+    fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let (&history, rest) = words
+            .split_first()
+            .ok_or_else(|| "empty tournament snapshot".to_string())?;
+        let n = self.global.len();
+        if rest.len() < 2 * n {
+            return Err(format!(
+                "tournament snapshot has {} words, tables need {}",
+                rest.len(),
+                2 * n
+            ));
+        }
+        import_counters(&mut self.global, &rest[..n])?;
+        import_counters(&mut self.choice, &rest[n..2 * n])?;
+        self.local.import_state(&rest[2 * n..])?;
+        self.history = history;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -600,5 +730,42 @@ mod tests {
     #[should_panic]
     fn non_power_of_two_rejected() {
         let _ = BimodalPredictor::new(100);
+    }
+
+    #[test]
+    fn predictor_state_round_trips_every_kind() {
+        for kind in [
+            PredictorKind::Taken,
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::Local,
+            PredictorKind::Tournament,
+        ] {
+            let mut trained = crate::build_predictor(kind);
+            for i in 0..2000u64 {
+                trained.update((i * 8) % 1024, (i / 3) % 2 == 0);
+            }
+            let words = trained.export_state();
+            let mut fresh = crate::build_predictor(kind);
+            fresh
+                .import_state(&words)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(fresh.export_state(), words, "{kind:?}");
+            for pc in (0..1024u64).step_by(8) {
+                assert_eq!(trained.predict(pc), fresh.predict(pc), "{kind:?} pc {pc}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_predictor_snapshots_are_rejected() {
+        let mut p = BimodalPredictor::new(16);
+        assert!(p.import_state(&[0; 15]).is_err(), "wrong length");
+        assert!(p.import_state(&[9; 16]).is_err(), "out-of-range counter");
+        let mut t = TournamentPredictor::new(16, 4, 16, 4);
+        assert!(t.import_state(&[]).is_err());
+        let mut a = AlwaysTaken;
+        assert!(a.import_state(&[]).is_ok());
+        assert!(a.import_state(&[1]).is_err());
     }
 }

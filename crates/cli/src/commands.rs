@@ -4,10 +4,11 @@ use crate::args::{ArgError, Args};
 use crate::config::{budget_from_args, config_from_args, BUDGET_FLAGS, CONFIG_FLAGS};
 use looseloops::{
     ablation_dra_design_on, ablation_fwd_window_on, ablation_iq_size_on, ablation_load_policies_on,
-    ablation_predictors_on, ablation_prefetch_on, cpi_stack_report_on, fig4_pipeline_length_on,
-    fig5_fixed_total_on, fig6_operand_gap_cdf_on, fig8_dra_speedup_on, fig9_operand_sources_on,
-    figure_cpi_stacks_on, loop_inventory, FigureResult, Machine, RunBudget, SimStats, SweepEngine,
-    Workload,
+    ablation_predictors_on, ablation_prefetch_on, capture_checkpoint, cpi_stack_report_on,
+    fig4_pipeline_length_on, fig5_fixed_total_on, fig6_operand_gap_cdf_on, fig8_dra_speedup_on,
+    fig9_operand_sources_on, figure_cpi_stacks_on, loop_inventory, restore_into, run_sampled,
+    warm_digest, CheckpointStore, ExecMode, FigureResult, Job, Machine, RunBudget, SamplingPlan,
+    SimStats, SweepEngine, WarmMemo, Workload,
 };
 use looseloops_workload::Benchmark;
 
@@ -96,12 +97,119 @@ fn print_stats(stats: &SimStats, json: bool) {
     }
 }
 
+/// Parse the execution-mode flags shared by `run` and `figure`:
+/// `--fast-forward`, `--sample SPEC`, `--ckpt-dir DIR`.
+fn mode_from_args(
+    args: &Args,
+    budget: RunBudget,
+) -> Result<(ExecMode, Option<CheckpointStore>), ArgError> {
+    let mode = match (args.get("sample"), args.has("fast-forward")) {
+        (Some(_), true) => {
+            return Err(ArgError(
+                "--sample already fast-forwards between windows; drop --fast-forward".into(),
+            ))
+        }
+        (Some(spec), false) => {
+            ExecMode::Sampled(SamplingPlan::parse(spec, budget).map_err(ArgError)?)
+        }
+        (None, true) => ExecMode::FastForward,
+        (None, false) => ExecMode::Detailed,
+    };
+    let store = match args.get("ckpt-dir") {
+        None => None,
+        Some(_) if mode == ExecMode::Detailed => {
+            return Err(ArgError(
+                "--ckpt-dir needs --fast-forward or --sample".into(),
+            ))
+        }
+        Some(dir) => Some(CheckpointStore::open(dir).map_err(|e| ArgError(e.to_string()))?),
+    };
+    Ok((mode, store))
+}
+
+/// Resolve `--bench NAME` / `--pair NAME` into a [`Workload`].
+fn workload_from_flags(args: &Args) -> Result<Workload, ArgError> {
+    if let Some(name) = args.get("bench") {
+        Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .map(Workload::Single)
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "unknown benchmark `{name}` — see `looseloops list`"
+                ))
+            })
+    } else if let Some(name) = args.get("pair") {
+        Benchmark::pairs()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .map(Workload::Pair)
+            .ok_or_else(|| ArgError(format!("unknown pair `{name}` — see `looseloops list`")))
+    } else {
+        Err(ArgError("need --bench or --pair".into()))
+    }
+}
+
 /// `looseloops run`
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    let allowed = config_flag_set(&["bench", "pair", "asm", "verify", "trace", "json"]);
+    let allowed = config_flag_set(&[
+        "bench",
+        "pair",
+        "asm",
+        "verify",
+        "trace",
+        "json",
+        "fast-forward",
+        "sample",
+        "ckpt-dir",
+    ]);
     args.reject_unknown(&allowed)?;
     let mut cfg = config_from_args(args)?;
     let budget = budget_from_args(args)?;
+
+    let (mode, store) = mode_from_args(args, budget)?;
+    if mode != ExecMode::Detailed {
+        for incompatible in ["asm", "verify", "trace"] {
+            if args.has(incompatible) {
+                return Err(ArgError(format!(
+                    "--{incompatible} runs the detailed path only; drop --fast-forward/--sample"
+                )));
+            }
+        }
+        let workload = workload_from_flags(args)?;
+        let job = Job::new(cfg, workload, budget);
+        let memo = WarmMemo::default();
+        let label = workload.name();
+        match mode {
+            ExecMode::FastForward => {
+                let stats = looseloops::checkpoint::run_fast_forwarded(&job, store.as_ref(), &memo)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                if !args.has("json") {
+                    println!(
+                        "== {label} (fast-forwarded warm-up: {} instrs) ==",
+                        budget.warmup
+                    );
+                }
+                print_stats(&stats, args.has("json"));
+            }
+            ExecMode::Sampled(plan) => {
+                let run = run_sampled(&job, plan, store.as_ref(), &memo)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                if !args.has("json") {
+                    println!(
+                        "== {label} (sampled: {} windows of {} detailed instrs) ==",
+                        plan.windows, plan.detail
+                    );
+                }
+                print_stats(&run.stats, args.has("json"));
+                if !args.has("json") {
+                    println!("sampling              {}", run.error_bar());
+                }
+            }
+            ExecMode::Detailed => unreachable!("handled above"),
+        }
+        return Ok(());
+    }
 
     let (programs, label) = if let Some(name) = args.get("bench") {
         let b = Benchmark::all()
@@ -226,19 +334,33 @@ fn workloads_from_args(args: &Args) -> Result<Vec<Workload>, ArgError> {
 }
 
 /// Build a sweep engine from `--jobs N` (0 or absent: `LOOSELOOPS_JOBS` /
-/// the machine).
-fn sweep_from_args(args: &Args) -> Result<SweepEngine, ArgError> {
+/// the machine) executing under `mode`.
+fn sweep_from_args(
+    args: &Args,
+    mode: ExecMode,
+    store: Option<CheckpointStore>,
+) -> Result<SweepEngine, ArgError> {
     let jobs: usize = args.get_or("jobs", 0)?;
-    Ok(if jobs == 0 {
-        SweepEngine::from_env()
+    let workers = if jobs == 0 {
+        looseloops::jobs_from_env()
     } else {
-        SweepEngine::new(jobs)
-    })
+        jobs
+    };
+    Ok(SweepEngine::with_mode(workers, mode, store))
 }
 
 /// `looseloops figure`
 pub fn figure(args: &Args) -> Result<(), ArgError> {
-    let allowed = config_flag_set(&["smoke", "json-out", "workloads", "jobs", "stacks"]);
+    let allowed = config_flag_set(&[
+        "smoke",
+        "json-out",
+        "workloads",
+        "jobs",
+        "stacks",
+        "fast-forward",
+        "sample",
+        "ckpt-dir",
+    ]);
     args.reject_unknown(&allowed)?;
     let id = args
         .positional()
@@ -259,7 +381,8 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
         };
     }
     let workloads = workloads_from_args(args)?;
-    let sweep = sweep_from_args(args)?;
+    let (mode, store) = mode_from_args(args, budget)?;
+    let sweep = sweep_from_args(args, mode, store)?;
     // With --stacks, each figure's per-loop CPI stacks are appended after
     // the figure itself — the points are the figure's own memoized jobs,
     // so no extra simulation happens and without the flag the output is
@@ -329,7 +452,7 @@ fn loops_attribute(args: &Args) -> Result<(), ArgError> {
     let cfg = config_from_args(args)?;
     let budget = budget_from_args(args)?;
     let workloads = workloads_from_args(args)?;
-    let sweep = sweep_from_args(args)?;
+    let sweep = sweep_from_args(args, ExecMode::Detailed, None)?;
     let label = format!(
         "{}:{}_{}",
         if cfg.scheme.is_dra() { "dra" } else { "base" },
@@ -436,6 +559,71 @@ pub fn list(_args: &Args) -> Result<(), ArgError> {
         println!("  {}", p.name());
     }
     println!("figures: fig4 fig5 fig6 fig8 fig9 load-policy dra-design predictor");
+    Ok(())
+}
+
+/// `looseloops checkpoint` — build (or report) the functional warm-up
+/// checkpoint a workload's sweep points would share, and optionally
+/// verify a detailed resume from it against the ISA oracle.
+pub fn checkpoint(args: &Args) -> Result<(), ArgError> {
+    let allowed = config_flag_set(&["bench", "pair", "dir", "verify"]);
+    args.reject_unknown(&allowed)?;
+    let cfg = config_from_args(args)?;
+    let budget = budget_from_args(args)?;
+    let workload = workload_from_flags(args)?;
+    let dir = args.get("dir").unwrap_or(".looseloops-ckpt");
+    let store = CheckpointStore::open(dir).map_err(|e| ArgError(e.to_string()))?;
+
+    let wcfg = workload.config_for(&cfg);
+    let digest = warm_digest(&wcfg, &workload, budget.warmup);
+    let (ckpt, cached) = match store.load(digest) {
+        Ok(Some(c)) => (c, true),
+        Ok(None) => {
+            let c = capture_checkpoint(&wcfg, workload.programs(), budget.warmup)
+                .map_err(|e| ArgError(e.to_string()))?;
+            store
+                .save(digest, &c)
+                .map_err(|e| ArgError(e.to_string()))?;
+            (c, false)
+        }
+        Err(e) => return Err(ArgError(e.to_string())),
+    };
+
+    println!(
+        "{} after {} functional warm-up instruction(s)",
+        workload.name(),
+        ckpt.instructions
+    );
+    println!(
+        "digest     {digest:016x}{}",
+        if cached { "  (already stored)" } else { "" }
+    );
+    println!(
+        "file       {} ({} bytes)",
+        store.path(digest).display(),
+        ckpt.encode().len()
+    );
+    let live_btb = ckpt.btb.iter().filter(|(t, _)| *t != u64::MAX).count();
+    println!(
+        "contents   {} thread(s), {} memory page(s), {} predictor word(s), {} BTB entr(ies)",
+        ckpt.threads.len(),
+        ckpt.mem.pages_touched(),
+        ckpt.predictor.len(),
+        live_btb
+    );
+
+    if args.has("verify") {
+        let check = budget.measure.clamp(1_000, 20_000);
+        let mut m = Machine::new(wcfg, workload.programs()).map_err(|e| ArgError(e.to_string()))?;
+        restore_into(&mut m, &ckpt).map_err(|e| ArgError(e.to_string()))?;
+        m.enable_verification();
+        m.run(check, budget.max_cycles)
+            .map_err(|e| ArgError(format!("resume verification failed: {e}")))?;
+        println!(
+            "verify     ok — detailed resume matched the ISA oracle for {} instruction(s)",
+            m.stats().total_retired()
+        );
+    }
     Ok(())
 }
 

@@ -35,6 +35,10 @@ COMMANDS:
              --watchdog N  (deadlock window in cycles, 0 = off)
              --inject branch:RATE,load:RATE[:CYCLES],operand:RATE
              --inject-seed N  (fault schedule seed, default 1)
+             --fast-forward  (functional warm-up from a shared checkpoint)
+             --sample auto|w=N,detail=N,warm=N,skip=N  (interval sampling
+             with a CPI error bar; implies functional fast-forward)
+             --ckpt-dir DIR  (on-disk checkpoint store for warm-up reuse)
     figure   Regenerate the paper's evaluation figures
              fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|fwd-window|
              iq-size|prefetch|predictor|all  (`all` shares one run cache)
@@ -42,6 +46,14 @@ COMMANDS:
              --jobs N  (sweep workers; default LOOSELOOPS_JOBS or all cores)
              --stacks  (append each figure's per-loop CPI stacks; reuses
              the figure's own memoized runs)
+             --fast-forward | --sample SPEC  --ckpt-dir DIR  (as in `run`;
+             sampled figures report estimates, detailed stays the reference)
+    checkpoint
+             Build or inspect the functional warm-up checkpoint a
+             workload's sweep points share
+             --bench NAME | --pair NAME  --dir DIR  (default .looseloops-ckpt)
+             --verify  (restore + detailed resume against the ISA oracle)
+             (plus config/budget flags; --warmup sets the warm-up length)
     loops    Print the micro-architectural loop inventory for a config
              (same config flags as `run`)
     loops attribute
@@ -94,6 +106,9 @@ fn main() -> ExitCode {
         "profile",
         "replay",
         "write-corpus",
+        "sample",
+        "ckpt-dir",
+        "dir",
     ]
     .to_vec();
     let args = match Args::parse(rest, &value_flags) {
@@ -109,6 +124,7 @@ fn main() -> ExitCode {
         "figure" => commands::figure(&args),
         "loops" => commands::loops(&args),
         "fuzz" => commands::fuzz(&args),
+        "checkpoint" => commands::checkpoint(&args),
         "asm" => commands::asm(&args),
         "kernel" => commands::kernel(&args),
         "list" => commands::list(&args),

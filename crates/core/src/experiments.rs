@@ -13,9 +13,10 @@
 //! engine — tests use this to pin the worker count.
 
 use crate::report::{CpiStackReport, CpiStackRow, FigureResult, Series};
-use crate::simulator::{try_run_pair, try_run_programs, RunBudget};
+use crate::simulator::{try_run_programs, RunBudget};
 use crate::sweep::{Job, SweepEngine};
 use looseloops_branch;
+use looseloops_isa::Program;
 use looseloops_mem;
 use looseloops_pipeline::{LoadSpecPolicy, PipelineConfig, SimError, SimStats};
 use looseloops_regs;
@@ -59,6 +60,40 @@ impl Workload {
         }
     }
 
+    /// The hardware-thread count this workload occupies.
+    pub fn threads(&self) -> usize {
+        match self {
+            Workload::Single(_) | Workload::Micro(_) => 1,
+            Workload::Pair(_) => 2,
+        }
+    }
+
+    /// `cfg` with its thread count adjusted to this workload — the exact
+    /// machine [`Workload::try_run`] simulates. Factored out so the
+    /// checkpoint/sampling drivers build the same machine the detailed
+    /// path does.
+    pub fn config_for(&self, cfg: &PipelineConfig) -> PipelineConfig {
+        cfg.clone().smt(self.threads())
+    }
+
+    /// The concrete program list this workload runs, one per hardware
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown [`Workload::Micro`] name (a programming error,
+    /// not a simulation outcome).
+    pub fn programs(&self) -> Vec<Program> {
+        match self {
+            Workload::Single(b) => vec![b.program()],
+            Workload::Pair(p) => p.programs(),
+            Workload::Micro(m) => match *m {
+                "chase" => vec![looseloops_workload::kernels::int::chase(16 << 20)],
+                other => panic!("unknown microbenchmark {other}"),
+            },
+        }
+    }
+
     /// Run this workload under `cfg` (thread count is adjusted to fit).
     ///
     /// # Errors
@@ -72,24 +107,7 @@ impl Workload {
     /// Panics on an unknown [`Workload::Micro`] name (a programming error,
     /// not a simulation outcome).
     pub fn try_run(&self, cfg: &PipelineConfig, budget: RunBudget) -> Result<SimStats, SimError> {
-        match self {
-            Workload::Single(b) => {
-                let cfg = cfg.clone().smt(1);
-                try_run_programs(&cfg, vec![b.program()], budget)
-            }
-            Workload::Pair(p) => {
-                let cfg = cfg.clone().smt(2);
-                try_run_pair(&cfg, *p, budget)
-            }
-            Workload::Micro(m) => {
-                let prog = match *m {
-                    "chase" => looseloops_workload::kernels::int::chase(16 << 20),
-                    other => panic!("unknown microbenchmark {other}"),
-                };
-                let cfg = cfg.clone().smt(1);
-                try_run_programs(&cfg, vec![prog], budget)
-            }
-        }
+        try_run_programs(&self.config_for(cfg), self.programs(), budget)
     }
 
     /// [`Workload::try_run`] for infallible contexts (benches, examples).

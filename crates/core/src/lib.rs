@@ -36,12 +36,20 @@
 //! assert_eq!(load.loop_delay(), 8); // paper §2.2.2
 //! ```
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod loops;
 pub mod machines;
 pub mod report;
+pub mod sampling;
 pub mod simulator;
 pub mod sweep;
+
+pub use checkpoint::{
+    capture_checkpoint, restore_into, warm_digest, Checkpoint, CheckpointError, CheckpointStore,
+    FunctionalCursor, ThreadCheckpoint, WarmMemo, Warmer, CHECKPOINT_VERSION,
+};
+pub use sampling::{run_sampled, SampledRun, SamplingPlan};
 
 pub use experiments::{
     ablation_dra_design, ablation_dra_design_on, ablation_fwd_window, ablation_fwd_window_on,
@@ -60,7 +68,8 @@ pub use simulator::{
     RunBudget,
 };
 pub use sweep::{
-    default_jobs, jobs_from_env, parallel_map, Job, JobRecord, SweepEngine, SweepSummary,
+    default_jobs, fnv1a64, jobs_from_env, parallel_map, ExecMode, Job, JobRecord, SweepEngine,
+    SweepSummary,
 };
 
 // Substrate re-exports.

@@ -18,7 +18,9 @@
 //! here: the pool is a hand-rolled job queue behind a `Mutex<VecDeque>`,
 //! drained by scoped threads.
 
+use crate::checkpoint::{CheckpointStore, WarmMemo};
 use crate::experiments::Workload;
+use crate::sampling::SamplingPlan;
 use crate::simulator::RunBudget;
 use looseloops_pipeline::{LoopCostStack, PipelineConfig, SimError, SimStats};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -41,9 +43,31 @@ pub struct Job {
     pub budget: RunBudget,
 }
 
+/// How the engine executes a job's instruction budget.
+///
+/// Anything other than [`ExecMode::Detailed`] participates in the memo key
+/// (see [`Job::key_with_mode`]), so an engine's cache never conflates a
+/// sampled estimate with a full detailed run — and the detailed path's
+/// keys (and therefore its results) are byte-identical to what they were
+/// before execution modes existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Cycle-accurate simulation of warm-up and measured window (the
+    /// reference behavior).
+    #[default]
+    Detailed,
+    /// Functional fast-forward through the warm-up (restoring a shared
+    /// checkpoint when one exists), then cycle-accurate simulation of the
+    /// full measured window.
+    FastForward,
+    /// SMARTS-style interval sampling: functional fast-forward between
+    /// short detailed windows spread across the measured budget.
+    Sampled(SamplingPlan),
+}
+
 /// FNV-1a, the classic 64-bit offset-basis/prime pair. Stable across
 /// processes and platforms, unlike `DefaultHasher`.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -68,6 +92,16 @@ impl Job {
     /// using the whole string as the map key makes collisions impossible.
     pub fn key(&self) -> String {
         format!("{:?}|{:?}|{:?}", self.config, self.workload, self.budget)
+    }
+
+    /// [`Job::key`] plus the execution mode. [`ExecMode::Detailed`]
+    /// contributes nothing, so every pre-existing cache key (and the
+    /// `BENCH_*.json` digests derived from them) is unchanged.
+    pub fn key_with_mode(&self, mode: ExecMode) -> String {
+        match mode {
+            ExecMode::Detailed => self.key(),
+            other => format!("{}|{other:?}", self.key()),
+        }
     }
 
     /// Stable 64-bit digest of [`Job::key`], for compact display.
@@ -163,6 +197,9 @@ impl SweepSummary {
 /// Worker-pool executor with a per-process memo cache of completed runs.
 pub struct SweepEngine {
     workers: usize,
+    mode: ExecMode,
+    ckpt_store: Option<CheckpointStore>,
+    warm_memo: WarmMemo,
     cache: Mutex<HashMap<String, Arc<SimStats>>>,
     jobs_requested: AtomicU64,
     jobs_run: AtomicU64,
@@ -262,12 +299,27 @@ impl SweepEngine {
     /// An engine with `workers` worker threads; `0` means "size from the
     /// machine" ([`default_jobs`]).
     pub fn new(workers: usize) -> SweepEngine {
+        SweepEngine::with_mode(workers, ExecMode::Detailed, None)
+    }
+
+    /// An engine that executes jobs under `mode`. A `store` adds an
+    /// on-disk checkpoint cache shared across processes; without one,
+    /// warm-state checkpoints are still shared in memory between jobs of
+    /// the same (config-warm-relevant, workload, warm-up) digest.
+    pub fn with_mode(
+        workers: usize,
+        mode: ExecMode,
+        store: Option<CheckpointStore>,
+    ) -> SweepEngine {
         SweepEngine {
             workers: if workers == 0 {
                 default_jobs()
             } else {
                 workers
             },
+            mode,
+            ckpt_store: store,
+            warm_memo: WarmMemo::default(),
             cache: Mutex::new(HashMap::new()),
             jobs_requested: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
@@ -306,6 +358,27 @@ impl SweepEngine {
         self.workers
     }
 
+    /// The execution mode jobs run under.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Execute one job under the engine's mode.
+    fn execute(&self, job: &Job) -> Result<SimStats, SimError> {
+        match self.mode {
+            ExecMode::Detailed => job.try_run(),
+            ExecMode::FastForward => crate::checkpoint::run_fast_forwarded(
+                job,
+                self.ckpt_store.as_ref(),
+                &self.warm_memo,
+            ),
+            ExecMode::Sampled(plan) => {
+                crate::sampling::run_sampled(job, plan, self.ckpt_store.as_ref(), &self.warm_memo)
+                    .map(|run| run.stats)
+            }
+        }
+    }
+
     /// Execute `jobs`, returning one result per job in input order; a job
     /// that ends in a [`SimError`] yields its own `Err` without tearing
     /// down the batch — every other job still completes.
@@ -321,7 +394,7 @@ impl SweepEngine {
         let t0 = Instant::now();
         self.jobs_requested
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+        let keys: Vec<String> = jobs.iter().map(|j| j.key_with_mode(self.mode)).collect();
 
         // First occurrence of every key not already cached gets simulated.
         let pending: Vec<usize> = {
@@ -345,7 +418,7 @@ impl SweepEngine {
             let results = parallel_map(self.workers, pending.len(), |k| {
                 let job = &jobs[pending[k]];
                 let t = Instant::now();
-                let result = job.try_run();
+                let result = self.execute(job);
                 let wall = t.elapsed();
                 self.busy_nanos
                     .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
@@ -629,6 +702,63 @@ mod tests {
     fn run_jobs_panics_with_labeled_failures_after_draining() {
         let engine = SweepEngine::new(2);
         engine.run_jobs(&[job(Benchmark::Compress), broken_job()]);
+    }
+
+    #[test]
+    fn exec_mode_participates_in_keys_only_when_not_detailed() {
+        let j = job(Benchmark::Compress);
+        assert_eq!(j.key(), j.key_with_mode(ExecMode::Detailed));
+        assert_ne!(j.key(), j.key_with_mode(ExecMode::FastForward));
+        let plan = SamplingPlan::for_budget(j.budget);
+        assert_ne!(
+            j.key_with_mode(ExecMode::FastForward),
+            j.key_with_mode(ExecMode::Sampled(plan))
+        );
+    }
+
+    #[test]
+    fn exec_modes_estimate_the_detailed_cpi() {
+        let budget = RunBudget {
+            warmup: 5_000,
+            measure: 40_000,
+            max_cycles: 4_000_000,
+        };
+        let j = Job::new(
+            PipelineConfig::base(),
+            Workload::Single(Benchmark::Compress),
+            budget,
+        );
+        let cpi = |s: &SimStats| s.cycles as f64 / s.total_retired() as f64;
+        let detailed = &SweepEngine::serial().run_jobs(std::slice::from_ref(&j))[0];
+
+        let ff_engine = SweepEngine::with_mode(1, ExecMode::FastForward, None);
+        assert_eq!(ff_engine.mode(), ExecMode::FastForward);
+        let ff = &ff_engine.run_jobs(std::slice::from_ref(&j))[0];
+        assert!(ff.total_retired() >= budget.measure);
+        let ff_err = (cpi(ff) - cpi(detailed)).abs() / cpi(detailed);
+        assert!(
+            ff_err < 0.05,
+            "fast-forward CPI off by {:.1}% ({:.4} vs {:.4})",
+            ff_err * 100.0,
+            cpi(ff),
+            cpi(detailed)
+        );
+
+        let plan = SamplingPlan::for_budget(budget);
+        let s_engine = SweepEngine::with_mode(1, ExecMode::Sampled(plan), None);
+        let sampled = &s_engine.run_jobs(std::slice::from_ref(&j))[0];
+        // Sampling simulates a small fraction of the window in detail...
+        assert!(sampled.total_retired() <= plan.detailed_instructions());
+        assert!(sampled.total_retired() < detailed.total_retired() / 3);
+        // ...and still lands near the detailed CPI.
+        let s_err = (cpi(sampled) - cpi(detailed)).abs() / cpi(detailed);
+        assert!(
+            s_err < 0.10,
+            "sampled CPI off by {:.1}% ({:.4} vs {:.4})",
+            s_err * 100.0,
+            cpi(sampled),
+            cpi(detailed)
+        );
     }
 
     #[test]

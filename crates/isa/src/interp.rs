@@ -58,6 +58,19 @@ impl FlatMemory {
         self.pages.len()
     }
 
+    /// Iterate over touched pages as `(page_index, bytes)` — the byte range
+    /// covered by a page is `page_index * 4096 ..`. Order is unspecified;
+    /// checkpoint writers sort by index for a canonical encoding.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8; 4096])> {
+        self.pages.iter().map(|(&idx, bytes)| (idx, &**bytes))
+    }
+
+    /// Install a whole page's bytes at `page_index` (checkpoint restore),
+    /// replacing any existing contents of that page.
+    pub fn install_page(&mut self, page_index: u64, bytes: &[u8; 4096]) {
+        self.pages.insert(page_index, Box::new(*bytes));
+    }
+
     /// Compare two memories byte for byte, treating untouched pages as
     /// zero-filled. For each page whose contents differ, the first
     /// differing byte is reported; a page touched on only one side whose
@@ -113,6 +126,21 @@ impl FlatMemory {
 impl Memory for FlatMemory {
     fn read(&mut self, addr: u64, size: u8) -> u64 {
         debug_assert!(matches!(size, 1 | 4 | 8), "unsupported access size {size}");
+        let off = (addr & 0xfff) as usize;
+        // One page lookup for the whole access; the per-byte path (one
+        // hash lookup per byte) only remains for page-straddling accesses.
+        if off + size as usize <= 4096 {
+            return match self.pages.get(&(addr >> 12)) {
+                Some(p) => {
+                    let mut v: u64 = 0;
+                    for (i, &b) in p[off..off + size as usize].iter().enumerate() {
+                        v |= (b as u64) << (8 * i);
+                    }
+                    v
+                }
+                None => 0,
+            };
+        }
         let mut v: u64 = 0;
         for i in 0..size as u64 {
             v |= (self.read_byte(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -122,6 +150,17 @@ impl Memory for FlatMemory {
 
     fn write(&mut self, addr: u64, size: u8, val: u64) {
         debug_assert!(matches!(size, 1 | 4 | 8), "unsupported access size {size}");
+        let off = (addr & 0xfff) as usize;
+        if off + size as usize <= 4096 {
+            let page = self
+                .pages
+                .entry(addr >> 12)
+                .or_insert_with(|| Box::new([0u8; 4096]));
+            for (i, b) in page[off..off + size as usize].iter_mut().enumerate() {
+                *b = (val >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..size as u64 {
             self.write_byte(addr.wrapping_add(i), (val >> (8 * i)) as u8);
         }

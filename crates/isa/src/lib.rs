@@ -44,6 +44,7 @@
 pub mod asm;
 pub mod disasm;
 pub mod encode;
+pub mod fastfwd;
 pub mod inst;
 pub mod interp;
 pub mod program;
@@ -52,6 +53,7 @@ pub mod reg;
 pub use asm::{assemble, AsmError};
 pub use disasm::{disassemble, disassemble_words};
 pub use encode::{decode, encode, DecodeError};
+pub use fastfwd::{fast_forward, NoWarm, WarmHooks, NO_FETCH_LINE};
 pub use inst::{Class, Inst, Opcode};
 pub use interp::{
     branch_taken, control_target, eval_op, ArchState, ExecError, FlatMemory, Memory, Retired,

@@ -213,6 +213,40 @@ impl Cache {
         };
     }
 
+    /// Snapshot the directory for a checkpoint: the recency stamp and one
+    /// `(tag, valid, last_use)` triple per line (sets × ways, row-major by
+    /// set — the in-memory layout). Statistics are not included.
+    pub fn export_state(&self) -> (u64, Vec<(u64, bool, u64)>) {
+        (
+            self.stamp,
+            self.lines
+                .iter()
+                .map(|l| (l.tag, l.valid, l.last_use))
+                .collect(),
+        )
+    }
+
+    /// Restore a snapshot from [`Cache::export_state`]. Rejects snapshots
+    /// whose line count does not match this cache's geometry.
+    pub fn import_state(&mut self, stamp: u64, lines: &[(u64, bool, u64)]) -> Result<(), String> {
+        if lines.len() != self.lines.len() {
+            return Err(format!(
+                "snapshot has {} lines, geometry needs {}",
+                lines.len(),
+                self.lines.len()
+            ));
+        }
+        self.stamp = stamp;
+        for (dst, &(tag, valid, last_use)) in self.lines.iter_mut().zip(lines) {
+            *dst = Line {
+                tag,
+                valid,
+                last_use,
+            };
+        }
+        Ok(())
+    }
+
     /// Invalidate the line containing `addr`, if resident.
     pub fn invalidate(&mut self, addr: u64) {
         let set = self.set_of(addr);

@@ -28,7 +28,8 @@ pub mod tlb;
 pub use bank::BankTracker;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{
-    AccessKind, AccessResult, HierarchyConfig, HierarchyStats, HitLevel, MemHierarchy,
+    AccessKind, AccessResult, HierarchyConfig, HierarchyStats, HierarchyWarmState, HitLevel,
+    MemHierarchy,
 };
 pub use prefetch::{PrefetchConfig, StreamPrefetcher};
 pub use tlb::{Tlb, TlbConfig, TlbMissPolicy, TlbOutcome};

@@ -125,6 +125,28 @@ impl Tlb {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Snapshot the translations for a checkpoint: the recency stamp and
+    /// the resident `(vpn, last_use)` pairs. Statistics are not included.
+    pub fn export_state(&self) -> (u64, Vec<(u64, u64)>) {
+        (self.stamp, self.entries.clone())
+    }
+
+    /// Restore a snapshot from [`Tlb::export_state`]. Rejects snapshots
+    /// holding more entries than this TLB's capacity.
+    pub fn import_state(&mut self, stamp: u64, entries: &[(u64, u64)]) -> Result<(), String> {
+        if entries.len() > self.cfg.entries {
+            return Err(format!(
+                "snapshot has {} entries, capacity is {}",
+                entries.len(),
+                self.cfg.entries
+            ));
+        }
+        self.stamp = stamp;
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ impl Machine {
         self.audit_rob()?;
         self.audit_in_flight()?;
         self.audit_loop_cost()?;
+        self.audit_mem_hierarchy()?;
         if let RegisterScheme::Dra { .. } = self.cfg.scheme {
             self.audit_dra()?;
         }
@@ -177,6 +178,19 @@ impl Machine {
     }
 
     /// The renamed, un-retired window never exceeds the configured cap.
+    /// The memory hierarchy's own structural invariants hold: outstanding
+    /// data-side misses never exceed the MSHR file. This also pins the
+    /// *intentional* fetch-path asymmetry documented in DESIGN.md §4:
+    /// instruction fetches model neither MSHR occupancy nor bank conflicts,
+    /// so every slot counted here belongs to the data path — if fetch ever
+    /// starts allocating MSHRs, this bound (sized for the data path alone)
+    /// is the check that trips.
+    fn audit_mem_hierarchy(&self) -> Result<(), InvariantViolation> {
+        self.hier
+            .check_consistency()
+            .map_err(|detail| self.violation(InvariantKind::MemHierarchyConsistency, detail))
+    }
+
     fn audit_in_flight(&self) -> Result<(), InvariantViolation> {
         let in_flight: usize = self.threads.iter().map(|t| t.rob.len()).sum();
         if in_flight > self.cfg.max_in_flight {

@@ -27,6 +27,9 @@ pub enum SimError {
     Deadlock(Box<DeadlockError>),
     /// The per-cycle auditor found a broken structural invariant.
     Invariant(InvariantViolation),
+    /// Functional fast-forward or checkpoint restore failed (interpreter
+    /// fault, or warm state that does not match the machine's geometry).
+    FastForward(String),
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +44,7 @@ impl fmt::Display for SimError {
             }
             SimError::Deadlock(e) => e.fmt(f),
             SimError::Invariant(e) => e.fmt(f),
+            SimError::FastForward(e) => write!(f, "fast-forward failed: {e}"),
         }
     }
 }
@@ -382,6 +386,11 @@ pub enum InvariantKind {
     /// equal width × cycles, or the stack disagrees with the retire/cycle
     /// counters.
     LoopCostConservation,
+    /// The memory hierarchy's structural self-check failed (e.g. more
+    /// outstanding misses than MSHRs). Also covers the documented fetch
+    /// asymmetry: instruction fetches never occupy MSHRs, so data-side
+    /// occupancy alone must stay within bounds.
+    MemHierarchyConsistency,
 }
 
 impl fmt::Display for InvariantKind {
@@ -396,6 +405,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::CrcConsistency => "crc-consistency",
             InvariantKind::InsertionTableConsistency => "insertion-table-consistency",
             InvariantKind::LoopCostConservation => "loop-cost-conservation",
+            InvariantKind::MemHierarchyConsistency => "mem-hierarchy-consistency",
         };
         f.write_str(name)
     }

@@ -339,19 +339,111 @@ impl Machine {
         self.injector.as_ref().map(FaultInjector::summary)
     }
 
-    /// Check every retired instruction against the functional interpreter.
+    /// Check every retired instruction against the functional interpreter,
+    /// starting from the machine's *current* architectural state — so this
+    /// works both on a fresh machine and immediately after a checkpoint
+    /// restore (call it before running, or after the pipeline has fully
+    /// drained).
     ///
     /// # Panics
     ///
     /// Any later `run` panics on the first divergence. Only valid for
     /// workloads whose threads touch disjoint memory (all bundled
-    /// workloads do).
+    /// workloads do): each thread's oracle gets its own clone of the
+    /// shared data memory.
     pub fn enable_verification(&mut self) {
-        for t in &mut self.threads {
-            let mut mem = FlatMemory::new();
-            mem.load_init_data(&t.program);
-            t.oracle = Some((ArchState::new(&t.program), mem));
+        let states: Vec<ArchState> = (0..self.threads.len())
+            .map(|t| self.arch_state(t))
+            .collect();
+        for (t, st) in states.into_iter().enumerate() {
+            let mem = self.data_mem.clone();
+            self.threads[t].oracle = Some((st, mem));
         }
+    }
+
+    /// Restore a thread's architectural state (all 64 registers, the PC of
+    /// the next instruction, and the halt flag) from a checkpoint. The
+    /// values land in the physical register file through the committed
+    /// rename mapping, so a subsequent [`Machine::run`] picks up exactly
+    /// where the functional fast-forward left off.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FastForward`] if any cycle has already run (restore is
+    /// only sound on a fresh machine) or `regs` has the wrong length.
+    pub fn restore_thread_state(
+        &mut self,
+        thread: usize,
+        regs: &[u64],
+        pc: u64,
+        halted: bool,
+    ) -> Result<(), SimError> {
+        if self.cycle != 0 || self.seq != 0 {
+            return Err(SimError::FastForward(
+                "thread restore requires a fresh machine (cycle 0)".into(),
+            ));
+        }
+        if regs.len() != usize::from(looseloops_isa::reg::NUM_ARCH_REGS) {
+            return Err(SimError::FastForward(format!(
+                "checkpoint has {} registers, machine has {}",
+                regs.len(),
+                looseloops_isa::reg::NUM_ARCH_REGS
+            )));
+        }
+        for (idx, &v) in regs.iter().enumerate() {
+            let r = looseloops_isa::Reg::from_index(idx as u8);
+            if r.is_zero() {
+                continue;
+            }
+            let p = self.rename[thread].lookup(r);
+            self.physfile.write(p, v);
+        }
+        let th = &mut self.threads[thread];
+        th.fetch_pc = pc;
+        th.arch_pc = pc;
+        th.done = halted;
+        th.fetch_suspended = halted;
+        Ok(())
+    }
+
+    /// Replace the shared functional data memory wholesale (checkpoint
+    /// restore; pair with [`Machine::restore_thread_state`]).
+    pub fn replace_data_mem(&mut self, mem: FlatMemory) {
+        self.data_mem = mem;
+    }
+
+    /// Install cache/TLB warm state captured during functional fast-forward.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FastForward`] if the snapshot does not match this
+    /// machine's hierarchy geometry.
+    pub fn install_warm_hierarchy(
+        &mut self,
+        warm: &looseloops_mem::HierarchyWarmState,
+    ) -> Result<(), SimError> {
+        self.hier.import_warm(warm).map_err(SimError::FastForward)
+    }
+
+    /// Install direction-predictor warm state (the word vector from
+    /// `DirectionPredictor::export_state` of a same-kind predictor).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FastForward`] on a geometry/kind mismatch.
+    pub fn install_warm_predictor(&mut self, words: &[u64]) -> Result<(), SimError> {
+        self.pred.import_state(words).map_err(SimError::FastForward)
+    }
+
+    /// Install BTB warm state (from `Btb::export_state` of a same-size BTB).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FastForward`] on a size mismatch.
+    pub fn install_warm_btb(&mut self, entries: &[(u64, u64)]) -> Result<(), SimError> {
+        self.btb
+            .import_state(entries)
+            .map_err(SimError::FastForward)
     }
 
     /// Start recording a Kanata pipeline trace (viewable in Konata-style

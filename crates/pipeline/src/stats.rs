@@ -443,6 +443,86 @@ impl SimStats {
     pub fn useless_work(&self) -> u64 {
         self.squashed_after_issue + self.load_replays + self.shadow_replays + self.operand_replays
     }
+
+    /// Accumulate another run's counters into this one — the aggregation
+    /// behind interval sampling, where each detailed measurement window
+    /// produces its own `SimStats` and the sampled run reports their sum.
+    /// Counters add; occupancy means combine cycle-weighted; peaks take
+    /// the max; the loop-cost stack merges.
+    pub fn absorb(&mut self, other: &SimStats) {
+        let (wa, wb) = (self.cycles as f64, other.cycles as f64);
+        if wa + wb > 0.0 {
+            self.iq_occupancy_mean =
+                (self.iq_occupancy_mean * wa + other.iq_occupancy_mean * wb) / (wa + wb);
+            self.iq_post_issue_mean =
+                (self.iq_post_issue_mean * wa + other.iq_post_issue_mean * wb) / (wa + wb);
+        }
+        self.cycles += other.cycles;
+        if self.retired.len() < other.retired.len() {
+            self.retired.resize(other.retired.len(), 0);
+        }
+        for (a, b) in self.retired.iter_mut().zip(&other.retired) {
+            *a += b;
+        }
+        self.fetched += other.fetched;
+        self.squashed += other.squashed;
+        self.squashed_after_issue += other.squashed_after_issue;
+        self.branches += other.branches;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.target_mispredicts += other.target_mispredicts;
+        self.loads += other.loads;
+        self.load_l1_hits += other.load_l1_hits;
+        self.load_l1_misses += other.load_l1_misses;
+        self.load_replays += other.load_replays;
+        self.shadow_replays += other.shadow_replays;
+        self.operand_misses += other.operand_misses;
+        self.operand_replays += other.operand_replays;
+        for (a, b) in self.operand_sources.iter_mut().zip(&other.operand_sources) {
+            *a += b;
+        }
+        self.insertion_saturations += other.insertion_saturations;
+        self.mem_order_traps += other.mem_order_traps;
+        self.tlb_traps += other.tlb_traps;
+        self.mem_barriers += other.mem_barriers;
+        self.branch_squashes += other.branch_squashes;
+        for (a, b) in self
+            .operand_gap_hist
+            .iter_mut()
+            .zip(&other.operand_gap_hist)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .load_latency_hist
+            .iter_mut()
+            .zip(&other.load_latency_hist)
+        {
+            *a += b;
+        }
+        self.rename_stall_cycles += other.rename_stall_cycles;
+        self.operand_miss_stall_cycles += other.operand_miss_stall_cycles;
+        self.iq_peak = self.iq_peak.max(other.iq_peak);
+        self.mem.l1i.hits += other.mem.l1i.hits;
+        self.mem.l1i.misses += other.mem.l1i.misses;
+        self.mem.l1d.hits += other.mem.l1d.hits;
+        self.mem.l1d.misses += other.mem.l1d.misses;
+        self.mem.l2.hits += other.mem.l2.hits;
+        self.mem.l2.misses += other.mem.l2.misses;
+        self.mem.dtlb_hits += other.mem.dtlb_hits;
+        self.mem.dtlb_misses += other.mem.dtlb_misses;
+        self.mem.bank_conflicts += other.mem.bank_conflicts;
+        self.mem.mshr_waits += other.mem.mshr_waits;
+        self.mem.prefetches += other.mem.prefetches;
+        self.line_pred.0 += other.line_pred.0;
+        self.line_pred.1 += other.line_pred.1;
+        self.deadlocks_detected += other.deadlocks_detected;
+        self.faults_injected += other.faults_injected;
+        for (a, b) in self.faults_by_kind.iter_mut().zip(&other.faults_by_kind) {
+            *a += b;
+        }
+        self.audit_checks += other.audit_checks;
+        self.loop_cost.merge(&other.loop_cost);
+    }
 }
 
 #[cfg(test)]

@@ -24,4 +24,4 @@ pub mod profile;
 pub mod synthetic;
 
 pub use profile::{Benchmark, SmtPair};
-pub use synthetic::{synthetic, SyntheticParams};
+pub use synthetic::{synthetic, try_synthetic, SyntheticError, SyntheticParams};

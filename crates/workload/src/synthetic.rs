@@ -54,18 +54,97 @@ impl Default for SyntheticParams {
     }
 }
 
+impl SyntheticParams {
+    /// Number of scheduled (non-filler-ALU) body events these parameters
+    /// request: `loads + stores + branches + chain`.
+    pub fn scheduled_events(&self) -> u64 {
+        u64::from(self.loads)
+            + u64::from(self.stores)
+            + u64::from(self.branches)
+            + u64::from(self.chain)
+    }
+
+    /// Check the parameters for profile errors: an empty body, a bad
+    /// footprint, or a body too short for the scheduled events (which
+    /// would otherwise silently exceed the requested `body_len`).
+    pub fn validate(&self) -> Result<(), SyntheticError> {
+        if self.body_len == 0 {
+            return Err(SyntheticError::EmptyBody);
+        }
+        if !self.footprint.is_power_of_two() || self.footprint > (8 << 20) {
+            return Err(SyntheticError::BadFootprint(self.footprint));
+        }
+        let scheduled = self.scheduled_events();
+        if scheduled > u64::from(self.body_len) {
+            return Err(SyntheticError::BodyOverflow {
+                requested: self.body_len,
+                scheduled,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A profile error in [`SyntheticParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticError {
+    /// `body_len` is zero.
+    EmptyBody,
+    /// `footprint` is not a power of two up to 8 MiB.
+    BadFootprint(u32),
+    /// The scheduled events (loads + stores + branches + chain) do not fit
+    /// in `body_len`, so the generated body would silently exceed the
+    /// requested length.
+    BodyOverflow {
+        /// The requested `body_len`.
+        requested: u32,
+        /// Scheduled events that must all be emitted.
+        scheduled: u64,
+    },
+}
+
+impl std::fmt::Display for SyntheticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyntheticError::EmptyBody => write!(f, "empty body"),
+            SyntheticError::BadFootprint(v) => {
+                write!(f, "footprint {v} must be a power of two up to 8 MiB")
+            }
+            SyntheticError::BodyOverflow {
+                requested,
+                scheduled,
+            } => write!(
+                f,
+                "body_len {requested} too short for {scheduled} scheduled events \
+                 (loads + stores + branches + chain)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SyntheticError {}
+
+/// Generate a looping program from `params`, or report why the profile is
+/// invalid.
+pub fn try_synthetic(params: SyntheticParams) -> Result<Program, SyntheticError> {
+    params.validate()?;
+    Ok(generate(params))
+}
+
 /// Generate a looping program from `params`.
 ///
 /// # Panics
 ///
-/// Panics on degenerate parameters (zero body, non-power-of-two or
-/// oversized footprint).
+/// Panics on profile errors — see [`SyntheticParams::validate`] /
+/// [`try_synthetic`] for the non-panicking form.
 pub fn synthetic(params: SyntheticParams) -> Program {
-    assert!(params.body_len > 0, "empty body");
-    assert!(
-        params.footprint.is_power_of_two() && params.footprint <= (8 << 20),
-        "footprint must be a power of two up to 8 MiB"
-    );
+    match try_synthetic(params) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn generate(params: SyntheticParams) -> Program {
     let mut rng = Rng::seed_from_u64(params.seed);
     let mut k = Kern::new("synthetic");
     k.load_base(r(1), params.base);
@@ -179,10 +258,13 @@ mod tests {
 
     #[test]
     fn fp_heavy_runs() {
+        // 4 + 1 + 2 + 12 = 19 scheduled events: needs a body of at least
+        // 19 (the old generator silently grew the 16-slot default).
         runs(SyntheticParams {
             fp: true,
             chain: 12,
             loads: 4,
+            body_len: 24,
             ..SyntheticParams::default()
         });
     }
@@ -226,6 +308,42 @@ mod tests {
     fn bad_footprint_rejected() {
         let _ = synthetic(SyntheticParams {
             footprint: 1000,
+            ..SyntheticParams::default()
+        });
+    }
+
+    #[test]
+    fn body_overflow_is_a_typed_error() {
+        // 2 + 1 + 2 + 4 = 9 scheduled events in a body of 8: one too many.
+        let over = SyntheticParams {
+            body_len: 8,
+            ..SyntheticParams::default()
+        };
+        assert_eq!(
+            over.validate(),
+            Err(SyntheticError::BodyOverflow {
+                requested: 8,
+                scheduled: 9,
+            })
+        );
+        assert!(try_synthetic(over).is_err());
+
+        // Exactly at the boundary: every slot is a scheduled event, no
+        // filler ALU ops, and the body is exactly the requested length.
+        let exact = SyntheticParams {
+            body_len: 9,
+            ..SyntheticParams::default()
+        };
+        exact.validate().expect("9 events fit a 9-slot body");
+        let _ = try_synthetic(exact).expect("boundary profile generates");
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn body_overflow_panics_in_synthetic() {
+        let _ = synthetic(SyntheticParams {
+            body_len: 1,
+            loads: 2,
             ..SyntheticParams::default()
         });
     }

@@ -39,6 +39,17 @@ def main():
         default=0.20,
         help="allowed fractional slowdown before failing (default 0.20)",
     )
+    ap.add_argument(
+        "--min-ff-ratio",
+        type=float,
+        default=50.0,
+        help=(
+            "minimum ratio of the current run's functional-ff sim-MIPS to "
+            "its fastest detailed sweep's sim-MIPS (default 50.0); the "
+            "ratio is taken within the current run, so it is "
+            "machine-speed independent"
+        ),
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -77,6 +88,27 @@ def main():
     missing = sorted(set(base_by_fig) - {e["figure"] for e in cur["entries"]})
     if missing:
         sys.exit(f"error: current run is missing baseline figures: {missing}")
+
+    # Functional fast-forward must stay far faster than detailed
+    # simulation — that gap is what checkpointed warm-up and interval
+    # sampling buy their speedup with. Compared within the current run
+    # (not against the baseline) so machine speed cancels out.
+    cur_by_fig = {e["figure"]: e for e in cur["entries"]}
+    ff = cur_by_fig.get("functional-ff")
+    detailed = [e for f, e in cur_by_fig.items() if f != "functional-ff"]
+    if ff and detailed and args.min_ff_ratio > 0:
+        fastest = max(detailed, key=lambda e: e["sim_mips"])
+        ratio = ff["sim_mips"] / max(fastest["sim_mips"], 1e-9)
+        verdict = "OK" if ratio >= args.min_ff_ratio else "REGRESSION"
+        print(
+            f"functional-ff: {ff['sim_mips']:.1f} sim-MIPS vs detailed "
+            f"{fastest['figure']} {fastest['sim_mips']:.3f} -> "
+            f"{ratio:.1f}x (floor {args.min_ff_ratio:.1f}x) -> {verdict}"
+        )
+        if verdict != "OK":
+            failures.append("functional-ff ratio")
+    elif not ff:
+        print("note: no functional-ff entry in current run, ratio check skipped")
 
     if failures:
         sys.exit(f"sim-MIPS regression in: {', '.join(failures)}")

@@ -7,8 +7,8 @@ use looseloops::{
     ablation_predictors_on, ablation_prefetch_on, capture_checkpoint, cpi_stack_report_on,
     fig4_pipeline_length_on, fig5_fixed_total_on, fig6_operand_gap_cdf_on, fig8_dra_speedup_on,
     fig9_operand_sources_on, figure_cpi_stacks_on, loop_inventory, restore_into, run_sampled,
-    warm_digest, CheckpointStore, ExecMode, FigureResult, Job, Machine, RunBudget, SamplingPlan,
-    SimStats, SweepEngine, WarmMemo, Workload,
+    warm_digest, CheckpointStore, ExecMode, FigureResult, Job, Machine, ResultStore, RunBudget,
+    SamplingPlan, SimStats, SweepEngine, WarmMemo, Workload,
 };
 use looseloops_workload::Benchmark;
 
@@ -333,8 +333,20 @@ fn workloads_from_args(args: &Args) -> Result<Vec<Workload>, ArgError> {
     }
 }
 
+/// Resolve the persistent result store: `--store-dir DIR` explicitly,
+/// else the `LOOSELOOPS_STORE` environment variable, else none.
+fn result_store_from_args(args: &Args) -> Result<Option<ResultStore>, ArgError> {
+    match args.get("store-dir") {
+        Some(dir) => ResultStore::open(dir)
+            .map(Some)
+            .map_err(|e| ArgError(e.to_string())),
+        None => Ok(ResultStore::from_env()),
+    }
+}
+
 /// Build a sweep engine from `--jobs N` (0 or absent: `LOOSELOOPS_JOBS` /
-/// the machine) executing under `mode`.
+/// the machine) executing under `mode`, with the persistent result store
+/// from `--store-dir` / `LOOSELOOPS_STORE` attached when configured.
 fn sweep_from_args(
     args: &Args,
     mode: ExecMode,
@@ -346,7 +358,8 @@ fn sweep_from_args(
     } else {
         jobs
     };
-    Ok(SweepEngine::with_mode(workers, mode, store))
+    let result_store = result_store_from_args(args)?;
+    Ok(SweepEngine::with_stores(workers, mode, store, result_store))
 }
 
 /// `looseloops figure`
@@ -360,6 +373,7 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
         "fast-forward",
         "sample",
         "ckpt-dir",
+        "store-dir",
     ]);
     args.reject_unknown(&allowed)?;
     let id = args
@@ -424,6 +438,128 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `looseloops serve` — bind a TCP job server in front of one shared
+/// sweep engine (plus result store, when configured) and run until a
+/// client sends `{"cmd":"shutdown"}`.
+pub fn serve(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["addr", "jobs", "queue", "store-dir"])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:4641");
+    let queue: usize = args.get_or("queue", 4)?;
+    let sweep = sweep_from_args(args, ExecMode::Detailed, None)?;
+    let server = looseloops::server::JobServer::bind(addr, sweep, queue)
+        .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
+    // Scripts wait for this exact line before submitting.
+    println!(
+        "listening on {}",
+        server.local_addr().map_err(|e| ArgError(e.to_string()))?
+    );
+    server.run().map_err(|e| ArgError(e.to_string()))
+}
+
+/// `looseloops submit` — send one request to a running `serve` daemon
+/// and print the streamed NDJSON events (or, with `--table`, render the
+/// figure/stacks events exactly as a local `figure` run would).
+pub fn submit(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[
+        "addr",
+        "smoke",
+        "warmup",
+        "measure",
+        "max-cycles",
+        "workloads",
+        "stacks",
+        "table",
+        "shutdown",
+    ])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:4641");
+    let request = if args.has("shutdown") {
+        "{\"cmd\":\"shutdown\"}".to_string()
+    } else {
+        let id = args
+            .positional()
+            .first()
+            .ok_or_else(|| ArgError("submit needs a figure id (or --shutdown)".into()))?;
+        let mut req = format!(
+            "{{\"cmd\":\"figure\",\"id\":{}",
+            looseloops::json_escape(id)
+        );
+        if !args.has("smoke") {
+            // Budget fields are optional on the wire; the server's default
+            // is exactly `--smoke`, so only overrides are sent.
+            let budget = budget_from_args(args)?;
+            req.push_str(&format!(
+                ",\"warmup\":{},\"measure\":{},\"max_cycles\":{}",
+                budget.warmup, budget.measure, budget.max_cycles
+            ));
+        }
+        if let Some(list) = args.get("workloads") {
+            let names: Vec<String> = list.split(',').map(looseloops::json_escape).collect();
+            req.push_str(&format!(",\"workloads\":[{}]", names.join(",")));
+        }
+        if args.has("stacks") {
+            req.push_str(",\"stacks\":true");
+        }
+        req.push('}');
+        req
+    };
+
+    let lines = looseloops::server::request_lines(addr, &request)
+        .map_err(|e| ArgError(format!("cannot reach {addr}: {e}")))?;
+    let mut failed = None;
+    for line in &lines {
+        let parsed = looseloops::json::parse(line).ok();
+        let event = parsed
+            .as_ref()
+            .and_then(|v| v.get("event"))
+            .and_then(looseloops::json::JsonValue::as_str);
+        if event == Some("error") {
+            failed = Some(
+                parsed
+                    .as_ref()
+                    .and_then(|v| v.get("message"))
+                    .and_then(looseloops::json::JsonValue::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string(),
+            );
+        }
+        if args.has("table") {
+            match (event, &parsed) {
+                (Some("figure"), Some(v)) => {
+                    if let Some(fig) = v
+                        .get("figure")
+                        .and_then(looseloops::server::figure_from_json)
+                    {
+                        print!("{fig}");
+                        continue;
+                    }
+                }
+                (Some("stacks"), Some(v)) => {
+                    if let Some(rep) = v
+                        .get("stacks")
+                        .and_then(looseloops::server::stacks_from_json)
+                    {
+                        print!("{rep}");
+                        continue;
+                    }
+                }
+                (Some("summary"), Some(v)) => {
+                    if let Some(l) = v.get("line").and_then(looseloops::json::JsonValue::as_str) {
+                        eprintln!("[serve] {l}");
+                        continue;
+                    }
+                }
+                (Some("hello" | "done"), _) => continue,
+                _ => {}
+            }
+        }
+        println!("{line}");
+    }
+    match failed {
+        Some(msg) => Err(ArgError(format!("server: {msg}"))),
+        None => Ok(()),
+    }
+}
+
 /// `looseloops loops` (and `looseloops loops attribute`)
 pub fn loops(args: &Args) -> Result<(), ArgError> {
     if args.positional().first().map(String::as_str) == Some("attribute") {
@@ -447,7 +583,7 @@ pub fn loops(args: &Args) -> Result<(), ArgError> {
 /// slot went, one column per loop-cost component, components summing to
 /// the measured CPI.
 fn loops_attribute(args: &Args) -> Result<(), ArgError> {
-    let allowed = config_flag_set(&["workloads", "jobs"]);
+    let allowed = config_flag_set(&["workloads", "jobs", "store-dir"]);
     args.reject_unknown(&allowed)?;
     let cfg = config_from_args(args)?;
     let budget = budget_from_args(args)?;

@@ -48,6 +48,19 @@ COMMANDS:
              the figure's own memoized runs)
              --fast-forward | --sample SPEC  --ckpt-dir DIR  (as in `run`;
              sampled figures report estimates, detailed stays the reference)
+             --store-dir DIR  (persistent result store: finished runs are
+             reused across processes; LOOSELOOPS_STORE sets a default)
+    serve    Long-lived job server sharing one sweep engine (and store)
+             across clients speaking newline-delimited JSON over TCP
+             --addr HOST:PORT  (default 127.0.0.1:4641)
+             --jobs N  --queue N  (max concurrently executing requests)
+             --store-dir DIR  (as in `figure`)
+    submit   Send one figure request to a running `serve` daemon and
+             print the streamed events
+             ID  --addr HOST:PORT  --smoke | --warmup N --measure N
+             --max-cycles N  --workloads a,b,c  --stacks
+             --table  (render received figures as tables instead of JSON)
+             --shutdown  (stop the daemon instead of submitting)
     checkpoint
              Build or inspect the functional warm-up checkpoint a
              workload's sweep points share
@@ -109,6 +122,9 @@ fn main() -> ExitCode {
         "sample",
         "ckpt-dir",
         "dir",
+        "store-dir",
+        "addr",
+        "queue",
     ]
     .to_vec();
     let args = match Args::parse(rest, &value_flags) {
@@ -122,6 +138,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => commands::run(&args),
         "figure" => commands::figure(&args),
+        "serve" => commands::serve(&args),
+        "submit" => commands::submit(&args),
         "loops" => commands::loops(&args),
         "fuzz" => commands::fuzz(&args),
         "checkpoint" => commands::checkpoint(&args),

@@ -151,6 +151,113 @@ fn trace_file_is_written() {
 }
 
 #[test]
+fn figure_store_dir_makes_the_second_run_simulation_free() {
+    let dir = std::env::temp_dir().join(format!("looseloops-cli-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = [
+        "figure",
+        "fig6",
+        "--smoke",
+        "--jobs",
+        "2",
+        "--store-dir",
+        dir.to_str().unwrap(),
+    ];
+
+    let cold = looseloops(&args);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let warm = looseloops(&args);
+    assert!(warm.status.success());
+
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "store-served figures must be byte-identical"
+    );
+    let warm_log = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_log.contains("0 jobs run"),
+        "warm store must simulate nothing: {warm_log}"
+    );
+    assert!(warm_log.contains("store hits"), "{warm_log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_submit_round_trip_a_figure() {
+    use std::io::BufRead;
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_looseloops"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let mut first_line = String::new();
+    std::io::BufReader::new(daemon.stdout.take().expect("daemon stdout"))
+        .read_line(&mut first_line)
+        .expect("daemon announces its address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announce line")
+        .to_string();
+
+    // Rendered through --table, the streamed figure must be
+    // byte-identical to the same figure generated locally.
+    let budget = ["--warmup", "500", "--measure", "3000"];
+    let mut submit_args = vec!["submit", "fig6", "--addr", &addr, "--table"];
+    submit_args.extend_from_slice(&budget);
+    let remote = looseloops(&submit_args);
+    assert!(
+        remote.status.success(),
+        "{}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    let mut local_args = vec!["figure", "fig6", "--jobs", "2"];
+    local_args.extend_from_slice(&budget);
+    let local = looseloops(&local_args);
+    assert!(local.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&remote.stdout),
+        String::from_utf8_lossy(&local.stdout),
+        "served figure must match the local run byte-for-byte"
+    );
+    // The per-request summary (with its dedup counter) goes to stderr.
+    let log = String::from_utf8_lossy(&remote.stderr);
+    assert!(log.contains("dedup hits"), "{log}");
+
+    // Raw mode: every streamed line parses as JSON with an event field.
+    let mut raw_args = vec!["submit", "fig6", "--addr", &addr];
+    raw_args.extend_from_slice(&budget);
+    let raw = looseloops(&raw_args);
+    assert!(raw.status.success());
+    let events: Vec<String> = String::from_utf8_lossy(&raw.stdout)
+        .lines()
+        .map(|l| {
+            let v = looseloops::json::parse(l).expect("event line parses as JSON");
+            v.get("event")
+                .and_then(looseloops::json::JsonValue::as_str)
+                .expect("event field")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(events, ["hello", "figure", "summary", "done"]);
+
+    // Unknown figures fail loudly, with the daemon still up.
+    let bad = looseloops(&["submit", "nonesuch", "--addr", &addr]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown figure"));
+
+    let down = looseloops(&["submit", "--shutdown", "--addr", &addr]);
+    assert!(down.status.success());
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert!(status.success());
+}
+
+#[test]
 fn kernel_inspection_disassembles() {
     let out = looseloops(&["kernel", "go", "--disasm"]);
     assert!(

@@ -125,16 +125,16 @@ pub struct Checkpoint {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn push_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Append one `tag` + length-prefixed `payload` section.
-fn push_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
+pub(crate) fn push_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
     out.extend_from_slice(&tag);
     push_u64(out, payload.len() as u64);
     out.extend_from_slice(payload);
@@ -154,17 +154,21 @@ fn encode_cache(out: &mut Vec<u8>, state: &CacheWarmState) {
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CheckpointError> {
+    pub(crate) fn take(
+        &mut self,
+        n: usize,
+        what: &'static str,
+    ) -> Result<&'a [u8], CheckpointError> {
         let end = self
             .pos
             .checked_add(n)
@@ -179,18 +183,18 @@ impl<'a> Reader<'a> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &'static str) -> Result<u32, CheckpointError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self, what: &'static str) -> Result<u64, CheckpointError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
     /// A decoded element count, sanity-bounded by what the remaining bytes
     /// could possibly hold (`min_elem_bytes` each) so a corrupt length
     /// cannot drive an absurd allocation.
-    fn count(
+    pub(crate) fn count(
         &mut self,
         min_elem_bytes: usize,
         what: &'static str,
@@ -205,7 +209,7 @@ impl<'a> Reader<'a> {
         Ok(n as usize)
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos >= self.buf.len()
     }
 }
@@ -441,14 +445,13 @@ impl CheckpointStore {
     /// [`CheckpointError::Io`] when the temporary cannot be written or
     /// renamed into place.
     pub fn save(&self, digest: u64, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        // The temp name must be unique per *writer*, not per process: two
+        // sweep workers capturing the same digest used to share one
+        // `.tmp.<pid>` file and could rename a torn checkpoint into place.
+        // `atomic_write` disambiguates with a per-process counter.
         let path = self.path(digest);
-        let tmp = self
-            .dir
-            .join(format!("{digest:016x}.llck.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, ckpt.encode())
-            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))
+        crate::store::atomic_write(&path, &ckpt.encode())
+            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", path.display())))
     }
 }
 
@@ -748,10 +751,12 @@ pub struct WarmMemo {
 
 impl WarmMemo {
     fn cell(&self, digest: u64) -> WarmCell {
+        // Poison recovery: the map is only ever inserted into under the
+        // lock, so a panic elsewhere in a worker leaves it structurally
+        // intact — take the inner value and keep serving (satellite
+        // bugfix; see `crate::sweep::lock_clean`).
         Arc::clone(
-            self.cells
-                .lock()
-                .expect("warm memo poisoned")
+            crate::sweep::lock_clean(&self.cells)
                 .entry(digest)
                 .or_default(),
         )
@@ -884,6 +889,37 @@ mod tests {
         // A corrupt file surfaces as an error the caller regenerates from.
         std::fs::write(store.path(43), b"LLCKgarbage").unwrap();
         assert!(store.load(43).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn racing_saves_on_one_digest_never_publish_a_torn_checkpoint() {
+        // Regression: the temp path used to be digest + pid only, so two
+        // same-process workers saving the same digest shared one temp file
+        // and could rename a torn mix into place.
+        let dir = std::env::temp_dir().join(format!("llck-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("open");
+        // Distinguishable checkpoints of identical provenance shape: vary
+        // the warm-up so each encodes to different bytes.
+        let checkpoints: Vec<Checkpoint> = (1..=4)
+            .map(|i| ckpt_for(Benchmark::Compress, i * 500))
+            .collect();
+        let encodings: Vec<Vec<u8>> = checkpoints.iter().map(Checkpoint::encode).collect();
+        std::thread::scope(|s| {
+            for ckpt in &checkpoints {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        store.save(7, ckpt).expect("save");
+                        // Every concurrent load sees a complete entry.
+                        let seen = store.load(7).expect("never torn").expect("present");
+                        assert!(encodings.contains(&seen.encode()), "torn checkpoint");
+                    }
+                });
+            }
+        });
+        let last = store.load(7).expect("load").expect("present");
+        assert!(encodings.contains(&last.encode()));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,6 +21,7 @@ use looseloops_mem;
 use looseloops_pipeline::{LoadSpecPolicy, PipelineConfig, SimError, SimStats};
 use looseloops_regs;
 use looseloops_workload::{Benchmark, SmtPair};
+use std::sync::Arc;
 
 /// A workload of the paper's evaluation: a single benchmark or an SMT pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,42 +121,220 @@ impl Workload {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn speedup_figure(
-    sweep: &SweepEngine,
+/// How a figure's completed grid results are folded into a
+/// [`FigureResult`]. Pure data → pure function: no engine involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// IPC of every config relative to `configs[baseline]`, per workload.
+    Speedup {
+        /// Index of the reference config.
+        baseline: usize,
+    },
+    /// Figure 6: operand-availability-gap CDF of the single grid point,
+    /// columns are gap values 0..=60.
+    GapCdf,
+    /// Figure 9: operand-source fractions of one config across workloads.
+    OperandSources,
+    /// Figure 8: pairwise speedups — configs come in (base, DRA) pairs,
+    /// rows 2k base and 2k+1 the matched DRA.
+    DraPairSpeedup,
+}
+
+/// One figure of the evaluation as **pure data**: a labeled machine grid,
+/// a workload set, a budget, and a rendering rule. The spec is completely
+/// decoupled from execution — [`FigureSpec::jobs`] enumerates the sweep
+/// points and [`FigureSpec::render`] folds their results, so the same
+/// spec runs on a local [`SweepEngine`] ([`FigureSpec::run_on`]) or is
+/// shipped job-by-job to a `looseloops serve` daemon unchanged.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Canonical figure id (`fig4`, `ablation-load-policy`, ...).
+    pub id: String,
+    /// Human title, exactly as the figure prints it.
+    pub title: String,
+    /// What the paper says this figure should show.
+    pub paper_expectation: String,
+    /// The labeled machine grid.
+    pub configs: Vec<(String, PipelineConfig)>,
+    /// The workload set (already including any figure-specific pins or
+    /// extras, e.g. Figure 6's turb3d or the load-policy chase micro).
+    pub workloads: Vec<Workload>,
+    /// Warm-up/measurement budget every grid point runs at.
+    pub budget: RunBudget,
+    /// How results become a figure.
+    pub kind: FigureKind,
+}
+
+impl FigureSpec {
+    /// The spec behind a figure id, canonical (`ablation-load-policy`) or
+    /// CLI-short (`load-policy`). `workloads` seeds the workload set;
+    /// figures that pin their own workloads (Figure 6) ignore it, and the
+    /// load-policy ablation appends its chase microbenchmark. `None` for
+    /// an unknown id.
+    pub fn for_id(id: &str, workloads: &[Workload], budget: RunBudget) -> Option<FigureSpec> {
+        match id {
+            "fig4" => Some(fig4_spec(workloads, budget)),
+            "fig5" => Some(fig5_spec(workloads, budget)),
+            "fig6" => Some(fig6_spec(budget)),
+            "fig8" => Some(fig8_spec(workloads, budget)),
+            "fig9" => Some(fig9_spec(workloads, budget)),
+            "load-policy" | "ablation-load-policy" => Some(load_policy_spec(workloads, budget)),
+            "dra-design" | "ablation-dra-design" => Some(dra_design_spec(workloads, budget)),
+            "fwd-window" | "ablation-fwd-window" => Some(fwd_window_spec(workloads, budget)),
+            "iq-size" | "ablation-iq-size" => Some(iq_size_spec(workloads, budget)),
+            "prefetch" | "ablation-prefetch" => Some(prefetch_spec(workloads, budget)),
+            "predictor" | "ablation-predictor" => Some(predictor_spec(workloads, budget)),
+            _ => None,
+        }
+    }
+
+    /// The full `configs × workloads` grid as sweep jobs, row-major in
+    /// config order — the exact order [`FigureSpec::render`] expects its
+    /// results in.
+    pub fn jobs(&self) -> Vec<Job> {
+        self.configs
+            .iter()
+            .flat_map(|(_, cfg)| {
+                self.workloads
+                    .iter()
+                    .map(move |w| Job::new(cfg.clone(), *w, self.budget))
+            })
+            .collect()
+    }
+
+    /// Fold completed results (one per [`FigureSpec::jobs`] entry, same
+    /// order) into the figure. Pure: no simulation, no engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `results` does not cover the grid.
+    pub fn render(&self, results: &[Arc<SimStats>]) -> FigureResult {
+        let nw = self.workloads.len();
+        assert_eq!(
+            results.len(),
+            self.configs.len() * nw,
+            "figure {} expects one result per grid point",
+            self.id
+        );
+        let series = match self.kind {
+            FigureKind::Speedup { baseline } => {
+                // ipc[config][workload]
+                let ipc: Vec<Vec<f64>> = results
+                    .chunks(nw.max(1))
+                    .map(|row| row.iter().map(|s| s.ipc()).collect())
+                    .collect();
+                self.configs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (label, _))| Series {
+                        label: label.clone(),
+                        values: (0..nw).map(|w| ipc[i][w] / ipc[baseline][w]).collect(),
+                    })
+                    .collect()
+            }
+            FigureKind::GapCdf => {
+                let cdf = results[0].gap_cdf();
+                return FigureResult {
+                    id: self.id.clone(),
+                    title: self.title.clone(),
+                    columns: (0..=60).map(|p: usize| p.to_string()).collect(),
+                    series: vec![Series {
+                        label: self.workloads[0].name(),
+                        values: (0..=60).map(|p: usize| cdf[p]).collect(),
+                    }],
+                    paper_expectation: self.paper_expectation.clone(),
+                };
+            }
+            FigureKind::OperandSources => {
+                let labels = ["pre-read", "forward", "crc", "regfile", "miss"];
+                let mut fractions: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
+                for stats in &results[..nw] {
+                    for (i, v) in stats.operand_source_fractions().into_iter().enumerate() {
+                        fractions[i].push(v);
+                    }
+                }
+                labels
+                    .iter()
+                    .zip(fractions)
+                    .map(|(l, values)| Series {
+                        label: (*l).into(),
+                        values,
+                    })
+                    .collect()
+            }
+            FigureKind::DraPairSpeedup => (0..self.configs.len() / 2)
+                .map(|k| {
+                    let base = &self.configs[2 * k].1;
+                    let dra = &self.configs[2 * k + 1].1;
+                    Series {
+                        label: format!(
+                            "DRA:{}_{} vs Base:{}_{}",
+                            dra.dec_iq_stages,
+                            dra.iq_ex_stages,
+                            base.dec_iq_stages,
+                            base.iq_ex_stages
+                        ),
+                        values: (0..nw)
+                            .map(|w| {
+                                results[(2 * k + 1) * nw + w].ipc() / results[2 * k * nw + w].ipc()
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        };
+        FigureResult {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            columns: self.workloads.iter().map(Workload::name).collect(),
+            series,
+            paper_expectation: self.paper_expectation.clone(),
+        }
+    }
+
+    /// The per-loop CPI-stack companion view of the same results: one row
+    /// per (config, workload) grid point.
+    pub fn render_stacks(&self, results: &[Arc<SimStats>]) -> CpiStackReport {
+        let nw = self.workloads.len().max(1);
+        let mut rep = CpiStackReport::new(
+            format!("{}-stacks", self.id),
+            format!("Per-loop CPI stacks behind {}", self.id),
+        );
+        for ((label, _), row) in self.configs.iter().zip(results.chunks(nw)) {
+            for (w, stats) in self.workloads.iter().zip(row) {
+                rep.rows.push(CpiStackRow::from_stats(
+                    format!("{label}/{}", w.name()),
+                    stats,
+                ));
+            }
+        }
+        rep
+    }
+
+    /// Execute the grid on `sweep` and render — the local path every
+    /// `figN_on` generator delegates to.
+    pub fn run_on(&self, sweep: &SweepEngine) -> FigureResult {
+        self.render(&sweep.run_jobs(&self.jobs()))
+    }
+}
+
+fn spec(
     id: &str,
     title: &str,
     expectation: &str,
+    configs: Vec<(String, PipelineConfig)>,
     workloads: &[Workload],
     budget: RunBudget,
-    configs: &[(String, PipelineConfig)],
-    baseline: usize,
-) -> FigureResult {
-    let grid_configs: Vec<PipelineConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
-    // ipc[config][workload]
-    let ipc: Vec<Vec<f64>> = sweep
-        .run_grid(&grid_configs, workloads, budget)
-        .into_iter()
-        .map(|row| row.into_iter().map(|s| s.ipc()).collect())
-        .collect();
-    let series = configs
-        .iter()
-        .enumerate()
-        .map(|(i, (label, _))| Series {
-            label: label.clone(),
-            values: workloads
-                .iter()
-                .enumerate()
-                .map(|(w, _)| ipc[i][w] / ipc[baseline][w])
-                .collect(),
-        })
-        .collect();
-    FigureResult {
+    kind: FigureKind,
+) -> FigureSpec {
+    FigureSpec {
         id: id.into(),
         title: title.into(),
-        columns: workloads.iter().map(Workload::name).collect(),
-        series,
         paper_expectation: expectation.into(),
+        configs,
+        workloads: workloads.to_vec(),
+        budget,
+        kind,
     }
 }
 
@@ -180,25 +359,27 @@ pub fn fig4_pipeline_length(workloads: &[Workload], budget: RunBudget) -> Figure
     fig4_pipeline_length_on(SweepEngine::global(), workloads, budget)
 }
 
+fn fig4_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "fig4",
+        "Performance for varying pipeline lengths (relative to 6 cycles DEC->EX)",
+        "monotonic losses up to ~24% at 18 cycles; int codes lose to the branch loop, \
+         swim/turb3d to the load loop; hydro2d/mgrid (memory-bound) and apsi (low ILP) \
+         are least sensitive; SMT pairs lose less than their worst member",
+        fig4_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 /// [`fig4_pipeline_length`] on a caller-owned engine.
 pub fn fig4_pipeline_length_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = fig4_configs();
-    speedup_figure(
-        sweep,
-        "fig4",
-        "Performance for varying pipeline lengths (relative to 6 cycles DEC->EX)",
-        "monotonic losses up to ~24% at 18 cycles; int codes lose to the branch loop, \
-         swim/turb3d to the load loop; hydro2d/mgrid (memory-bound) and apsi (low ILP) \
-         are least sensitive; SMT pairs lose less than their worst member",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    fig4_spec(workloads, budget).run_on(sweep)
 }
 
 /// **Figure 5** — fixed overall DEC→EX length (12 cycles), varying the
@@ -221,24 +402,26 @@ fn fig5_configs() -> Vec<(String, PipelineConfig)> {
         .collect()
 }
 
+fn fig5_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "fig5",
+        "Performance for a fixed 12-cycle DEC->EX, shifting stages out of IQ-EX (relative to 3_9)",
+        "up to ~15% gain for 9_3 on the load-loop-sensitive codes (swim, turb3d, apsi-swim); \
+         branch-bound and memory-bound codes are flat",
+        fig5_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 /// [`fig5_fixed_total`] on a caller-owned engine.
 pub fn fig5_fixed_total_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = fig5_configs();
-    speedup_figure(
-        sweep,
-        "fig5",
-        "Performance for a fixed 12-cycle DEC->EX, shifting stages out of IQ-EX (relative to 3_9)",
-        "up to ~15% gain for 9_3 on the load-loop-sensitive codes (swim, turb3d, apsi-swim); \
-         branch-bound and memory-bound codes are flat",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    fig5_spec(workloads, budget).run_on(sweep)
 }
 
 /// **Figure 6** — cumulative distribution of the gap (in cycles) between
@@ -248,28 +431,22 @@ pub fn fig6_operand_gap_cdf(budget: RunBudget) -> FigureResult {
     fig6_operand_gap_cdf_on(SweepEngine::global(), budget)
 }
 
+fn fig6_spec(budget: RunBudget) -> FigureSpec {
+    spec(
+        "fig6",
+        "CDF of cycles between first- and second-operand availability (turb3d)",
+        "~25% of instructions have gaps of 25+ cycles; the 9-cycle \
+         forwarding buffer covers only ~50% of instructions",
+        vec![("base".to_string(), PipelineConfig::base())],
+        &[Workload::Single(Benchmark::Turb3d)],
+        budget,
+        FigureKind::GapCdf,
+    )
+}
+
 /// [`fig6_operand_gap_cdf`] on a caller-owned engine.
 pub fn fig6_operand_gap_cdf_on(sweep: &SweepEngine, budget: RunBudget) -> FigureResult {
-    let job = Job::new(
-        PipelineConfig::base(),
-        Workload::Single(Benchmark::Turb3d),
-        budget,
-    );
-    let stats = &sweep.run_jobs(std::slice::from_ref(&job))[0];
-    let cdf = stats.gap_cdf();
-    let points: Vec<usize> = (0..=60).collect();
-    FigureResult {
-        id: "fig6".into(),
-        title: "CDF of cycles between first- and second-operand availability (turb3d)".into(),
-        columns: points.iter().map(|p| p.to_string()).collect(),
-        series: vec![Series {
-            label: "turb3d".into(),
-            values: points.iter().map(|&p| cdf[p]).collect(),
-        }],
-        paper_expectation: "~25% of instructions have gaps of 25+ cycles; the 9-cycle \
-                            forwarding buffer covers only ~50% of instructions"
-            .into(),
-    }
+    fig6_spec(budget).run_on(sweep)
 }
 
 /// **Figure 8** — DRA speedups for register-file read latencies of 3, 5
@@ -302,41 +479,26 @@ fn fig8_configs() -> Vec<(String, PipelineConfig)> {
         .collect()
 }
 
+fn fig8_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "fig8",
+        "DRA speedup over the base machine, per register-file latency",
+        "gains up to 4% / 9% / 15% for 3/5/7-cycle register files, \
+         growing with RF latency; apsi (and apsi-swim) LOSE 10-14% \
+         from operand-resolution-loop misses",
+        fig8_configs(),
+        workloads,
+        budget,
+        FigureKind::DraPairSpeedup,
+    )
+}
+
 pub fn fig8_dra_speedup_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let rfs = [3u32, 5, 7];
-    // One grid of all six machines (base and DRA per register-file
-    // latency): rows 2k are base, rows 2k+1 the matched DRA.
-    let configs: Vec<PipelineConfig> = fig8_configs().into_iter().map(|(_, c)| c).collect();
-    let grid = sweep.run_grid(&configs, workloads, budget);
-    let mut series = Vec::new();
-    for k in 0..rfs.len() {
-        let base = &configs[2 * k];
-        let dra = &configs[2 * k + 1];
-        let label = format!(
-            "DRA:{}_{} vs Base:{}_{}",
-            dra.dec_iq_stages, dra.iq_ex_stages, base.dec_iq_stages, base.iq_ex_stages
-        );
-        let values = grid[2 * k]
-            .iter()
-            .zip(&grid[2 * k + 1])
-            .map(|(b, d)| d.ipc() / b.ipc())
-            .collect();
-        series.push(Series { label, values });
-    }
-    FigureResult {
-        id: "fig8".into(),
-        title: "DRA speedup over the base machine, per register-file latency".into(),
-        columns: workloads.iter().map(Workload::name).collect(),
-        series,
-        paper_expectation: "gains up to 4% / 9% / 15% for 3/5/7-cycle register files, \
-                            growing with RF latency; apsi (and apsi-swim) LOSE 10-14% \
-                            from operand-resolution-loop misses"
-            .into(),
-    }
+    fig8_spec(workloads, budget).run_on(sweep)
 }
 
 /// **Figure 9** — where operands come from under the DRA (7_3
@@ -346,39 +508,27 @@ pub fn fig9_operand_sources(workloads: &[Workload], budget: RunBudget) -> Figure
     fig9_operand_sources_on(SweepEngine::global(), workloads, budget)
 }
 
+fn fig9_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "fig9",
+        "Operand sources under the DRA (7_3, 5-cycle register file)",
+        "more than half of operands come from the forwarding buffer; \
+         the rest split between pre-read and the CRCs; miss rates are \
+         well under 1% except apsi at ~1.5%",
+        vec![("dra:7_3 (rf5)".to_string(), PipelineConfig::dra_for_rf(5))],
+        workloads,
+        budget,
+        FigureKind::OperandSources,
+    )
+}
+
 /// [`fig9_operand_sources`] on a caller-owned engine.
 pub fn fig9_operand_sources_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let cfg = PipelineConfig::dra_for_rf(5);
-    let labels = ["pre-read", "forward", "crc", "regfile", "miss"];
-    let mut fractions: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
-    let row = &sweep.run_grid(std::slice::from_ref(&cfg), workloads, budget)[0];
-    for stats in row {
-        let f = stats.operand_source_fractions();
-        for (i, v) in f.into_iter().enumerate() {
-            fractions[i].push(v);
-        }
-    }
-    FigureResult {
-        id: "fig9".into(),
-        title: "Operand sources under the DRA (7_3, 5-cycle register file)".into(),
-        columns: workloads.iter().map(Workload::name).collect(),
-        series: labels
-            .iter()
-            .zip(fractions)
-            .map(|(l, values)| Series {
-                label: (*l).into(),
-                values,
-            })
-            .collect(),
-        paper_expectation: "more than half of operands come from the forwarding buffer; \
-                            the rest split between pre-read and the CRCs; miss rates are \
-                            well under 1% except apsi at ~1.5%"
-            .into(),
-    }
+    fig9_spec(workloads, budget).run_on(sweep)
 }
 
 /// **§2.2.2 ablation** — the four load-resolution-loop management
@@ -409,28 +559,29 @@ fn load_policy_configs() -> Vec<(String, PipelineConfig)> {
     .collect()
 }
 
+fn load_policy_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    // Append the pointer-chase microbenchmark: the workload where the
+    // load-resolution-loop policy is the entire story.
+    let mut workloads: Vec<Workload> = workloads.to_vec();
+    workloads.push(Workload::Micro("chase"));
+    spec(
+        "ablation-load-policy",
+        "Load mis-speculation recovery policies (relative to tree reissue)",
+        "reissue beats stall; refetch is significantly worse than reissue (paper §2.2.2); \
+         21264-style shadow reissue trails tree reissue",
+        load_policy_configs(),
+        &workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 pub fn ablation_load_policies_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = load_policy_configs();
-    // Append the pointer-chase microbenchmark: the workload where the
-    // load-resolution-loop policy is the entire story.
-    let mut workloads: Vec<Workload> = workloads.to_vec();
-    workloads.push(Workload::Micro("chase"));
-    let workloads = &workloads[..];
-    speedup_figure(
-        sweep,
-        "ablation-load-policy",
-        "Load mis-speculation recovery policies (relative to tree reissue)",
-        "reissue beats stall; refetch is significantly worse than reissue (paper §2.2.2); \
-         21264-style shadow reissue trails tree reissue",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    load_policy_spec(workloads, budget).run_on(sweep)
 }
 
 /// **DRA design ablation** — the design choices DESIGN.md calls out:
@@ -467,22 +618,24 @@ fn dra_design_configs() -> Vec<(String, PipelineConfig)> {
     ]
 }
 
+fn dra_design_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "ablation-dra-design",
+        "DRA design choices (7_3, 5-cycle RF; relative to the paper's 16-entry FIFO CRC)",
+        "paper §5.1: mechanisms smarter than FIFO gain almost nothing; capacity matters          more than policy",
+        dra_design_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 pub fn ablation_dra_design_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = dra_design_configs();
-    speedup_figure(
-        sweep,
-        "ablation-dra-design",
-        "DRA design choices (7_3, 5-cycle RF; relative to the paper's 16-entry FIFO CRC)",
-        "paper §5.1: mechanisms smarter than FIFO gain almost nothing; capacity matters          more than policy",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    dra_design_spec(workloads, budget).run_on(sweep)
 }
 
 /// **Forwarding-window ablation** — the base machine's buffer retains 9
@@ -510,22 +663,24 @@ fn fwd_window_configs() -> Vec<(String, PipelineConfig)> {
         .collect()
 }
 
+fn fwd_window_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "ablation-fwd-window",
+        "Forwarding-buffer retention window under the DRA (7_3; relative to the paper's 9)",
+        "the 9-cycle window was sized to hand values to the register file exactly as          they expire; shrinking it shifts traffic to the CRCs (more operand misses),          growing it buys little because the gap distribution has a long tail (Figure 6)",
+        fwd_window_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 pub fn ablation_fwd_window_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = fwd_window_configs();
-    speedup_figure(
-        sweep,
-        "ablation-fwd-window",
-        "Forwarding-buffer retention window under the DRA (7_3; relative to the paper's 9)",
-        "the 9-cycle window was sized to hand values to the register file exactly as          they expire; shrinking it shifts traffic to the CRCs (more operand misses),          growing it buys little because the gap distribution has a long tail (Figure 6)",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    fwd_window_spec(workloads, budget).run_on(sweep)
 }
 
 /// **IQ-capacity ablation** — §2.2.2's IQ-pressure argument: reissue
@@ -552,22 +707,24 @@ fn iq_size_configs() -> Vec<(String, PipelineConfig)> {
         .collect()
 }
 
+fn iq_size_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "ablation-iq-size",
+        "Instruction-queue capacity on the base machine (relative to the paper's 128)",
+        "issued instructions are retained for the 8-cycle loop delay plus a clear          cycle; small IQs lose exposed ILP exactly as §2.2.2 argues",
+        iq_size_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 pub fn ablation_iq_size_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = iq_size_configs();
-    speedup_figure(
-        sweep,
-        "ablation-iq-size",
-        "Instruction-queue capacity on the base machine (relative to the paper's 128)",
-        "issued instructions are retained for the 8-cycle loop delay plus a clear          cycle; small IQs lose exposed ILP exactly as §2.2.2 argues",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    iq_size_spec(workloads, budget).run_on(sweep)
 }
 
 /// **Prefetcher extension** — the paper attacks the load-resolution
@@ -599,23 +756,25 @@ fn prefetch_configs() -> Vec<(String, PipelineConfig)> {
     ]
 }
 
+fn prefetch_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "ablation-prefetch",
+        "Stride prefetching vs / with the DRA (5-cycle RF; relative to the base machine)",
+        "extension beyond the paper: prefetching cuts the load loop's mis-speculation          rate, the DRA cuts its delay — the streaming codes should take both",
+        prefetch_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 /// [`ablation_prefetch`] on a caller-owned engine.
 pub fn ablation_prefetch_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = prefetch_configs();
-    speedup_figure(
-        sweep,
-        "ablation-prefetch",
-        "Stride prefetching vs / with the DRA (5-cycle RF; relative to the base machine)",
-        "extension beyond the paper: prefetching cuts the load loop's mis-speculation          rate, the DRA cuts its delay — the streaming codes should take both",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    prefetch_spec(workloads, budget).run_on(sweep)
 }
 
 /// **Predictor ablation** — the branch-resolution loop's mis-speculation
@@ -648,23 +807,25 @@ fn predictor_configs() -> Vec<(String, PipelineConfig)> {
     .collect()
 }
 
+fn predictor_spec(workloads: &[Workload], budget: RunBudget) -> FigureSpec {
+    spec(
+        "ablation-predictor",
+        "Direction predictors on the base machine (relative to the tournament)",
+        "weaker predictors fire the branch-resolution loop more often; the          branch-limited integer codes pay the most",
+        predictor_configs(),
+        workloads,
+        budget,
+        FigureKind::Speedup { baseline: 0 },
+    )
+}
+
 /// [`ablation_predictors`] on a caller-owned engine.
 pub fn ablation_predictors_on(
     sweep: &SweepEngine,
     workloads: &[Workload],
     budget: RunBudget,
 ) -> FigureResult {
-    let configs = predictor_configs();
-    speedup_figure(
-        sweep,
-        "ablation-predictor",
-        "Direction predictors on the base machine (relative to the tournament)",
-        "weaker predictors fire the branch-resolution loop more often; the          branch-limited integer codes pay the most",
-        workloads,
-        budget,
-        &configs,
-        0,
-    )
+    predictor_spec(workloads, budget).run_on(sweep)
 }
 
 /// Per-loop CPI stacks for a labeled config grid × workload set: one row
@@ -705,35 +866,8 @@ pub fn figure_cpi_stacks_on(
     workloads: &[Workload],
     budget: RunBudget,
 ) -> Option<CpiStackReport> {
-    let mut workloads = workloads.to_vec();
-    let configs = match id {
-        "fig4" => fig4_configs(),
-        "fig5" => fig5_configs(),
-        "fig6" => {
-            workloads = vec![Workload::Single(Benchmark::Turb3d)];
-            vec![("base".to_string(), PipelineConfig::base())]
-        }
-        "fig8" => fig8_configs(),
-        "fig9" => vec![("dra:7_3 (rf5)".to_string(), PipelineConfig::dra_for_rf(5))],
-        "ablation-load-policy" => {
-            workloads.push(Workload::Micro("chase"));
-            load_policy_configs()
-        }
-        "ablation-dra-design" => dra_design_configs(),
-        "ablation-fwd-window" => fwd_window_configs(),
-        "ablation-iq-size" => iq_size_configs(),
-        "ablation-prefetch" => prefetch_configs(),
-        "ablation-predictor" => predictor_configs(),
-        _ => return None,
-    };
-    Some(cpi_stack_report_on(
-        sweep,
-        &format!("{id}-stacks"),
-        &format!("Per-loop CPI stacks behind {id}"),
-        &configs,
-        &workloads,
-        budget,
-    ))
+    let spec = FigureSpec::for_id(id, workloads, budget)?;
+    Some(spec.render_stacks(&sweep.run_jobs(&spec.jobs())))
 }
 
 #[cfg(test)]

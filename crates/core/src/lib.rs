@@ -38,11 +38,14 @@
 
 pub mod checkpoint;
 pub mod experiments;
+pub mod json;
 pub mod loops;
 pub mod machines;
 pub mod report;
 pub mod sampling;
+pub mod server;
 pub mod simulator;
+pub mod store;
 pub mod sweep;
 
 pub use checkpoint::{
@@ -58,15 +61,16 @@ pub use experiments::{
     cpi_stack_report_on, fig4_pipeline_length, fig4_pipeline_length_on, fig5_fixed_total,
     fig5_fixed_total_on, fig6_operand_gap_cdf, fig6_operand_gap_cdf_on, fig8_dra_speedup,
     fig8_dra_speedup_on, fig9_operand_sources, fig9_operand_sources_on, figure_cpi_stacks_on,
-    Workload,
+    FigureKind, FigureSpec, Workload,
 };
 pub use loops::{loop_for_component, loop_inventory, LoopInfo, LoopKind, Management, Stage};
 pub use machines::{alpha21264_like, pentium4_like};
-pub use report::{CpiStackReport, CpiStackRow, FigureResult, Series};
+pub use report::{json_escape, CpiStackReport, CpiStackRow, FigureResult, Series};
 pub use simulator::{
     run_benchmark, run_pair, run_programs, try_run_benchmark, try_run_pair, try_run_programs,
     RunBudget,
 };
+pub use store::{atomic_write, ResultStore, RESULT_STORE_VERSION, STORE_ENV};
 pub use sweep::{
     default_jobs, fnv1a64, jobs_from_env, parallel_map, ExecMode, Job, JobRecord, SweepEngine,
     SweepSummary,

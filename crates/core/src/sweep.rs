@@ -22,11 +22,37 @@ use crate::checkpoint::{CheckpointStore, WarmMemo};
 use crate::experiments::Workload;
 use crate::sampling::SamplingPlan;
 use crate::simulator::RunBudget;
+use crate::store::ResultStore;
 use looseloops_pipeline::{LoopCostStack, PipelineConfig, SimError, SimStats};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock `m`, recovering from poisoning.
+///
+/// The engine's mutexes guard plain accumulators (memo map, merged stack,
+/// timing log) whose updates are single `insert`/`merge`/`push` calls, so
+/// a panic elsewhere in a worker can never leave them mid-mutation —
+/// taking the inner value after a poisoning is always safe. Before this
+/// helper, one panicked job permanently poisoned the process-global
+/// engine and every later figure call died on
+/// `expect("sweep cache poisoned")` even though `try_run_jobs` promises
+/// failures don't sink the batch.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Human-readable message out of a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// What one executed sweep job yields: the run's statistics or the
 /// [`SimError`] that stopped it.
@@ -152,6 +178,8 @@ pub struct SweepSummary {
     /// Jobs answered from the memo cache (including duplicates within one
     /// batch, which are simulated once and shared).
     pub cache_hits: u64,
+    /// Jobs answered from the on-disk result store instead of simulating.
+    pub store_hits: u64,
     /// Executed jobs that ended in a [`SimError`] (reported per job by
     /// [`SweepEngine::try_run_jobs`]; never cached, so a retry re-runs).
     pub jobs_failed: u64,
@@ -174,16 +202,22 @@ impl SweepSummary {
         self.instructions as f64 / self.wall.as_secs_f64().max(1e-9) / 1e6
     }
 
-    /// One-line rendering for harness logs. Failures appear only when
-    /// there are any, so clean runs read exactly as before.
+    /// One-line rendering for harness logs. Store hits and failures
+    /// appear only when there are any, so store-less clean runs read
+    /// exactly as before.
     pub fn line(&self) -> String {
+        let store = if self.store_hits > 0 {
+            format!(", {} store hits", self.store_hits)
+        } else {
+            String::new()
+        };
         let failed = if self.jobs_failed > 0 {
             format!(", {} FAILED", self.jobs_failed)
         } else {
             String::new()
         };
         format!(
-            "{} jobs run, {} cache hits{failed}, {:.1} sim-MIPS ({} workers, busy {:.2}s over {:.2}s wall)",
+            "{} jobs run, {} cache hits{store}{failed}, {:.1} sim-MIPS ({} workers, busy {:.2}s over {:.2}s wall)",
             self.jobs_run,
             self.cache_hits,
             self.sim_mips(),
@@ -199,11 +233,13 @@ pub struct SweepEngine {
     workers: usize,
     mode: ExecMode,
     ckpt_store: Option<CheckpointStore>,
+    result_store: Option<ResultStore>,
     warm_memo: WarmMemo,
     cache: Mutex<HashMap<String, Arc<SimStats>>>,
     jobs_requested: AtomicU64,
     jobs_run: AtomicU64,
     cache_hits: AtomicU64,
+    store_hits: AtomicU64,
     jobs_failed: AtomicU64,
     wall_nanos: AtomicU64,
     busy_nanos: AtomicU64,
@@ -258,19 +294,14 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let next = queue
-                    .lock()
-                    .expect("parallel_map queue poisoned")
-                    .pop_front();
+                let next = lock_clean(&queue).pop_front();
                 let Some(i) = next else { break };
                 let r = f(i);
-                done.lock()
-                    .expect("parallel_map results poisoned")
-                    .push((i, r));
+                lock_clean(&done).push((i, r));
             });
         }
     });
-    let mut out = done.into_inner().expect("parallel_map results poisoned");
+    let mut out = done.into_inner().unwrap_or_else(PoisonError::into_inner);
     out.sort_unstable_by_key(|&(i, _)| i);
     out.into_iter().map(|(_, r)| r).collect()
 }
@@ -311,6 +342,21 @@ impl SweepEngine {
         mode: ExecMode,
         store: Option<CheckpointStore>,
     ) -> SweepEngine {
+        SweepEngine::with_stores(workers, mode, store, None)
+    }
+
+    /// The fully general constructor: execution mode, an optional on-disk
+    /// checkpoint store (warm state), and an optional on-disk result store
+    /// (completed runs). With a result store the cache is three-tiered:
+    /// memory → disk → simulate; results loaded from disk enter the memory
+    /// cache, and simulated results are written back, so any number of
+    /// processes sharing one store directory converge to zero simulation.
+    pub fn with_stores(
+        workers: usize,
+        mode: ExecMode,
+        ckpt_store: Option<CheckpointStore>,
+        result_store: Option<ResultStore>,
+    ) -> SweepEngine {
         SweepEngine {
             workers: if workers == 0 {
                 default_jobs()
@@ -318,12 +364,14 @@ impl SweepEngine {
                 workers
             },
             mode,
-            ckpt_store: store,
+            ckpt_store,
+            result_store,
             warm_memo: WarmMemo::default(),
             cache: Mutex::new(HashMap::new()),
             jobs_requested: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
@@ -396,9 +444,10 @@ impl SweepEngine {
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         let keys: Vec<String> = jobs.iter().map(|j| j.key_with_mode(self.mode)).collect();
 
-        // First occurrence of every key not already cached gets simulated.
+        // First occurrence of every key not already cached gets simulated
+        // (or answered from the on-disk store, when one is attached).
         let pending: Vec<usize> = {
-            let cache = self.cache.lock().expect("sweep cache poisoned");
+            let cache = lock_clean(&self.cache);
             let mut scheduled: HashSet<&str> = HashSet::new();
             keys.iter()
                 .enumerate()
@@ -408,8 +457,6 @@ impl SweepEngine {
         };
         self.cache_hits
             .fetch_add((jobs.len() - pending.len()) as u64, Ordering::Relaxed);
-        self.jobs_run
-            .fetch_add(pending.len() as u64, Ordering::Relaxed);
 
         // Key → error for this batch's failures (failures are never
         // cached, so the map is batch-local).
@@ -417,32 +464,58 @@ impl SweepEngine {
         if !pending.is_empty() {
             let results = parallel_map(self.workers, pending.len(), |k| {
                 let job = &jobs[pending[k]];
+                let key = &keys[pending[k]];
+                // Second cache tier: the on-disk result store. A hit is a
+                // finished run — no simulation, no jobs_run/busy/timing-log
+                // accounting (like the memo cache, the metrics track work,
+                // not requests). A corrupt or colliding entry is a miss.
+                if let Some(store) = &self.result_store {
+                    let digest = fnv1a64(key.as_bytes());
+                    match store.load(digest, key) {
+                        Ok(Some(stats)) => {
+                            self.store_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(Arc::new(stats));
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("warning: result store {}: {e}; re-simulating", job.label());
+                        }
+                    }
+                }
+                self.jobs_run.fetch_add(1, Ordering::Relaxed);
                 let t = Instant::now();
-                let result = self.execute(job);
+                // Isolate panics: a worker that panics must report a
+                // per-job error like any other failure, not unwind through
+                // the pool (and poison the engine for every later batch).
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(job)))
+                        .unwrap_or_else(|payload| {
+                            Err(SimError::Panicked(panic_message(&*payload)))
+                        });
                 let wall = t.elapsed();
                 self.busy_nanos
                     .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
                 if let Ok(stats) = &result {
                     let instructions = job.budget.warmup + stats.total_retired();
                     self.instructions.fetch_add(instructions, Ordering::Relaxed);
-                    self.stack
-                        .lock()
-                        .expect("sweep stack poisoned")
-                        .merge(&stats.loop_cost);
-                    self.job_log
-                        .lock()
-                        .expect("sweep log poisoned")
-                        .push(JobRecord {
-                            label: job.label(),
-                            wall,
-                            instructions,
-                        });
+                    lock_clean(&self.stack).merge(&stats.loop_cost);
+                    lock_clean(&self.job_log).push(JobRecord {
+                        label: job.label(),
+                        wall,
+                        instructions,
+                    });
+                    if let Some(store) = &self.result_store {
+                        let digest = fnv1a64(key.as_bytes());
+                        if let Err(e) = store.save(digest, key, stats) {
+                            eprintln!("warning: cannot save result {}: {e}", job.label());
+                        }
+                    }
                 } else {
                     self.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 }
                 result.map(Arc::new)
             });
-            let mut cache = self.cache.lock().expect("sweep cache poisoned");
+            let mut cache = lock_clean(&self.cache);
             for (&i, result) in pending.iter().zip(results) {
                 match result {
                     Ok(stats) => {
@@ -457,7 +530,7 @@ impl SweepEngine {
 
         self.wall_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let cache = self.cache.lock().expect("sweep cache poisoned");
+        let cache = lock_clean(&self.cache);
         keys.iter()
             .map(|k| match cache.get(k) {
                 Some(stats) => Ok(Arc::clone(stats)),
@@ -525,18 +598,19 @@ impl SweepEngine {
             jobs_requested: self.jobs_requested.load(Ordering::Relaxed),
             jobs_run: self.jobs_run.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             instructions: self.instructions.load(Ordering::Relaxed),
-            stack: *self.stack.lock().expect("sweep stack poisoned"),
+            stack: *lock_clean(&self.stack),
         }
     }
 
     /// Drain the per-job timing log (completion order, which is
     /// scheduling-dependent — observability only, never results).
     pub fn take_job_log(&self) -> Vec<JobRecord> {
-        std::mem::take(&mut *self.job_log.lock().expect("sweep log poisoned"))
+        std::mem::take(&mut *lock_clean(&self.job_log))
     }
 
     /// Zero the counters and timing log. The memo cache is kept — metrics
@@ -545,12 +619,13 @@ impl SweepEngine {
         self.jobs_requested.store(0, Ordering::Relaxed);
         self.jobs_run.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.store_hits.store(0, Ordering::Relaxed);
         self.jobs_failed.store(0, Ordering::Relaxed);
         self.wall_nanos.store(0, Ordering::Relaxed);
         self.busy_nanos.store(0, Ordering::Relaxed);
         self.instructions.store(0, Ordering::Relaxed);
-        self.job_log.lock().expect("sweep log poisoned").clear();
-        *self.stack.lock().expect("sweep stack poisoned") = LoopCostStack::default();
+        lock_clean(&self.job_log).clear();
+        *lock_clean(&self.stack) = LoopCostStack::default();
     }
 }
 
@@ -702,6 +777,93 @@ mod tests {
     fn run_jobs_panics_with_labeled_failures_after_draining() {
         let engine = SweepEngine::new(2);
         engine.run_jobs(&[job(Benchmark::Compress), broken_job()]);
+    }
+
+    fn panicking_job() -> Job {
+        // An unknown micro name panics inside `Workload::programs` — a
+        // deterministic stand-in for any worker panic.
+        Job::new(PipelineConfig::base(), Workload::Micro("nonesuch"), tiny())
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated_and_the_engine_stays_usable() {
+        let engine = SweepEngine::new(4);
+        let jobs = [
+            job(Benchmark::Compress),
+            panicking_job(),
+            job(Benchmark::Swim),
+        ];
+        let out = engine.try_run_jobs(&jobs);
+        assert!(out[0].is_ok() && out[2].is_ok(), "good jobs complete");
+        let err = out[1].as_ref().unwrap_err();
+        assert!(matches!(err, SimError::Panicked(_)), "got {err:?}");
+        assert!(err.to_string().contains("job panicked"));
+        assert_eq!(engine.summary().jobs_failed, 1);
+        // Regression: the panic used to poison the engine's mutexes, so
+        // every later call on the (process-global) engine also panicked.
+        let again = engine.run_jobs(&[job(Benchmark::Compress), job(Benchmark::Swim)]);
+        assert_eq!(again.len(), 2);
+        let s = engine.summary();
+        assert_eq!(s.cache_hits, 2, "memo cache survived the panic");
+        assert!(s.stack.conserves());
+    }
+
+    fn poison<T>(m: &Mutex<T>) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("deliberate poison");
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn poisoned_engine_locks_recover() {
+        // Poison the stack/log/cache mutexes directly (panic while the
+        // guard is held) and check every engine entry point still works.
+        let engine = SweepEngine::new(2);
+        engine.run_jobs(&[job(Benchmark::Compress)]);
+        poison(&engine.stack);
+        poison(&engine.job_log);
+        poison(&engine.cache);
+        assert!(engine.stack.is_poisoned());
+        let s = engine.summary();
+        assert!(s.stack.conserves());
+        engine.run_jobs(&[job(Benchmark::Compress)]);
+        assert_eq!(engine.summary().cache_hits, 1, "cache intact after poison");
+        engine.take_job_log();
+        engine.reset_metrics();
+        assert_eq!(engine.summary().jobs_run, 0);
+    }
+
+    #[test]
+    fn disk_store_answers_fresh_engines_without_simulating() {
+        let dir = std::env::temp_dir().join(format!("llrs-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::ResultStore::open(&dir).expect("open");
+        let jobs = [job(Benchmark::Compress), job(Benchmark::Swim)];
+
+        let cold = SweepEngine::with_stores(2, ExecMode::Detailed, None, Some(store.clone()));
+        let a = cold.run_jobs(&jobs);
+        let s = cold.summary();
+        assert_eq!((s.jobs_run, s.store_hits), (2, 0));
+
+        // A fresh engine (empty memo) on the same directory answers
+        // everything from disk: zero simulation, identical results.
+        let warm = SweepEngine::with_stores(2, ExecMode::Detailed, None, Some(store));
+        let b = warm.run_jobs(&jobs);
+        let s = warm.summary();
+        assert_eq!((s.jobs_run, s.store_hits), (0, 2));
+        assert!(s.line().contains("2 store hits"));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.total_retired(), y.total_retired());
+            assert_eq!(x.loop_cost, y.loop_cost);
+        }
+        // Store hits fill the memo cache: a repeat within the warm engine
+        // is a memory hit, not another disk read.
+        warm.run_jobs(&jobs);
+        assert_eq!(warm.summary().cache_hits, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub enum SimError {
     /// Functional fast-forward or checkpoint restore failed (interpreter
     /// fault, or warm state that does not match the machine's geometry).
     FastForward(String),
+    /// The job's worker panicked; the payload carries the panic message.
+    /// Reported by the sweep engine, which isolates the panic so one bad
+    /// job cannot sink the batch (or poison the engine's shared state).
+    Panicked(String),
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +49,7 @@ impl fmt::Display for SimError {
             SimError::Deadlock(e) => e.fmt(f),
             SimError::Invariant(e) => e.fmt(f),
             SimError::FastForward(e) => write!(f, "fast-forward failed: {e}"),
+            SimError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
 }

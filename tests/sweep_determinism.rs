@@ -3,7 +3,8 @@
 //! repeated figures must come from the memo cache instead of re-running.
 
 use looseloops_repro::core::{
-    ablation_dra_design_on, fig4_pipeline_length_on, RunBudget, SweepEngine, Workload,
+    ablation_dra_design_on, fig4_pipeline_length_on, ExecMode, ResultStore, RunBudget, SweepEngine,
+    Workload,
 };
 
 fn tiny() -> RunBudget {
@@ -12,6 +13,13 @@ fn tiny() -> RunBudget {
         measure: 3_000,
         max_cycles: 2_000_000,
     }
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("looseloops-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 #[test]
@@ -72,6 +80,55 @@ fn repeated_figures_hit_the_cache() {
         second.to_json(),
         "memoized results must be identical"
     );
+}
+
+#[test]
+fn store_backed_figures_are_byte_identical_to_store_less_runs() {
+    let dir = scratch("store-determinism");
+    let ws = Workload::smoke_set();
+
+    // Reference: no store at all.
+    let plain = SweepEngine::new(4);
+    let reference = fig4_pipeline_length_on(&plain, &ws, tiny());
+
+    // Cold store-backed run: simulates everything, writes the store.
+    let cold = SweepEngine::with_stores(
+        4,
+        ExecMode::Detailed,
+        None,
+        Some(ResultStore::open(&dir).expect("open store")),
+    );
+    let first = fig4_pipeline_length_on(&cold, &ws, tiny());
+    assert_eq!(
+        first.to_json(),
+        reference.to_json(),
+        "attaching a store must not change any figure byte"
+    );
+    let cold_summary = cold.summary();
+    assert!(cold_summary.jobs_run > 0);
+    assert_eq!(cold_summary.store_hits, 0, "a cold store has nothing");
+
+    // Warm run in a *fresh* engine (empty memo cache) on the same
+    // directory: everything is answered from disk, nothing simulates.
+    let warm = SweepEngine::with_stores(
+        4,
+        ExecMode::Detailed,
+        None,
+        Some(ResultStore::open(&dir).expect("reopen store")),
+    );
+    let second = fig4_pipeline_length_on(&warm, &ws, tiny());
+    assert_eq!(
+        second.to_json(),
+        reference.to_json(),
+        "store-served results must be byte-identical"
+    );
+    assert_eq!(second.to_csv(), reference.to_csv());
+    let warm_summary = warm.summary();
+    assert_eq!(warm_summary.jobs_run, 0, "warm store must answer every job");
+    assert_eq!(warm_summary.store_hits, cold_summary.jobs_run);
+    assert!(warm_summary.line().contains("store hits"));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

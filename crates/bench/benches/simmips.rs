@@ -1,8 +1,10 @@
-//! Sim-MIPS regression harness: times the fig4 and fig8 reference sweeps
-//! on a single-worker engine at a fixed budget and records wall time,
-//! instructions, and simulated MIPS as JSON.
+//! Sim-MIPS regression harness: times the fig4 and fig8 reference
+//! sweeps, the full `figure all` pass on one shared engine, and the
+//! functional fast-forward interpreter, on a single-worker engine at a
+//! fixed budget, recording wall time, instructions, and simulated MIPS
+//! as JSON.
 //!
-//! The checked-in baseline lives at the repo root as `BENCH_pr4.json`;
+//! The checked-in baseline lives at the repo root as `BENCH_pr9.json`;
 //! the CI smoke job re-runs this bench and fails on a >20% sim-MIPS
 //! regression (see `scripts/check_simmips.py`). Budgets are fixed so
 //! the comparison is apples-to-apples, but the usual `LOOSELOOPS_WARMUP`
@@ -10,13 +12,15 @@
 //! the budget is recorded in the JSON and the checker refuses to compare
 //! mismatched budgets.
 //!
-//! Output path: `LOOSELOOPS_BENCH_OUT` if set, else `BENCH_pr4.json` at
+//! Output path: `LOOSELOOPS_BENCH_OUT` if set, else `BENCH_pr9.json` at
 //! the workspace root (i.e. running the bench with no overrides
 //! regenerates the baseline).
 
 use looseloops::{
-    capture_checkpoint, fig4_pipeline_length_on, fig8_dra_speedup_on, Benchmark, FigureResult,
-    PipelineConfig, RunBudget, SweepEngine, Workload,
+    ablation_dra_design_on, ablation_fwd_window_on, ablation_iq_size_on, ablation_load_policies_on,
+    ablation_predictors_on, ablation_prefetch_on, capture_checkpoint, fig4_pipeline_length_on,
+    fig5_fixed_total_on, fig6_operand_gap_cdf_on, fig8_dra_speedup_on, fig9_operand_sources_on,
+    Benchmark, FigureResult, PipelineConfig, RunBudget, SweepEngine, Workload,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -71,6 +75,52 @@ fn measure(
     );
     Entry {
         figure,
+        jobs: s.jobs_run,
+        instructions: s.instructions,
+        wall_s: wall.as_secs_f64(),
+        sim_mips: s.instructions as f64 / s.wall.as_secs_f64().max(1e-9) / 1e6,
+    }
+}
+
+/// Time the full `looseloops figure all` pass — every figure and
+/// ablation on ONE shared single-worker engine, so overlapping grid
+/// points (the base machine appears in several figures) simulate once
+/// and the rest come from the memo cache, exactly as the CLI runs it.
+/// This is the cumulative end-to-end number the roadmap's 10× goal is
+/// measured against.
+type FigureGen<'a> = &'a dyn Fn(&SweepEngine, RunBudget) -> FigureResult;
+
+fn measure_figure_all(budget: RunBudget, workloads: &[Workload]) -> Entry {
+    let sweep = SweepEngine::new(1);
+    let t0 = Instant::now();
+    let mut series = 0;
+    let figures: [(&str, FigureGen); 11] = [
+        ("fig4", &|s, b| fig4_pipeline_length_on(s, workloads, b)),
+        ("fig5", &|s, b| fig5_fixed_total_on(s, workloads, b)),
+        ("fig6", &|s, b| fig6_operand_gap_cdf_on(s, b)),
+        ("fig8", &|s, b| fig8_dra_speedup_on(s, workloads, b)),
+        ("fig9", &|s, b| fig9_operand_sources_on(s, workloads, b)),
+        ("load-policy", &|s, b| {
+            ablation_load_policies_on(s, workloads, b)
+        }),
+        ("dra-design", &|s, b| {
+            ablation_dra_design_on(s, workloads, b)
+        }),
+        ("fwd-window", &|s, b| {
+            ablation_fwd_window_on(s, workloads, b)
+        }),
+        ("iq-size", &|s, b| ablation_iq_size_on(s, workloads, b)),
+        ("prefetch", &|s, b| ablation_prefetch_on(s, workloads, b)),
+        ("predictor", &|s, b| ablation_predictors_on(s, workloads, b)),
+    ];
+    for (_, gen) in figures {
+        series += gen(&sweep, budget).series.len();
+    }
+    let wall = t0.elapsed();
+    let s = sweep.summary();
+    eprintln!("[simmips] figure-all: {series} series, {}", s.line());
+    Entry {
+        figure: "figure-all",
         jobs: s.jobs_run,
         instructions: s.instructions,
         wall_s: wall.as_secs_f64(),
@@ -142,6 +192,7 @@ fn main() {
             fig4_pipeline_length_on(s, &workloads, b)
         }),
         measure("fig8", budget, |s, b| fig8_dra_speedup_on(s, &workloads, b)),
+        measure_figure_all(budget, &workloads),
         measure_functional_ff(),
     ];
     let json = to_json(budget, &entries);
@@ -150,7 +201,7 @@ fn main() {
         .unwrap_or_else(|_| {
             PathBuf::from(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
-                .join("BENCH_pr4.json")
+                .join("BENCH_pr9.json")
         });
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[simmips] wrote {}", path.display()),

@@ -97,6 +97,15 @@ fn print_stats(stats: &SimStats, json: bool) {
     }
 }
 
+/// Print the wall-clock stage profile accumulated since the last call,
+/// when `--profile-stages` recorded one. Goes to stderr, like the sweep
+/// summary, so piped figure output stays byte-identical.
+fn emit_profile(label: &str) {
+    if let Some(rep) = looseloops_pipeline::profile::take_report() {
+        eprintln!("[profile] {label}: {}", rep.render());
+    }
+}
+
 /// Parse the execution-mode flags shared by `run` and `figure`:
 /// `--fast-forward`, `--sample SPEC`, `--ckpt-dir DIR`.
 fn mode_from_args(
@@ -162,10 +171,14 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "fast-forward",
         "sample",
         "ckpt-dir",
+        "profile-stages",
     ]);
     args.reject_unknown(&allowed)?;
     let mut cfg = config_from_args(args)?;
     let budget = budget_from_args(args)?;
+    if args.has("profile-stages") {
+        looseloops_pipeline::profile::enable();
+    }
 
     let (mode, store) = mode_from_args(args, budget)?;
     if mode != ExecMode::Detailed {
@@ -208,6 +221,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             }
             ExecMode::Detailed => unreachable!("handled above"),
         }
+        emit_profile(&label);
         return Ok(());
     }
 
@@ -270,6 +284,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             println!("trace written to {path}");
         }
     }
+    emit_profile(&label);
     Ok(())
 }
 
@@ -374,8 +389,12 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
         "sample",
         "ckpt-dir",
         "store-dir",
+        "profile-stages",
     ]);
     args.reject_unknown(&allowed)?;
+    if args.has("profile-stages") {
+        looseloops_pipeline::profile::enable();
+    }
     let id = args
         .positional()
         .first()
@@ -417,6 +436,7 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
                     print!("{rep}");
                 }
             }
+            emit_profile(fid);
         }
         eprintln!("[sweep] {}", sweep.summary().line());
         return Ok(());
@@ -429,6 +449,7 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
             print!("{rep}");
         }
     }
+    emit_profile(&id);
     eprintln!("[sweep] {}", sweep.summary().line());
     if let Some(path) = args.get("json-out") {
         std::fs::write(path, fig.to_json())
@@ -436,6 +457,41 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
         println!("(json written to {path})");
     }
     Ok(())
+}
+
+/// `looseloops store` — manage the persistent result store. The one
+/// subcommand, `gc --max-bytes N`, evicts least-recently-used entries
+/// (both saves and hits refresh recency) until the store fits the budget.
+pub fn store(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["store-dir", "max-bytes"])?;
+    match args.positional().first().map(String::as_str) {
+        Some("gc") => {
+            let store = result_store_from_args(args)?.ok_or_else(|| {
+                ArgError("store gc needs --store-dir DIR (or LOOSELOOPS_STORE)".into())
+            })?;
+            let max_bytes: u64 = match args.get("max-bytes") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--max-bytes: cannot parse `{v}`")))?,
+                None => return Err(ArgError("store gc needs --max-bytes N (bytes)".into())),
+            };
+            let report = store.gc(max_bytes).map_err(|e| ArgError(e.to_string()))?;
+            println!(
+                "{}: evicted {} entr(ies) ({} bytes), kept {} ({} bytes) within the {} byte budget",
+                store.dir().display(),
+                report.evicted,
+                report.bytes_evicted,
+                report.kept,
+                report.bytes_kept,
+                max_bytes
+            );
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!(
+            "unknown store subcommand `{other}` (known: gc)"
+        ))),
+        None => Err(ArgError("store needs a subcommand (known: gc)".into())),
+    }
 }
 
 /// `looseloops serve` — bind a TCP job server in front of one shared

@@ -39,6 +39,9 @@ COMMANDS:
              --sample auto|w=N,detail=N,warm=N,skip=N  (interval sampling
              with a CPI error bar; implies functional fast-forward)
              --ckpt-dir DIR  (on-disk checkpoint store for warm-up reuse)
+             --profile-stages  (wall-clock per-stage breakdown of the
+             simulator itself, printed to stderr; simulated results are
+             byte-identical with or without it)
     figure   Regenerate the paper's evaluation figures
              fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|fwd-window|
              iq-size|prefetch|predictor|all  (`all` shares one run cache)
@@ -50,6 +53,11 @@ COMMANDS:
              sampled figures report estimates, detailed stays the reference)
              --store-dir DIR  (persistent result store: finished runs are
              reused across processes; LOOSELOOPS_STORE sets a default)
+             --profile-stages  (per-figure wall-clock stage breakdown)
+    store    Manage the persistent result store
+             gc --max-bytes N  (evict least-recently-used entries until
+             the store fits in N bytes)
+             --store-dir DIR  (which store; LOOSELOOPS_STORE sets a default)
     serve    Long-lived job server sharing one sweep engine (and store)
              across clients speaking newline-delimited JSON over TCP
              --addr HOST:PORT  (default 127.0.0.1:4641)
@@ -125,6 +133,7 @@ fn main() -> ExitCode {
         "store-dir",
         "addr",
         "queue",
+        "max-bytes",
     ]
     .to_vec();
     let args = match Args::parse(rest, &value_flags) {
@@ -139,6 +148,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&args),
         "figure" => commands::figure(&args),
         "serve" => commands::serve(&args),
+        "store" => commands::store(&args),
         "submit" => commands::submit(&args),
         "loops" => commands::loops(&args),
         "fuzz" => commands::fuzz(&args),

@@ -70,7 +70,7 @@ pub use simulator::{
     run_benchmark, run_pair, run_programs, try_run_benchmark, try_run_pair, try_run_programs,
     RunBudget,
 };
-pub use store::{atomic_write, ResultStore, RESULT_STORE_VERSION, STORE_ENV};
+pub use store::{atomic_write, GcReport, ResultStore, RESULT_STORE_VERSION, STORE_ENV};
 pub use sweep::{
     default_jobs, fnv1a64, jobs_from_env, parallel_map, ExecMode, Job, JobRecord, SweepEngine,
     SweepSummary,

@@ -304,6 +304,20 @@ pub struct ResultStore {
     dir: PathBuf,
 }
 
+/// What [`ResultStore::gc`] did: entries surviving and evicted, with
+/// their byte totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries still in the store after collection.
+    pub kept: usize,
+    /// Bytes those surviving entries occupy.
+    pub bytes_kept: u64,
+    /// Entries removed, oldest first.
+    pub evicted: usize,
+    /// Bytes reclaimed.
+    pub bytes_evicted: u64,
+}
+
 impl ResultStore {
     /// Open (creating if needed) a store rooted at `dir`.
     ///
@@ -331,6 +345,11 @@ impl ResultStore {
         }
     }
 
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// The file a digest maps to.
     pub fn path(&self, digest: u64) -> PathBuf {
         self.dir.join(format!("{digest:016x}.llrs"))
@@ -356,7 +375,66 @@ impl ResultStore {
         if stored_key != key {
             return Ok(None);
         }
+        // Touch the entry so `gc` sees hits as recent use, not just
+        // writes. Best-effort: a read-only store still serves results.
+        if let Ok(f) = std::fs::File::options().append(true).open(&path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
         Ok(Some(stats))
+    }
+
+    /// Evict least-recently-used entries until the store fits in
+    /// `max_bytes`. Recency is the file modification time, which both
+    /// [`save`](Self::save) and a successful [`load`](Self::load) refresh;
+    /// ties break on file name so the scan is deterministic. Only
+    /// `*.llrs` entries are considered — foreign files and in-flight
+    /// `.tmp.*` temporaries are left alone and do not count toward the
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory cannot be listed. A
+    /// concurrently-removed entry is skipped, not an error.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcReport, CheckpointError> {
+        let read = std::fs::read_dir(&self.dir)
+            .map_err(|e| CheckpointError::Io(format!("list {}: {e}", self.dir.display())))?;
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for entry in read.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("llrs") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((mtime, path, meta.len()));
+        }
+        entries.sort();
+        let mut report = GcReport {
+            kept: entries.len(),
+            bytes_kept: entries.iter().map(|(_, _, len)| len).sum(),
+            ..GcReport::default()
+        };
+        let mut victims = entries.into_iter();
+        while report.bytes_kept > max_bytes {
+            let Some((_, path, len)) = victims.next() else {
+                break;
+            };
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(CheckpointError::Io(format!(
+                        "remove {}: {e}",
+                        path.display()
+                    )))
+                }
+            }
+            report.kept -= 1;
+            report.bytes_kept -= len;
+            report.evicted += 1;
+            report.bytes_evicted += len;
+        }
+        Ok(report)
     }
 
     /// Store `stats` under `digest` for `key` (atomic replace).
@@ -479,6 +557,82 @@ mod tests {
         // A corrupt file surfaces as an error the caller re-simulates from.
         std::fs::write(store.path(77), b"LLRSgarbage").unwrap();
         assert!(store.load(77, &key).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_entries_first_and_spares_foreign_files() {
+        use std::time::{Duration, UNIX_EPOCH};
+        let (dir, store) = temp_store("gc");
+        // Craft five 1000-byte entries with strictly increasing ages:
+        // digest 1 is the oldest, digest 5 the freshest. `gc` reads only
+        // file metadata, so the payloads need not decode.
+        for digest in 1u64..=5 {
+            let path = store.path(digest);
+            std::fs::write(&path, vec![digest as u8; 1000]).unwrap();
+            let f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(UNIX_EPOCH + Duration::from_secs(digest * 1000))
+                .unwrap();
+        }
+        // Foreign files and in-flight temporaries are not the store's to
+        // delete, nor do they count toward the budget.
+        std::fs::write(dir.join("README"), b"not an entry").unwrap();
+        std::fs::write(dir.join("deadbeef.llrs.tmp.1.2"), vec![0; 4000]).unwrap();
+
+        // Over budget: the three oldest entries go, newest two stay.
+        let report = store.gc(2_500).expect("gc");
+        assert_eq!(
+            report,
+            GcReport {
+                kept: 2,
+                bytes_kept: 2_000,
+                evicted: 3,
+                bytes_evicted: 3_000,
+            }
+        );
+        for digest in 1u64..=3 {
+            assert!(
+                !store.path(digest).exists(),
+                "digest {digest} should be evicted"
+            );
+        }
+        for digest in 4u64..=5 {
+            assert!(
+                store.path(digest).exists(),
+                "digest {digest} should survive"
+            );
+        }
+        assert!(dir.join("README").exists());
+        assert!(dir.join("deadbeef.llrs.tmp.1.2").exists());
+
+        // Under budget: nothing to do.
+        let report = store.gc(1 << 30).expect("gc");
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.kept, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_refreshes_recency_so_hits_survive_gc() {
+        use std::time::{Duration, UNIX_EPOCH};
+        let (dir, store) = temp_store("gc-lru");
+        let (key, stats) = run_once();
+        let digest = fnv1a64(key.as_bytes());
+        store.save(digest, &key, &stats).expect("save");
+        // Backdate the entry, then hit it: the load must refresh its
+        // modification time so the entry reads as recently used.
+        let f = std::fs::File::options()
+            .append(true)
+            .open(store.path(digest))
+            .unwrap();
+        f.set_modified(UNIX_EPOCH + Duration::from_secs(1)).unwrap();
+        drop(f);
+        store.load(digest, &key).expect("load").expect("present");
+        let touched = std::fs::metadata(store.path(digest))
+            .unwrap()
+            .modified()
+            .unwrap();
+        assert!(touched > UNIX_EPOCH + Duration::from_secs(100_000));
         std::fs::remove_dir_all(&dir).ok();
     }
 

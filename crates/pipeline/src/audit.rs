@@ -104,6 +104,55 @@ impl Machine {
                     .into(),
             ));
         }
+        if !self.iq.ready_lists_consistent() {
+            return Err(self.violation(
+                InvariantKind::IqConsistency,
+                "incremental ready lists structurally inconsistent \
+                 (dead/gated/unwaiting entry, age order, or flag drift)"
+                    .into(),
+            ));
+        }
+        // Semantic cross-check of the incremental scheduler against the
+        // naive predicate, as of the last stepped cycle: every waiting
+        // entry must be (a) on its ready list iff it was issue-eligible,
+        // or (b) flagged gated iff the store-wait gate held.
+        let eval_now = self.cycle.saturating_sub(1);
+        for e in self.iq.iter() {
+            if e.state != IqState::Waiting {
+                continue;
+            }
+            let Some(di) = self.slab.get(e.id) else {
+                continue; // caught by the reference checks below
+            };
+            let slot = di.iq_slot;
+            let gated = self.entry_gated(e);
+            // One-sided: the flag is set eagerly but a *new* store-wait
+            // prediction only sweeps ready-list entries — a timer-pending
+            // load picks the gate up on its next re-evaluation.
+            if self.iq.is_gated(slot) && !gated {
+                return Err(self.violation(
+                    InvariantKind::IqConsistency,
+                    format!(
+                        "seq {}: gate flag set but the store-wait gate does not hold",
+                        e.seq
+                    ),
+                ));
+            }
+            // `entry_ready` already folds in the store-wait gate.
+            let eligible = self.entry_ready(e, eval_now);
+            if self.iq.in_ready(slot) != eligible {
+                return Err(self.violation(
+                    InvariantKind::IqConsistency,
+                    format!(
+                        "seq {}: ready-list membership {} but issue eligibility at cycle {} is {}",
+                        e.seq,
+                        self.iq.in_ready(slot),
+                        eval_now,
+                        eligible
+                    ),
+                ));
+            }
+        }
         for e in self.iq.iter() {
             if matches!(e.state, IqState::Confirmed { .. }) {
                 continue;

@@ -58,15 +58,43 @@ pub struct IqEntry {
     pub state: IqState,
 }
 
+/// Per-slot bookkeeping for the event-driven issue path. Lives beside the
+/// arena (not inside [`IqEntry`]) so entry copies stay cheap and the flags
+/// survive state transitions that replace the entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotMeta {
+    /// Bumped every time the slot (re-)enters `Waiting` — on insertion and
+    /// on replay. External records that name a waiting tenure carry
+    /// `(slot, epoch)` and are validated lazily: a mismatch means the
+    /// tenure ended (issued, squashed, or a new entry reused the slot) and
+    /// the record is stale.
+    epoch: u32,
+    /// Slot is on its cluster's ready list.
+    in_ready: bool,
+    /// Slot is parked on its thread's store-wait gate list.
+    gated: bool,
+}
+
 /// The unified, clustered instruction queue.
 #[derive(Debug)]
 pub struct IssueQueue {
     /// Slot arena; `None` slots are on the free-list.
     slots: Vec<Option<IqEntry>>,
+    /// Per-slot event-driven bookkeeping (epoch + ready/gated flags).
+    meta: Vec<SlotMeta>,
     /// Reusable slot indices (LIFO).
     free: Vec<u32>,
-    /// Per-cluster waiting entries as slot indices, `seq`-ascending.
-    waiting: Vec<Vec<u32>>,
+    /// Per-cluster waiting entries as `(seq, slot)` pairs, `seq`-ascending.
+    /// The seq is denormalized into the list so ordered insertion and
+    /// removal probe local memory instead of chasing slot-arena pointers.
+    waiting: Vec<Vec<(u64, u32)>>,
+    /// Per-cluster *ready* waiting entries (`(seq, slot)`, `seq`-ascending):
+    /// the incrementally maintained subset of `waiting` whose operands have
+    /// all arrived and whose store-wait gate is clear. Select pops the
+    /// front instead of re-evaluating the whole waiting list.
+    ready: Vec<Vec<(u64, u32)>>,
+    /// Total entries across all ready lists.
+    ready_count: usize,
     /// Confirmed entries in confirmation order: `(free_at, slot, seq)`.
     /// `free_at` is nondecreasing (constant confirmation delay).
     release_q: VecDeque<(u64, u32, u64)>,
@@ -87,9 +115,12 @@ impl IssueQueue {
     pub fn new(capacity: usize, clusters: usize) -> IssueQueue {
         IssueQueue {
             slots: vec![None; capacity],
+            meta: vec![SlotMeta::default(); capacity],
             // Reversed so slot 0 is handed out first.
             free: (0..capacity as u32).rev().collect(),
             waiting: vec![Vec::new(); clusters],
+            ready: vec![Vec::new(); clusters],
+            ready_count: 0,
             release_q: VecDeque::new(),
             per_cluster: vec![0; clusters],
             len: 0,
@@ -163,11 +194,11 @@ impl IssueQueue {
         let mut listed = 0;
         for (cluster, list) in self.waiting.iter().enumerate() {
             let mut prev = None;
-            for &slot in list {
+            for &(seq, slot) in list {
                 let Some(e) = self.slots.get(slot as usize).and_then(Option::as_ref) else {
                     return false;
                 };
-                if e.cluster != cluster || e.state != IqState::Waiting {
+                if e.cluster != cluster || e.state != IqState::Waiting || e.seq != seq {
                     return false;
                 }
                 if prev.is_some_and(|p| p >= e.seq) {
@@ -178,6 +209,38 @@ impl IssueQueue {
             }
         }
         listed == self.len - self.not_waiting
+    }
+
+    /// True when every ready list holds a subset of its cluster's waiting
+    /// entries, age-sorted, with the `in_ready` flags in agreement
+    /// (auditor check — structural half of the ready-list invariant; the
+    /// machine cross-checks the semantic half against `entry_ready`).
+    pub fn ready_lists_consistent(&self) -> bool {
+        let mut listed = 0;
+        for (cluster, list) in self.ready.iter().enumerate() {
+            let mut prev = None;
+            for &(seq, slot) in list {
+                let Some(e) = self.slots.get(slot as usize).and_then(Option::as_ref) else {
+                    return false;
+                };
+                if e.cluster != cluster || e.state != IqState::Waiting || e.seq != seq {
+                    return false;
+                }
+                if !self.meta[slot as usize].in_ready || self.meta[slot as usize].gated {
+                    return false;
+                }
+                if prev.is_some_and(|p| p >= e.seq) {
+                    return false;
+                }
+                prev = Some(e.seq);
+                listed += 1;
+            }
+        }
+        if listed != self.ready_count {
+            return false;
+        }
+        // No in_ready flag may be set outside the lists.
+        self.meta.iter().filter(|m| m.in_ready).count() == listed
     }
 
     /// Insert an instruction; returns its slot, or `None` (and does
@@ -191,28 +254,150 @@ impl IssueQueue {
         self.peak = self.peak.max(self.len);
         self.waiting_insert(entry.cluster, slot, entry.seq);
         self.slots[slot as usize] = Some(entry);
+        self.begin_waiting_tenure(slot);
         Some(slot)
     }
 
-    /// Age-ordered insertion into a cluster's waiting list.
+    /// Start a new waiting tenure for `slot`: bump the epoch (invalidating
+    /// any outstanding `(slot, epoch)` records for the previous tenure)
+    /// and reset the ready/gated flags.
+    fn begin_waiting_tenure(&mut self, slot: u32) {
+        let m = &mut self.meta[slot as usize];
+        m.epoch = m.epoch.wrapping_add(1);
+        debug_assert!(!m.in_ready, "ready membership ends with the tenure");
+        m.in_ready = false;
+        m.gated = false;
+    }
+
+    /// The current waiting-tenure epoch of `slot`. Pair with the slot in
+    /// external records and validate via
+    /// [`IssueQueue::waiting_at_epoch`].
+    #[inline]
+    pub fn epoch_of(&self, slot: u32) -> u32 {
+        self.meta[slot as usize].epoch
+    }
+
+    /// The entry at `slot` if it is still in the `Waiting` tenure that
+    /// `epoch` was captured from; `None` means the record is stale.
+    #[inline]
+    pub fn waiting_at_epoch(&self, slot: u32, epoch: u32) -> Option<&IqEntry> {
+        if self.meta[slot as usize].epoch != epoch {
+            return None;
+        }
+        self.slots[slot as usize]
+            .as_ref()
+            .filter(|e| e.state == IqState::Waiting)
+    }
+
+    /// True when `slot` is on its cluster's ready list.
+    #[inline]
+    pub fn in_ready(&self, slot: u32) -> bool {
+        self.meta[slot as usize].in_ready
+    }
+
+    /// True when `slot` is parked on a store-wait gate list.
+    #[inline]
+    pub fn is_gated(&self, slot: u32) -> bool {
+        self.meta[slot as usize].gated
+    }
+
+    /// Mark `slot` as parked on (or released from) a store-wait gate list.
+    /// The flag only de-duplicates gate-list membership; staleness is
+    /// handled by epoch validation on the list records.
+    #[inline]
+    pub fn set_gated(&mut self, slot: u32, gated: bool) {
+        self.meta[slot as usize].gated = gated;
+    }
+
+    /// Put a waiting entry on its cluster's ready list (age-ordered).
+    /// No-op if it is already there.
+    pub fn ready_push(&mut self, slot: u32) {
+        if self.meta[slot as usize].in_ready {
+            return;
+        }
+        // invariant: callers only push live waiting entries.
+        let e = self.slots[slot as usize].as_ref().expect("live ready slot");
+        debug_assert_eq!(e.state, IqState::Waiting, "only waiting entries ready");
+        let (cluster, seq) = (e.cluster, e.seq);
+        let list = &mut self.ready[cluster];
+        // Readiness usually arrives in age order: youngest-at-the-back is
+        // the overwhelmingly common case, so try a plain push first.
+        if list.last().is_none_or(|&(s, _)| s < seq) {
+            list.push((seq, slot));
+        } else {
+            let pos = list.partition_point(|&(s, _)| s < seq);
+            list.insert(pos, (seq, slot));
+        }
+        self.meta[slot as usize].in_ready = true;
+        self.ready_count += 1;
+    }
+
+    /// Drop `slot` (holding `seq`, in `cluster`) from its ready list.
+    fn ready_remove(&mut self, cluster: usize, slot: u32, seq: u64) {
+        let list = &mut self.ready[cluster];
+        let pos = list.partition_point(|&(s, _)| s < seq);
+        debug_assert!(
+            pos < list.len() && list[pos] == (seq, slot),
+            "ready list holds the entry"
+        );
+        list.remove(pos);
+        self.meta[slot as usize].in_ready = false;
+        self.ready_count -= 1;
+    }
+
+    /// Withdraw `slot` from its ready list if present (a wake-up was
+    /// rescinded, or its store-wait gate closed).
+    pub fn ready_withdraw(&mut self, slot: u32) {
+        if !self.meta[slot as usize].in_ready {
+            return;
+        }
+        // invariant: in_ready entries are live and waiting.
+        let e = self.slots[slot as usize].as_ref().expect("live ready slot");
+        let (cluster, seq) = (e.cluster, e.seq);
+        self.ready_remove(cluster, slot, seq);
+    }
+
+    /// The oldest ready entry of `cluster`, if any.
+    #[inline]
+    pub fn ready_front(&self, cluster: usize) -> Option<&IqEntry> {
+        let &(_, slot) = self.ready[cluster].first()?;
+        // invariant: ready lists reference live slots only.
+        Some(self.slots[slot as usize].as_ref().expect("live ready slot"))
+    }
+
+    /// Entries across all ready lists.
+    #[inline]
+    pub fn ready_total(&self) -> usize {
+        self.ready_count
+    }
+
+    /// Ready entries of `cluster` as `(slot, entry)` pairs, age-ascending.
+    pub fn ready_iter(&self, cluster: usize) -> impl Iterator<Item = (u32, &IqEntry)> {
+        self.ready[cluster].iter().map(|&(_, slot)| {
+            // invariant: ready lists reference live slots only.
+            let e = self.slots[slot as usize].as_ref().expect("live ready slot");
+            (slot, e)
+        })
+    }
+
+    /// Age-ordered insertion into a cluster's waiting list. Insertions
+    /// come in program order except for replays, so try the back first.
     fn waiting_insert(&mut self, cluster: usize, slot: u32, seq: u64) {
-        let slots = &self.slots;
         let list = &mut self.waiting[cluster];
-        let pos = list.partition_point(|&s| {
-            // invariant: waiting lists reference live slots only.
-            slots[s as usize].as_ref().expect("live waiting slot").seq < seq
-        });
-        list.insert(pos, slot);
+        if list.last().is_none_or(|&(s, _)| s < seq) {
+            list.push((seq, slot));
+        } else {
+            let pos = list.partition_point(|&(s, _)| s < seq);
+            list.insert(pos, (seq, slot));
+        }
     }
 
     /// Remove `slot` (holding `seq`) from a cluster's waiting list.
     fn waiting_remove(&mut self, cluster: usize, slot: u32, seq: u64) {
-        let slots = &self.slots;
         let list = &mut self.waiting[cluster];
-        let pos = list
-            .partition_point(|&s| slots[s as usize].as_ref().expect("live waiting slot").seq < seq);
+        let pos = list.partition_point(|&(s, _)| s < seq);
         debug_assert!(
-            pos < list.len() && list[pos] == slot,
+            pos < list.len() && list[pos] == (seq, slot),
             "waiting list holds the entry"
         );
         list.remove(pos);
@@ -227,7 +412,7 @@ impl IssueQueue {
     /// The `i`-th oldest waiting entry of `cluster`.
     #[inline]
     pub fn waiting_entry(&self, cluster: usize, i: usize) -> &IqEntry {
-        let slot = self.waiting[cluster][i];
+        let (_, slot) = self.waiting[cluster][i];
         // invariant: waiting lists reference live slots only.
         self.slots[slot as usize]
             .as_ref()
@@ -256,6 +441,10 @@ impl IssueQueue {
         let (cluster, seq) = (e.cluster, e.seq);
         self.not_waiting += 1;
         self.waiting_remove(cluster, slot, seq);
+        if self.meta[slot as usize].in_ready {
+            self.ready_remove(cluster, slot, seq);
+        }
+        self.meta[slot as usize].gated = false;
     }
 
     /// Issued → Waiting (replay); the entry rejoins its waiting list in
@@ -275,6 +464,7 @@ impl IssueQueue {
         let (cluster, seq) = (e.cluster, e.seq);
         self.not_waiting -= 1;
         self.waiting_insert(cluster, slot, seq);
+        self.begin_waiting_tenure(slot);
     }
 
     /// Issued → Confirmed (execute will not replay); the slot frees at
@@ -300,6 +490,25 @@ impl IssueQueue {
     /// Iterate all live entries (slot order).
     pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
         self.slots.iter().flatten()
+    }
+
+    /// The `free_at` cycle of the oldest confirmed entry awaiting release
+    /// (`None` when the release queue is empty). `free_at` values are
+    /// nondecreasing, so this is the earliest cycle a release can change
+    /// the queue's occupancy; the quiescence skip must not jump past it.
+    /// The front record may be stale (squashed entry) — treating it as a
+    /// pending release is conservative, never wrong.
+    #[inline]
+    pub fn next_release(&self) -> Option<u64> {
+        self.release_q.front().map(|&(free_at, _, _)| free_at)
+    }
+
+    /// The entry at `slot` if it is live and `Waiting`.
+    #[inline]
+    pub fn waiting_slot(&self, slot: u32) -> Option<&IqEntry> {
+        self.slots[slot as usize]
+            .as_ref()
+            .filter(|e| e.state == IqState::Waiting)
     }
 
     /// Release confirmed entries whose `free_at` has arrived.
@@ -339,10 +548,16 @@ impl IssueQueue {
             }
             if e.state == IqState::Waiting {
                 self.waiting_remove(e.cluster, slot, e.seq);
+                if self.meta[slot as usize].in_ready {
+                    self.ready_remove(e.cluster, slot, e.seq);
+                }
+                self.meta[slot as usize].gated = false;
             } else {
                 self.not_waiting -= 1;
             }
             // Stale release-queue records are skipped by their seq check.
+            // External (slot, epoch) records go stale when the slot's next
+            // tenure bumps the epoch.
             self.slots[slot as usize] = None;
             self.per_cluster[e.cluster] -= 1;
             self.len -= 1;
@@ -355,9 +570,17 @@ impl IssueQueue {
     /// Record one cycle's occupancy statistics.
     #[inline]
     pub fn sample_occupancy(&mut self) {
-        self.samples += 1;
-        self.occupancy_sum += self.len as u64;
-        self.issued_occupancy_sum += self.not_waiting as u64;
+        self.sample_occupancy_n(1);
+    }
+
+    /// Record `n` identical cycles of occupancy statistics at once — used
+    /// when the quiescence skip jumps the clock over cycles in which the
+    /// IQ provably cannot change.
+    #[inline]
+    pub fn sample_occupancy_n(&mut self, n: u64) {
+        self.samples += n;
+        self.occupancy_sum += n * self.len as u64;
+        self.issued_occupancy_sum += n * self.not_waiting as u64;
     }
 
     /// (mean occupancy, mean post-issue occupancy, peak) over the sampled
@@ -473,6 +696,97 @@ mod tests {
             vec![3, 5]
         );
         assert!(q.waiting_lists_consistent());
+    }
+
+    #[test]
+    fn ready_lists_track_waiting_subset_in_age_order() {
+        let mut q = IssueQueue::new(8, 2);
+        let (s3, _) = put(&mut q, 3, 1);
+        let (s1, id1) = put(&mut q, 1, 1);
+        let (s5, _) = put(&mut q, 5, 1);
+        q.ready_push(s5);
+        q.ready_push(s1);
+        q.ready_push(s1); // duplicate push is a no-op
+        assert_eq!(q.ready_total(), 2);
+        assert_eq!(q.ready_front(1).map(|e| e.seq), Some(1));
+        assert_eq!(
+            q.ready_iter(1).map(|(_, e)| e.seq).collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+        assert!(q.ready_lists_consistent());
+        // Issuing the front removes it from the ready list; the next
+        // oldest ready entry surfaces (s3 was never ready).
+        q.mark_issued(s1, id1);
+        assert_eq!(q.ready_front(1).map(|e| e.seq), Some(5));
+        // A rescinded wake-up withdraws without issuing.
+        q.ready_withdraw(s5);
+        q.ready_withdraw(s5); // idempotent
+        assert_eq!(q.ready_total(), 0);
+        assert!(q.ready_front(1).is_none());
+        assert!(!q.in_ready(s3) && !q.in_ready(s5));
+        assert!(q.ready_lists_consistent());
+    }
+
+    #[test]
+    fn epochs_invalidate_records_across_tenures() {
+        let mut q = IssueQueue::new(1, 1);
+        let (slot, id) = put(&mut q, 1, 0);
+        let epoch0 = q.epoch_of(slot);
+        assert!(q.waiting_at_epoch(slot, epoch0).is_some());
+        // Issue ends the tenure; replay starts a new one.
+        q.mark_issued(slot, id);
+        assert!(q.waiting_at_epoch(slot, epoch0).is_none(), "issued");
+        q.mark_waiting(slot, id);
+        assert!(
+            q.waiting_at_epoch(slot, epoch0).is_none(),
+            "replay is a new tenure"
+        );
+        let epoch1 = q.epoch_of(slot);
+        assert_ne!(epoch0, epoch1);
+        assert_eq!(q.waiting_at_epoch(slot, epoch1).map(|e| e.seq), Some(1));
+        // Squash + slot reuse by a younger entry: old epochs stay stale.
+        q.squash(|e| e.seq == 1);
+        let (slot2, _) = put(&mut q, 2, 0);
+        assert_eq!(slot2, slot);
+        assert!(q.waiting_at_epoch(slot, epoch1).is_none());
+        assert_eq!(
+            q.waiting_at_epoch(slot, q.epoch_of(slot)).map(|e| e.seq),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn squash_clears_ready_and_gate_state() {
+        let mut q = IssueQueue::new(8, 1);
+        let (s1, _) = put(&mut q, 1, 0);
+        let (s2, _) = put(&mut q, 2, 0);
+        q.ready_push(s1);
+        q.set_gated(s2, true);
+        assert_eq!(q.squash(|_| true), 2);
+        assert_eq!(q.ready_total(), 0);
+        assert!(q.ready_lists_consistent());
+        // Reused slots start their tenure with clean flags.
+        let (s1b, _) = put(&mut q, 3, 0);
+        let (s2b, _) = put(&mut q, 4, 0);
+        assert!(!q.in_ready(s1b) && !q.is_gated(s1b));
+        assert!(!q.in_ready(s2b) && !q.is_gated(s2b));
+    }
+
+    #[test]
+    fn batched_occupancy_sampling_matches_repeated_sampling() {
+        let mut q = IssueQueue::new(8, 1);
+        put(&mut q, 1, 0);
+        let (slot, id) = put(&mut q, 2, 0);
+        q.mark_issued(slot, id);
+        let mut a = IssueQueue::new(8, 1);
+        put(&mut a, 1, 0);
+        let (slot_a, id_a) = put(&mut a, 2, 0);
+        a.mark_issued(slot_a, id_a);
+        for _ in 0..7 {
+            q.sample_occupancy();
+        }
+        a.sample_occupancy_n(7);
+        assert_eq!(q.occupancy_stats(), a.occupancy_stats());
     }
 
     #[test]

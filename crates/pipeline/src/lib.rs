@@ -45,6 +45,7 @@ pub mod faults;
 pub mod iq;
 pub mod lsq;
 pub mod machine;
+pub mod profile;
 pub mod stats;
 pub mod trace;
 pub(crate) mod wheel;

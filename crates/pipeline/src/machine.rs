@@ -67,6 +67,10 @@ pub(crate) struct Scratch {
     dropped: Vec<InstId>,
     /// do_writeback: values leaving the forwarding buffer this cycle.
     expiring: Vec<(PhysReg, u64)>,
+    /// Events drained from `ready_events` this cycle.
+    ready_due: Vec<Due<(u32, u32)>>,
+    /// on_store_wait_marked: ready-list loads to re-gate.
+    gate_sweep: Vec<u32>,
 }
 
 /// Per-thread front-end and program-order state. Fields are crate-visible
@@ -92,6 +96,15 @@ pub(crate) struct ThreadState {
     pub(crate) rob: VecDeque<InstId>,
     /// In-flight stores in program order.
     pub(crate) store_q: VecDeque<InstId>,
+    /// Count of `store_q` entries whose address is still unknown
+    /// (`mem_addr` unset). Incremented at rename, decremented when the
+    /// store executes, recomputed on squash.
+    pub(crate) unknown_stores: usize,
+    /// `seq` of the oldest address-unknown store in `store_q`
+    /// (`u64::MAX` when `unknown_stores == 0`). A store-wait-predicted
+    /// load must wait exactly while this is older than the load — the
+    /// O(1) replacement for scanning `store_q` per readiness check.
+    pub(crate) oldest_unknown_seq: u64,
     pub(crate) ras: ReturnAddressStack,
     /// Sequence number of an un-retired memory barrier stalling rename.
     pub(crate) mb_stall_seq: Option<u64>,
@@ -161,6 +174,36 @@ pub struct Machine {
     /// the load-resolution loop's feedback delay. (cycle -> [(inst, stamp,
     /// corrected ready_at)]).
     pub(crate) wakeup_events: TimingWheel<(InstId, u32, u64)>,
+    /// Readiness timers for the incremental scheduler: when a wake-up
+    /// names a finite future cycle for a waiting entry, a `(slot, epoch)`
+    /// record fires here at that cycle and the entry is re-evaluated.
+    /// Spurious fires (withdrawn or superseded wake-ups) are harmless.
+    pub(crate) ready_events: TimingWheel<(u32, u32)>,
+    /// Per physical register: `(slot, epoch)` records of waiting IQ
+    /// entries whose readiness may change when this register's wake-up
+    /// schedule changes. Registered at the start of each waiting tenure
+    /// for every source register that is not yet *settled* (produced and
+    /// past its wake-up cycle); drained by [`Machine::set_ready_at`].
+    pub(crate) preg_consumers: Vec<Vec<(u32, u32)>>,
+    /// Per thread: `(slot, epoch)` records of waiting loads parked behind
+    /// the store-wait predictor (an older address-unknown store exists).
+    /// Drained when a store's address resolves or the queue is squashed.
+    pub(crate) gated_loads: Vec<Vec<(u32, u32)>>,
+    /// Event-driven scheduling + quiescence skip enabled (default). When
+    /// off, `do_issue` falls back to the per-cycle waiting-list walk and
+    /// `run` steps every cycle — the reference the differential suite
+    /// compares against.
+    pub(crate) event_driven: bool,
+    /// Did the just-stepped cycle visibly do anything (retire, event
+    /// fire, issue, insert, rename, fetch access, write-back, slot
+    /// release)? Cleared at the top of every step. Purely a gate on the
+    /// quiescence *check*: a false negative costs one evaluation of
+    /// [`Machine::quiescent_until`], a false positive delays a skip by
+    /// one stepped cycle — neither affects simulated results.
+    pub(crate) progressed: bool,
+    /// Wall-clock per-stage accumulation, allocated only when the
+    /// process-global profiling switch was on at construction.
+    pub(crate) profile: Option<Box<crate::profile::StageReport>>,
     pub(crate) frontend_stall_until: u64,
     /// Per-cluster count of slotted instructions still in DEC-IQ transit
     /// (the IQ itself tracks inserted ones). Slotting balances on the sum,
@@ -229,6 +272,8 @@ impl Machine {
                 transit_q: VecDeque::new(),
                 rob: VecDeque::new(),
                 store_q: VecDeque::new(),
+                unknown_stores: 0,
+                oldest_unknown_seq: u64::MAX,
                 ras: ReturnAddressStack::new(cfg.ras_entries),
                 mb_stall_seq: None,
                 unresolved_branches: 0,
@@ -264,6 +309,16 @@ impl Machine {
             exec_events: TimingWheel::new(WHEEL_HORIZON),
             complete_events: TimingWheel::new(WHEEL_HORIZON),
             wakeup_events: TimingWheel::new(WHEEL_HORIZON),
+            ready_events: TimingWheel::new(WHEEL_HORIZON),
+            preg_consumers: vec![Vec::new(); cfg.phys_regs],
+            gated_loads: vec![Vec::new(); cfg.threads],
+            // Default on; `LOOSELOOPS_NAIVE=1` forces the reference
+            // per-cycle engine process-wide (an A/B escape hatch — the
+            // two engines are cycle-exact by construction and by the
+            // differential suite, so this only trades speed).
+            event_driven: std::env::var_os("LOOSELOOPS_NAIVE").is_none(),
+            progressed: true,
+            profile: crate::profile::enabled().then(Box::default),
             scratch: Scratch::default(),
             frontend_stall_until: 0,
             cluster_pressure: vec![0; cfg.clusters],
@@ -523,6 +578,9 @@ impl Machine {
         // anything still trips it.
         let mut last_retired = self.stats.total_retired();
         let mut last_progress_cycle = self.cycle;
+        // Quiescence skip is only sound when the auditor is off: the
+        // auditor must observe (and count) every cycle.
+        let may_skip = self.event_driven && !self.cfg.audit;
         while !self.is_done() && self.stats.total_retired() < target && self.cycle < last_cycle {
             self.step_cycle();
             if self.cfg.audit {
@@ -545,6 +603,19 @@ impl Machine {
                     snapshot: self.snapshot(),
                 }
                 .into());
+            }
+            // Only skip when the loop will actually continue — a skip
+            // after the final retirement (or budget exhaustion) would
+            // charge cycles the naive loop never steps.
+            if may_skip
+                && !self.progressed
+                && !self.is_done()
+                && self.stats.total_retired() < target
+                && self.cycle < last_cycle
+            {
+                if let Some(t) = self.quiescent_until(last_cycle, window, last_progress_cycle) {
+                    self.skip_to(t);
+                }
             }
         }
         self.finalize_stats();
@@ -600,8 +671,18 @@ impl Machine {
 
     /// Advance exactly one cycle.
     pub fn step_cycle(&mut self) {
+        if self.profile.is_some() {
+            self.step_cycle_profiled();
+        } else {
+            self.step_cycle_plain();
+        }
+    }
+
+    fn step_cycle_plain(&mut self) {
+        self.progressed = false;
         let now = self.cycle;
         let retired = self.do_retire(now);
+        self.progressed |= retired > 0;
         // Attribution reads the machine exactly as retire left it, before
         // later (earlier-in-pipe) stages mutate phases for the next cycle.
         self.attribute_cycle(now, retired);
@@ -617,6 +698,7 @@ impl Machine {
         self.do_insert(now);
         self.do_rename(now);
         self.do_fetch(now);
+        self.progressed |= self.iq.next_release().is_some_and(|r| r <= now);
         self.iq.release_confirmed(now);
         self.iq.sample_occupancy();
         if now < self.frontend_stall_until {
@@ -624,6 +706,50 @@ impl Machine {
         }
         self.stats.cycles += 1;
         self.cycle += 1;
+    }
+
+    /// `step_cycle_plain` with a wall-clock timestamp around every stage.
+    /// Kept as a separate body so the hot path pays nothing for the
+    /// instrumentation when profiling is off.
+    fn step_cycle_profiled(&mut self) {
+        use std::time::Instant;
+        let mut ns = [0u64; crate::profile::STAGE_COUNT];
+        macro_rules! timed {
+            ($idx:expr, $body:expr) => {{
+                let t = Instant::now();
+                let r = $body;
+                ns[$idx] += t.elapsed().as_nanos() as u64;
+                r
+            }};
+        }
+        self.progressed = false;
+        let now = self.cycle;
+        let retired = timed!(0, self.do_retire(now));
+        self.progressed |= retired > 0;
+        timed!(1, self.attribute_cycle(now, retired));
+        timed!(2, self.do_complete(now));
+        timed!(3, self.do_writeback(now));
+        timed!(4, self.do_execute(now));
+        timed!(5, self.do_wakeups(now));
+        timed!(6, self.do_issue(now));
+        timed!(7, self.do_insert(now));
+        timed!(8, self.do_rename(now));
+        timed!(9, self.do_fetch(now));
+        timed!(10, {
+            self.progressed |= self.iq.next_release().is_some_and(|r| r <= now);
+            self.iq.release_confirmed(now);
+            self.iq.sample_occupancy();
+            if now < self.frontend_stall_until {
+                self.stats.operand_miss_stall_cycles += 1;
+            }
+            self.stats.cycles += 1;
+            self.cycle += 1;
+        });
+        let p = self.profile.as_mut().expect("profiling enabled");
+        for (total, stage) in p.stage_ns.iter_mut().zip(&ns) {
+            *total += stage;
+        }
+        p.stepped_cycles += 1;
     }
 
     fn finalize_stats(&mut self) {
@@ -641,6 +767,12 @@ impl Machine {
             self.stats.faults_injected = inj.injected();
             self.stats.faults_by_kind = inj.by_kind();
         }
+        // Flush local profiling accumulation into the process-global report
+        // and reset, so repeated `run` calls never double-count.
+        if let Some(p) = &mut self.profile {
+            crate::profile::merge(p);
+            **p = crate::profile::StageReport::default();
+        }
     }
 
     /// Rewrite a register's wake-up schedule and bump its version so
@@ -648,13 +780,404 @@ impl Machine {
     fn set_ready_at(&mut self, p: PhysReg, v: u64) {
         self.ready_at[p.index()] = v;
         self.ready_version[p.index()] = self.ready_version[p.index()].wrapping_add(1);
+        self.drain_consumers(p);
+    }
+
+    /// Enable or disable the event-driven engine (incremental ready-list
+    /// selection + quiescence skip). On by default; the differential suite
+    /// turns it off to produce the naive per-cycle-stepping reference.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
+    }
+
+    // ----------------------------------------------- incremental scheduling
+    //
+    // The incremental structures (per-cluster ready lists, per-preg
+    // consumer lists, readiness timers, store-wait gate lists) are
+    // maintained in BOTH engine modes — only issue *selection* and the
+    // quiescence skip switch on `event_driven` — so the auditor can check
+    // the ready-list invariants unconditionally and the naive mode stays a
+    // true reference for the shared bookkeeping.
+    //
+    // A physical register is *settled* once it is produced and past its
+    // wake-up cycle (`avail_cycle != MAX && ready_at <= now`). A settled
+    // register's readiness can never regress: withdrawal (replay) requires
+    // an un-produced value, and post-completion rewrites only move the
+    // wake-up earlier. Consumer-list registration and record retention key
+    // off exactly this predicate.
+
+    /// Store-wait gate for waiting entry `e`: a predicted-conflicting load
+    /// must hold while any older same-thread store's address is unknown.
+    pub(crate) fn entry_gated(&self, e: &IqEntry) -> bool {
+        let di = self.slab.expect(e.id);
+        di.inst.class() == Class::Load
+            && self.store_wait.must_wait(di.pc)
+            && self.threads[e.thread].oldest_unknown_seq < di.seq
+    }
+
+    /// Register the waiting tenure in `slot` on the consumer list of every
+    /// source register that could still change its readiness (see the
+    /// *settled* rule above). Called exactly once per tenure, right after
+    /// the entry enters `Waiting` (insert or replay).
+    fn register_entry(&mut self, slot: u32, now: u64) {
+        let Some(e) = self.iq.waiting_slot(slot) else {
+            return;
+        };
+        let id = e.id;
+        let epoch = self.iq.epoch_of(slot);
+        let srcs = self.slab.expect(id).srcs;
+        let mut first: Option<PhysReg> = None;
+        for src in srcs.iter().flatten() {
+            if src.payload.is_some() {
+                continue;
+            }
+            let p = src.phys;
+            if first == Some(p) {
+                continue; // both sources name the same register
+            }
+            if first.is_none() {
+                first = Some(p);
+            }
+            if self.avail_cycle[p.index()] == u64::MAX || self.ready_at[p.index()] > now {
+                self.preg_consumers[p.index()].push((slot, epoch));
+            }
+        }
+    }
+
+    /// Re-evaluate the waiting entry in `slot` against current wake-up and
+    /// store-wait state, moving it between the cluster ready list, the
+    /// store-wait gate list, and the readiness timer wheel. Idempotent —
+    /// spurious calls (stale timers, duplicate consumer records) are
+    /// harmless. The caller must have validated that `slot` is `Waiting`.
+    fn reeval_entry(&mut self, slot: u32, now: u64) {
+        let e = *self
+            .iq
+            .waiting_slot(slot)
+            .expect("reeval_entry: slot not waiting");
+        // One slab lookup serves both the store-wait gate check (the
+        // in-place `entry_gated`) and the earliest-issue-cycle computation
+        // — the cycle-comparison mirror of `src_ready`: `u64::MAX` when
+        // unbounded (producer unscheduled, or a source blocked on a
+        // wake-up version that has not been rewritten).
+        let di = self.slab.expect(e.id);
+        let gated = di.inst.class() == Class::Load
+            && self.store_wait.must_wait(di.pc)
+            && self.threads[e.thread].oldest_unknown_seq < di.seq;
+        let mut r = 0u64;
+        if !gated {
+            for src in di.srcs.iter().flatten() {
+                let t = if src.payload.is_some() {
+                    src.ready_at
+                } else if src.blocked_version == Some(self.ready_version[src.phys.index()]) {
+                    u64::MAX
+                } else {
+                    self.ready_at[src.phys.index()]
+                };
+                r = r.max(t);
+            }
+        }
+        if gated {
+            self.iq.ready_withdraw(slot);
+            if !self.iq.is_gated(slot) {
+                self.iq.set_gated(slot, true);
+                self.gated_loads[e.thread].push((slot, self.iq.epoch_of(slot)));
+            }
+            return;
+        }
+        self.iq.set_gated(slot, false);
+        if r <= now {
+            self.iq.ready_push(slot);
+        } else {
+            self.iq.ready_withdraw(slot);
+            if r != u64::MAX {
+                self.ready_events
+                    .schedule(r, (slot, self.iq.epoch_of(slot)));
+            }
+        }
+    }
+
+    /// Re-evaluate every consumer registered on `p` after its wake-up
+    /// schedule changed. Records survive while `p` is still unsettled (a
+    /// future wake-up may move again, or be withdrawn); once `p` settles
+    /// the records are spent and the list empties.
+    fn drain_consumers(&mut self, p: PhysReg) {
+        if self.preg_consumers[p.index()].is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.preg_consumers[p.index()]);
+        let now = self.cycle;
+        let keep = self.avail_cycle[p.index()] == u64::MAX || self.ready_at[p.index()] > now;
+        let mut i = 0;
+        while i < list.len() {
+            let (slot, epoch) = list[i];
+            if self.iq.waiting_at_epoch(slot, epoch).is_none() {
+                list.swap_remove(i);
+                continue;
+            }
+            self.reeval_entry(slot, now);
+            if keep {
+                i += 1;
+            } else {
+                list.swap_remove(i);
+            }
+        }
+        // `reeval_entry` never touches consumer lists, but merge rather
+        // than overwrite in case that ever changes.
+        let mut stray = std::mem::replace(&mut self.preg_consumers[p.index()], list);
+        self.preg_consumers[p.index()].append(&mut stray);
+    }
+
+    /// Re-evaluate thread `t`'s store-wait-gated loads after the set of
+    /// address-unknown stores shrank (a store executed, or a squash).
+    fn drain_gated(&mut self, t: usize) {
+        if self.gated_loads[t].is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.gated_loads[t]);
+        let now = self.cycle;
+        let mut i = 0;
+        while i < list.len() {
+            let (slot, epoch) = list[i];
+            if self.iq.waiting_at_epoch(slot, epoch).is_none() || !self.iq.is_gated(slot) {
+                list.swap_remove(i);
+                continue;
+            }
+            self.reeval_entry(slot, now);
+            if self.iq.is_gated(slot) {
+                i += 1; // still parked — keep the record
+            } else {
+                list.swap_remove(i);
+            }
+        }
+        // A reeval above cannot have re-gated into the (taken) field list,
+        // but merge rather than overwrite for the same reason as
+        // `drain_consumers`.
+        let mut stray = std::mem::replace(&mut self.gated_loads[t], list);
+        self.gated_loads[t].append(&mut stray);
+    }
+
+    /// A store-wait bit was just set for `pc` (memory-order violation):
+    /// ready-list loads of that PC with an older address-unknown store
+    /// must come back out and park on the gate list. Runs in `do_execute`,
+    /// so the gate is visible to this cycle's `do_issue` — exactly when
+    /// the per-cycle evaluation would first see it.
+    fn on_store_wait_marked(&mut self, pc: u64) {
+        let mut sweep = std::mem::take(&mut self.scratch.gate_sweep);
+        sweep.clear();
+        for cluster in 0..self.cfg.clusters {
+            for (slot, e) in self.iq.ready_iter(cluster) {
+                let di = self.slab.expect(e.id);
+                if di.pc == pc
+                    && di.inst.class() == Class::Load
+                    && self.threads[e.thread].oldest_unknown_seq < di.seq
+                {
+                    sweep.push(slot);
+                }
+            }
+        }
+        let now = self.cycle;
+        for &slot in &sweep {
+            self.reeval_entry(slot, now);
+        }
+        self.scratch.gate_sweep = sweep;
+    }
+
+    /// Recompute `unknown_stores` / `oldest_unknown_seq` for thread `t` by
+    /// scanning its store queue (squash recovery; the steady-state updates
+    /// are O(1) increments at rename and decrements at store execution).
+    fn recount_unknown_stores(&mut self, t: usize) {
+        let mut count = 0usize;
+        let mut oldest = u64::MAX;
+        for &sid in &self.threads[t].store_q {
+            let sdi = self.slab.expect(sid);
+            if sdi.mem_addr.is_none() {
+                count += 1;
+                oldest = oldest.min(sdi.seq);
+            }
+        }
+        let th = &mut self.threads[t];
+        th.unknown_stores = count;
+        th.oldest_unknown_seq = oldest;
+    }
+
+    // ------------------------------------------------------ quiescence skip
+
+    /// Mirror of `rename_one`'s failure paths, without side effects: would
+    /// renaming `id` on thread `t` stall right now?
+    fn rename_would_block(&self, t: usize, id: InstId) -> bool {
+        let inst = self.slab.expect(id).inst;
+        if inst.class() == Class::CondBranch {
+            if let Some(limit) = self.cfg.branch_checkpoints {
+                if self.threads[t].unresolved_branches >= limit {
+                    return true;
+                }
+            }
+        }
+        inst.dest().is_some() && self.freelist.available() == 0
+    }
+
+    /// When no stage can make progress at the current cycle, return the
+    /// earliest future cycle at which anything could change — capped by
+    /// the run budget and the watchdog — so the run loop may jump there.
+    /// Returns `None` when some stage can still act now (or the jump would
+    /// be empty). Soundness: every condition a stage acts on is either
+    /// checked "ripe now" here (→ `None`) or contributes its ripening
+    /// cycle to the target, so every skipped cycle is provably a cycle the
+    /// naive loop would have stepped through without changing anything but
+    /// the per-cycle counters (batch-charged by `skip_to`).
+    fn quiescent_until(
+        &self,
+        last_cycle: u64,
+        window: u64,
+        last_progress_cycle: u64,
+    ) -> Option<u64> {
+        let now = self.cycle;
+        // Issue: anything on a ready list issues next cycle.
+        if self.iq.ready_total() > 0 {
+            return None;
+        }
+        // Pending events on any wheel.
+        let wheel_dues = [
+            self.exec_events.next_due(),
+            self.complete_events.next_due(),
+            self.wakeup_events.next_due(),
+            self.ready_events.next_due(),
+        ];
+        if wheel_dues.iter().any(|d| d.is_some_and(|d| d <= now)) {
+            return None;
+        }
+        // Write-back: a forwarding-buffer value expiring now must drain.
+        let expiry = self.fwd.next_expiry(now);
+        if expiry == Some(now) {
+            return None;
+        }
+        // IQ slot release of a confirmed entry.
+        let release = self.iq.next_release();
+        if release.is_some_and(|r| r <= now) {
+            return None;
+        }
+        // Retire: a completed ROB head retires next cycle.
+        for th in &self.threads {
+            if th.done {
+                continue;
+            }
+            if let Some(&id) = th.rob.front() {
+                if self.slab.expect(id).phase == InstPhase::Complete {
+                    return None;
+                }
+            }
+        }
+        let mut target = last_cycle;
+        let fsu = self.frontend_stall_until;
+        if now < fsu {
+            // Fetch/rename/insert are all held by the operand-miss
+            // recovery stall; they can next act when it lifts.
+            target = target.min(fsu);
+        } else {
+            let decode_cap = (self.cfg.fetch_stages as usize + 2) * self.cfg.width;
+            let transit_cap = (self.cfg.dec_iq_stages as usize + 2) * self.cfg.width;
+            let in_flight_full = self.total_in_flight() >= self.cfg.max_in_flight;
+            for (t, th) in self.threads.iter().enumerate() {
+                // Fetch (an eligible thread performs an I-cache access
+                // even if it then stalls — never skip over that).
+                if !th.done && !th.fetch_suspended && th.decode_q.len() < decode_cap {
+                    if th.fetch_stall_until <= now {
+                        return None;
+                    }
+                    target = target.min(th.fetch_stall_until);
+                }
+                // Insert (do_insert has no done/thread gate: mirror that).
+                if let Some(&(ready, _)) = th.transit_q.front() {
+                    if ready <= now {
+                        if self.iq.free_slots() > 0 {
+                            return None;
+                        }
+                    } else {
+                        target = target.min(ready);
+                    }
+                }
+                // Rename.
+                if let Some(&(ready, id)) = th.decode_q.front() {
+                    if ready <= now {
+                        let blocked = th.mb_stall_seq.is_some()
+                            || th.transit_q.len() >= transit_cap
+                            || in_flight_full
+                            || self.rename_would_block(t, id);
+                        if !blocked {
+                            return None;
+                        }
+                        // A ripe blocked thread charges one rename stall
+                        // per cycle; skip_to batch-charges it.
+                    } else {
+                        target = target.min(ready);
+                    }
+                }
+            }
+        }
+        for d in wheel_dues.into_iter().flatten() {
+            target = target.min(d);
+        }
+        if let Some(e) = expiry {
+            target = target.min(e);
+        }
+        if let Some(r) = release {
+            target = target.min(r);
+        }
+        if window > 0 {
+            // Step the cycle that trips the watchdog, so a deadlock fires
+            // at exactly the same cycle (and with the same snapshot) as
+            // under naive stepping.
+            target = target.min(last_progress_cycle.saturating_add(window).saturating_sub(1));
+        }
+        (target > now).then_some(target)
+    }
+
+    /// Jump the clock from the current (quiescent) cycle to `target`,
+    /// batch-charging everything the naive per-cycle loop would have
+    /// recorded over the window: CPI-stack idle attribution (the
+    /// classification is constant across a quiescent window — nothing
+    /// retires and `now < frontend_stall_until` cannot flip inside it),
+    /// per-cycle stall counters, IQ occupancy samples, and the cycle
+    /// counter itself.
+    fn skip_to(&mut self, target: u64) {
+        let now = self.cycle;
+        debug_assert!(target > now);
+        let k = target - now;
+        let width = self.cfg.width as u64;
+        let cause = self.classify_lost_cycle(now);
+        self.stats.loop_cost.charge_idle(width, k, cause);
+        if now < self.frontend_stall_until {
+            self.stats.operand_miss_stall_cycles += k;
+        } else {
+            // Every thread with a ripe decode head is provably blocked
+            // (quiescent_until returned) and charges one rename stall per
+            // skipped cycle, exactly as do_rename would have.
+            let ripe = self
+                .threads
+                .iter()
+                .filter(|th| th.decode_q.front().is_some_and(|&(r, _)| r <= now))
+                .count() as u64;
+            self.stats.rename_stall_cycles += k * ripe;
+        }
+        self.iq.sample_occupancy_n(k);
+        self.stats.cycles += k;
+        self.cycle = target;
+        if let Some(p) = &mut self.profile {
+            p.skips += 1;
+            p.skipped_cycles += k;
+        }
     }
 
     /// Process due wake-up corrections (the delayed miss notifications of
     /// the load-resolution loop).
     fn do_wakeups(&mut self, now: u64) {
+        // Nothing due: skip the drain entirely (O(1) cached check).
+        if self.wakeup_events.next_due().is_none_or(|d| d > now) {
+            return;
+        }
         let mut list = std::mem::take(&mut self.scratch.wakeup_due);
         self.wakeup_events.drain_due(now, &mut list);
+        self.progressed |= !list.is_empty();
         for e in &list {
             let (id, stamp, ready) = e.payload;
             let Some(di) = self.slab.get(id) else {
@@ -693,6 +1216,7 @@ impl Machine {
             return;
         };
 
+        self.progressed = true;
         let block_start = self.threads[t].fetch_pc;
         // One aligned I-cache access per fetch block.
         let block_addr = Program::inst_addr(block_start) & !63;
@@ -856,6 +1380,7 @@ impl Machine {
                 self.threads[t].decode_q.pop_front();
                 budget -= 1;
                 progress = true;
+                self.progressed = true;
             }
             if !progress {
                 break;
@@ -977,7 +1502,18 @@ impl Machine {
             }
             _ => {
                 if class == Class::Store {
-                    self.threads[t].store_q.push_back(id);
+                    let seq = di.seq;
+                    let th = &mut self.threads[t];
+                    th.store_q.push_back(id);
+                    // Address unknown until the store executes. A new store
+                    // is the youngest, so the oldest-unknown marker only
+                    // changes when it was previously "none" — and a
+                    // MAX→seq transition cannot newly gate any *older*
+                    // waiting load, so no gate re-evaluation is needed.
+                    th.unknown_stores += 1;
+                    if th.oldest_unknown_seq == u64::MAX {
+                        th.oldest_unknown_seq = seq;
+                    }
                 }
                 self.cluster_pressure[cluster] += 1;
                 self.threads[t].rob.push_back(id);
@@ -1000,6 +1536,10 @@ impl Machine {
         }
         self.ready_at[p.index()] = u64::MAX;
         self.avail_cycle[p.index()] = u64::MAX;
+        // No waiting entry can still reference the previous incarnation of
+        // a freshly allocated register (its last reader retired before the
+        // redefiner released it) — any leftover consumer records are stale.
+        self.preg_consumers[p.index()].clear();
     }
 
     // ---------------------------------------------------------------- insert
@@ -1048,7 +1588,13 @@ impl Machine {
                     di.iq_slot = slot;
                 }
                 self.threads[t].transit_q.pop_front();
+                if let Some(slot) = slot {
+                    // New waiting tenure: hook up incremental readiness.
+                    self.register_entry(slot, now);
+                    self.reeval_entry(slot, now);
+                }
                 progress = true;
+                self.progressed = true;
             }
             if !progress {
                 break;
@@ -1072,7 +1618,7 @@ impl Machine {
         self.ready_at[src.phys.index()] <= now
     }
 
-    fn entry_ready(&self, e: &IqEntry, now: u64) -> bool {
+    pub(crate) fn entry_ready(&self, e: &IqEntry, now: u64) -> bool {
         let di = self.slab.expect(e.id);
         for src in di.srcs.iter().flatten() {
             if !self.src_ready(src, now) {
@@ -1080,36 +1626,69 @@ impl Machine {
             }
         }
         // Store-wait discipline: a load whose PC has trapped before must
-        // wait for every older store's address.
-        if di.inst.class() == Class::Load && self.store_wait.must_wait(di.pc) {
-            for &sid in &self.threads[e.thread].store_q {
-                let s = self.slab.expect(sid);
-                if s.seq < di.seq && s.mem_addr.is_none() {
-                    return false;
-                }
-            }
+        // wait for every older store's address. `oldest_unknown_seq` is
+        // the incrementally maintained minimum over address-unknown
+        // entries of the thread's store queue, so the old per-evaluation
+        // queue scan reduces to one comparison.
+        if di.inst.class() == Class::Load
+            && self.store_wait.must_wait(di.pc)
+            && self.threads[e.thread].oldest_unknown_seq < di.seq
+        {
+            return false;
         }
         true
     }
 
     fn do_issue(&mut self, now: u64) {
-        // One selection per cluster: oldest ready waiting entry. The IQ's
-        // per-cluster waiting lists are age-sorted, so the first ready
-        // entry of each list is the cluster's pick.
+        // Fire due readiness timers (scheduled whenever a wake-up named a
+        // finite future cycle). Stale records — the tenure ended, or the
+        // wake-up moved again — are dropped or handled idempotently. The
+        // O(1) cached `next_due` gate skips the drain when nothing fires.
+        if self.ready_events.next_due().is_some_and(|d| d <= now) {
+            let mut due = std::mem::take(&mut self.scratch.ready_due);
+            self.ready_events.drain_due(now, &mut due);
+            self.progressed |= !due.is_empty();
+            for e in &due {
+                let (slot, epoch) = e.payload;
+                if self.iq.waiting_at_epoch(slot, epoch).is_some() {
+                    self.reeval_entry(slot, now);
+                }
+            }
+            self.scratch.ready_due = due;
+        }
+
+        // One selection per cluster: oldest ready waiting entry.
+        if self.event_driven && self.iq.ready_total() == 0 {
+            return; // no ready entry anywhere — nothing to select
+        }
         let mut picks = std::mem::take(&mut self.scratch.picks);
         picks.clear();
         picks.resize(self.cfg.clusters, None);
-        for (cluster, pick) in picks.iter_mut().enumerate() {
-            for i in 0..self.iq.waiting_len(cluster) {
-                let e = self.iq.waiting_entry(cluster, i);
-                if self.entry_ready(e, now) {
+        if self.event_driven {
+            // The incrementally maintained ready lists are age-sorted, so
+            // each cluster's pick is its list head — O(clusters), not
+            // O(waiting × operands).
+            for (cluster, pick) in picks.iter_mut().enumerate() {
+                if let Some(e) = self.iq.ready_front(cluster) {
                     *pick = Some((e.seq, e.id));
-                    break;
+                }
+            }
+        } else {
+            // Naive reference: walk the age-sorted waiting lists and
+            // evaluate every entry.
+            for (cluster, pick) in picks.iter_mut().enumerate() {
+                for i in 0..self.iq.waiting_len(cluster) {
+                    let e = self.iq.waiting_entry(cluster, i);
+                    if self.entry_ready(e, now) {
+                        *pick = Some((e.seq, e.id));
+                        break;
+                    }
                 }
             }
         }
         for &pick in &picks {
             if let Some((_, id)) = pick {
+                self.progressed = true;
                 self.issue_one(id, now);
             }
         }
@@ -1167,10 +1746,19 @@ impl Machine {
     // --------------------------------------------------------------- execute
 
     fn do_execute(&mut self, now: u64) {
+        // Nothing due: draining would be a no-op, so skip the buffer churn.
+        // `next_due` is the cached drain cycle, so this gate is O(1).
+        if self.exec_events.next_due().is_none_or(|d| d > now) {
+            return;
+        }
         let mut due = std::mem::take(&mut self.scratch.exec_due);
         self.exec_events.drain_due(now, &mut due);
         // Oldest-first so same-cycle store→load forwarding within a thread
-        // resolves in program order.
+        // resolves in program order. The wheel orders a batch by schedule
+        // time, which usually — but not always (replays reschedule old
+        // instructions late) — matches program order, so check before
+        // paying for the sort. Instruction seq is the required key; the
+        // wheel's own per-batch ordering is NOT a substitute.
         let mut list = std::mem::take(&mut self.scratch.exec_list);
         list.clear();
         list.extend(due.drain(..).filter_map(|e| {
@@ -1180,7 +1768,10 @@ impl Machine {
                 .then_some((di.seq, id, stamp))
         }));
         self.scratch.exec_due = due;
-        list.sort_unstable_by_key(|&(seq, _, _)| seq);
+        self.progressed |= !list.is_empty();
+        if !list.is_sorted_by_key(|&(seq, _, _)| seq) {
+            list.sort_unstable_by_key(|&(seq, _, _)| seq);
+        }
         for &(_, id, stamp) in &list {
             // An older instruction in this very batch may have squashed or
             // replayed this one (branch recovery, memory trap, shadow
@@ -1312,6 +1903,11 @@ impl Machine {
         }
         let slot = self.slab.expect(id).iq_slot;
         self.iq.mark_waiting(slot, id);
+        // New waiting tenure: hook up incremental readiness. (Sources
+        // whose producers re-blocked above register on the producer's
+        // consumer list; the re-broadcast re-evaluates this entry.)
+        self.register_entry(slot, self.cycle);
+        self.reeval_entry(slot, self.cycle);
         match cause {
             // Producer-not-ready chains are rooted at mis-speculated loads
             // (deterministic-latency producers never disappoint their
@@ -1646,10 +2242,22 @@ impl Machine {
         };
         let addr = base.wrapping_add(inst.imm as i64 as u64);
         let size: u8 = if inst.op == Opcode::Stl { 4 } else { 8 };
-        {
+        let was_unknown = {
             let di = self.slab.expect_mut(id);
+            let was = di.mem_addr.is_none();
             di.mem_addr = Some((addr, size));
             di.store_data = Some(data);
+            was
+        };
+        if was_unknown {
+            let th = &mut self.threads[t];
+            th.unknown_stores -= 1;
+            if th.oldest_unknown_seq == seq {
+                // The oldest unknown address just resolved: advance the
+                // marker and release any store-wait gates it was holding.
+                self.recount_unknown_stores(t);
+                self.drain_gated(t);
+            }
         }
 
         // Memory-order violation: a younger load of ours already executed
@@ -1679,6 +2287,10 @@ impl Machine {
             };
             self.stats.mem_order_traps += 1;
             self.store_wait.mark(lpc);
+            // Freshly predicted PC: ready-list loads at that PC (any
+            // thread — the table is shared) must re-park behind their
+            // older unknown stores before this cycle's issue stage runs.
+            self.on_store_wait_marked(lpc);
             // Recovery stage is fetch (paper Figure 2, memory trap loop):
             // squash from the violating load inclusive and refetch it.
             self.squash_after(t, lseq - 1, lpc, now + 1, CpiComponent::MemoryTrap);
@@ -1781,6 +2393,10 @@ impl Machine {
     // -------------------------------------------------------------- complete
 
     fn do_complete(&mut self, now: u64) {
+        // Nothing due: skip the drain entirely (O(1) cached check).
+        if self.complete_events.next_due().is_none_or(|d| d > now) {
+            return;
+        }
         // Drain every due bucket. Results scheduled "for this cycle" during
         // a later stage of the previous iteration (single-cycle ops
         // complete in their execute cycle) are picked up here, one
@@ -1788,6 +2404,9 @@ impl Machine {
         // wheel preserves each event's requested cycle).
         let mut drained = std::mem::take(&mut self.scratch.complete_due);
         self.complete_events.drain_due(now, &mut drained);
+        // Program-order (instruction seq) sort, skipped when the batch
+        // already arrives ordered — see `do_execute` for why the wheel's
+        // schedule-time ordering is not a substitute for this key.
         let mut due = std::mem::take(&mut self.scratch.due);
         due.clear();
         due.extend(drained.drain(..).filter_map(|e| {
@@ -1796,7 +2415,10 @@ impl Machine {
             (di.issue_count == stamp).then_some((di.seq, id, stamp, e.cycle))
         }));
         self.scratch.complete_due = drained;
-        due.sort_unstable_by_key(|&(seq, _, _, _)| seq);
+        if !due.is_sorted_by_key(|&(seq, _, _, _)| seq) {
+            due.sort_unstable_by_key(|&(seq, _, _, _)| seq);
+        }
+        self.progressed |= !due.is_empty();
         for &(_, id, _, cyc) in &due {
             if let Some(tr) = &mut self.tracer {
                 tr.stage(now, id, "Cm");
@@ -1826,6 +2448,7 @@ impl Machine {
     fn do_writeback(&mut self, now: u64) {
         let mut expiring = std::mem::take(&mut self.scratch.expiring);
         self.fwd.expiring_into(now, &mut expiring);
+        self.progressed |= !expiring.is_empty();
         for &(p, v) in &expiring {
             self.rpft.on_writeback(p);
             if self.cfg.scheme.is_dra() {
@@ -2112,6 +2735,9 @@ impl Machine {
         if th.mb_stall_seq.is_some_and(|s| s > after_seq) {
             th.mb_stall_seq = None;
         }
+        // Removed stores are all younger than every surviving load, so no
+        // surviving gate can loosen — only the counters need repair.
+        self.recount_unknown_stores(thread);
 
         // IQ entries (their slab records are released by the ROB walk).
         self.iq.squash(|e| e.thread == thread && e.seq > after_seq);

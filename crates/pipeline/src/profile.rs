@@ -1,0 +1,138 @@
+//! Optional wall-clock stage profiling for the detailed engine.
+//!
+//! Enabled process-wide (`enable()`, surfaced as `--profile-stages` in the
+//! CLI) *before* machines are constructed: each [`crate::Machine`] then
+//! allocates a local [`StageReport`] and times every pipeline stage of
+//! every stepped cycle, merging into the process-global totals when its
+//! stats are finalized. Wall-clock numbers never enter `SimStats` — they
+//! are a measurement of the simulator, not of the simulated machine — so
+//! figure outputs are byte-identical with profiling on or off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Stage labels, in `step_cycle` order (reverse pipeline order), plus the
+/// trailing per-cycle bookkeeping (IQ release/sampling, counters).
+pub const STAGE_NAMES: [&str; 11] = [
+    "retire",
+    "attribute",
+    "complete",
+    "writeback",
+    "execute",
+    "wakeup",
+    "issue",
+    "insert",
+    "rename",
+    "fetch",
+    "bookkeep",
+];
+
+/// Number of timed stages per cycle.
+pub const STAGE_COUNT: usize = STAGE_NAMES.len();
+
+/// Accumulated per-stage wall-clock time plus cycle accounting.
+#[derive(Debug, Default, Clone)]
+pub struct StageReport {
+    /// Nanoseconds spent in each stage, indexed like [`STAGE_NAMES`].
+    pub stage_ns: [u64; STAGE_COUNT],
+    /// Cycles actually stepped through the stage functions.
+    pub stepped_cycles: u64,
+    /// Cycles elided by the quiescence skip.
+    pub skipped_cycles: u64,
+    /// Number of quiescence jumps taken.
+    pub skips: u64,
+}
+
+impl StageReport {
+    /// Total nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    fn add(&mut self, other: &StageReport) {
+        for (a, b) in self.stage_ns.iter_mut().zip(&other.stage_ns) {
+            *a += b;
+        }
+        self.stepped_cycles += other.stepped_cycles;
+        self.skipped_cycles += other.skipped_cycles;
+        self.skips += other.skips;
+    }
+
+    /// One-line human-readable breakdown: stages sorted by cost, with
+    /// percentage of the total, plus the stepped/skipped cycle split.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total_ns().max(1);
+        let mut stages: Vec<(usize, u64)> = self.stage_ns.iter().copied().enumerate().collect();
+        stages.sort_by_key(|&(i, ns)| (std::cmp::Reverse(ns), i));
+        let mut out = format!(
+            "stepped {} cycles, skipped {} ({} jumps), {:.1} ms total | ",
+            self.stepped_cycles,
+            self.skipped_cycles,
+            self.skips,
+            self.total_ns() as f64 / 1e6,
+        );
+        for (rank, (i, ns)) in stages.iter().enumerate() {
+            if rank > 0 {
+                out.push(' ');
+            }
+            let _ = write!(
+                out,
+                "{}={:.1}%",
+                STAGE_NAMES[*i],
+                *ns as f64 * 100.0 / total as f64
+            );
+        }
+        out
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTALS: Mutex<Option<StageReport>> = Mutex::new(None);
+
+/// Turn stage profiling on for machines constructed from now on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Is stage profiling on?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Merge a machine-local report into the process-global totals.
+pub(crate) fn merge(local: &StageReport) {
+    let mut guard = TOTALS.lock().unwrap_or_else(|p| p.into_inner());
+    guard.get_or_insert_with(StageReport::default).add(local);
+}
+
+/// Drain the process-global totals accumulated since the last call
+/// (`None` when nothing was recorded — e.g. profiling is off).
+pub fn take_report() -> Option<StageReport> {
+    TOTALS.lock().unwrap_or_else(|p| p.into_inner()).take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_merge_and_render() {
+        let mut a = StageReport::default();
+        a.stage_ns[0] = 300;
+        a.stage_ns[6] = 700;
+        a.stepped_cycles = 10;
+        let mut b = StageReport::default();
+        b.stage_ns[6] = 300;
+        b.skipped_cycles = 90;
+        b.skips = 3;
+        b.add(&a);
+        assert_eq!(b.total_ns(), 1300);
+        assert_eq!(b.stepped_cycles, 10);
+        assert_eq!(b.skipped_cycles, 90);
+        let line = b.render();
+        // Issue dominates, so it leads the sorted breakdown.
+        assert!(line.contains("skipped 90 (3 jumps)"), "{line}");
+        assert!(line.contains("issue=76.9%"), "{line}");
+    }
+}

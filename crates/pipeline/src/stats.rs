@@ -132,6 +132,17 @@ impl LoopCostStack {
         self.lost[cause.index()] += width - retired;
     }
 
+    /// Account `cycles` consecutive retire-nothing cycles charged to one
+    /// `cause` in a single step — the quiescence skip's batched
+    /// equivalent of calling [`LoopCostStack::charge`] `cycles` times
+    /// with `retired == 0`. Conservation is preserved exactly.
+    pub fn charge_idle(&mut self, width: u64, cycles: u64, cause: CpiComponent) {
+        debug_assert!(self.width == 0 || self.width == width);
+        self.width = width;
+        self.cycles += cycles;
+        self.lost[cause.index()] += width * cycles;
+    }
+
     /// Lost slots charged to one component.
     pub fn component(&self, c: CpiComponent) -> u64 {
         self.lost[c.index()]
@@ -617,6 +628,22 @@ mod tests {
             st.cpi()
         );
         assert!((st.lost_fraction() - 15.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_idle_matches_repeated_empty_charges() {
+        let mut a = LoopCostStack::default();
+        let mut b = LoopCostStack::default();
+        a.charge(8, 3, CpiComponent::Base);
+        b.charge(8, 3, CpiComponent::Base);
+        for _ in 0..17 {
+            a.charge(8, 0, CpiComponent::MemoryLatency);
+        }
+        b.charge_idle(8, 17, CpiComponent::MemoryLatency);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.used, b.used);
+        assert_eq!(a.lost, b.lost);
+        assert!(b.conserves());
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub(crate) struct TimingWheel<T> {
     next_seq: u64,
     /// Live event count across buckets and overflow.
     len: usize,
+    /// Cached [`TimingWheel::next_due`] value. Exact while `due_dirty` is
+    /// false; a drain that removed events invalidates it (the quiescence
+    /// check calls `next_due` every cycle, so keeping this O(1) matters).
+    /// `Cell` because `next_due` refreshes the cache behind `&self`.
+    cached_due: std::cell::Cell<Option<u64>>,
+    /// When set, `cached_due` is stale and the next `next_due` rescans.
+    due_dirty: std::cell::Cell<bool>,
 }
 
 impl<T> TimingWheel<T> {
@@ -96,6 +103,8 @@ impl<T> TimingWheel<T> {
             cursor: 0,
             next_seq: 0,
             len: 0,
+            cached_due: std::cell::Cell::new(None),
+            due_dirty: std::cell::Cell::new(false),
         }
     }
 
@@ -112,6 +121,17 @@ impl<T> TimingWheel<T> {
         self.next_seq += 1;
         self.len += 1;
         let slot_cycle = cycle.max(self.cursor);
+        // Both bucketed and overflow events drain exactly at `slot_cycle`
+        // (overflow satisfies `cycle >= cursor`, and the drain cursor
+        // visits every cycle while events are live), so the cache can be
+        // maintained without a rescan.
+        if !self.due_dirty.get() {
+            let d = self
+                .cached_due
+                .get()
+                .map_or(slot_cycle, |c| c.min(slot_cycle));
+            self.cached_due.set(Some(d));
+        }
         if slot_cycle >= self.cursor + self.horizon() {
             self.overflow.push(Parked {
                 cycle,
@@ -133,6 +153,17 @@ impl<T> TimingWheel<T> {
     /// `BTreeMap<u64, Vec<T>>` drained with `pop_first` would yield.
     pub fn drain_due(&mut self, now: u64, out: &mut Vec<Due<T>>) {
         out.clear();
+        if self.len == 0 {
+            // Idle fast-forward: with no live events every bucket is empty
+            // and the overflow heap has nothing to refill them with, so the
+            // cursor can jump straight past `now` without visiting buckets.
+            // This keeps quiescence-skipped windows O(1) per wheel instead
+            // of O(skipped cycles).
+            self.cursor = self.cursor.max(now + 1);
+            self.cached_due.set(None);
+            self.due_dirty.set(false);
+            return;
+        }
         while self.cursor <= now {
             let idx = (self.cursor % self.horizon()) as usize;
             out.append(&mut self.buckets[idx]);
@@ -148,13 +179,64 @@ impl<T> TimingWheel<T> {
             self.cursor += 1;
         }
         self.len -= out.len();
-        out.sort_unstable_by_key(|e| (e.cycle, e.seq));
+        if !out.is_empty() {
+            // The earliest event may just have drained; recompute lazily.
+            self.due_dirty.set(true);
+        }
+        // Buckets hold events in schedule (seq) order, so a batch is
+        // usually sorted already; check before paying for the sort.
+        if !out.is_sorted_by_key(|e| (e.cycle, e.seq)) {
+            out.sort_unstable_by_key(|e| (e.cycle, e.seq));
+        }
     }
 
     /// Live events (buckets + overflow).
     #[inline]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// The earliest cycle at which [`TimingWheel::drain_due`] would yield
+    /// an event, or `None` when the wheel is empty. This is the *drain*
+    /// cycle: an event scheduled for an already-drained cycle reports the
+    /// bucket slot it actually parked in, which is the first cycle a drain
+    /// can reach it. The quiescence-skip logic uses this to jump the clock
+    /// to the next pending event.
+    pub fn next_due(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.due_dirty.get() {
+            return self.cached_due.get();
+        }
+        let due = self.scan_next_due();
+        self.cached_due.set(due);
+        self.due_dirty.set(false);
+        due
+    }
+
+    /// Bucket/overflow scan behind [`TimingWheel::next_due`]'s cache.
+    /// Walks outward from the cursor, so the first non-empty bucket is the
+    /// answer and the scan exits after `distance-to-next-event` probes
+    /// instead of visiting the whole ring.
+    fn scan_next_due(&self) -> Option<u64> {
+        let h = self.horizon();
+        // Overflow events always satisfy `cycle > cursor` (past-due events
+        // are slotted into buckets, and drains pop everything `<= cursor`),
+        // and they drain the cycle the cursor reaches them.
+        let over = self.overflow.peek().map(|p| p.cycle);
+        // Every bucketed event's slot cycle is in [cursor, cursor + h), so
+        // bucket `(cursor + d) % h` drains exactly at `cursor + d`.
+        for d in 0..h {
+            let due = self.cursor + d;
+            if over.is_some_and(|o| o <= due) {
+                return over;
+            }
+            if !self.buckets[(due % h) as usize].is_empty() {
+                return Some(due);
+            }
+        }
+        over
     }
 }
 
@@ -256,6 +338,75 @@ mod tests {
         wheel.schedule(11, 20);
         wheel.schedule(10, 10);
         assert_eq!(drain_wheel(&mut wheel, 11), vec![(10, 10), (11, 20)]);
+    }
+
+    #[test]
+    fn next_due_tracks_the_earliest_drainable_event() {
+        let mut wheel = TimingWheel::new(8);
+        assert_eq!(wheel.next_due(), None);
+        wheel.schedule(5, 1);
+        wheel.schedule(3, 2);
+        wheel.schedule(100, 3); // overflow
+        assert_eq!(wheel.next_due(), Some(3));
+        assert!(drain_wheel(&mut wheel, 4).ends_with(&[(3, 2)]));
+        assert_eq!(wheel.next_due(), Some(5));
+        assert_eq!(drain_wheel(&mut wheel, 5), vec![(5, 1)]);
+        assert_eq!(wheel.next_due(), Some(100), "overflow event is visible");
+        // A past-due schedule parks in the next drainable bucket: that slot,
+        // not the requested cycle, is when a drain can reach it.
+        wheel.schedule(2, 4);
+        assert_eq!(wheel.next_due(), Some(6));
+        assert_eq!(drain_wheel(&mut wheel, 6), vec![(2, 4)]);
+        assert_eq!(drain_wheel(&mut wheel, 100), vec![(100, 3)]);
+        assert_eq!(wheel.next_due(), None);
+    }
+
+    #[test]
+    fn next_due_agrees_with_drain_under_random_schedules() {
+        let mut rng = Rng::seed_from_u64(0xd0e5_1234);
+        let mut wheel = TimingWheel::new(16);
+        let mut payload = 0u32;
+        let mut now = 0u64;
+        while now < 3_000 {
+            for _ in 0..(rng.next_u64() % 3) {
+                wheel.schedule(now + rng.next_u64() % 60, payload);
+                payload += 1;
+            }
+            match wheel.next_due() {
+                None => {
+                    assert_eq!(wheel.len(), 0);
+                    now += 1;
+                }
+                Some(due) => {
+                    assert!(due >= now, "next_due never points behind the clock");
+                    if due > 0 {
+                        assert!(
+                            drain_wheel(&mut wheel, due - 1).is_empty(),
+                            "nothing drains before next_due"
+                        );
+                    }
+                    assert!(
+                        !drain_wheel(&mut wheel, due).is_empty(),
+                        "something drains exactly at next_due"
+                    );
+                    now = due + 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_wheel_fast_forwards_the_cursor() {
+        let mut wheel = TimingWheel::new(8);
+        // Jump far ahead while empty; scheduling afterwards must still
+        // work for both near and past-due cycles.
+        assert!(drain_wheel(&mut wheel, 1_000_000).is_empty());
+        wheel.schedule(1_000_003, 1);
+        wheel.schedule(999_999, 2); // behind the cursor: next drainable slot
+        assert_eq!(
+            drain_wheel(&mut wheel, 1_000_003),
+            vec![(999_999, 2), (1_000_003, 1)]
+        );
     }
 
     #[test]

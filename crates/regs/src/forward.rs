@@ -173,6 +173,34 @@ impl ForwardingBuffer {
         out.dedup_by_key(|(r, _)| *r);
     }
 
+    /// The earliest cycle `>= now` at which [`ForwardingBuffer::expiring`]
+    /// would report a non-empty write-back set, or `None` when no resident
+    /// entry has a pending expiry. Used by the quiescence-skip logic: the
+    /// clock must not jump past a write-back event (the DRA and the RPFT
+    /// snoop that traffic).
+    pub fn next_expiry(&self, now: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for (idx, &c) in self.bucket_cycle.iter().enumerate() {
+            if c == EMPTY || c < self.watermark {
+                continue;
+            }
+            let at = c + self.window;
+            if at < now || best.is_some_and(|b| at >= b) {
+                continue;
+            }
+            // The bucket may hold only stale pregs (re-inserted or
+            // invalidated since); an expiry only fires if some entry is
+            // still live for the bucket's cycle.
+            if self.buckets[idx]
+                .iter()
+                .any(|r| self.cycles[r.index()] == c)
+            {
+                best = Some(at);
+            }
+        }
+        best
+    }
+
     /// Drop entries older than the window (housekeeping). Call once per
     /// cycle after `expiring`. O(1): advances the eviction watermark; stale
     /// entries stop matching without being visited.
@@ -280,6 +308,47 @@ mod tests {
         f.insert(PhysReg(7), 99, 50);
         f.invalidate(PhysReg(7));
         assert_eq!(f.lookup(PhysReg(7), 51), None);
+    }
+
+    #[test]
+    fn next_expiry_finds_the_earliest_pending_writeback() {
+        let mut f = ForwardingBuffer::new(9);
+        assert_eq!(f.next_expiry(0), None);
+        f.insert(PhysReg(1), 11, 100);
+        f.insert(PhysReg(2), 22, 103);
+        assert_eq!(f.next_expiry(100), Some(109));
+        assert_eq!(f.next_expiry(109), Some(109), "inclusive at the boundary");
+        assert_eq!(f.next_expiry(110), Some(112), "past expiries are skipped");
+        assert_eq!(f.next_expiry(113), None);
+    }
+
+    #[test]
+    fn next_expiry_ignores_stale_and_evicted_entries() {
+        let mut f = ForwardingBuffer::new(9);
+        f.insert(PhysReg(1), 11, 100);
+        f.insert(PhysReg(2), 22, 101);
+        f.insert(PhysReg(1), 12, 104); // refreshed: old bucket entry stale
+        f.invalidate(PhysReg(2)); // reallocated: never expires
+        assert_eq!(f.next_expiry(100), Some(113));
+        f.evict_expired(114); // watermark past every producer cycle
+        assert_eq!(f.next_expiry(100), None);
+    }
+
+    #[test]
+    fn next_expiry_agrees_with_expiring() {
+        let mut f = ForwardingBuffer::new(4);
+        f.insert(PhysReg(1), 1, 10);
+        f.insert(PhysReg(3), 3, 12);
+        f.insert(PhysReg(5), 5, 12);
+        let mut now = 10;
+        while let Some(at) = f.next_expiry(now) {
+            for c in now..at {
+                assert!(f.expiring(c).is_empty(), "no write-back before {at}");
+            }
+            assert!(!f.expiring(at).is_empty(), "write-back fires at {at}");
+            now = at + 1;
+        }
+        assert!(f.expiring(now).is_empty());
     }
 
     #[test]

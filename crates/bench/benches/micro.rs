@@ -100,6 +100,88 @@ fn bench_regs() {
     });
 }
 
+/// The predecode win in isolation: per-instruction static-info cost on
+/// the rename/execute path. `reinterrogate` is the old per-dynamic cost
+/// (class/srcs/dest/affinity recomputed from the `Inst` each time);
+/// `table_lookup` is the new one (flat per-PC index into the table built
+/// once at machine construction).
+fn bench_predecode() {
+    let prog = Benchmark::M88ksim.program();
+    let n = prog.insts.len() as u64;
+    report("predecode/table_build_per_inst", n, 50, || {
+        black_box(looseloops_isa::Predecode::of(black_box(&prog)));
+    });
+    let code = looseloops_isa::Predecode::of(&prog);
+    report("predecode/table_lookup", 1024, 50, || {
+        for pc in 0..1024u64 {
+            let info = code.info(pc % n).expect("in range");
+            black_box((info.class, info.srcs, info.dest, info.affinity));
+        }
+    });
+    report("predecode/reinterrogate", 1024, 50, || {
+        for pc in 0..1024u64 {
+            let inst = prog.insts[(pc % n) as usize];
+            black_box(looseloops_isa::StaticInstInfo::of(black_box(inst)));
+        }
+    });
+}
+
+/// Per-instruction cost of the rename and execute stages: dependency-chain
+/// ALU kernels keep the front end and the execution core saturated, so
+/// wall time per retired instruction tracks exactly the per-dynamic work
+/// the predecode table and the hot/cold `DynInst` split compress. A
+/// layout regression (fatter hot record, rebuilt static info) moves these
+/// numbers without needing a full figure run.
+fn bench_rename_execute() {
+    // Long ALU dependency chains: rename pressure (2 sources, 1 dest per
+    // instruction) with trivially predictable control.
+    let alu = "
+            addi r1, r31, 10000
+            addi r2, r31, 1
+        top:
+            add  r3, r2, r1
+            add  r4, r3, r2
+            add  r5, r4, r3
+            add  r6, r5, r4
+            add  r7, r6, r5
+            add  r8, r7, r6
+            subi r1, r1, 1
+            bne  r1, top
+            halt
+    ";
+    let prog = looseloops::isa::asm::assemble(alu).expect("valid kernel");
+    for (name, cfg) in [
+        ("rename_execute_base", PipelineConfig::base()),
+        ("rename_execute_dra", PipelineConfig::dra_for_rf(3)),
+    ] {
+        report(&format!("machine/{name}_per_inst"), 30_000, 5, || {
+            let mut m = Machine::must(cfg.clone(), vec![prog.clone()]);
+            m.run(30_000, 2_000_000).expect("kernel runs");
+            black_box(m.stats().total_retired());
+        });
+    }
+}
+
+/// Tracer gating: with the tracer off there is no `PipelineTracer` at all,
+/// so fetch formats no Kanata label strings — the off rate must sit at the
+/// plain machine rate, far from the tracer-on rate which pays one
+/// formatted label line per fetched instruction plus stage records.
+fn bench_tracer_gating() {
+    let prog = Benchmark::M88ksim.program();
+    let cfg = PipelineConfig::base();
+    report("machine/fetch_tracer_off_per_inst", 20_000, 5, || {
+        let mut m = Machine::must(cfg.clone(), vec![prog.clone()]);
+        m.run(20_000, 2_000_000).expect("kernel runs");
+        black_box(m.stats().total_retired());
+    });
+    report("machine/fetch_tracer_on_per_inst", 20_000, 5, || {
+        let mut m = Machine::must(cfg.clone(), vec![prog.clone()]);
+        m.enable_trace();
+        m.run(20_000, 2_000_000).expect("kernel runs");
+        black_box(m.take_trace().len());
+    });
+}
+
 fn bench_machine() {
     for (name, cfg) in [
         ("base_m88ksim", PipelineConfig::base()),
@@ -118,5 +200,8 @@ fn main() {
     bench_cache();
     bench_predictor();
     bench_regs();
+    bench_predecode();
+    bench_rename_execute();
+    bench_tracer_gating();
     bench_machine();
 }

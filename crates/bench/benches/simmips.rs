@@ -4,7 +4,7 @@
 //! fixed budget, recording wall time, instructions, and simulated MIPS
 //! as JSON.
 //!
-//! The checked-in baseline lives at the repo root as `BENCH_pr9.json`;
+//! The checked-in baseline lives at the repo root as `BENCH_pr10.json`;
 //! the CI smoke job re-runs this bench and fails on a >20% sim-MIPS
 //! regression (see `scripts/check_simmips.py`). Budgets are fixed so
 //! the comparison is apples-to-apples, but the usual `LOOSELOOPS_WARMUP`
@@ -12,7 +12,7 @@
 //! the budget is recorded in the JSON and the checker refuses to compare
 //! mismatched budgets.
 //!
-//! Output path: `LOOSELOOPS_BENCH_OUT` if set, else `BENCH_pr9.json` at
+//! Output path: `LOOSELOOPS_BENCH_OUT` if set, else `BENCH_pr10.json` at
 //! the workspace root (i.e. running the bench with no overrides
 //! regenerates the baseline).
 
@@ -201,7 +201,7 @@ fn main() {
         .unwrap_or_else(|_| {
             PathBuf::from(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
-                .join("BENCH_pr9.json")
+                .join("BENCH_pr10.json")
         });
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("[simmips] wrote {}", path.display()),

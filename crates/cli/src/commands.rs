@@ -99,11 +99,35 @@ fn print_stats(stats: &SimStats, json: bool) {
 
 /// Print the wall-clock stage profile accumulated since the last call,
 /// when `--profile-stages` recorded one. Goes to stderr, like the sweep
-/// summary, so piped figure output stays byte-identical.
-fn emit_profile(label: &str) {
+/// summary, so piped figure output stays byte-identical. With
+/// `--profile-json FILE`, the report is also appended to FILE as one JSON
+/// line per label, for `scripts/diff_stage_profile.py`.
+fn emit_profile(label: &str, json_path: Option<&str>) {
     if let Some(rep) = looseloops_pipeline::profile::take_report() {
         eprintln!("[profile] {label}: {}", rep.render());
+        if let Some(path) = json_path {
+            use std::io::Write as _;
+            let line = rep.render_json(label);
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = written {
+                eprintln!("[profile] cannot write {path}: {e}");
+            }
+        }
     }
+}
+
+/// Shared handling of the profiling flags: `--profile-stages` turns the
+/// per-stage timers on; `--profile-json FILE` does too and selects a JSON
+/// sink. Returns the sink path for `emit_profile`.
+fn profile_from_args(args: &Args) -> Option<&str> {
+    if args.has("profile-stages") || args.has("profile-json") {
+        looseloops_pipeline::profile::enable();
+    }
+    args.get("profile-json")
 }
 
 /// Parse the execution-mode flags shared by `run` and `figure`:
@@ -172,13 +196,12 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "sample",
         "ckpt-dir",
         "profile-stages",
+        "profile-json",
     ]);
     args.reject_unknown(&allowed)?;
     let mut cfg = config_from_args(args)?;
     let budget = budget_from_args(args)?;
-    if args.has("profile-stages") {
-        looseloops_pipeline::profile::enable();
-    }
+    let profile_json = profile_from_args(args);
 
     let (mode, store) = mode_from_args(args, budget)?;
     if mode != ExecMode::Detailed {
@@ -221,7 +244,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             }
             ExecMode::Detailed => unreachable!("handled above"),
         }
-        emit_profile(&label);
+        emit_profile(&label, profile_json);
         return Ok(());
     }
 
@@ -284,7 +307,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             println!("trace written to {path}");
         }
     }
-    emit_profile(&label);
+    emit_profile(&label, profile_json);
     Ok(())
 }
 
@@ -390,11 +413,10 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
         "ckpt-dir",
         "store-dir",
         "profile-stages",
+        "profile-json",
     ]);
     args.reject_unknown(&allowed)?;
-    if args.has("profile-stages") {
-        looseloops_pipeline::profile::enable();
-    }
+    let profile_json = profile_from_args(args);
     let id = args
         .positional()
         .first()
@@ -436,7 +458,7 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
                     print!("{rep}");
                 }
             }
-            emit_profile(fid);
+            emit_profile(fid, profile_json);
         }
         eprintln!("[sweep] {}", sweep.summary().line());
         return Ok(());
@@ -449,7 +471,7 @@ pub fn figure(args: &Args) -> Result<(), ArgError> {
             print!("{rep}");
         }
     }
-    emit_profile(&id);
+    emit_profile(&id, profile_json);
     eprintln!("[sweep] {}", sweep.summary().line());
     if let Some(path) = args.get("json-out") {
         std::fs::write(path, fig.to_json())

@@ -42,6 +42,9 @@ COMMANDS:
              --profile-stages  (wall-clock per-stage breakdown of the
              simulator itself, printed to stderr; simulated results are
              byte-identical with or without it)
+             --profile-json FILE  (append the stage profile to FILE as
+             one JSON line per label; scripts/diff_stage_profile.py
+             diffs two such files across commits)
     figure   Regenerate the paper's evaluation figures
              fig4|fig5|fig6|fig8|fig9|load-policy|dra-design|fwd-window|
              iq-size|prefetch|predictor|all  (`all` shares one run cache)
@@ -54,6 +57,7 @@ COMMANDS:
              --store-dir DIR  (persistent result store: finished runs are
              reused across processes; LOOSELOOPS_STORE sets a default)
              --profile-stages  (per-figure wall-clock stage breakdown)
+             --profile-json FILE  (stage profiles as JSON lines, as in `run`)
     store    Manage the persistent result store
              gc --max-bytes N  (evict least-recently-used entries until
              the store fits in N bytes)
@@ -129,6 +133,7 @@ fn main() -> ExitCode {
         "write-corpus",
         "sample",
         "ckpt-dir",
+        "profile-json",
         "dir",
         "store-dir",
         "addr",

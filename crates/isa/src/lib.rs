@@ -47,6 +47,7 @@ pub mod encode;
 pub mod fastfwd;
 pub mod inst;
 pub mod interp;
+pub mod predecode;
 pub mod program;
 pub mod reg;
 
@@ -59,5 +60,6 @@ pub use interp::{
     branch_taken, control_target, eval_op, ArchState, ExecError, FlatMemory, Memory, Retired,
     RunSummary, StateDivergence,
 };
+pub use predecode::{BranchKind, ClusterAffinity, Predecode, StaticInstInfo};
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use reg::Reg;

@@ -1,0 +1,243 @@
+//! Per-program predecode cache.
+//!
+//! The timing pipeline used to re-interrogate [`Inst`] for every *dynamic*
+//! instance: `class()`, `srcs()`, and `dest()` are all opcode matches, and
+//! the fetch/rename/execute stages each ran several of them per
+//! instruction. All of that information is static per PC, so we decode it
+//! **once per program** into a dense [`StaticInstInfo`] table — the
+//! software analogue of a pre-decoded I-cache — and the hot stages index a
+//! flat array instead.
+//!
+//! The table is deliberately a plain `Vec<StaticInstInfo>` indexed by PC
+//! (the ISA has a flat instruction-index address space), built eagerly by
+//! [`Predecode::of`]. A process-wide build counter ([`build_count`]) lets
+//! the zero-allocation suite assert the table is built exactly once per
+//! program and never on the per-cycle path.
+
+use crate::inst::{Class, Inst, Opcode};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Control-flow kind, pre-resolved from the opcode so fetch-stage
+/// prediction dispatches on a flat enum instead of `class()` + `op`
+/// matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// Not a control-flow instruction.
+    None,
+    /// Conditional PC-relative branch.
+    Cond,
+    /// Unconditional PC-relative branch.
+    Br,
+    /// PC-relative call (pushes a return address).
+    Jsr,
+    /// Indirect jump through a register.
+    Jmp,
+    /// Return: indirect jump with a return-stack pop hint.
+    Ret,
+}
+
+/// Which clusters an instruction may be steered to, pre-resolved from the
+/// class (the machine's eligibility rule is purely class-driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterAffinity {
+    /// Any cluster (integer/control work).
+    Any,
+    /// Floating-point clusters only.
+    Fp,
+    /// Memory clusters only.
+    Mem,
+}
+
+/// Everything the pipeline needs to know about one static instruction,
+/// decoded once at program load.
+///
+/// The execution *latency class* is [`Class`] itself: the machine assigns
+/// latencies per class, so carrying the class is carrying the latency key.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticInstInfo {
+    /// The decoded instruction (still needed for immediates, the tracer's
+    /// disassembly, and the functional execute step).
+    pub inst: Inst,
+    /// Instruction class — also the execution-latency key.
+    pub class: Class,
+    /// Source architectural registers actually read (zero registers
+    /// stripped), exactly [`Inst::srcs`].
+    pub srcs: [Option<Reg>; 2],
+    /// Destination architectural register, exactly [`Inst::dest`].
+    pub dest: Option<Reg>,
+    /// Pre-resolved control-flow kind.
+    pub branch_kind: BranchKind,
+    /// Pre-resolved cluster-eligibility hint.
+    pub affinity: ClusterAffinity,
+    /// Memory access size in bytes (0 for non-memory instructions).
+    pub mem_size: u8,
+    /// `class.is_control()`, cached.
+    pub is_control: bool,
+    /// `class.is_mem()`, cached.
+    pub is_mem: bool,
+}
+
+impl StaticInstInfo {
+    /// Predecode a single instruction.
+    pub fn of(inst: Inst) -> StaticInstInfo {
+        let class = inst.class();
+        let branch_kind = match inst.op {
+            _ if class == Class::CondBranch => BranchKind::Cond,
+            Opcode::Br => BranchKind::Br,
+            Opcode::Jsr => BranchKind::Jsr,
+            Opcode::Jmp => BranchKind::Jmp,
+            Opcode::Ret => BranchKind::Ret,
+            _ => BranchKind::None,
+        };
+        let affinity = match class {
+            Class::FpAdd | Class::FpMul | Class::FpDiv => ClusterAffinity::Fp,
+            Class::Load | Class::Store => ClusterAffinity::Mem,
+            _ => ClusterAffinity::Any,
+        };
+        let mem_size = match inst.op {
+            Opcode::Ldl | Opcode::Stl => 4,
+            _ if class.is_mem() => 8,
+            _ => 0,
+        };
+        StaticInstInfo {
+            inst,
+            class,
+            srcs: inst.srcs(),
+            dest: inst.dest(),
+            branch_kind,
+            affinity,
+            mem_size,
+            is_control: class.is_control(),
+            is_mem: class.is_mem(),
+        }
+    }
+}
+
+/// Process-wide count of predecode table builds (see [`build_count`]).
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// How many [`Predecode`] tables have been built in this process. The
+/// zero-allocation suite uses the delta across a simulation to prove the
+/// table is built once per program at machine construction and never on
+/// the steady-state path.
+pub fn build_count() -> u64 {
+    BUILDS.load(Ordering::Relaxed)
+}
+
+/// Dense per-PC predecode table for one [`Program`].
+#[derive(Debug, Clone)]
+pub struct Predecode {
+    info: Vec<StaticInstInfo>,
+}
+
+impl Predecode {
+    /// Predecode every instruction of `program`. One heap allocation,
+    /// once per program.
+    pub fn of(program: &Program) -> Predecode {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        Predecode {
+            info: program
+                .insts
+                .iter()
+                .map(|&i| StaticInstInfo::of(i))
+                .collect(),
+        }
+    }
+
+    /// The predecoded record at `pc`, or `None` past the end of the
+    /// program (mirrors [`Program::fetch`]).
+    #[inline(always)]
+    pub fn info(&self, pc: u64) -> Option<&StaticInstInfo> {
+        self.info.get(pc as usize)
+    }
+
+    /// Number of predecoded instructions.
+    pub fn len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.info.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    /// Every predecoded field must agree with the `Inst` methods it
+    /// caches, across every opcode the assembler can produce.
+    #[test]
+    fn predecode_agrees_with_inst_methods() {
+        let prog = assemble(
+            "
+                addi r1, r31, 10
+                mul  r2, r1, r1
+                fadd f1, f2, f3
+                fmul f4, f1, f1
+                fdiv f5, f4, f1
+                ldq  r3, 8(r1)
+                ldl  r4, 4(r1)
+                stq  r3, 16(r2)
+                stl  r4, 20(r2)
+                fldq f6, 0(r3)
+                fstq f6, 8(r3)
+            tgt:
+                beq  r4, tgt
+                br   tgt
+                jsr  r5, tgt
+                jmp  r6, r1
+                ret  r1
+                mb
+                nop
+                halt
+            ",
+        )
+        .expect("valid assembly");
+        let table = Predecode::of(&prog);
+        assert_eq!(table.len(), prog.len());
+        for pc in 0..prog.len() as u64 {
+            let inst = prog.fetch(pc).unwrap();
+            let info = table.info(pc).unwrap();
+            assert_eq!(info.inst, inst);
+            assert_eq!(info.class, inst.class());
+            assert_eq!(info.srcs, inst.srcs());
+            assert_eq!(info.dest, inst.dest());
+            assert_eq!(info.is_control, inst.class().is_control());
+            assert_eq!(info.is_mem, inst.class().is_mem());
+            let want_kind = match inst.op {
+                Opcode::Br => BranchKind::Br,
+                Opcode::Jsr => BranchKind::Jsr,
+                Opcode::Jmp => BranchKind::Jmp,
+                Opcode::Ret => BranchKind::Ret,
+                _ if inst.class() == Class::CondBranch => BranchKind::Cond,
+                _ => BranchKind::None,
+            };
+            assert_eq!(info.branch_kind, want_kind);
+            if inst.class().is_mem() {
+                let want = if matches!(inst.op, Opcode::Ldl | Opcode::Stl) {
+                    4
+                } else {
+                    8
+                };
+                assert_eq!(info.mem_size, want);
+            } else {
+                assert_eq!(info.mem_size, 0);
+            }
+        }
+        assert!(table.info(prog.len() as u64).is_none());
+    }
+
+    #[test]
+    fn build_count_advances_per_table() {
+        let prog = assemble("nop\nhalt").expect("valid assembly");
+        let before = build_count();
+        let _a = Predecode::of(&prog);
+        let _b = Predecode::of(&prog);
+        assert_eq!(build_count(), before + 2);
+    }
+}

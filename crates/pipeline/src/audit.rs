@@ -206,7 +206,7 @@ impl Machine {
                     ));
                 }
                 last_seq = di.seq;
-                if di.inst.class() == looseloops_isa::Class::Store {
+                if di.class == looseloops_isa::Class::Store {
                     rob_stores.push(id);
                 }
             }

@@ -1,6 +1,15 @@
 //! Dynamic (in-flight) instruction records and their slab allocator.
+//!
+//! Storage is split hot/cold (DESIGN.md §14): [`DynInst`] is the compact
+//! record the per-cycle loops walk (sequence, phase, renamed operands,
+//! timestamps), while [`ColdInst`] is a parallel side-table holding the
+//! rarely touched control-flow recovery payload — the branch prediction
+//! context and the return-address-stack checkpoint, whose inline buffer
+//! alone is larger than the entire hot record. Both live in [`InstSlab`]
+//! under one generational handle, so alloc/squash/retire move an order of
+//! magnitude fewer bytes for the common (non-control) instruction.
 
-use looseloops_isa::{Inst, Reg};
+use looseloops_isa::{Class, Inst, Reg, StaticInstInfo};
 use looseloops_regs::PhysReg;
 
 /// Handle to an in-flight instruction. Generational: a stale handle (to a
@@ -52,8 +61,12 @@ pub struct SrcOperand {
     /// Physical register after rename.
     pub phys: PhysReg,
     /// Pre-read value captured in the DEC-IQ path (DRA) or delivered by the
-    /// operand-miss recovery path into the payload.
-    pub payload: Option<u64>,
+    /// operand-miss recovery path into the payload. Meaningful only while
+    /// `payload_valid` — split from an `Option<u64>` so the value packs
+    /// with the other `u64`s instead of spending 8 bytes on a tag.
+    pub payload: u64,
+    /// `payload` carries a value.
+    pub payload_valid: bool,
     /// DRA: this consumer's rename-time increment of its cluster's
     /// insertion table is still outstanding (no forwarding-buffer read has
     /// decremented it). Squash recovery undoes outstanding increments so
@@ -70,8 +83,8 @@ pub struct SrcOperand {
     /// Where the operand was obtained at (last) execution.
     pub obtained: Option<OperandSource>,
     /// Cycle the operand's value became available (for the Figure 6 gap
-    /// statistic); `None` until known.
-    pub avail_cycle: Option<u64>,
+    /// statistic); [`NO_CYCLE`] until known.
+    pub avail_cycle: u64,
 }
 
 /// A renamed destination.
@@ -100,7 +113,33 @@ pub struct BranchPrediction {
     pub ctx: u64,
 }
 
-/// A dynamic instruction.
+/// Cold per-instruction state: control-flow recovery payload touched only
+/// at fetch-time prediction, branch resolution, and retire-time predictor
+/// training — never by the per-cycle IQ/wakeup walks. Kept out of
+/// [`DynInst`] so the hot record stays small (the RAS checkpoint's inline
+/// buffer alone is 256 bytes).
+#[derive(Debug, Clone, Default)]
+pub struct ColdInst {
+    /// Prediction state for control instructions.
+    pub pred: Option<BranchPrediction>,
+    /// Return-address-stack checkpoint taken at fetch (control
+    /// instructions only), restored on mis-speculation recovery.
+    pub ras_ckpt: Option<looseloops_branch::RasCheckpoint>,
+}
+
+impl ColdInst {
+    fn reset(&mut self) {
+        self.pred = None;
+        self.ras_ckpt = None;
+    }
+}
+
+/// Sentinel for "this cycle has not happened yet" — lets the per-stage
+/// timestamps live in bare `u64`s instead of `Option<u64>`s, which would
+/// double their footprint in the hot record.
+pub const NO_CYCLE: u64 = u64::MAX;
+
+/// A dynamic instruction (the hot record; see [`ColdInst`]).
 #[derive(Debug, Clone)]
 pub struct DynInst {
     /// Global age (monotonic across all threads; per-thread order is a
@@ -112,6 +151,10 @@ pub struct DynInst {
     pub pc: u64,
     /// Decoded instruction.
     pub inst: Inst,
+    /// Instruction class, predecoded (also the execution-latency key).
+    pub class: Class,
+    /// Memory access size in bytes, predecoded (0 for non-memory).
+    pub mem_size: u8,
     /// Lifetime phase.
     pub phase: InstPhase,
     /// Renamed sources (`None` slots follow `Inst::srcs`).
@@ -120,11 +163,6 @@ pub struct DynInst {
     pub dest: Option<DestRename>,
     /// Functional-unit cluster this instruction was slotted to at decode.
     pub cluster: usize,
-    /// Prediction state for control instructions.
-    pub pred: Option<BranchPrediction>,
-    /// Return-address-stack checkpoint taken at fetch (control
-    /// instructions only), restored on mis-speculation recovery.
-    pub ras_ckpt: Option<looseloops_branch::RasCheckpoint>,
     /// IQ arena slot while resident (set at insert; may go stale after a
     /// squash — the IQ validates it against `id` before acting on it).
     pub iq_slot: u32,
@@ -132,16 +170,18 @@ pub struct DynInst {
     pub fetch_cycle: u64,
     /// Cycle renamed (start of DEC-IQ).
     pub rename_cycle: u64,
-    /// Cycle inserted into the IQ.
-    pub insert_cycle: Option<u64>,
-    /// Cycle (most recently) issued.
-    pub issue_cycle: Option<u64>,
-    /// Cycle execution produced the result (the forwarding timestamp).
-    pub complete_cycle: Option<u64>,
+    /// Cycle inserted into the IQ (`NO_CYCLE` until then).
+    pub insert_cycle: u64,
+    /// Cycle (most recently) issued (`NO_CYCLE` until then).
+    pub issue_cycle: u64,
+    /// Cycle execution produced the result — the forwarding timestamp
+    /// (`NO_CYCLE` until then).
+    pub complete_cycle: u64,
     /// Result value (dest write, if any).
     pub result: Option<u64>,
-    /// Effective address and size for memory operations.
-    pub mem_addr: Option<(u64, u8)>,
+    /// Effective address for memory operations (the access size is the
+    /// predecoded `mem_size`).
+    pub mem_addr: Option<u64>,
     /// Resolved direction for control instructions.
     pub taken: Option<bool>,
     /// Architecturally correct next PC (known after execute).
@@ -167,24 +207,24 @@ pub struct DynInst {
 }
 
 impl DynInst {
-    fn new(seq: u64, thread: usize, pc: u64, inst: Inst, fetch_cycle: u64) -> DynInst {
+    fn new(seq: u64, thread: usize, pc: u64, info: &StaticInstInfo, fetch_cycle: u64) -> DynInst {
         DynInst {
             seq,
             thread,
             pc,
-            inst,
+            inst: info.inst,
+            class: info.class,
+            mem_size: info.mem_size,
             phase: InstPhase::FrontEnd,
             srcs: [None, None],
             dest: None,
             cluster: 0,
-            pred: None,
-            ras_ckpt: None,
             iq_slot: u32::MAX,
             fetch_cycle,
             rename_cycle: 0,
-            insert_cycle: None,
-            issue_cycle: None,
-            complete_cycle: None,
+            insert_cycle: NO_CYCLE,
+            issue_cycle: NO_CYCLE,
+            complete_cycle: NO_CYCLE,
             result: None,
             mem_addr: None,
             taken: None,
@@ -205,10 +245,20 @@ impl DynInst {
     }
 }
 
-/// Generational slab holding all in-flight instructions.
+/// Generational slab holding all in-flight instructions: parallel hot
+/// ([`DynInst`]) and cold ([`ColdInst`]) arrays under one handle. Cold
+/// records are reset in place on allocation (keeping any RAS spill
+/// capacity), so slot reuse stays allocation-free.
+///
+/// Liveness is carried entirely by the generation counters: releasing a
+/// slot bumps its generation, which invalidates every outstanding handle,
+/// so the hot array stores `DynInst` directly (no `Option` wrapper). A
+/// dead slot keeps its stale record in place until reuse overwrites it —
+/// handle resolution never looks at it.
 #[derive(Debug, Default)]
 pub struct InstSlab {
-    slots: Vec<Option<DynInst>>,
+    slots: Vec<DynInst>,
+    cold: Vec<ColdInst>,
     gens: Vec<u32>,
     free: Vec<u32>,
     live: usize,
@@ -231,14 +281,15 @@ impl InstSlab {
         seq: u64,
         thread: usize,
         pc: u64,
-        inst: Inst,
+        info: &StaticInstInfo,
         fetch_cycle: u64,
     ) -> InstId {
         self.live += 1;
-        let di = DynInst::new(seq, thread, pc, inst, fetch_cycle);
+        let di = DynInst::new(seq, thread, pc, info, fetch_cycle);
         match self.free.pop() {
             Some(slot) => {
-                self.slots[slot as usize] = Some(di);
+                self.slots[slot as usize] = di;
+                self.cold[slot as usize].reset();
                 InstId {
                     slot,
                     gen: self.gens[slot as usize],
@@ -246,7 +297,8 @@ impl InstSlab {
             }
             None => {
                 let slot = self.slots.len() as u32;
-                self.slots.push(Some(di));
+                self.slots.push(di);
+                self.cold.push(ColdInst::default());
                 self.gens.push(0);
                 InstId { slot, gen: 0 }
             }
@@ -254,28 +306,30 @@ impl InstSlab {
     }
 
     /// Free a record (retire or squash). Stale handles to this slot stop
-    /// resolving.
+    /// resolving: the generation bump alone kills them, the stale record
+    /// stays in place untouched.
     pub fn release(&mut self, id: InstId) {
         assert!(self.get(id).is_some(), "releasing a dead or stale InstId");
-        self.slots[id.slot as usize] = None;
         self.gens[id.slot as usize] = self.gens[id.slot as usize].wrapping_add(1);
         self.free.push(id.slot);
         self.live -= 1;
     }
 
     /// Resolve a handle; `None` for released/stale handles.
+    #[inline]
     pub fn get(&self, id: InstId) -> Option<&DynInst> {
         if self.gens.get(id.slot as usize) == Some(&id.gen) {
-            self.slots[id.slot as usize].as_ref()
+            Some(&self.slots[id.slot as usize])
         } else {
             None
         }
     }
 
     /// Mutable resolve.
+    #[inline]
     pub fn get_mut(&mut self, id: InstId) -> Option<&mut DynInst> {
         if self.gens.get(id.slot as usize) == Some(&id.gen) {
-            self.slots[id.slot as usize].as_mut()
+            Some(&mut self.slots[id.slot as usize])
         } else {
             None
         }
@@ -298,39 +352,106 @@ impl InstSlab {
     pub fn expect_mut(&mut self, id: InstId) -> &mut DynInst {
         self.get_mut(id).expect("live InstId")
     }
+
+    /// The cold record for a live handle; `None` for released/stale
+    /// handles.
+    pub fn cold(&self, id: InstId) -> Option<&ColdInst> {
+        if self.gens.get(id.slot as usize) == Some(&id.gen) {
+            Some(&self.cold[id.slot as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Cold-record access that must succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle.
+    pub fn expect_cold(&self, id: InstId) -> &ColdInst {
+        self.cold(id).expect("live InstId")
+    }
+
+    /// Mutable cold-record access that must succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle.
+    pub fn expect_cold_mut(&mut self, id: InstId) -> &mut ColdInst {
+        assert!(
+            self.gens.get(id.slot as usize) == Some(&id.gen),
+            "live InstId"
+        );
+        &mut self.cold[id.slot as usize]
+    }
+
+    /// Both the hot and cold records, mutably, for sites that update
+    /// prediction state alongside the hot record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle.
+    pub fn expect_both_mut(&mut self, id: InstId) -> (&mut DynInst, &mut ColdInst) {
+        assert!(
+            self.gens.get(id.slot as usize) == Some(&id.gen),
+            "live InstId"
+        );
+        (
+            &mut self.slots[id.slot as usize],
+            &mut self.cold[id.slot as usize],
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use looseloops_isa::Inst as I;
+    use looseloops_isa::StaticInstInfo;
+
+    fn info(inst: I) -> StaticInstInfo {
+        StaticInstInfo::of(inst)
+    }
 
     #[test]
     fn alloc_get_release() {
         let mut s = InstSlab::new();
-        let id = s.alloc(1, 0, 100, I::nop(), 5);
+        let id = s.alloc(1, 0, 100, &info(I::nop()), 5);
         assert_eq!(s.live(), 1);
         assert_eq!(s.expect(id).pc, 100);
+        assert!(s.expect_cold(id).pred.is_none());
         s.release(id);
         assert_eq!(s.live(), 0);
         assert!(s.get(id).is_none(), "stale handle must not resolve");
+        assert!(s.cold(id).is_none(), "stale cold handle must not resolve");
     }
 
     #[test]
-    fn slot_reuse_bumps_generation() {
+    fn slot_reuse_bumps_generation_and_resets_cold() {
         let mut s = InstSlab::new();
-        let a = s.alloc(1, 0, 1, I::nop(), 0);
+        let a = s.alloc(1, 0, 1, &info(I::nop()), 0);
+        s.expect_cold_mut(a).pred = Some(BranchPrediction {
+            taken: true,
+            next_pc: 7,
+            history: looseloops_branch::HistorySnapshot(0),
+            ctx: 0,
+        });
         s.release(a);
-        let b = s.alloc(2, 0, 2, I::nop(), 0);
+        let b = s.alloc(2, 0, 2, &info(I::nop()), 0);
         assert_eq!(a.slot, b.slot, "slot is reused");
         assert!(s.get(a).is_none());
+        assert!(s.cold(a).is_none());
         assert_eq!(s.expect(b).pc, 2);
+        assert!(
+            s.expect_cold(b).pred.is_none(),
+            "cold record is reset on reuse"
+        );
     }
 
     #[test]
     fn phases_start_at_frontend() {
         let mut s = InstSlab::new();
-        let id = s.alloc(1, 0, 0, I::halt(), 0);
+        let id = s.alloc(1, 0, 0, &info(I::halt()), 0);
         assert_eq!(s.expect(id).phase, InstPhase::FrontEnd);
         assert!(!s.expect(id).is_complete());
         s.expect_mut(id).phase = InstPhase::Complete;
@@ -338,10 +459,26 @@ mod tests {
     }
 
     #[test]
+    fn predecoded_fields_ride_along() {
+        let mut s = InstSlab::new();
+        let ld = I {
+            op: looseloops_isa::Opcode::Ldl,
+            rd: looseloops_isa::Reg::int(1),
+            rs1: looseloops_isa::Reg::int(2),
+            rs2: looseloops_isa::Reg::ZERO,
+            imm: 4,
+            uses_imm: false,
+        };
+        let id = s.alloc(1, 0, 0, &info(ld), 0);
+        assert_eq!(s.expect(id).class, looseloops_isa::Class::Load);
+        assert_eq!(s.expect(id).mem_size, 4);
+    }
+
+    #[test]
     #[should_panic]
     fn double_release_panics() {
         let mut s = InstSlab::new();
-        let id = s.alloc(1, 0, 0, I::nop(), 0);
+        let id = s.alloc(1, 0, 0, &info(I::nop()), 0);
         s.release(id);
         s.release(id);
     }

@@ -11,7 +11,7 @@
 
 use crate::config::{LoadSpecPolicy, PipelineConfig, RegisterScheme};
 use crate::dyninst::{
-    BranchPrediction, DestRename, InstId, InstPhase, InstSlab, OperandSource, SrcOperand,
+    BranchPrediction, DestRename, InstId, InstPhase, InstSlab, OperandSource, SrcOperand, NO_CYCLE,
 };
 use crate::error::{DeadlockError, PipelineSnapshot, SimError, ThreadSnapshot};
 use crate::faults::FaultInjector;
@@ -24,7 +24,8 @@ use looseloops_branch::{
     build_predictor, Btb, DirectionPredictor, LinePredictor, ReturnAddressStack,
 };
 use looseloops_isa::{
-    branch_taken, eval_op, ArchState, Class, FlatMemory, Inst, Memory, Opcode, Program, Retired,
+    branch_taken, eval_op, ArchState, BranchKind, Class, FlatMemory, Memory, Opcode, Predecode,
+    Program, Retired, StaticInstInfo,
 };
 use looseloops_mem::{AccessKind, MemHierarchy};
 use looseloops_regs::{
@@ -78,6 +79,10 @@ pub(crate) struct Scratch {
 #[derive(Debug)]
 pub(crate) struct ThreadState {
     pub(crate) program: Program,
+    /// Per-PC static instruction metadata, decoded once at construction
+    /// (DESIGN.md §14). The fetch/rename/execute stages index this flat
+    /// table instead of re-interrogating `Inst` per dynamic instance.
+    pub(crate) code: Predecode,
     pub(crate) fetch_pc: u64,
     /// PC of the next instruction in architectural (retired) order —
     /// `entry` until the first retirement, then the last retired
@@ -265,6 +270,7 @@ impl Machine {
             .map(|program| ThreadState {
                 fetch_pc: program.entry,
                 arch_pc: program.entry,
+                code: Predecode::of(&program),
                 program,
                 fetch_suspended: false,
                 fetch_stall_until: 0,
@@ -777,6 +783,7 @@ impl Machine {
 
     /// Rewrite a register's wake-up schedule and bump its version so
     /// blocked consumers re-evaluate.
+    #[inline]
     fn set_ready_at(&mut self, p: PhysReg, v: u64) {
         self.ready_at[p.index()] = v;
         self.ready_version[p.index()] = self.ready_version[p.index()].wrapping_add(1);
@@ -810,7 +817,7 @@ impl Machine {
     /// must hold while any older same-thread store's address is unknown.
     pub(crate) fn entry_gated(&self, e: &IqEntry) -> bool {
         let di = self.slab.expect(e.id);
-        di.inst.class() == Class::Load
+        di.class == Class::Load
             && self.store_wait.must_wait(di.pc)
             && self.threads[e.thread].oldest_unknown_seq < di.seq
     }
@@ -828,7 +835,7 @@ impl Machine {
         let srcs = self.slab.expect(id).srcs;
         let mut first: Option<PhysReg> = None;
         for src in srcs.iter().flatten() {
-            if src.payload.is_some() {
+            if src.payload_valid {
                 continue;
             }
             let p = src.phys;
@@ -860,13 +867,13 @@ impl Machine {
         // unbounded (producer unscheduled, or a source blocked on a
         // wake-up version that has not been rewritten).
         let di = self.slab.expect(e.id);
-        let gated = di.inst.class() == Class::Load
+        let gated = di.class == Class::Load
             && self.store_wait.must_wait(di.pc)
             && self.threads[e.thread].oldest_unknown_seq < di.seq;
         let mut r = 0u64;
         if !gated {
             for src in di.srcs.iter().flatten() {
-                let t = if src.payload.is_some() {
+                let t = if src.payload_valid {
                     src.ready_at
                 } else if src.blocked_version == Some(self.ready_version[src.phys.index()]) {
                     u64::MAX
@@ -968,7 +975,7 @@ impl Machine {
             for (slot, e) in self.iq.ready_iter(cluster) {
                 let di = self.slab.expect(e.id);
                 if di.pc == pc
-                    && di.inst.class() == Class::Load
+                    && di.class == Class::Load
                     && self.threads[e.thread].oldest_unknown_seq < di.seq
                 {
                     sweep.push(slot);
@@ -1005,15 +1012,19 @@ impl Machine {
     /// Mirror of `rename_one`'s failure paths, without side effects: would
     /// renaming `id` on thread `t` stall right now?
     fn rename_would_block(&self, t: usize, id: InstId) -> bool {
-        let inst = self.slab.expect(id).inst;
-        if inst.class() == Class::CondBranch {
+        let di = self.slab.expect(id);
+        if di.class == Class::CondBranch {
             if let Some(limit) = self.cfg.branch_checkpoints {
                 if self.threads[t].unresolved_branches >= limit {
                     return true;
                 }
             }
         }
-        inst.dest().is_some() && self.freelist.available() == 0
+        let info = self.threads[t]
+            .code
+            .info(di.pc)
+            .expect("fetched implies predecoded");
+        info.dest.is_some() && self.freelist.available() == 0
     }
 
     /// When no stage can make progress at the current cycle, return the
@@ -1231,28 +1242,28 @@ impl Machine {
         let mut pc = block_start;
         let next_fetch_pc;
         loop {
-            let Some(inst) = self.threads[t].program.fetch(pc) else {
+            let Some(&info) = self.threads[t].code.info(pc) else {
                 // Wrong-path runaway: suspend until a squash redirects us.
                 self.threads[t].fetch_suspended = true;
                 next_fetch_pc = pc;
                 break;
             };
-            let id = self.alloc_inst(t, pc, inst, now);
+            let id = self.alloc_inst(t, pc, &info, now);
             if let Some(tr) = &mut self.tracer {
                 let seq = self.slab.expect(id).seq;
-                tr.fetch(now, id, seq, t, &format!("{pc:>6}: {inst}"));
+                tr.fetch(now, id, seq, t, pc, &info.inst);
             }
             self.stats.fetched += 1;
             let ready = now + self.cfg.fetch_stages as u64;
             self.threads[t].decode_q.push_back((ready, id));
 
-            if inst.class() == Class::Halt {
+            if info.class == Class::Halt {
                 self.threads[t].fetch_suspended = true;
                 next_fetch_pc = pc + 1;
                 break;
             }
-            if inst.class().is_control() {
-                let (next, taken) = self.predict_control(t, id, pc, inst);
+            if info.is_control {
+                let (next, taken) = self.predict_control(t, id, pc, &info);
                 if taken {
                     next_fetch_pc = next;
                     break;
@@ -1277,13 +1288,19 @@ impl Machine {
 
     /// Predict a control instruction at fetch. Returns (next fetch pc,
     /// redirects-away-from-fall-through).
-    fn predict_control(&mut self, t: usize, id: InstId, pc: u64, inst: Inst) -> (u64, bool) {
+    fn predict_control(
+        &mut self,
+        t: usize,
+        id: InstId,
+        pc: u64,
+        info: &StaticInstInfo,
+    ) -> (u64, bool) {
         let history = self.pred.snapshot_history();
         let ras_ckpt = self.threads[t].ras.checkpoint_fixed();
         let mut pred_ctx = 0u64;
         let fall = pc + 1;
-        let (next, taken) = match inst.class() {
-            Class::CondBranch => {
+        let (next, taken) = match info.branch_kind {
+            BranchKind::Cond => {
                 let (mut dir, ctx) = self.pred.predict_ctx(pc);
                 // Fault injection: a flipped direction is just a wrong
                 // prediction — resolution squashes and repairs history
@@ -1295,42 +1312,35 @@ impl Machine {
                 }
                 pred_ctx = ctx;
                 if dir {
-                    ((fall as i64 + inst.imm as i64) as u64, true)
+                    ((fall as i64 + info.inst.imm as i64) as u64, true)
                 } else {
                     (fall, false)
                 }
             }
-            Class::Branch => {
-                // PC-relative target, known from pre-decode bits.
-                if inst.op == Opcode::Jsr {
-                    self.threads[t].ras.push(fall);
-                }
-                (((fall as i64) + inst.imm as i64) as u64, true)
+            // PC-relative target, known from pre-decode bits.
+            BranchKind::Br => (((fall as i64) + info.inst.imm as i64) as u64, true),
+            BranchKind::Jsr => {
+                self.threads[t].ras.push(fall);
+                (((fall as i64) + info.inst.imm as i64) as u64, true)
             }
-            Class::Jump => {
-                let target = if inst.op == Opcode::Ret {
-                    self.threads[t].ras.pop()
-                } else {
-                    self.btb.lookup(pc)
-                };
-                (target.unwrap_or(fall), true)
-            }
-            _ => unreachable!("not a control class"),
+            BranchKind::Ret => (self.threads[t].ras.pop().unwrap_or(fall), true),
+            BranchKind::Jmp => (self.btb.lookup(pc).unwrap_or(fall), true),
+            BranchKind::None => unreachable!("not a control class"),
         };
-        let di = self.slab.expect_mut(id);
-        di.pred = Some(BranchPrediction {
+        let cold = self.slab.expect_cold_mut(id);
+        cold.pred = Some(BranchPrediction {
             taken,
             next_pc: next,
             history,
             ctx: pred_ctx,
         });
-        di.ras_ckpt = Some(ras_ckpt);
+        cold.ras_ckpt = Some(ras_ckpt);
         (next, taken)
     }
 
-    fn alloc_inst(&mut self, t: usize, pc: u64, inst: Inst, now: u64) -> InstId {
+    fn alloc_inst(&mut self, t: usize, pc: u64, info: &StaticInstInfo, now: u64) -> InstId {
         self.seq += 1;
-        self.slab.alloc(self.seq, t, pc, inst, now)
+        self.slab.alloc(self.seq, t, pc, info, now)
     }
 
     // ---------------------------------------------------------------- rename
@@ -1339,8 +1349,18 @@ impl Machine {
         if now < self.frontend_stall_until {
             return;
         }
+        // Nothing decoded anywhere: skip the round-robin bookkeeping. No
+        // stall statistics fire on an empty decode queue, so this early-out
+        // is invisible to the simulated results.
+        if self.threads.iter().all(|th| th.decode_q.is_empty()) {
+            return;
+        }
         let transit_cap = (self.cfg.dec_iq_stages as usize + 2) * self.cfg.width;
         let mut budget = self.cfg.width;
+        // Every successful rename pushes exactly one ROB entry, so the
+        // in-flight count can be carried locally instead of re-summing the
+        // per-thread ROB lengths for each candidate.
+        let mut in_flight = self.total_in_flight();
         // Round-robin across threads, in per-thread program order.
         let nthreads = self.threads.len();
         let mut blocked = std::mem::take(&mut self.scratch.blocked);
@@ -1364,7 +1384,7 @@ impl Machine {
                 if ready > now
                     || th.mb_stall_seq.is_some()
                     || th.transit_q.len() >= transit_cap
-                    || self.total_in_flight() >= self.cfg.max_in_flight
+                    || in_flight >= self.cfg.max_in_flight
                 {
                     if ready <= now {
                         self.stats.rename_stall_cycles += 1;
@@ -1378,6 +1398,7 @@ impl Machine {
                     continue;
                 }
                 self.threads[t].decode_q.pop_front();
+                in_flight += 1;
                 budget -= 1;
                 progress = true;
                 self.progressed = true;
@@ -1399,8 +1420,15 @@ impl Machine {
     /// Rename one instruction; returns `false` if it must stall (free-list
     /// exhaustion or no free branch checkpoint).
     fn rename_one(&mut self, t: usize, id: InstId, now: u64) -> bool {
-        let inst = self.slab.expect(id).inst;
-        if inst.class() == Class::CondBranch {
+        let pc = self.slab.expect(id).pc;
+        // All static facts come from the predecode table — no per-dynamic
+        // opcode matches on this path.
+        let info = *self.threads[t]
+            .code
+            .info(pc)
+            .expect("fetched implies predecoded");
+        let class = info.class;
+        if class == Class::CondBranch {
             if let Some(limit) = self.cfg.branch_checkpoints {
                 if self.threads[t].unresolved_branches >= limit {
                     return false; // wait for an older branch to resolve
@@ -1411,12 +1439,12 @@ impl Machine {
         // before the destination rename overwrites a same-register mapping
         // (e.g. `add r2, r2, r1`).
         let mut src_phys: [Option<(looseloops_isa::Reg, PhysReg)>; 2] = [None, None];
-        for (slot, arch) in inst.srcs().into_iter().enumerate() {
+        for (slot, arch) in info.srcs.into_iter().enumerate() {
             if let Some(arch) = arch {
                 src_phys[slot] = Some((arch, self.rename[t].lookup(arch)));
             }
         }
-        let dest = match inst.dest() {
+        let dest = match info.dest {
             Some(arch) => {
                 let Some((new, prev)) = self.rename[t].rename_dest(arch, &mut self.freelist) else {
                     return false;
@@ -1431,13 +1459,12 @@ impl Machine {
         // functional units can execute this class (FP on the first
         // `fp_clusters`, memory on the last `mem_clusters`), counting both
         // IQ occupancy and DEC-IQ transit; ties to the lowest index.
-        let class0 = inst.class();
-        let eligible: std::ops::Range<usize> = match class0 {
-            Class::FpAdd | Class::FpMul | Class::FpDiv => 0..self.cfg.fp_clusters,
-            Class::Load | Class::Store => {
+        let eligible: std::ops::Range<usize> = match info.affinity {
+            looseloops_isa::ClusterAffinity::Fp => 0..self.cfg.fp_clusters,
+            looseloops_isa::ClusterAffinity::Mem => {
                 (self.cfg.clusters - self.cfg.mem_clusters)..self.cfg.clusters
             }
-            _ => 0..self.cfg.clusters,
+            looseloops_isa::ClusterAffinity::Any => 0..self.cfg.clusters,
         };
         // invariant: validate() guarantees fp_clusters and mem_clusters are
         // both in 1..=clusters, so every eligibility range is non-empty.
@@ -1449,12 +1476,14 @@ impl Machine {
         let mut srcs: [Option<SrcOperand>; 2] = [None, None];
         for (slot, entry) in src_phys.into_iter().enumerate() {
             let Some((arch, phys)) = entry else { continue };
-            let mut payload = None;
+            let mut payload = 0u64;
+            let mut payload_valid = false;
             let mut itable_pending = false;
             if self.cfg.scheme.is_dra() {
                 if self.rpft.can_preread(phys) {
                     // Completed operand: pre-read during DEC-IQ.
-                    payload = Some(self.physfile.read(phys));
+                    payload = self.physfile.read(phys);
+                    payload_valid = true;
                 } else {
                     // Not in the register file yet: tell this cluster's
                     // insertion table a consumer is coming.
@@ -1466,9 +1495,10 @@ impl Machine {
                 arch,
                 phys,
                 payload,
+                payload_valid,
                 ready_at: 0,
                 obtained: None,
-                avail_cycle: None,
+                avail_cycle: NO_CYCLE,
                 itable_pending,
                 blocked_version: None,
             });
@@ -1477,12 +1507,11 @@ impl Machine {
         if let Some(tr) = &mut self.tracer {
             tr.stage(now, id, "Dc");
         }
-        let class = inst.class();
         if class == Class::CondBranch {
             self.threads[t].unresolved_branches += 1;
-            self.slab.expect_mut(id).holds_checkpoint = true;
         }
         let di = self.slab.expect_mut(id);
+        di.holds_checkpoint = class == Class::CondBranch;
         di.rename_cycle = now;
         di.dest = dest;
         di.srcs = srcs;
@@ -1548,6 +1577,11 @@ impl Machine {
         if now < self.frontend_stall_until {
             return;
         }
+        // Nothing in DEC-IQ transit anywhere: the round-robin below would
+        // only mark every thread blocked and exit, so skip it outright.
+        if self.threads.iter().all(|th| th.transit_q.is_empty()) {
+            return;
+        }
         let nthreads = self.threads.len();
         let mut blocked = std::mem::take(&mut self.scratch.blocked);
         blocked.clear();
@@ -1583,7 +1617,7 @@ impl Machine {
                 }
                 let di = self.slab.expect_mut(id);
                 di.phase = InstPhase::InIq;
-                di.insert_cycle = Some(now);
+                di.insert_cycle = now;
                 if let Some(slot) = slot {
                     di.iq_slot = slot;
                 }
@@ -1607,7 +1641,7 @@ impl Machine {
 
     /// Earliest-issue constraint for one source operand.
     fn src_ready(&self, src: &SrcOperand, now: u64) -> bool {
-        if src.payload.is_some() {
+        if src.payload_valid {
             return src.ready_at <= now;
         }
         // A consumer that already executed against a stale wake-up stays
@@ -1630,7 +1664,7 @@ impl Machine {
         // the incrementally maintained minimum over address-unknown
         // entries of the thread's store queue, so the old per-evaluation
         // queue scan reduces to one comparison.
-        if di.inst.class() == Class::Load
+        if di.class == Class::Load
             && self.store_wait.must_wait(di.pc)
             && self.threads[e.thread].oldest_unknown_seq < di.seq
         {
@@ -1701,11 +1735,11 @@ impl Machine {
         }
         let y = self.cfg.iq_ex_stages as u64;
         let di = self.slab.expect_mut(id);
-        di.issue_cycle = Some(now);
+        di.issue_cycle = now;
         di.issue_count += 1;
         di.phase = InstPhase::Issued;
         let stamp = di.issue_count;
-        let class = di.inst.class();
+        let class = di.class;
         let dest = di.dest;
         let slot = di.iq_slot;
         self.iq.mark_issued(slot, id);
@@ -1800,8 +1834,8 @@ impl Machine {
         let mut sources = [None; 2];
         for (i, src) in srcs.iter().enumerate() {
             let Some(src) = src else { continue };
-            if let Some(v) = src.payload {
-                vals[i] = v;
+            if src.payload_valid {
+                vals[i] = src.payload;
                 // A re-acquisition after an operand miss is not a new read.
                 sources[i] = match src.obtained {
                     Some(OperandSource::Miss) => None,
@@ -1922,7 +1956,10 @@ impl Machine {
     /// in the register file. Read it there, deliver to the payload, replay,
     /// and stall the front end while the recovery runs (paper §5.4).
     fn operand_miss(&mut self, id: InstId, slot: usize, now: u64) {
-        if std::env::var_os("LOOSELOOPS_DEBUG_MISS").is_some() {
+        // The debug switch is immutable for the process lifetime; cache it
+        // so the miss path does not pay an environment lookup per event.
+        static DEBUG_MISS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG_MISS.get_or_init(|| std::env::var_os("LOOSELOOPS_DEBUG_MISS").is_some()) {
             let di = self.slab.expect(id);
             let src = di.srcs[slot].as_ref().unwrap();
             eprintln!(
@@ -1946,7 +1983,8 @@ impl Machine {
         src.ready_at = (delivery + 1).saturating_sub(y);
         let value = self.physfile.read(phys);
         let src = self.slab.expect_mut(id).srcs[slot].as_mut().expect("slot");
-        src.payload = Some(value);
+        src.payload = value;
+        src.payload_valid = true;
         self.replay(id, ReplayCause::OperandMiss);
     }
 
@@ -1991,7 +2029,7 @@ impl Machine {
             let mut avail = [None, None];
             for (i, src) in srcs_snapshot.iter().enumerate() {
                 let Some(src) = src else { continue };
-                let a = if src.payload.is_some() {
+                let a = if src.payload_valid {
                     rename_cycle
                 } else {
                     self.avail_cycle[src.phys.index()].max(rename_cycle)
@@ -2001,7 +2039,7 @@ impl Machine {
             let di = self.slab.expect_mut(id);
             for (i, a) in avail.into_iter().enumerate() {
                 if let (Some(slot), Some(a)) = (di.srcs[i].as_mut(), a) {
-                    slot.avail_cycle = Some(a);
+                    slot.avail_cycle = a;
                     if slot.obtained.is_none() {
                         slot.obtained = sources[i];
                     }
@@ -2010,7 +2048,7 @@ impl Machine {
         }
 
         let di = self.slab.expect(id);
-        let (inst, pc, t, seq) = (di.inst, di.pc, di.thread, di.seq);
+        let (inst, pc, t, seq, class) = (di.inst, di.pc, di.thread, di.seq, di.class);
         let s1 = if inst.rs1.is_zero() { 0 } else { vals[0] };
         let s2 = if inst.uses_imm {
             inst.imm as i64 as u64
@@ -2020,7 +2058,7 @@ impl Machine {
             vals[1]
         };
 
-        match inst.class() {
+        match class {
             Class::Load => self.execute_load(id, now, s1),
             Class::Store => self.execute_store(id, now, s1, s2),
             Class::CondBranch | Class::Branch | Class::Jump => self.execute_control(id, now, s1),
@@ -2030,7 +2068,7 @@ impl Machine {
                 } else {
                     eval_op(inst.op, s1, s2)
                 };
-                let lat = self.class_latency(inst.class()) as u64;
+                let lat = self.class_latency(class) as u64;
                 self.finish_exec(id, now, now + lat - 1, Some(result), pc + 1, true);
             }
             Class::MemBar | Class::Halt => {
@@ -2074,12 +2112,11 @@ impl Machine {
     fn execute_load(&mut self, id: InstId, now: u64, base: u64) {
         let agu = self.cfg.lat.agu as u64;
         let y = self.cfg.iq_ex_stages as u64;
-        let (inst, t, seq, pc) = {
+        let (imm, t, seq, pc, size) = {
             let di = self.slab.expect(id);
-            (di.inst, di.thread, di.seq, di.pc)
+            (di.inst.imm, di.thread, di.seq, di.pc, di.mem_size)
         };
-        let addr = base.wrapping_add(inst.imm as i64 as u64);
-        let size: u8 = if inst.op == Opcode::Ldl { 4 } else { 8 };
+        let addr = base.wrapping_add(imm as i64 as u64);
 
         // Memory-dependence check against older in-flight stores.
         let mut forwarded: Option<u64> = None;
@@ -2089,7 +2126,7 @@ impl Machine {
             if s.seq >= seq {
                 continue;
             }
-            match s.mem_addr {
+            match s.mem_addr.map(|sa| (sa, s.mem_size)) {
                 Some(sa) if overlaps(sa, (addr, size)) => {
                     if contains(sa, (addr, size)) {
                         forwarded = Some(forward_value(
@@ -2111,8 +2148,9 @@ impl Machine {
             let di = self.slab.expect_mut(id);
             if let Some(src) = di.srcs[0].as_mut() {
                 src.ready_at = ((now + 4 + 1).saturating_sub(y)).max(src.ready_at);
-                if src.payload.is_none() {
-                    src.payload = Some(base);
+                if !src.payload_valid {
+                    src.payload = base;
+                    src.payload_valid = true;
                 }
             }
             self.replay(id, ReplayCause::Producer);
@@ -2148,7 +2186,7 @@ impl Machine {
 
         {
             let di = self.slab.expect_mut(id);
-            di.mem_addr = Some((addr, size));
+            di.mem_addr = Some(addr);
             di.load_l1_hit = Some(hit);
             di.tlb_trap = access.tlb_trap;
         }
@@ -2236,16 +2274,15 @@ impl Machine {
     }
 
     fn execute_store(&mut self, id: InstId, now: u64, base: u64, data: u64) {
-        let (inst, t, seq, pc) = {
+        let (imm, t, seq, pc, size) = {
             let di = self.slab.expect(id);
-            (di.inst, di.thread, di.seq, di.pc)
+            (di.inst.imm, di.thread, di.seq, di.pc, di.mem_size)
         };
-        let addr = base.wrapping_add(inst.imm as i64 as u64);
-        let size: u8 = if inst.op == Opcode::Stl { 4 } else { 8 };
+        let addr = base.wrapping_add(imm as i64 as u64);
         let was_unknown = {
             let di = self.slab.expect_mut(id);
             let was = di.mem_addr.is_none();
-            di.mem_addr = Some((addr, size));
+            di.mem_addr = Some(addr);
             di.store_data = Some(data);
             was
         };
@@ -2265,11 +2302,11 @@ impl Machine {
         let mut violator: Option<(u64, InstId)> = None;
         for &lid in &self.threads[t].rob {
             let l = self.slab.expect(lid);
-            if l.seq <= seq || l.inst.class() != Class::Load {
+            if l.seq <= seq || l.class != Class::Load {
                 continue;
             }
             if let Some(la) = l.mem_addr {
-                if overlaps((addr, size), la)
+                if overlaps((addr, size), (la, l.mem_size))
                     && matches!(l.phase, InstPhase::Issued | InstPhase::Complete)
                     && violator.map(|(s, _)| l.seq < s).unwrap_or(true)
                 {
@@ -2298,12 +2335,12 @@ impl Machine {
     }
 
     fn execute_control(&mut self, id: InstId, now: u64, s1: u64) {
-        let (inst, pc, t) = {
+        let (inst, pc, t, class, has_dest) = {
             let di = self.slab.expect(id);
-            (di.inst, di.pc, di.thread)
+            (di.inst, di.pc, di.thread, di.class, di.dest.is_some())
         };
         let fall = pc + 1;
-        let (taken, target) = match inst.class() {
+        let (taken, target) = match class {
             Class::CondBranch => {
                 let tk = branch_taken(inst.op, s1);
                 (
@@ -2319,11 +2356,11 @@ impl Machine {
             Class::Jump => (true, s1),
             _ => unreachable!(),
         };
-        let result = inst.dest().map(|_| fall); // link value for jsr/jmp
+        let result = has_dest.then_some(fall); // link value for jsr/jmp
 
         // Prediction tables are trained at retire (in order, correct path
         // only); execute handles only detection and history repair.
-        if inst.class() == Class::CondBranch {
+        if class == Class::CondBranch {
             let di = self.slab.expect_mut(id);
             if di.holds_checkpoint {
                 di.holds_checkpoint = false;
@@ -2332,11 +2369,11 @@ impl Machine {
         }
 
         let (pred_next, history) = {
-            let di = self.slab.expect_mut(id);
+            let (di, cold) = self.slab.expect_both_mut(id);
             di.taken = Some(taken);
             // invariant: predict_control stamped a prediction on every
             // control instruction at fetch, before it could reach execute.
-            let p = di
+            let p = cold
                 .pred
                 .as_ref()
                 .expect("control instructions carry predictions");
@@ -2348,7 +2385,7 @@ impl Machine {
 
         if pred_next != target {
             // Mis-speculation on the branch-resolution loop.
-            if inst.class() == Class::CondBranch {
+            if class == Class::CondBranch {
                 self.stats.branch_mispredicts += 1;
             } else {
                 self.stats.target_mispredicts += 1;
@@ -2357,13 +2394,19 @@ impl Machine {
             // Restore speculative history to the pre-branch snapshot, then
             // shift the true outcome in.
             self.pred.restore_history(history);
-            if inst.class() == Class::CondBranch {
+            if class == Class::CondBranch {
                 self.pred.speculate_history(taken);
-                let ctx = self.slab.expect(id).pred.as_ref().expect("prediction").ctx;
+                let ctx = self
+                    .slab
+                    .expect_cold(id)
+                    .pred
+                    .as_ref()
+                    .expect("prediction")
+                    .ctx;
                 self.pred.repair(pc, ctx, taken);
             }
             let seq = self.slab.expect(id).seq;
-            let ras = self.slab.expect_mut(id).ras_ckpt.take();
+            let ras = self.slab.expect_cold_mut(id).ras_ckpt.take();
             if let Some(ras) = ras {
                 self.threads[t].ras.restore_fixed(&ras);
                 // Redo this instruction's own RAS effect.
@@ -2379,7 +2422,7 @@ impl Machine {
             #[allow(unused_mut)]
             let mut redirect = target;
             #[cfg(feature = "chaos")]
-            if self.cfg.chaos_branch_recovery_off_by_one && inst.class() == Class::CondBranch {
+            if self.cfg.chaos_branch_recovery_off_by_one && class == Class::CondBranch {
                 // Seeded defect for the differential fuzzer: the recovery
                 // redirect (not the architectural next_pc) lands one
                 // instruction late, so post-recovery retirement diverges
@@ -2425,7 +2468,7 @@ impl Machine {
             }
             let di = self.slab.expect_mut(id);
             di.phase = InstPhase::Complete;
-            di.complete_cycle = Some(cyc);
+            di.complete_cycle = cyc;
             let (dest, result) = (di.dest, di.result);
             if let (Some(DestRename { new, .. }), Some(v)) = (dest, result) {
                 self.physfile.write(new, v);
@@ -2565,7 +2608,7 @@ impl Machine {
             InstPhase::InIq | InstPhase::Issued => {
                 // A head load waiting on a confirmed L1 miss is memory
                 // latency, not a loose loop.
-                if di.inst.class() == Class::Load && di.load_l1_hit == Some(false) {
+                if di.class == Class::Load && di.load_l1_hit == Some(false) {
                     return CpiComponent::MemoryLatency;
                 }
                 if let Some(c) = di.replay_component {
@@ -2581,8 +2624,7 @@ impl Machine {
 
     fn retire_one(&mut self, t: usize, id: InstId, now: u64) {
         let di = self.slab.expect(id);
-        let (inst, pc, seq, tlb_trap) = (di.inst, di.pc, di.seq, di.tlb_trap);
-        let pred_ctx = di.pred.as_ref().map(|p| p.ctx);
+        let (inst, pc, seq, tlb_trap, class) = (di.inst, di.pc, di.seq, di.tlb_trap, di.class);
         // invariant: only Complete-phase instructions retire, and every
         // path into Complete (finish_exec, rename of barriers/halts, the
         // Stall-policy load path) sets next_pc first.
@@ -2595,18 +2637,22 @@ impl Machine {
             wrote: di
                 .dest
                 .map(|d| (d.arch, di.result.expect("dest implies result"))),
-            mem_addr: di.mem_addr,
-            taken: di.taken.or(match inst.class() {
+            mem_addr: di.mem_addr.map(|a| (a, di.mem_size)),
+            taken: di.taken.or(match class {
                 Class::CondBranch => Some(next_pc != pc + 1),
                 Class::Branch | Class::Jump => Some(true),
                 _ => None,
             }),
             next_pc,
         };
+        let pred_ctx = (class == Class::CondBranch)
+            .then(|| self.slab.expect_cold(id).pred.as_ref().map(|p| p.ctx))
+            .flatten();
 
         // Stores drain to memory at retire.
-        if inst.class() == Class::Store {
-            let (addr, size) = di.mem_addr.expect("stores know their address");
+        if class == Class::Store {
+            let addr = di.mem_addr.expect("stores know their address");
+            let size = di.mem_size;
             let data = di.store_data.expect("stores stage their data");
             self.data_mem.write(addr, size, data);
             self.hier.access(AccessKind::DataWrite, addr, now);
@@ -2617,7 +2663,7 @@ impl Machine {
         if let Some(DestRename { prev, .. }) = di.dest {
             self.freelist.release(prev);
         }
-        match inst.class() {
+        match class {
             Class::CondBranch => {
                 self.stats.branches += 1;
                 let ctx = pred_ctx.expect("conditional branches carry predictions");
@@ -2637,7 +2683,7 @@ impl Machine {
         {
             self.threads[t].refill_cause = None;
         }
-        match inst.class() {
+        match class {
             Class::MemBar => {
                 self.stats.mem_barriers += 1;
                 if self.threads[t].mb_stall_seq == Some(seq) {
@@ -2660,8 +2706,8 @@ impl Machine {
             let mut a = [0u64; 2];
             let mut n = 0;
             for s in di.srcs.iter().flatten() {
-                if let Some(c) = s.avail_cycle {
-                    a[n & 1] = c;
+                if s.avail_cycle != NO_CYCLE {
+                    a[n & 1] = s.avail_cycle;
                     n += 1;
                 }
             }
@@ -2856,7 +2902,7 @@ mod timing_tests {
             if issued_at.is_none() {
                 if let Some(e) = m.iq.iter().find(|e| e.seq == 1) {
                     if !matches!(e.state, IqState::Waiting) {
-                        issued_at = Some(m.slab.expect(e.id).issue_cycle.unwrap());
+                        issued_at = Some(m.slab.expect(e.id).issue_cycle);
                     }
                 }
             } else if freed_at.is_none() && !held.contains(&1) {
@@ -2904,10 +2950,9 @@ mod timing_tests {
             m.step_cycle();
             for e in m.iq.iter() {
                 if let Some(di) = m.slab.get(e.id) {
-                    if let Some(c) = di.complete_cycle {
-                        if !exec_cycles.contains(&(di.seq, c)) {
-                            exec_cycles.push((di.seq, c));
-                        }
+                    let c = di.complete_cycle;
+                    if c != crate::dyninst::NO_CYCLE && !exec_cycles.contains(&(di.seq, c)) {
+                        exec_cycles.push((di.seq, c));
                     }
                 }
             }

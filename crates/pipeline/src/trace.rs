@@ -18,6 +18,7 @@
 //! | `Cm` | complete, waiting to retire |
 
 use crate::dyninst::InstId;
+use looseloops_isa::Inst;
 use std::fmt::Write as _;
 
 /// Incremental Kanata log builder.
@@ -82,8 +83,11 @@ impl PipelineTracer {
         }
     }
 
-    /// A new dynamic instruction was fetched.
-    pub fn fetch(&mut self, cycle: u64, id: InstId, seq: u64, thread: usize, text: &str) {
+    /// A new dynamic instruction was fetched. The label line is formatted
+    /// here, directly into the log buffer — callers pass the raw PC and
+    /// instruction, so a tracer-off run (no `PipelineTracer` at all)
+    /// structurally cannot spend time formatting labels.
+    pub fn fetch(&mut self, cycle: u64, id: InstId, seq: u64, thread: usize, pc: u64, inst: &Inst) {
         self.advance(cycle);
         let row = self.next_row;
         self.next_row += 1;
@@ -95,7 +99,7 @@ impl PipelineTracer {
             self.live += 1;
         }
         let _ = writeln!(self.buf, "I\t{row}\t{seq}\t{thread}");
-        let _ = writeln!(self.buf, "L\t{row}\t0\t{text}");
+        let _ = writeln!(self.buf, "L\t{row}\t0\t{pc:>6}: {inst}");
         let _ = writeln!(self.buf, "S\t{row}\t0\tF");
     }
 
@@ -176,10 +180,22 @@ mod tests {
         InstId { slot, gen: 0 }
     }
 
+    /// One assembled instruction per mnemonic the tests label rows with.
+    fn inst(text: &str) -> Inst {
+        let prog = looseloops_isa::asm::assemble(text).expect("valid test assembly");
+        prog.insts[0]
+    }
+
+    /// The label the tracer writes for (`pc`, `inst`).
+    fn label(pc: u64, i: &Inst) -> String {
+        format!("{pc:>6}: {i}")
+    }
+
     #[test]
     fn emits_header_and_row_lifecycle() {
+        let add = inst("add r1, r2, r3");
         let mut t = PipelineTracer::new();
-        t.fetch(10, id(0), 1, 0, "add r1, r2, r3");
+        t.fetch(10, id(0), 1, 0, 4, &add);
         t.stage(12, id(0), "Dc");
         t.stage(15, id(0), "Q");
         t.stage(16, id(0), "Is");
@@ -188,7 +204,7 @@ mod tests {
         let log = t.take();
         assert!(log.starts_with("Kanata\t0004\nC=\t10\n"));
         assert!(log.contains("I\t0\t1\t0"));
-        assert!(log.contains("L\t0\t0\tadd r1, r2, r3"));
+        assert!(log.contains(&format!("L\t0\t0\t{}", label(4, &add))));
         assert!(log.contains("S\t0\t0\tF"));
         assert!(log.contains("S\t0\t0\tX"));
         assert!(log.contains("R\t0\t0\t0"));
@@ -204,7 +220,7 @@ mod tests {
     #[test]
     fn flush_marks_row_squashed() {
         let mut t = PipelineTracer::new();
-        t.fetch(0, id(3), 7, 1, "bne r1, -2");
+        t.fetch(0, id(3), 7, 1, 9, &inst("halt"));
         t.flush(4, id(3));
         let log = t.take();
         assert!(log.contains("R\t0\t0\t1"), "flush bit set: {log}");
@@ -214,7 +230,7 @@ mod tests {
     #[test]
     fn unknown_ids_are_ignored() {
         let mut t = PipelineTracer::new();
-        t.fetch(0, id(1), 1, 0, "nop");
+        t.fetch(0, id(1), 1, 0, 0, &inst("nop"));
         t.stage(1, id(9), "X"); // never fetched
         t.retire(2, id(9));
         assert_eq!(t.live_rows(), 1);
@@ -223,10 +239,10 @@ mod tests {
     #[test]
     fn take_closes_live_rows_and_resets_counters() {
         let mut t = PipelineTracer::new();
-        t.fetch(0, id(0), 1, 0, "addi r1, r31, 1");
+        t.fetch(0, id(0), 1, 0, 0, &inst("addi r1, r31, 1"));
         t.retire(3, id(0));
-        t.fetch(4, id(1), 2, 0, "subi r1, r1, 1"); // still live at take()
-        t.fetch(4, id(2), 3, 0, "bne r1, -2"); // also live
+        t.fetch(4, id(1), 2, 0, 1, &inst("subi r1, r1, 1")); // still live at take()
+        t.fetch(4, id(2), 3, 0, 2, &inst("halt")); // also live
         let first = t.take();
         // Live rows were flushed as squashed, not dropped.
         assert_eq!(t.live_rows(), 0);
@@ -241,7 +257,7 @@ mod tests {
 
         // A second trace from the same tracer starts a fresh file: its own
         // header, rows renumbered from 0, retire ids from 0.
-        t.fetch(9, id(3), 10, 0, "halt");
+        t.fetch(9, id(3), 10, 0, 3, &inst("halt"));
         t.retire(11, id(3));
         let second = t.take();
         assert!(
@@ -263,44 +279,53 @@ mod tests {
     /// including slot reuse across generations and a stale-handle ignore.
     #[test]
     fn take_output_matches_hashmap_era_golden_log() {
+        let addi = inst("addi r1, r31, 1");
+        let ldq = inst("ldq r2, 0(r1)");
+        let halt = inst("halt");
         let mut t = PipelineTracer::new();
-        t.fetch(10, id(0), 1, 0, "addi r1, r31, 1");
-        t.fetch(10, id(1), 2, 1, "ld r2, 0(r1)");
+        t.fetch(10, id(0), 1, 0, 0, &addi);
+        t.fetch(10, id(1), 2, 1, 1, &ldq);
         t.stage(12, id(0), "Dc");
         t.stage(12, id(1), "Dc");
         t.flush(13, id(1)); // squashed; slot 1 is reused below
         t.stage(14, InstId { slot: 1, gen: 0 }, "X"); // stale handle: ignored
-        t.fetch(14, InstId { slot: 1, gen: 1 }, 3, 1, "bne r1, -2");
+        t.fetch(14, InstId { slot: 1, gen: 1 }, 3, 1, 2, &halt);
         t.retire(15, id(0));
         let log = t.take();
-        let expected = "Kanata\t0004\n\
-                        C=\t10\n\
-                        I\t0\t1\t0\n\
-                        L\t0\t0\taddi r1, r31, 1\n\
-                        S\t0\t0\tF\n\
-                        I\t1\t2\t1\n\
-                        L\t1\t0\tld r2, 0(r1)\n\
-                        S\t1\t0\tF\n\
-                        C\t2\n\
-                        S\t0\t0\tDc\n\
-                        S\t1\t0\tDc\n\
-                        C\t1\n\
-                        R\t1\t0\t1\n\
-                        C\t1\n\
-                        I\t2\t3\t1\n\
-                        L\t2\t0\tbne r1, -2\n\
-                        S\t2\t0\tF\n\
-                        C\t1\n\
-                        R\t0\t1\t0\n\
-                        R\t2\t2\t1\n";
+        let expected = format!(
+            "Kanata\t0004\n\
+             C=\t10\n\
+             I\t0\t1\t0\n\
+             L\t0\t0\t{l0}\n\
+             S\t0\t0\tF\n\
+             I\t1\t2\t1\n\
+             L\t1\t0\t{l1}\n\
+             S\t1\t0\tF\n\
+             C\t2\n\
+             S\t0\t0\tDc\n\
+             S\t1\t0\tDc\n\
+             C\t1\n\
+             R\t1\t0\t1\n\
+             C\t1\n\
+             I\t2\t3\t1\n\
+             L\t2\t0\t{l2}\n\
+             S\t2\t0\tF\n\
+             C\t1\n\
+             R\t0\t1\t0\n\
+             R\t2\t2\t1\n",
+            l0 = label(0, &addi),
+            l1 = label(1, &ldq),
+            l2 = label(2, &halt),
+        );
         assert_eq!(log, expected);
     }
 
     #[test]
     fn same_cycle_events_share_a_delta() {
+        let nop = inst("nop");
         let mut t = PipelineTracer::new();
-        t.fetch(5, id(0), 1, 0, "nop");
-        t.fetch(5, id(1), 2, 0, "nop");
+        t.fetch(5, id(0), 1, 0, 0, &nop);
+        t.fetch(5, id(1), 2, 0, 1, &nop);
         let log = t.take();
         assert_eq!(log.matches("C\t").count(), 0, "no delta inside one cycle");
     }

@@ -81,7 +81,15 @@ fn assert_steady_state_allocation_free(cfg: PipelineConfig, what: &str) {
         audit: false,
         ..cfg
     };
+    // Predecode is a construction-time cost: exactly one table per program,
+    // and fetch/rename/execute then index it without ever rebuilding.
+    let built_before = looseloops_isa::predecode::build_count();
     let mut m = Machine::new(cfg, vec![prog]).unwrap();
+    assert_eq!(
+        looseloops_isa::predecode::build_count(),
+        built_before + 1,
+        "{what}: construction predecodes each program exactly once"
+    );
 
     for _ in 0..WARMUP_CYCLES {
         m.step_cycle();
@@ -99,6 +107,11 @@ fn assert_steady_state_allocation_free(cfg: PipelineConfig, what: &str) {
     }
     ARMED.store(false, Ordering::SeqCst);
     let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        looseloops_isa::predecode::build_count(),
+        built_before + 1,
+        "{what}: no predecode rebuilds while running"
+    );
 
     assert!(
         !m.is_done(),

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Diff two stage-profile JSONL files across commits.
+
+Usage:
+    diff_stage_profile.py BEFORE.jsonl AFTER.jsonl [--label LABEL]
+
+Both files are produced by `looseloops run/figure --profile-json FILE`:
+one JSON object per line, keyed by label (the benchmark or figure id),
+with per-stage wall-clock nanoseconds. Labels present in both files are
+compared stage by stage; the delta column is AFTER relative to BEFORE
+(negative = faster). Wall-clock numbers are host-dependent — run both
+sides on the same quiet machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    profiles = {}
+    with open(path, encoding="utf-8") as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"error: {path}:{n}: {e}")
+            for key in ("label", "stage_ns", "stepped_cycles"):
+                if key not in doc:
+                    sys.exit(f"error: {path}:{n}: missing {key!r} (not a --profile-json file?)")
+            # Last write wins: re-running a label supersedes the old line.
+            profiles[doc["label"]] = doc
+    if not profiles:
+        sys.exit(f"error: {path}: no profiles")
+    return profiles
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:10.2f}"
+
+
+def diff_one(label, before, after):
+    print(f"== {label} ==")
+    print(f"{'stage':<12} {'before ms':>10} {'after ms':>10} {'delta':>8}")
+    stages = list(before["stage_ns"])
+    for extra in after["stage_ns"]:
+        if extra not in stages:
+            stages.append(extra)
+    rows = [
+        (s, before["stage_ns"].get(s, 0), after["stage_ns"].get(s, 0))
+        for s in stages
+    ]
+    rows.sort(key=lambda r: -max(r[1], r[2]))
+    for stage, b, a in rows:
+        delta = f"{(a - b) / b * 100.0:+7.1f}%" if b else "    new"
+        print(f"{stage:<12} {fmt_ms(b)} {fmt_ms(a)} {delta:>8}")
+    tb, ta = before.get("total_ns", 0), after.get("total_ns", 0)
+    delta = f"{(ta - tb) / tb * 100.0:+7.1f}%" if tb else "    new"
+    print(f"{'total':<12} {fmt_ms(tb)} {fmt_ms(ta)} {delta:>8}")
+    print(
+        f"{'cycles':<12} stepped {before['stepped_cycles']} -> {after['stepped_cycles']}, "
+        f"skipped {before.get('skipped_cycles', 0)} -> {after.get('skipped_cycles', 0)}"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("before")
+    ap.add_argument("after")
+    ap.add_argument("--label", help="compare only this label")
+    args = ap.parse_args()
+
+    before, after = load(args.before), load(args.after)
+    labels = [l for l in before if l in after]
+    if args.label:
+        labels = [l for l in labels if l == args.label]
+    if not labels:
+        sys.exit("error: no common labels to compare")
+    for i, label in enumerate(labels):
+        if i:
+            print()
+        diff_one(label, before[label], after[label])
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    if only_before:
+        print(f"\nonly in {args.before}: {', '.join(only_before)}")
+    if only_after:
+        print(f"only in {args.after}: {', '.join(only_after)}")
+
+
+if __name__ == "__main__":
+    main()
